@@ -1,0 +1,119 @@
+package kmeansll
+
+// One benchmark per table and figure of the paper's evaluation (§5), plus
+// the ablation benches DESIGN.md calls out. Each bench runs the shared
+// experiment driver (internal/experiments) at quick scale with a single
+// trial per configuration, so `go test -bench=.` regenerates the shape of
+// every result in minutes on one machine; `cmd/kmbench` runs the same
+// drivers at full scale with the paper's trial counts.
+//
+// Benchmarks report ns/op for one full regeneration of the corresponding
+// table; the table content itself is what EXPERIMENTS.md records.
+
+import (
+	"testing"
+
+	"kmeansll/internal/eval"
+	"kmeansll/internal/experiments"
+)
+
+func benchOpts() experiments.Options {
+	return experiments.Options{Quick: true, Trials: 1, Seed: 1}
+}
+
+func runDriver(b *testing.B, run func(experiments.Options) []eval.Table) {
+	b.Helper()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		tables := run(benchOpts())
+		for _, t := range tables {
+			sink += len(t.Rows)
+		}
+	}
+	if sink == 0 {
+		b.Fatal("driver produced no rows")
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1: GaussMixture (k=50) median seed and
+// final costs for Random, k-means++ and k-means|| seeding.
+func BenchmarkTable1(b *testing.B) { runDriver(b, experiments.Table1) }
+
+// BenchmarkTable2 regenerates Table 2 (Spam median seed/final cost) — and
+// Table 6, which shares its runs.
+func BenchmarkTable2(b *testing.B) { runDriver(b, experiments.SpamTables) }
+
+// BenchmarkTable3 regenerates Tables 3–5 (KDD cost, time, intermediate-set
+// size) from one set of parallel runs.
+func BenchmarkTable3(b *testing.B) { runDriver(b, experiments.KDDTables) }
+
+// BenchmarkTable4 is the running-time view of the shared KDD runs (Table 4).
+func BenchmarkTable4(b *testing.B) { runDriver(b, experiments.KDDTables) }
+
+// BenchmarkTable5 is the intermediate-set view of the shared KDD runs
+// (Table 5).
+func BenchmarkTable5(b *testing.B) { runDriver(b, experiments.KDDTables) }
+
+// BenchmarkTable6 regenerates Table 6 (Lloyd iterations to convergence on
+// Spam), which shares runs with Table 2.
+func BenchmarkTable6(b *testing.B) { runDriver(b, experiments.SpamTables) }
+
+// BenchmarkFig51 regenerates Figure 5.1: final cost vs rounds for
+// ℓ/k ∈ {1,2,4} with exact-ℓ sampling on the 10% KDD sample.
+func BenchmarkFig51(b *testing.B) { runDriver(b, experiments.Fig51) }
+
+// BenchmarkFig52 regenerates Figure 5.2: the (ℓ, r) sweep on GaussMixture
+// with the k-means++ reference.
+func BenchmarkFig52(b *testing.B) { runDriver(b, experiments.Fig52) }
+
+// BenchmarkFig53 regenerates Figure 5.3: the (ℓ, r) sweep on Spam.
+func BenchmarkFig53(b *testing.B) { runDriver(b, experiments.Fig53) }
+
+// BenchmarkAblationSampling compares Bernoulli vs exact-ℓ sampling.
+func BenchmarkAblationSampling(b *testing.B) { runDriver(b, experiments.AblationSampling) }
+
+// BenchmarkAblationRecluster compares Step 8 reclustering algorithms.
+func BenchmarkAblationRecluster(b *testing.B) { runDriver(b, experiments.AblationRecluster) }
+
+// BenchmarkAblationAssign compares naive/Elkan/Hamerly Lloyd kernels.
+func BenchmarkAblationAssign(b *testing.B) { runDriver(b, experiments.AblationAssign) }
+
+// BenchmarkAblationParallelism measures init scaling with worker count.
+func BenchmarkAblationParallelism(b *testing.B) { runDriver(b, experiments.AblationParallelism) }
+
+// BenchmarkAblationMapReduce validates the MR realization against the
+// in-process one.
+func BenchmarkAblationMapReduce(b *testing.B) { runDriver(b, experiments.AblationMapReduce) }
+
+// BenchmarkAblationStreaming compares the three small-intermediate-set
+// pipelines (k-means||, Partition, StreamKM++).
+func BenchmarkAblationStreaming(b *testing.B) { runDriver(b, experiments.AblationStreaming) }
+
+// BenchmarkAblationSeeding compares k-means++, greedy k-means++ and
+// k-means|| on quality vs passes.
+func BenchmarkAblationSeeding(b *testing.B) { runDriver(b, experiments.AblationSeeding) }
+
+// BenchmarkAblationKDTree measures the kd-tree filtering kernel's work
+// savings against brute force.
+func BenchmarkAblationKDTree(b *testing.B) { runDriver(b, experiments.AblationKDTree) }
+
+// BenchmarkAblationTrimmed exercises the trimmed (outlier-robust) extension.
+func BenchmarkAblationTrimmed(b *testing.B) { runDriver(b, experiments.AblationTrimmed) }
+
+// BenchmarkTheory regenerates the Theorem 2 / Corollary 3 validation table.
+func BenchmarkTheory(b *testing.B) { runDriver(b, experiments.TheoryBounds) }
+
+// BenchmarkAblationRestarts reproduces the §4.2 best-of-R-Random observation.
+func BenchmarkAblationRestarts(b *testing.B) { runDriver(b, experiments.AblationRestarts) }
+
+// BenchmarkClusterAPI measures the public façade end to end at a moderate
+// size (not tied to a paper table; this is the adoption path).
+func BenchmarkClusterAPI(b *testing.B) {
+	points := makeBlobs(b, 5000, 16, 20, 25, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Cluster(points, Config{K: 20, Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+// Command kmbench regenerates the tables and figures of "Scalable K-Means++"
+// (Bahmani et al., VLDB 2012). Each experiment id corresponds to one table or
+// figure of the paper's §5; see DESIGN.md for the per-experiment index and
+// EXPERIMENTS.md for paper-vs-measured results.
+//
+// Usage:
+//
+//	kmbench -list
+//	kmbench -exp table1
+//	kmbench -exp kdd            # tables 3, 4 and 5 from one set of runs
+//	kmbench -exp all -quick     # everything, at reduced scale
+//	kmbench -exp fig5_2 -trials 3 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"kmeansll/internal/experiments"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "", "experiment to run (name or table/figure id); 'all' runs everything")
+		list     = flag.Bool("list", false, "list available experiments and exit")
+		quick    = flag.Bool("quick", false, "reduced workload sizes")
+		trials   = flag.Int("trials", 0, "override repetitions per configuration (0 = paper default)")
+		parallel = flag.Int("parallelism", 0, "worker count (0 = all CPUs)")
+		seed     = flag.Uint64("seed", 0, "base seed offset for all trials")
+		format   = flag.String("format", "table", "output format: table | csv")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, d := range experiments.Registry {
+			fmt.Printf("%-22s %v\n    %s\n", d.Name, d.IDs, d.Describe)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "kmbench: -exp is required (or -list); e.g. kmbench -exp table1")
+		os.Exit(2)
+	}
+
+	opt := experiments.Options{
+		Quick:       *quick,
+		Trials:      *trials,
+		Parallelism: *parallel,
+		Seed:        *seed,
+	}
+
+	var drivers []*experiments.Driver
+	if *exp == "all" {
+		for i := range experiments.Registry {
+			drivers = append(drivers, &experiments.Registry[i])
+		}
+	} else {
+		d, err := experiments.Find(*exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kmbench:", err)
+			os.Exit(2)
+		}
+		drivers = append(drivers, d)
+	}
+
+	if *format != "table" && *format != "csv" {
+		fmt.Fprintf(os.Stderr, "kmbench: unknown -format %q\n", *format)
+		os.Exit(2)
+	}
+	for _, d := range drivers {
+		start := time.Now()
+		tables := d.Run(opt)
+		for _, t := range tables {
+			if *format == "csv" {
+				fmt.Println(t.RenderCSV())
+			} else {
+				fmt.Println(t.Render())
+			}
+		}
+		fmt.Fprintf(os.Stderr, "[%s completed in %s]\n", d.Name, time.Since(start).Round(time.Millisecond))
+	}
+}

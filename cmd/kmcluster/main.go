@@ -1,0 +1,181 @@
+// Command kmcluster clusters a CSV dataset with a chosen initialization
+// method followed by Lloyd's iteration, and writes the final centers (and
+// optionally the per-point assignment) as CSV.
+//
+// Usage:
+//
+//	kmcluster -in points.csv -k 50 -init kmeansll -o centers.csv
+//	kmcluster -in points.csv -k 20 -init kmeans++ -assign assign.csv
+//	kmcluster -in points.csv -k 100 -init kmeansll -l 2 -rounds 5 -mr
+//
+// -init is one of: random, kmeans++, kmeansll, partition.
+// -mr runs the MapReduce realization of k-means|| and Lloyd (engine in
+// internal/mr) instead of the in-process implementation.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"kmeansll/internal/core"
+	"kmeansll/internal/data"
+	"kmeansll/internal/geom"
+	"kmeansll/internal/lloyd"
+	"kmeansll/internal/mrkm"
+	"kmeansll/internal/rng"
+	"kmeansll/internal/seed"
+	"kmeansll/internal/stream"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "input CSV (required)")
+		out      = flag.String("o", "", "output CSV for centers (default stdout)")
+		assign   = flag.String("assign", "", "optional output CSV for per-point cluster index")
+		k        = flag.Int("k", 10, "number of clusters")
+		initName = flag.String("init", "kmeansll", "random | kmeans++ | kmeansll | partition")
+		l        = flag.Float64("l", 2, "k-means|| oversampling factor as multiple of k")
+		rounds   = flag.Int("rounds", 0, "k-means|| rounds (0 = auto)")
+		maxIter  = flag.Int("max-iter", 0, "Lloyd iteration cap (0 = until convergence)")
+		seedVal  = flag.Uint64("seed", 1, "random seed")
+		useMR    = flag.Bool("mr", false, "use the MapReduce realization (kmeansll init only)")
+		norm     = flag.Bool("normalize", false, "z-normalize columns before clustering")
+		kernel   = flag.String("kernel", "naive", "Lloyd kernel: naive | elkan | hamerly")
+		trim     = flag.Float64("trim", 0, "trimmed k-means: fraction of points excluded as outliers per iteration")
+		quiet    = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "kmcluster: -in is required")
+		os.Exit(2)
+	}
+	ds, err := data.LoadCSV(*in)
+	if err != nil {
+		fatal(err)
+	}
+	if err := ds.Validate(); err != nil {
+		fatal(err)
+	}
+	if *norm {
+		data.ZNormalize(ds)
+	}
+	logf := func(format string, args ...any) {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	logf("kmcluster: %d points x %d dims, k=%d, init=%s", ds.N(), ds.Dim(), *k, *initName)
+
+	var centers *geom.Matrix
+	switch *initName {
+	case "random":
+		centers = seed.Random(ds, *k, rng.New(*seedVal))
+	case "kmeans++":
+		centers = seed.KMeansPP(ds, *k, rng.New(*seedVal), 0)
+	case "partition":
+		var stats stream.Stats
+		centers, stats = stream.Partition(ds, stream.Config{K: *k, Seed: *seedVal})
+		logf("kmcluster: partition used %d groups, %d intermediate centers",
+			stats.Groups, stats.Intermediate)
+	case "kmeansll":
+		cfg := core.Config{K: *k, L: *l * float64(*k), Rounds: *rounds, Seed: *seedVal}
+		if *useMR {
+			var stats mrkm.Stats
+			centers, stats = mrkm.Init(ds, cfg, mrkm.Config{})
+			logf("kmcluster: mapreduce init: %d jobs, %d candidates, seed cost %.4g",
+				stats.MRRounds, stats.Candidates, stats.SeedCost)
+		} else {
+			var stats core.Stats
+			centers, stats = core.Init(ds, cfg)
+			logf("kmcluster: k-means|| init: %d rounds, %d candidates, seed cost %.4g",
+				stats.Rounds, stats.Candidates, stats.SeedCost)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "kmcluster: unknown -init %q\n", *initName)
+		os.Exit(2)
+	}
+
+	var method lloyd.Method
+	switch *kernel {
+	case "naive":
+		method = lloyd.Naive
+	case "elkan":
+		method = lloyd.Elkan
+	case "hamerly":
+		method = lloyd.Hamerly
+	default:
+		fmt.Fprintf(os.Stderr, "kmcluster: unknown -kernel %q\n", *kernel)
+		os.Exit(2)
+	}
+
+	var res lloyd.Result
+	switch {
+	case *trim > 0:
+		tres := lloyd.Trimmed(ds, centers, lloyd.TrimmedConfig{
+			TrimFraction: *trim, MaxIter: *maxIter,
+		})
+		res = tres.Result
+		logf("kmcluster: trimmed Lloyd flagged %d outliers (trimmed cost %.6g)",
+			len(tres.Outliers), tres.TrimmedCost)
+	case *useMR:
+		iters := *maxIter
+		if iters == 0 {
+			iters = 100
+		}
+		res, _ = mrkm.Lloyd(ds, centers, iters, mrkm.Config{})
+	default:
+		res = lloyd.Run(ds, centers, lloyd.Config{MaxIter: *maxIter, Method: method})
+	}
+	logf("kmcluster: Lloyd converged=%v after %d iterations, final cost %.6g",
+		res.Converged, res.Iters, res.Cost)
+
+	writeCenters := func(f *os.File) error {
+		return data.WriteCSV(f, geom.NewDataset(res.Centers))
+	}
+	if *out == "" {
+		if err := writeCenters(os.Stdout); err != nil {
+			fatal(err)
+		}
+	} else {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := writeCenters(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		logf("kmcluster: wrote %d centers to %s", res.Centers.Rows, *out)
+	}
+
+	if *assign != "" {
+		f, err := os.Create(*assign)
+		if err != nil {
+			fatal(err)
+		}
+		w := bufio.NewWriter(f)
+		for _, a := range res.Assign {
+			if _, err := w.WriteString(strconv.Itoa(int(a)) + "\n"); err != nil {
+				fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		logf("kmcluster: wrote %d assignments to %s", len(res.Assign), *assign)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "kmcluster:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,112 @@
+// Command kmstream clusters a CSV stream in one pass and bounded memory
+// using the StreamKM++ merge-and-reduce coreset, then writes k centers.
+// Unlike kmcluster it never materializes the dataset: rows are consumed as
+// they are read, so arbitrarily large files (or pipes) work in O(m·log n)
+// memory.
+//
+// Usage:
+//
+//	kmstream -k 50 < huge.csv > centers.csv
+//	kmgen -dataset kdd -n 1000000 | kmstream -k 100 -m 4000 -o centers.csv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"kmeansll/internal/coreset"
+	"kmeansll/internal/data"
+	"kmeansll/internal/geom"
+)
+
+func main() {
+	var (
+		k    = flag.Int("k", 10, "number of clusters")
+		m    = flag.Int("m", 0, "coreset size (0 = 20*k)")
+		in   = flag.String("in", "", "input CSV (default stdin)")
+		out  = flag.String("o", "", "output CSV for centers (default stdout)")
+		seed = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	if *k < 1 {
+		fmt.Fprintln(os.Stderr, "kmstream: -k must be ≥ 1")
+		os.Exit(2)
+	}
+	size := *m
+	if size <= 0 {
+		size = 20 * *k
+	}
+	if size < 2 {
+		size = 2
+	}
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+
+	var stream *coreset.Stream
+	rows, dim := 0, 0
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		p := make([]float64, len(fields))
+		for j, f := range fields {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				fatal(fmt.Errorf("line %d col %d: %w", line, j+1, err))
+			}
+			p[j] = v
+		}
+		if stream == nil {
+			dim = len(p)
+			stream = coreset.NewStream(size, dim, *seed)
+		} else if len(p) != dim {
+			fatal(fmt.Errorf("line %d has %d columns, want %d", line, len(p), dim))
+		}
+		stream.Add(p)
+		rows++
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if stream == nil || rows == 0 {
+		fatal(fmt.Errorf("no input rows"))
+	}
+	fmt.Fprintf(os.Stderr, "kmstream: consumed %d rows x %d dims, coreset m=%d\n", rows, dim, size)
+
+	centers := stream.Cluster(*k)
+	dsOut := geom.NewDataset(centers)
+	if *out == "" {
+		if err := data.WriteCSV(os.Stdout, dsOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := data.SaveCSV(*out, dsOut); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "kmstream: wrote %d centers to %s\n", centers.Rows, *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "kmstream:", err)
+	os.Exit(1)
+}

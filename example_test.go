@@ -1,0 +1,72 @@
+package kmeansll_test
+
+// Godoc examples for the public API. Each runs as a test.
+
+import (
+	"fmt"
+
+	"kmeansll"
+)
+
+// grid3 returns three tight groups of four points each.
+func grid3() [][]float64 {
+	var pts [][]float64
+	for _, base := range [][2]float64{{0, 0}, {100, 0}, {0, 100}} {
+		for _, d := range [][2]float64{{0, 0}, {1, 0}, {0, 1}, {1, 1}} {
+			pts = append(pts, []float64{base[0] + d[0], base[1] + d[1]})
+		}
+	}
+	return pts
+}
+
+func ExampleCluster() {
+	model, err := kmeansll.Cluster(grid3(), kmeansll.Config{K: 3, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("clusters:", model.K())
+	fmt.Println("converged:", model.Converged)
+	// Points from the same tight group always share a cluster.
+	fmt.Println("same group:", model.Assign[0] == model.Assign[1])
+	fmt.Println("different groups:", model.Assign[0] != model.Assign[4])
+	// Output:
+	// clusters: 3
+	// converged: true
+	// same group: true
+	// different groups: true
+}
+
+func ExampleModel_Predict() {
+	model, err := kmeansll.Cluster(grid3(), kmeansll.Config{K: 3, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	// A new point near the (100, 0) group lands with its training neighbors.
+	got := model.Predict([]float64{99, 1})
+	fmt.Println(got == model.Assign[4])
+	// Output:
+	// true
+}
+
+func ExampleNewStreamingClusterer() {
+	sc, err := kmeansll.NewStreamingClusterer(kmeansll.StreamingConfig{
+		K: 3, Dim: 2, CoresetSize: 8, Seed: 1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	for _, p := range grid3() {
+		if err := sc.Add(p); err != nil {
+			panic(err)
+		}
+	}
+	model, err := sc.Model()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("consumed:", sc.N())
+	fmt.Println("clusters:", model.K())
+	// Output:
+	// consumed: 12
+	// clusters: 3
+}

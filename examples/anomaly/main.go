@@ -1,0 +1,83 @@
+// Anomaly: online anomaly scoring over a connection stream using only the
+// public API — a StreamingClusterer maintains a bounded-memory model of
+// "normal" traffic, and Model.Transform turns each new connection into a
+// distance-to-nearest-profile score. Connections far from every learned
+// profile are flagged. This is the operational loop the paper's KDD
+// workload motivates: clustering as a traffic model, not an end in itself.
+package main
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"kmeansll"
+	"kmeansll/internal/data"
+)
+
+func main() {
+	const k = 30
+	feed := data.KDDLike(data.KDDLikeConfig{N: 60000, Seed: 31})
+	fmt.Printf("feed: %d connections x %d features\n", feed.N(), feed.Dim())
+
+	// Phase 1: learn traffic profiles from the first 50k connections,
+	// one pass, bounded memory.
+	sc, err := kmeansll.NewStreamingClusterer(kmeansll.StreamingConfig{
+		K: k, Dim: feed.Dim(), Seed: 7,
+	})
+	if err != nil {
+		panic(err)
+	}
+	const trainN = 50000
+	for i := 0; i < trainN; i++ {
+		if err := sc.Add(feed.Point(i)); err != nil {
+			panic(err)
+		}
+	}
+	model, err := sc.Model()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("learned %d traffic profiles from %d connections\n", model.K(), sc.N())
+
+	// Phase 2: score the next 10k connections. The anomaly score is the
+	// distance to the nearest profile; calibrate the alert threshold to the
+	// 99.5th percentile of training scores.
+	scores := make([]float64, 0, trainN/10)
+	for i := 0; i < trainN; i += 10 { // subsample training for calibration
+		scores = append(scores, minScore(model, feed.Point(i)))
+	}
+	sort.Float64s(scores)
+	threshold := scores[len(scores)*995/1000]
+	fmt.Printf("alert threshold (99.5th pct of training scores): %.4g\n", threshold)
+
+	alerts := 0
+	worst, worstIdx := 0.0, -1
+	for i := trainN; i < feed.N(); i++ {
+		s := minScore(model, feed.Point(i))
+		if s > threshold {
+			alerts++
+			if s > worst {
+				worst, worstIdx = s, i
+			}
+		}
+	}
+	fmt.Printf("scored %d live connections: %d alerts (%.2f%%)\n",
+		feed.N()-trainN, alerts, 100*float64(alerts)/float64(feed.N()-trainN))
+	if worstIdx >= 0 {
+		fmt.Printf("most anomalous connection: #%d with score %.4g (%.1fx threshold)\n",
+			worstIdx, worst, worst/threshold)
+	}
+}
+
+// minScore is the root of the smallest Transform entry: Euclidean distance
+// to the closest traffic profile.
+func minScore(m *kmeansll.Model, p []float64) float64 {
+	best := math.Inf(1)
+	for _, d := range m.Transform(p) {
+		if d < best {
+			best = d
+		}
+	}
+	return math.Sqrt(best)
+}

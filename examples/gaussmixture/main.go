@@ -1,0 +1,43 @@
+// GaussMixture: the paper's synthetic benchmark (§4.1, Table 1) as a
+// runnable comparison — Random vs k-means++ vs k-means|| seeding on the same
+// mixture, reporting seed and final cost and Lloyd convergence speed.
+package main
+
+import (
+	"fmt"
+
+	"kmeansll/internal/core"
+	"kmeansll/internal/data"
+	"kmeansll/internal/lloyd"
+	"kmeansll/internal/rng"
+	"kmeansll/internal/seed"
+)
+
+func main() {
+	const k = 50
+	for _, R := range []float64{1, 10, 100} {
+		ds, _ := data.GaussMixture(data.GaussMixtureConfig{
+			N: 10000, D: 15, K: k, R: R, Seed: 7,
+		})
+		fmt.Printf("=== GaussMixture R=%g (n=%d, d=%d, k=%d) ===\n", R, ds.N(), ds.Dim(), k)
+
+		// Random seeding.
+		rc := seed.Random(ds, k, rng.New(1))
+		rres := lloyd.Run(ds, rc, lloyd.Config{})
+		fmt.Printf("%-12s seed=%-12.4g final=%-12.4g lloyd-iters=%d\n",
+			"random", lloyd.Cost(ds, rc, 0), rres.Cost, rres.Iters)
+
+		// k-means++ seeding (Algorithm 1).
+		pc := seed.KMeansPP(ds, k, rng.New(2), 0)
+		pres := lloyd.Run(ds, pc, lloyd.Config{})
+		fmt.Printf("%-12s seed=%-12.4g final=%-12.4g lloyd-iters=%d\n",
+			"k-means++", lloyd.Cost(ds, pc, 0), pres.Cost, pres.Iters)
+
+		// k-means|| seeding (Algorithm 2) with the paper's l = 2k, r = 5.
+		lc, stats := core.Init(ds, core.Config{K: k, L: 2 * k, Rounds: 5, Seed: 3})
+		lres := lloyd.Run(ds, lc, lloyd.Config{})
+		fmt.Printf("%-12s seed=%-12.4g final=%-12.4g lloyd-iters=%d (candidates=%d)\n",
+			"k-means||", stats.SeedCost, lres.Cost, lres.Iters, stats.Candidates)
+		fmt.Println()
+	}
+}

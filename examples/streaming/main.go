@@ -1,0 +1,50 @@
+// Streaming: cluster an unbounded stream in one pass and bounded memory with
+// the StreamKM++ merge-and-reduce coreset (Ackermann et al., discussed in §2
+// of the paper). The stream is consumed point-by-point; at any moment a
+// size-m weighted coreset summarizes everything seen so far, and clustering
+// the coreset stands in for clustering the full history.
+package main
+
+import (
+	"fmt"
+
+	"kmeansll/internal/coreset"
+	"kmeansll/internal/data"
+	"kmeansll/internal/lloyd"
+)
+
+func main() {
+	const k = 25
+	// Simulated infinite feed: 100k network-connection records.
+	feed := data.KDDLike(data.KDDLikeConfig{N: 100000, Seed: 21})
+	fmt.Printf("stream: %d records x %d dims, coreset budget m=%d points\n",
+		feed.N(), feed.Dim(), 20*k)
+
+	s := coreset.NewStream(20*k, feed.Dim(), 99)
+	checkpoints := map[int]bool{10000: true, 50000: true, 100000: true}
+	for i := 0; i < feed.N(); i++ {
+		s.Add(feed.Point(i))
+		if checkpoints[s.N()] {
+			centers := s.Cluster(k)
+			// Evaluate against everything seen so far.
+			seen := feed.Subset(irange(s.N()))
+			cost := lloyd.Cost(seen, centers, 0)
+			fmt.Printf("  after %6d records: coreset clustering cost on history = %.4g\n",
+				s.N(), cost)
+		}
+	}
+
+	// Final comparison: streaming vs batch clustering of the whole feed.
+	streamCenters := s.Cluster(k)
+	streamCost := lloyd.Cost(feed, streamCenters, 0)
+	fmt.Printf("\nfinal streaming cost (1 pass, %d-point memory): %.4g\n",
+		20*k, streamCost)
+}
+
+func irange(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

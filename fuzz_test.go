@@ -1,0 +1,39 @@
+package kmeansll
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzLoadModel asserts the model loader never panics and only accepts
+// structurally valid models.
+func FuzzLoadModel(f *testing.F) {
+	f.Add("kmeansll-model v1 k=1 dim=2\ncost=1 seedcost=2 iters=3 converged=true\n0.5,0.5\n")
+	f.Add("kmeansll-model v1 k=2 dim=1\ncost=0 seedcost=0 iters=0 converged=false\n1\n2\n")
+	f.Add("")
+	f.Add("garbage")
+	f.Add("kmeansll-model v1 k=9999999 dim=9999999\ncost=1 seedcost=1 iters=1 converged=true\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		m, err := LoadModel(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if m.K() < 1 {
+			t.Fatal("accepted model with no centers")
+		}
+		dim := len(m.Centers[0])
+		if dim < 1 || dim != m.dim {
+			t.Fatalf("accepted model with inconsistent dim %d vs %d", dim, m.dim)
+		}
+		for _, c := range m.Centers {
+			if len(c) != dim {
+				t.Fatal("accepted ragged centers")
+			}
+		}
+		// A loadable model must be predictable.
+		p := make([]float64, dim)
+		if got := m.Predict(p); got < 0 || got >= m.K() {
+			t.Fatalf("Predict out of range: %d", got)
+		}
+	})
+}

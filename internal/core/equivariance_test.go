@@ -1,0 +1,139 @@
+package core
+
+// Equivariance properties: every decision k-means|| makes depends on the
+// data only through squared distances and point indices, so translating the
+// input must translate the output centers exactly, and scaling the input by
+// s must scale the output by s (and all costs by s²) — for the same seed.
+// These are exact (not statistical) properties; violations indicate hidden
+// coordinate dependence.
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"kmeansll/internal/geom"
+	"kmeansll/internal/rng"
+)
+
+func translated(ds *geom.Dataset, t []float64) *geom.Dataset {
+	out := geom.NewDataset(ds.X.Clone())
+	for i := 0; i < out.N(); i++ {
+		row := out.Point(i)
+		for j := range row {
+			row[j] += t[j]
+		}
+	}
+	return out
+}
+
+func scaled(ds *geom.Dataset, s float64) *geom.Dataset {
+	out := geom.NewDataset(ds.X.Clone())
+	geom.Scale(out.X.Data, s)
+	return out
+}
+
+func TestTranslationEquivariance(t *testing.T) {
+	f := func(sv uint64) bool {
+		r := rng.New(sv)
+		n := 30 + r.Intn(100)
+		d := 1 + r.Intn(5)
+		k := 2 + r.Intn(4)
+		x := geom.NewMatrix(n, d)
+		for i := range x.Data {
+			x.Data[i] = r.NormFloat64() * 10
+		}
+		ds := geom.NewDataset(x)
+		shift := make([]float64, d)
+		for j := range shift {
+			shift[j] = 100 * r.NormFloat64()
+		}
+		cfg := Config{K: k, Seed: sv, Parallelism: 1}
+		c1, s1 := Init(ds, cfg)
+		c2, s2 := Init(translated(ds, shift), cfg)
+		if s1.Candidates != s2.Candidates {
+			return false
+		}
+		if c1.Rows != c2.Rows {
+			return false
+		}
+		for i := 0; i < c1.Rows; i++ {
+			for j := 0; j < d; j++ {
+				want := c1.Row(i)[j] + shift[j]
+				// Distances of translated data accumulate slightly different
+				// rounding; allow tight relative tolerance.
+				if math.Abs(c2.Row(i)[j]-want) > 1e-6*(1+math.Abs(want)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScalingEquivariance(t *testing.T) {
+	f := func(sv uint64) bool {
+		r := rng.New(sv)
+		n := 30 + r.Intn(100)
+		d := 1 + r.Intn(5)
+		k := 2 + r.Intn(4)
+		x := geom.NewMatrix(n, d)
+		for i := range x.Data {
+			x.Data[i] = r.NormFloat64() * 5
+		}
+		ds := geom.NewDataset(x)
+		const s = 3.0 // power of two times 1.5: representable scaling
+		cfg := Config{K: k, Seed: sv, Parallelism: 1}
+		c1, st1 := Init(ds, cfg)
+		c2, st2 := Init(scaled(ds, s), cfg)
+		if st1.Candidates != st2.Candidates || c1.Rows != c2.Rows {
+			return false
+		}
+		// Seed cost scales by s².
+		if math.Abs(st2.SeedCost-s*s*st1.SeedCost) > 1e-6*(1+s*s*st1.SeedCost) {
+			return false
+		}
+		for i := 0; i < c1.Rows; i++ {
+			for j := 0; j < d; j++ {
+				want := s * c1.Row(i)[j]
+				if math.Abs(c2.Row(i)[j]-want) > 1e-6*(1+math.Abs(want)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPermutationInvarianceOfCost: reordering the dataset must not change
+// φ_X(C) for any fixed center set.
+func TestPermutationInvarianceOfCost(t *testing.T) {
+	f := func(sv uint64) bool {
+		r := rng.New(sv)
+		n := 10 + r.Intn(100)
+		d := 1 + r.Intn(4)
+		x := geom.NewMatrix(n, d)
+		for i := range x.Data {
+			x.Data[i] = r.NormFloat64()
+		}
+		ds := geom.NewDataset(x)
+		centers := geom.NewMatrix(1+r.Intn(5), d)
+		for i := range centers.Data {
+			centers.Data[i] = r.NormFloat64()
+		}
+		perm := r.Perm(n)
+		shuffled := ds.Subset(perm)
+		a := geom.Cost(ds, centers)
+		b := geom.Cost(shuffled, centers)
+		return math.Abs(a-b) <= 1e-9*(1+a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+
+	"kmeansll/internal/geom"
+	"kmeansll/internal/rng"
+)
+
+func TestStatsRoundCandidatesConsistent(t *testing.T) {
+	ds := blobs(t, 4, 150, 5, 20, 30)
+	_, stats := Init(ds, Config{K: 8, L: 16, Rounds: 4, Seed: 31})
+	if len(stats.RoundCandidates) != stats.Rounds {
+		t.Fatalf("RoundCandidates length %d != rounds %d",
+			len(stats.RoundCandidates), stats.Rounds)
+	}
+	total := 1 // first center
+	for _, c := range stats.RoundCandidates {
+		if c < 0 {
+			t.Fatalf("negative round count %d", c)
+		}
+		total += c
+	}
+	if total != stats.Candidates {
+		t.Fatalf("sum of round candidates %d != Candidates %d", total, stats.Candidates)
+	}
+}
+
+func TestExactLTraceLength(t *testing.T) {
+	ds := blobs(t, 3, 100, 4, 25, 32)
+	_, stats := Init(ds, Config{K: 5, L: 5, Rounds: 3, Mode: ExactL, Seed: 33})
+	if len(stats.PhiTrace) != stats.Rounds+1 {
+		t.Fatalf("trace length %d for %d rounds", len(stats.PhiTrace), stats.Rounds)
+	}
+}
+
+func TestSampleExactLDedupes(t *testing.T) {
+	// Heavy mass on one index: repeated draws must dedupe to one candidate.
+	d2 := []float64{1000, 0.001, 0.001}
+	r := rng.New(34)
+	out := sampleExactL(r, d2, 50)
+	seen := map[int]bool{}
+	for _, i := range out {
+		if seen[i] {
+			t.Fatalf("duplicate index %d", i)
+		}
+		seen[i] = true
+	}
+	if len(out) > 3 {
+		t.Fatalf("more candidates than distinct indices: %d", len(out))
+	}
+}
+
+func TestSampleExactLZeroM(t *testing.T) {
+	if out := sampleExactL(rng.New(35), []float64{1, 2}, 0); out != nil {
+		t.Fatalf("m=0 returned %v", out)
+	}
+}
+
+func TestInitPanicsOnBadInputs(t *testing.T) {
+	ds := blobs(t, 2, 10, 3, 5, 36)
+	for name, cfg := range map[string]Config{
+		"k=0": {K: 0},
+		"k<0": {K: -3},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			Init(ds, cfg)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("empty dataset did not panic")
+			}
+		}()
+		Init(geom.NewDataset(&geom.Matrix{Cols: 2}), Config{K: 1})
+	}()
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{K: 10}
+	if got := c.ell(); got != 20 {
+		t.Fatalf("default ell = %v, want 2K", got)
+	}
+	c = Config{K: 10, L: 5}
+	if got := c.ell(); got != 5 {
+		t.Fatalf("explicit ell = %v", got)
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	if Bernoulli.String() != "bernoulli" || ExactL.String() != "exact-l" {
+		t.Fatal("SampleMode strings wrong")
+	}
+	if SampleMode(9).String() == "" {
+		t.Fatal("unknown mode string empty")
+	}
+	if ReclusterKMeansPP.String() != "kmeans++" || ReclusterRandom.String() != "random" {
+		t.Fatal("ReclusterMethod strings wrong")
+	}
+	if ReclusterMethod(9).String() == "" {
+		t.Fatal("unknown recluster string empty")
+	}
+}

@@ -1,0 +1,129 @@
+package core
+
+// Tests that the implementation obeys the paper's analysis quantitatively:
+// Theorem 2 (per-round expected cost drop) and Corollary 3 (geometric
+// convergence to O(φ*)). These are statements about expectations, checked
+// here as averages over repeated runs with slack.
+
+import (
+	"math"
+	"testing"
+
+	"kmeansll/internal/geom"
+	"kmeansll/internal/lloyd"
+	"kmeansll/internal/rng"
+)
+
+// gaussMixtureWithTruth builds the paper's synthetic setting where φ* is
+// well-approximated by the generating centers' cost.
+func gaussMixtureWithTruth(t testing.TB, n, d, k int, R float64, seedVal uint64) (*geom.Dataset, float64) {
+	t.Helper()
+	r := rng.New(seedVal)
+	truth := geom.NewMatrix(k, d)
+	for i := range truth.Data {
+		truth.Data[i] = R * r.NormFloat64()
+	}
+	x := geom.NewMatrix(n, d)
+	for i := 0; i < n; i++ {
+		c := truth.Row(r.Intn(k))
+		row := x.Row(i)
+		for j := 0; j < d; j++ {
+			row[j] = c[j] + r.NormFloat64()
+		}
+	}
+	ds := geom.NewDataset(x)
+	phiStar := lloyd.Cost(ds, truth, 0)
+	return ds, phiStar
+}
+
+// TestTheorem2Contraction: E[φ(C ∪ C′)] ≤ 8φ* + ((1+α)/2)·φ(C) with
+// α = exp(−(1−e^{−ℓ/2k})). Checked per round, averaged over trials.
+func TestTheorem2Contraction(t *testing.T) {
+	const (
+		n, d, k = 4000, 10, 20
+		ell     = 2.0 * k
+		rounds  = 5
+		trials  = 15
+	)
+	ds, phiStar := gaussMixtureWithTruth(t, n, d, k, 50, 1)
+	alpha := math.Exp(-(1 - math.Exp(-ell/(2*k))))
+	factor := (1 + alpha) / 2
+
+	// Average the per-round ratio of measured drop to the bound.
+	sumPrev := make([]float64, rounds)
+	sumNext := make([]float64, rounds)
+	for trial := 0; trial < trials; trial++ {
+		_, stats := Init(ds, Config{K: k, L: ell, Rounds: rounds, Seed: uint64(trial)})
+		for j := 0; j < rounds && j+1 < len(stats.PhiTrace); j++ {
+			sumPrev[j] += stats.PhiTrace[j]
+			sumNext[j] += stats.PhiTrace[j+1]
+		}
+	}
+	for j := 0; j < rounds; j++ {
+		prev := sumPrev[j] / trials
+		next := sumNext[j] / trials
+		bound := 8*phiStar + factor*prev
+		// 10% slack: we average over finitely many trials.
+		if next > bound*1.1 {
+			t.Fatalf("round %d: E[φ'] = %.4g exceeds Theorem 2 bound %.4g (φ=%.4g, φ*=%.4g, α=%.3f)",
+				j, next, bound, prev, phiStar, alpha)
+		}
+	}
+}
+
+// TestCorollary3Convergence: E[φ(r)] ≤ ((1+α)/2)^r·ψ + 16/(1−α)·φ*.
+func TestCorollary3Convergence(t *testing.T) {
+	const (
+		n, d, k = 4000, 10, 20
+		ell     = 2.0 * k
+		rounds  = 6
+		trials  = 15
+	)
+	ds, phiStar := gaussMixtureWithTruth(t, n, d, k, 50, 2)
+	alpha := math.Exp(-(1 - math.Exp(-ell/(2*k))))
+	factor := (1 + alpha) / 2
+
+	sumPhi := make([]float64, rounds+1)
+	sumPsi := 0.0
+	for trial := 0; trial < trials; trial++ {
+		_, stats := Init(ds, Config{K: k, L: ell, Rounds: rounds, Seed: uint64(100 + trial)})
+		sumPsi += stats.Psi
+		for j := 0; j <= rounds && j < len(stats.PhiTrace); j++ {
+			sumPhi[j] += stats.PhiTrace[j]
+		}
+	}
+	psi := sumPsi / trials
+	for r := 0; r <= rounds; r++ {
+		phi := sumPhi[r] / trials
+		bound := math.Pow(factor, float64(r))*psi + 16/(1-alpha)*phiStar
+		if phi > bound*1.1 {
+			t.Fatalf("after %d rounds: E[φ] = %.4g exceeds Corollary 3 bound %.4g", r, phi, bound)
+		}
+	}
+	// And the end state is genuinely O(φ*): within a small constant of it.
+	final := sumPhi[rounds] / trials
+	if final > 16/(1-alpha)*phiStar {
+		t.Fatalf("final φ %.4g not within the 16/(1-α)·φ* = %.4g envelope", final, 16/(1-alpha)*phiStar)
+	}
+}
+
+// TestSeedCostWithinTheorem1Envelope: with k-means++ reclustering, the seed
+// is an O(log k)-approximation in expectation; check a generous constant.
+func TestSeedCostWithinTheorem1Envelope(t *testing.T) {
+	const k = 20
+	ds, phiStar := gaussMixtureWithTruth(t, 4000, 10, k, 50, 3)
+	var total float64
+	const trials = 10
+	for trial := 0; trial < trials; trial++ {
+		_, stats := Init(ds, Config{K: k, Seed: uint64(trial)})
+		total += stats.SeedCost
+	}
+	mean := total / trials
+	// 8(ln k + 2) envelope for k-means++ applied on top of an O(1)-approx
+	// candidate set; anything beyond 16·(8·(ln k+2))·φ* would be a bug.
+	envelope := 16 * 8 * (math.Log(k) + 2) * phiStar
+	if mean > envelope {
+		t.Fatalf("mean seed cost %.4g exceeds the theory envelope %.4g (φ*=%.4g)",
+			mean, envelope, phiStar)
+	}
+}

@@ -1,0 +1,257 @@
+package coreset
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"kmeansll/internal/geom"
+	"kmeansll/internal/lloyd"
+	"kmeansll/internal/rng"
+	"kmeansll/internal/seed"
+)
+
+func blobs(t testing.TB, k, m, dim int, sep float64, seedVal uint64) *geom.Dataset {
+	t.Helper()
+	r := rng.New(seedVal)
+	truth := geom.NewMatrix(k, dim)
+	for i := range truth.Data {
+		truth.Data[i] = sep * r.NormFloat64()
+	}
+	x := geom.NewMatrix(k*m, dim)
+	for c := 0; c < k; c++ {
+		for i := 0; i < m; i++ {
+			row := x.Row(c*m + i)
+			for j := 0; j < dim; j++ {
+				row[j] = truth.Row(c)[j] + r.NormFloat64()
+			}
+		}
+	}
+	return geom.NewDataset(x)
+}
+
+func totalWeight(ds *geom.Dataset) float64 {
+	var s float64
+	for i := 0; i < ds.N(); i++ {
+		s += ds.W(i)
+	}
+	return s
+}
+
+func TestReduceShapeAndMass(t *testing.T) {
+	ds := blobs(t, 5, 100, 4, 30, 1)
+	cs := NewTree(ds, rng.New(2)).Reduce(50)
+	if cs.N() != 50 {
+		t.Fatalf("coreset size %d, want 50", cs.N())
+	}
+	if cs.Dim() != 4 {
+		t.Fatalf("coreset dim %d", cs.Dim())
+	}
+	// Mass conservation: coreset weights must sum to the input mass.
+	if got := totalWeight(cs); math.Abs(got-500) > 1e-9 {
+		t.Fatalf("coreset mass %v, want 500", got)
+	}
+	// Representatives are input points.
+	for i := 0; i < cs.N(); i++ {
+		found := false
+		for j := 0; j < ds.N(); j++ {
+			if geom.SqDist(cs.Point(i), ds.Point(j)) == 0 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("coreset point %d is not an input point", i)
+		}
+	}
+}
+
+func TestReduceSmallInputPassThrough(t *testing.T) {
+	ds := blobs(t, 2, 10, 3, 10, 3)
+	cs := NewTree(ds, rng.New(4)).Reduce(100)
+	if cs.N() != 20 {
+		t.Fatalf("pass-through size %d, want 20", cs.N())
+	}
+	if cs.Weight == nil {
+		t.Fatal("pass-through must carry unit weights")
+	}
+}
+
+func TestCoresetPreservesClusterStructure(t *testing.T) {
+	// Clustering the coreset should give nearly the same cost (evaluated on
+	// the FULL data) as clustering the full data directly.
+	const k = 8
+	ds := blobs(t, k, 200, 6, 40, 5)
+	cs := NewTree(ds, rng.New(6)).Reduce(20 * k)
+
+	csInit := seed.KMeansPP(cs, k, rng.New(7), 1)
+	csRes := lloyd.Run(cs, csInit, lloyd.Config{})
+	costViaCoreset := lloyd.Cost(ds, csRes.Centers, 0)
+
+	fullInit := seed.KMeansPP(ds, k, rng.New(8), 0)
+	fullRes := lloyd.Run(ds, fullInit, lloyd.Config{})
+
+	if costViaCoreset > 1.3*fullRes.Cost {
+		t.Fatalf("coreset clustering cost %v ≫ direct %v", costViaCoreset, fullRes.Cost)
+	}
+}
+
+func TestCoresetCostApproximation(t *testing.T) {
+	// For arbitrary center sets, weighted coreset cost ≈ full cost.
+	ds := blobs(t, 6, 150, 5, 25, 9)
+	cs := NewTree(ds, rng.New(10)).Reduce(300)
+	r := rng.New(11)
+	for trial := 0; trial < 10; trial++ {
+		centers := seed.Random(ds, 6, r.Split(uint64(trial)))
+		full := lloyd.Cost(ds, centers, 0)
+		approx := lloyd.Cost(cs, centers, 0)
+		if approx > 1.5*full || approx < full/1.5 {
+			t.Fatalf("trial %d: coreset cost %v vs full %v (off by >1.5x)", trial, approx, full)
+		}
+	}
+}
+
+func TestStreamBasics(t *testing.T) {
+	s := NewStream(64, 3, 12)
+	ds := blobs(t, 4, 100, 3, 30, 13)
+	for i := 0; i < ds.N(); i++ {
+		s.Add(ds.Point(i))
+	}
+	if s.N() != 400 {
+		t.Fatalf("stream consumed %d points", s.N())
+	}
+	cs := s.Coreset()
+	if cs.N() == 0 || cs.N() > 64 {
+		t.Fatalf("stream coreset size %d, want (0, 64]", cs.N())
+	}
+	if got := totalWeight(cs); math.Abs(got-400) > 1e-6 {
+		t.Fatalf("stream coreset mass %v, want 400", got)
+	}
+}
+
+func TestStreamClusterQuality(t *testing.T) {
+	const k = 5
+	ds := blobs(t, k, 300, 4, 50, 14)
+	s := NewStream(40*k, 4, 15)
+	for i := 0; i < ds.N(); i++ {
+		s.Add(ds.Point(i))
+	}
+	centers := s.Cluster(k)
+	streamCost := lloyd.Cost(ds, centers, 0)
+	direct := lloyd.Run(ds, seed.KMeansPP(ds, k, rng.New(16), 0), lloyd.Config{})
+	if streamCost > 1.5*direct.Cost {
+		t.Fatalf("streaming cost %v ≫ direct %v", streamCost, direct.Cost)
+	}
+}
+
+func TestStreamShortInput(t *testing.T) {
+	s := NewStream(100, 2, 17)
+	for i := 0; i < 7; i++ {
+		s.Add([]float64{float64(i), 0})
+	}
+	cs := s.Coreset()
+	if cs.N() != 7 {
+		t.Fatalf("short stream coreset size %d, want 7", cs.N())
+	}
+}
+
+func TestStreamMergeReduceLevels(t *testing.T) {
+	// 8 full buckets must collapse into a single level-3 bucket.
+	m := 16
+	s := NewStream(m, 2, 18)
+	r := rng.New(19)
+	for i := 0; i < 8*m; i++ {
+		s.Add([]float64{r.NormFloat64(), r.NormFloat64()})
+	}
+	nonEmpty := 0
+	for _, b := range s.levels {
+		if b != nil {
+			nonEmpty++
+		}
+	}
+	if nonEmpty != 1 {
+		t.Fatalf("expected 1 occupied level after 8 buckets, got %d", nonEmpty)
+	}
+	if s.levels[3] == nil {
+		t.Fatal("expected the occupied level to be 3 (8 = 2^3 buckets)")
+	}
+	if s.fill.N() != 0 {
+		t.Fatalf("fill should be empty, has %d", s.fill.N())
+	}
+}
+
+func TestStreamAddDimPanics(t *testing.T) {
+	s := NewStream(8, 3, 20)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add with wrong dim did not panic")
+		}
+	}()
+	s.Add([]float64{1, 2})
+}
+
+// Property: mass conservation holds for random weighted inputs and any
+// coreset size.
+func TestMassConservationProperty(t *testing.T) {
+	f := func(sv uint64) bool {
+		r := rng.New(sv)
+		n := 10 + r.Intn(200)
+		d := 1 + r.Intn(4)
+		m := 2 + r.Intn(50)
+		ds := &geom.Dataset{X: geom.NewMatrix(n, d), Weight: make([]float64, n)}
+		var mass float64
+		for i := range ds.X.Data {
+			ds.X.Data[i] = r.NormFloat64()
+		}
+		for i := range ds.Weight {
+			ds.Weight[i] = 0.1 + r.Float64()
+			mass += ds.Weight[i]
+		}
+		cs := NewTree(ds, r.Split(1)).Reduce(m)
+		if cs.N() > n || (n > m && cs.N() > m) {
+			return false
+		}
+		return math.Abs(totalWeight(cs)-mass) < 1e-6*mass
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: coreset points are always distinct input points.
+func TestDistinctRepresentativesProperty(t *testing.T) {
+	ds := blobs(t, 3, 50, 3, 20, 21)
+	for trial := 0; trial < 10; trial++ {
+		cs := NewTree(ds, rng.New(uint64(trial))).Reduce(30)
+		seen := map[[3]float64]bool{}
+		for i := 0; i < cs.N(); i++ {
+			var key [3]float64
+			copy(key[:], cs.Point(i))
+			if seen[key] {
+				t.Fatalf("trial %d: duplicate representative", trial)
+			}
+			seen[key] = true
+		}
+	}
+}
+
+func BenchmarkReduce(b *testing.B) {
+	ds := blobs(b, 10, 400, 8, 20, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewTree(ds, rng.New(uint64(i))).Reduce(200)
+	}
+}
+
+func BenchmarkStreamAdd(b *testing.B) {
+	s := NewStream(256, 8, 1)
+	r := rng.New(2)
+	p := make([]float64, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range p {
+			p[j] = r.NormFloat64()
+		}
+		s.Add(p)
+	}
+}

@@ -1,0 +1,272 @@
+package data
+
+import (
+	"bytes"
+	"math"
+	"sort"
+	"testing"
+
+	"kmeansll/internal/geom"
+	"kmeansll/internal/lloyd"
+	"kmeansll/internal/rng"
+	"kmeansll/internal/seed"
+)
+
+func TestGaussMixtureShape(t *testing.T) {
+	ds, centers := GaussMixture(GaussMixtureConfig{N: 1000, D: 15, K: 20, R: 10, Seed: 1})
+	if ds.N() != 1000 || ds.Dim() != 15 {
+		t.Fatalf("got %dx%d", ds.N(), ds.Dim())
+	}
+	if centers.Rows != 20 || centers.Cols != 15 {
+		t.Fatalf("centers %dx%d", centers.Rows, centers.Cols)
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGaussMixtureTrueCentersNearOptimal(t *testing.T) {
+	// For R=100 the mixture is extremely well separated: the true centers'
+	// cost ≈ n·d (unit-variance noise), and must be far below a random
+	// seeding's cost.
+	ds, centers := GaussMixture(GaussMixtureConfig{N: 5000, D: 15, K: 50, R: 100, Seed: 2})
+	trueCost := lloyd.Cost(ds, centers, 0)
+	expected := float64(5000 * 15)
+	if trueCost > 1.5*expected || trueCost < 0.5*expected {
+		t.Fatalf("true-center cost %v, expected ≈ %v", trueCost, expected)
+	}
+	rc := seed.Random(ds, 50, rng.New(3))
+	if randCost := lloyd.Cost(ds, rc, 0); randCost < 5*trueCost {
+		t.Fatalf("random cost %v not ≫ true cost %v for R=100", randCost, trueCost)
+	}
+}
+
+func TestGaussMixtureSeparationGrowsWithR(t *testing.T) {
+	// Larger R ⇒ relatively better-separated clusters ⇒ the ratio of random
+	// seeding cost to true-center cost grows.
+	ratio := func(R float64) float64 {
+		ds, centers := GaussMixture(GaussMixtureConfig{N: 3000, D: 15, K: 20, R: R, Seed: 4})
+		rc := seed.Random(ds, 20, rng.New(5))
+		return lloyd.Cost(ds, rc, 0) / lloyd.Cost(ds, centers, 0)
+	}
+	r1, r100 := ratio(1), ratio(100)
+	if r100 < 4*r1 {
+		t.Fatalf("separation ratio did not grow with R: R=1 → %v, R=100 → %v", r1, r100)
+	}
+}
+
+func TestGaussMixtureDeterministic(t *testing.T) {
+	a, _ := GaussMixture(GaussMixtureConfig{N: 100, D: 5, K: 3, R: 10, Seed: 6})
+	b, _ := GaussMixture(GaussMixtureConfig{N: 100, D: 5, K: 3, R: 10, Seed: 6})
+	for i := range a.X.Data {
+		if a.X.Data[i] != b.X.Data[i] {
+			t.Fatal("GaussMixture not deterministic")
+		}
+	}
+}
+
+func TestSpamLikeProfile(t *testing.T) {
+	ds := SpamLike(SpamLikeConfig{Seed: 7})
+	if ds.N() != 4601 || ds.Dim() != 58 {
+		t.Fatalf("got %dx%d, want 4601x58", ds.N(), ds.Dim())
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Frequency block must be non-negative, bounded by 100, and mostly zero.
+	zeros, total := 0, 0
+	for i := 0; i < ds.N(); i++ {
+		row := ds.Point(i)
+		for j := 0; j < 54; j++ {
+			if row[j] < 0 || row[j] > 100 {
+				t.Fatalf("frequency out of range at (%d,%d): %v", i, j, row[j])
+			}
+			if row[j] == 0 {
+				zeros++
+			}
+			total++
+		}
+	}
+	sparsity := float64(zeros) / float64(total)
+	if sparsity < 0.5 || sparsity > 0.95 {
+		t.Fatalf("frequency sparsity %v outside [0.5, 0.95]", sparsity)
+	}
+	// Capital-run columns must dominate the scale (they drive raw-distance
+	// behaviour in the paper's Spam experiments).
+	var freqMax, capMax float64
+	for i := 0; i < ds.N(); i++ {
+		row := ds.Point(i)
+		for j := 0; j < 54; j++ {
+			freqMax = math.Max(freqMax, row[j])
+		}
+		capMax = math.Max(capMax, row[56])
+	}
+	if capMax < 10*freqMax {
+		t.Fatalf("capital-run scale %v does not dominate frequencies %v", capMax, freqMax)
+	}
+}
+
+func TestKDDLikeProfile(t *testing.T) {
+	ds := KDDLike(KDDLikeConfig{N: 20000, Seed: 8})
+	if ds.N() != 20000 || ds.Dim() != 42 {
+		t.Fatalf("got %dx%d, want 20000x42", ds.N(), ds.Dim())
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Rate block must stay within [0,1].
+	for i := 0; i < 1000; i++ {
+		row := ds.Point(i)
+		for j := 3; j < 23; j++ {
+			if row[j] < 0 || row[j] > 1 {
+				t.Fatalf("rate feature out of [0,1] at (%d,%d): %v", i, j, row[j])
+			}
+		}
+	}
+	// Volume columns must span several orders of magnitude.
+	var vals []float64
+	for i := 0; i < ds.N(); i++ {
+		if v := ds.Point(i)[1]; v > 0 {
+			vals = append(vals, v)
+		}
+	}
+	sort.Float64s(vals)
+	p1, p99 := vals[len(vals)/100], vals[len(vals)*99/100]
+	if p99/p1 < 1e3 {
+		t.Fatalf("volume dynamic range p99/p1 = %v, want ≥ 1e3", p99/p1)
+	}
+}
+
+func TestKDDLikeSkewedMasses(t *testing.T) {
+	// D² seeding should beat uniform seeding by a huge factor on this
+	// profile (the Table 3 phenomenon).
+	ds := KDDLike(KDDLikeConfig{N: 20000, Seed: 9})
+	k := 50
+	rand := lloyd.Cost(ds, seed.Random(ds, k, rng.New(10)), 0)
+	pp := lloyd.Cost(ds, seed.KMeansPP(ds, k, rng.New(11), 0), 0)
+	if rand < 10*pp {
+		t.Fatalf("uniform seeding (%v) not ≫ D² seeding (%v) on KDD profile", rand, pp)
+	}
+}
+
+func TestSampleFraction(t *testing.T) {
+	ds := KDDLike(KDDLikeConfig{N: 10000, Seed: 12})
+	s := Sample(ds, 0.1, 13)
+	if s.N() != 1000 {
+		t.Fatalf("10%% sample has %d points", s.N())
+	}
+	if s.Dim() != ds.Dim() {
+		t.Fatalf("sample dim %d", s.Dim())
+	}
+}
+
+func TestSamplePanicsOnBadFraction(t *testing.T) {
+	ds := SpamLike(SpamLikeConfig{N: 10, Seed: 1})
+	for _, f := range []float64{0, -1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Sample(%v) did not panic", f)
+				}
+			}()
+			Sample(ds, f, 1)
+		}()
+	}
+}
+
+func TestZNormalize(t *testing.T) {
+	ds, _ := GaussMixture(GaussMixtureConfig{N: 2000, D: 6, K: 4, R: 30, Seed: 14})
+	mean, std := ZNormalize(ds)
+	if len(mean) != 6 || len(std) != 6 {
+		t.Fatalf("stats lengths %d %d", len(mean), len(std))
+	}
+	for j := 0; j < 6; j++ {
+		var m, v float64
+		for i := 0; i < ds.N(); i++ {
+			m += ds.Point(i)[j]
+		}
+		m /= float64(ds.N())
+		for i := 0; i < ds.N(); i++ {
+			dv := ds.Point(i)[j] - m
+			v += dv * dv
+		}
+		v /= float64(ds.N())
+		if math.Abs(m) > 1e-9 {
+			t.Fatalf("column %d mean %v after normalize", j, m)
+		}
+		if math.Abs(v-1) > 1e-9 {
+			t.Fatalf("column %d variance %v after normalize", j, v)
+		}
+	}
+}
+
+func TestZNormalizeConstantColumn(t *testing.T) {
+	x := geom.FromRows([][]float64{{5, 1}, {5, 2}, {5, 3}})
+	ds := geom.NewDataset(x)
+	ZNormalize(ds)
+	for i := 0; i < 3; i++ {
+		if ds.Point(i)[0] != 0 {
+			t.Fatalf("constant column not centered: %v", ds.Point(i)[0])
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	ds, _ := GaussMixture(GaussMixtureConfig{N: 50, D: 4, K: 2, R: 5, Seed: 15})
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != ds.N() || back.Dim() != ds.Dim() {
+		t.Fatalf("round trip shape %dx%d", back.N(), back.Dim())
+	}
+	for i := range ds.X.Data {
+		if ds.X.Data[i] != back.X.Data[i] {
+			t.Fatalf("round trip value mismatch at %d", i)
+		}
+	}
+}
+
+func TestCSVRoundTripWeighted(t *testing.T) {
+	ds := &geom.Dataset{
+		X:      geom.FromRows([][]float64{{1, 2}, {3, 4}}),
+		Weight: []float64{0.5, 7},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Weight == nil || back.Weight[0] != 0.5 || back.Weight[1] != 7 {
+		t.Fatalf("weights lost: %v", back.Weight)
+	}
+	if back.Dim() != 2 {
+		t.Fatalf("weighted round trip dim %d", back.Dim())
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(bytes.NewBufferString("1,2\n3,nope\n")); err == nil {
+		t.Fatal("accepted non-numeric field")
+	}
+	if _, err := ReadCSV(bytes.NewBufferString("1,2\n3\n")); err == nil {
+		t.Fatal("accepted ragged rows")
+	}
+}
+
+func TestReadCSVSkipsComments(t *testing.T) {
+	ds, err := ReadCSV(bytes.NewBufferString("# hello\n1,2\n\n# more\n3,4\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.N() != 2 || ds.Weight != nil {
+		t.Fatalf("got %d points, weighted=%v", ds.N(), ds.Weight != nil)
+	}
+}

@@ -1,0 +1,50 @@
+package data
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV asserts the CSV reader never panics and that whatever it
+// accepts is a structurally valid dataset.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("1,2\n3,4\n")
+	f.Add("# weighted\n1,2,0.5\n")
+	f.Add("")
+	f.Add("#only a comment\n")
+	f.Add("1\n2\n3\n")
+	f.Add("1,2\n3\n")
+	f.Add("nan,inf\n")
+	f.Add("1e309,2\n")
+	f.Add(strings.Repeat("9,", 100) + "9\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		ds, err := ReadCSV(bytes.NewBufferString(input))
+		if err != nil {
+			return
+		}
+		if ds.X.Rows*ds.X.Cols != len(ds.X.Data) {
+			t.Fatalf("accepted dataset has inconsistent storage: %dx%d vs %d",
+				ds.X.Rows, ds.X.Cols, len(ds.X.Data))
+		}
+		if ds.Weight != nil && len(ds.Weight) != ds.X.Rows {
+			t.Fatalf("accepted dataset has %d weights for %d rows",
+				len(ds.Weight), ds.X.Rows)
+		}
+		// Accepted numeric data must round-trip.
+		if ds.N() > 0 && ds.Validate() == nil {
+			var buf bytes.Buffer
+			if err := WriteCSV(&buf, ds); err != nil {
+				t.Fatalf("write-back failed: %v", err)
+			}
+			back, err := ReadCSV(&buf)
+			if err != nil {
+				t.Fatalf("re-read failed: %v", err)
+			}
+			if back.N() != ds.N() || back.Dim() != ds.Dim() {
+				t.Fatalf("round trip changed shape: %dx%d -> %dx%d",
+					ds.N(), ds.Dim(), back.N(), back.Dim())
+			}
+		}
+	})
+}

@@ -1,0 +1,119 @@
+package data
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"kmeansll/internal/geom"
+)
+
+// WriteCSV writes the dataset as plain comma-separated values, one point per
+// line, no header. Weights, when present, are written as a final column
+// prefixed by a "# weighted" first line so ReadCSV can round-trip them.
+func WriteCSV(w io.Writer, ds *geom.Dataset) error {
+	bw := bufio.NewWriter(w)
+	weighted := ds.Weight != nil
+	if weighted {
+		if _, err := bw.WriteString("# weighted\n"); err != nil {
+			return err
+		}
+	}
+	var sb strings.Builder
+	for i := 0; i < ds.N(); i++ {
+		sb.Reset()
+		for j, v := range ds.Point(i) {
+			if j > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		if weighted {
+			sb.WriteByte(',')
+			sb.WriteString(strconv.FormatFloat(ds.Weight[i], 'g', -1, 64))
+		}
+		sb.WriteByte('\n')
+		if _, err := bw.WriteString(sb.String()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses a dataset written by WriteCSV (or any headerless numeric
+// CSV). Lines starting with '#' other than the weight marker are skipped.
+func ReadCSV(r io.Reader) (*geom.Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	weighted := false
+	x := &geom.Matrix{}
+	var weights []float64
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			if strings.Contains(text, "weighted") && x.Rows == 0 {
+				weighted = true
+			}
+			continue
+		}
+		fields := strings.Split(text, ",")
+		vals := make([]float64, len(fields))
+		for j, f := range fields {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				return nil, fmt.Errorf("data: line %d col %d: %w", line, j+1, err)
+			}
+			vals[j] = v
+		}
+		if weighted {
+			if len(vals) < 2 {
+				return nil, fmt.Errorf("data: line %d: weighted row needs ≥2 columns", line)
+			}
+			weights = append(weights, vals[len(vals)-1])
+			vals = vals[:len(vals)-1]
+		}
+		if x.Rows > 0 && len(vals) != x.Cols {
+			return nil, fmt.Errorf("data: line %d has %d columns, want %d", line, len(vals), x.Cols)
+		}
+		x.AppendRow(vals)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	ds := &geom.Dataset{X: x}
+	if weighted {
+		ds.Weight = weights
+	}
+	return ds, nil
+}
+
+// SaveCSV writes the dataset to a file path.
+func SaveCSV(path string, ds *geom.Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := WriteCSV(f, ds); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadCSV reads a dataset from a file path.
+func LoadCSV(path string) (*geom.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(f)
+}

@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"fmt"
+
+	"kmeansll/internal/core"
+	"kmeansll/internal/data"
+	"kmeansll/internal/eval"
+	"kmeansll/internal/lloyd"
+	"kmeansll/internal/mrkm"
+	"kmeansll/internal/seed"
+
+	"kmeansll/internal/rng"
+)
+
+// AblationSampling compares the two sampling modes of k-means|| (independent
+// Bernoulli as analyzed vs exact-ℓ joint draws as in Figure 5.1) at equal
+// expected sample budgets — the design choice §5.3 of the paper calls out.
+func AblationSampling(opt Options) []eval.Table {
+	n := 10000
+	if opt.Quick {
+		n = 3000
+	}
+	trials := opt.trials(11)
+	model := eval.DefaultCluster()
+	ds, _ := data.GaussMixture(data.GaussMixtureConfig{N: n, D: 15, K: 50, R: 10, Seed: 42})
+	tab := eval.Table{
+		ID:      "ablation_sampling",
+		Title:   fmt.Sprintf("Sampling mode ablation (GaussMixture R=10, k=50, %d runs)", trials),
+		Headers: []string{"mode", "l/k", "rounds", "median candidates", "median seed", "median final"},
+	}
+	for _, mode := range []core.SampleMode{core.Bernoulli, core.ExactL} {
+		for _, lk := range []float64{0.5, 2} {
+			var cands, seeds, finals []float64
+			for t := 0; t < trials; t++ {
+				centers, stats := core.Init(ds, core.Config{
+					K: 50, L: lk * 50, Rounds: 5, Mode: mode,
+					Parallelism: opt.Parallelism, Seed: opt.Seed + uint64(t),
+				})
+				res, _, _ := runLloyd(ds, centers, seqMaxIter, opt, model)
+				cands = append(cands, float64(stats.Candidates))
+				seeds = append(seeds, stats.SeedCost)
+				finals = append(finals, res.Cost)
+			}
+			tab.Rows = append(tab.Rows, []string{
+				mode.String(), fmt.Sprint(lk), "5",
+				fmt.Sprintf("%.0f", eval.Median(cands)),
+				eval.FmtSci(eval.Median(seeds)),
+				eval.FmtSci(eval.Median(finals)),
+			})
+		}
+	}
+	return []eval.Table{tab}
+}
+
+// AblationRecluster compares Step 8 choices: the paper's weighted k-means++,
+// a Lloyd-refined variant, and weight-proportional random selection.
+func AblationRecluster(opt Options) []eval.Table {
+	n := 10000
+	if opt.Quick {
+		n = 3000
+	}
+	trials := opt.trials(11)
+	model := eval.DefaultCluster()
+	ds, _ := data.GaussMixture(data.GaussMixtureConfig{N: n, D: 15, K: 50, R: 10, Seed: 42})
+	tab := eval.Table{
+		ID:      "ablation_recluster",
+		Title:   fmt.Sprintf("Step 8 reclustering ablation (GaussMixture R=10, k=50, %d runs)", trials),
+		Headers: []string{"recluster", "median seed", "median final"},
+	}
+	for _, m := range []core.ReclusterMethod{core.ReclusterKMeansPP, core.ReclusterKMeansPPLloyd, core.ReclusterRandom} {
+		var seeds, finals []float64
+		for t := 0; t < trials; t++ {
+			centers, stats := core.Init(ds, core.Config{
+				K: 50, L: 100, Rounds: 5, Recluster: m,
+				Parallelism: opt.Parallelism, Seed: opt.Seed + uint64(t),
+			})
+			res, _, _ := runLloyd(ds, centers, seqMaxIter, opt, model)
+			seeds = append(seeds, stats.SeedCost)
+			finals = append(finals, res.Cost)
+		}
+		tab.Rows = append(tab.Rows, []string{
+			m.String(), eval.FmtSci(eval.Median(seeds)), eval.FmtSci(eval.Median(finals)),
+		})
+	}
+	return []eval.Table{tab}
+}
+
+// AblationAssign compares Lloyd assignment kernels (naive scan vs Elkan vs
+// Hamerly bounds) — identical results, different work.
+func AblationAssign(opt Options) []eval.Table {
+	n := 20000
+	k := 50
+	if opt.Quick {
+		n = 5000
+	}
+	trials := opt.trials(5)
+	ds, _ := data.GaussMixture(data.GaussMixtureConfig{N: n, D: 15, K: k, R: 10, Seed: 42})
+	tab := eval.Table{
+		ID:      "ablation_assign",
+		Title:   fmt.Sprintf("Lloyd assignment kernel ablation (GaussMixture, n=%d, k=%d, %d runs)", n, k, trials),
+		Headers: []string{"kernel", "median final cost", "median iters", "median wall ms"},
+		Notes:   []string{"all kernels compute exact Lloyd; costs must agree"},
+	}
+	for _, m := range []lloyd.Method{lloyd.Naive, lloyd.Elkan, lloyd.Hamerly} {
+		var finals, iters, walls []float64
+		for t := 0; t < trials; t++ {
+			init := seed.KMeansPP(ds, k, rng.New(opt.Seed+uint64(t)), opt.Parallelism)
+			var res lloyd.Result
+			wall := eval.Timed(func() {
+				res = lloyd.Run(ds, init, lloyd.Config{
+					Method: m, MaxIter: seqMaxIter, Parallelism: opt.Parallelism,
+				})
+			})
+			finals = append(finals, res.Cost)
+			iters = append(iters, float64(res.Iters))
+			walls = append(walls, float64(wall.Milliseconds()))
+		}
+		tab.Rows = append(tab.Rows, []string{
+			m.String(), eval.FmtSci(eval.Median(finals)),
+			fmt.Sprintf("%.0f", eval.Median(iters)),
+			fmt.Sprintf("%.0f", eval.Median(walls)),
+		})
+	}
+	return []eval.Table{tab}
+}
+
+// AblationParallelism measures k-means|| initialization wall time as the
+// worker count grows — the linear-scaling property §4.2.1 contrasts with
+// Partition's m-machine cap.
+func AblationParallelism(opt Options) []eval.Table {
+	n := 50000
+	k := 100
+	if opt.Quick {
+		n = 10000
+		k = 50
+	}
+	trials := opt.trials(3)
+	model := eval.DefaultCluster()
+	ds := data.KDDLike(data.KDDLikeConfig{N: n, Seed: 42})
+	tab := eval.Table{
+		ID:      "ablation_parallelism",
+		Title:   fmt.Sprintf("k-means|| init wall time vs workers (KDDLike n=%d, k=%d)", n, k),
+		Headers: []string{"workers", "median wall ms", "median seed cost"},
+		Notes:   []string{"results are bit-identical across worker counts; only time changes"},
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		var walls, seeds []float64
+		for t := 0; t < trials; t++ {
+			o := opt
+			o.Parallelism = w
+			out := kmllMethod("", 2, 5, core.Bernoulli).init(ds, k, opt.Seed+uint64(t), o, model)
+			walls = append(walls, float64(out.wall.Milliseconds()))
+			seeds = append(seeds, out.seedCost)
+		}
+		tab.Rows = append(tab.Rows, []string{
+			fmt.Sprint(w),
+			fmt.Sprintf("%.0f", eval.Median(walls)),
+			eval.FmtSci(eval.Median(seeds)),
+		})
+	}
+	return []eval.Table{tab}
+}
+
+// AblationMapReduce validates the MapReduce realization against the
+// in-process implementation: identical candidate selection, matching costs,
+// and the job/pass accounting of §3.5.
+func AblationMapReduce(opt Options) []eval.Table {
+	n := 20000
+	k := 50
+	if opt.Quick {
+		n = 5000
+	}
+	trials := opt.trials(5)
+	ds := data.KDDLike(data.KDDLikeConfig{N: n, Seed: 42})
+	tab := eval.Table{
+		ID:      "ablation_mapreduce",
+		Title:   fmt.Sprintf("MapReduce realization vs in-process (KDDLike n=%d, k=%d, %d runs)", n, k, trials),
+		Headers: []string{"impl", "median candidates", "median seed cost", "MR jobs"},
+		Notes:   []string{"same seed => identical Bernoulli candidate sets in both implementations"},
+	}
+	var cCands, cSeeds, mCands, mSeeds, jobs []float64
+	for t := 0; t < trials; t++ {
+		cfg := core.Config{K: k, L: 2 * float64(k), Rounds: 5, Seed: opt.Seed + uint64(t),
+			Parallelism: opt.Parallelism}
+		_, cs := core.Init(ds, cfg)
+		_, ms := mrkm.Init(ds, cfg, mrkm.Config{Mappers: opt.Parallelism})
+		cCands = append(cCands, float64(cs.Candidates))
+		cSeeds = append(cSeeds, cs.SeedCost)
+		mCands = append(mCands, float64(ms.Candidates))
+		mSeeds = append(mSeeds, ms.SeedCost)
+		jobs = append(jobs, float64(ms.MRRounds))
+	}
+	tab.Rows = append(tab.Rows,
+		[]string{"in-process", fmt.Sprintf("%.0f", eval.Median(cCands)), eval.FmtSci(eval.Median(cSeeds)), "-"},
+		[]string{"mapreduce", fmt.Sprintf("%.0f", eval.Median(mCands)), eval.FmtSci(eval.Median(mSeeds)),
+			fmt.Sprintf("%.0f", eval.Median(jobs))})
+	return []eval.Table{tab}
+}

@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"fmt"
+
+	"kmeansll/internal/core"
+	"kmeansll/internal/data"
+	"kmeansll/internal/eval"
+	"kmeansll/internal/geom"
+)
+
+// Fig51 reproduces Figure 5.1: the final clustering cost as a function of
+// the number of rounds r, for ℓ/k ∈ {1, 2, 4} and k ∈ {17, 33, 65, 129}, on
+// a 10% sample of the KDD workload, with exact-ℓ joint sampling (the paper
+// samples "exactly ℓ points from the joint distribution in every round" here
+// to reduce variance). Each cell is the median of 11 runs.
+func Fig51(opt Options) []eval.Table {
+	baseN := 50000
+	ks := []int{17, 33, 65, 129}
+	roundsList := []int{1, 2, 4, 8, 16, 32}
+	if opt.Quick {
+		baseN = 10000
+		ks = []int{17, 33}
+		roundsList = []int{1, 2, 4, 8, 16}
+	}
+	trials := opt.trials(11)
+	model := eval.DefaultCluster()
+	full := data.KDDLike(data.KDDLikeConfig{N: baseN, Seed: 42})
+	ds := data.Sample(full, 0.1, 43)
+
+	lks := []float64{1, 2, 4}
+	tab := eval.Table{
+		ID: "fig5_1",
+		Title: fmt.Sprintf("KDDLike 10%% sample (n=%d): final cost vs rounds, exact-l sampling, median of %d runs",
+			ds.N(), trials),
+		Headers: []string{"k", "rounds", "l/k=1", "l/k=2", "l/k=4"},
+		Notes:   []string{"paper plots log cost vs log rounds; rows here are the same series"},
+	}
+	for _, k := range ks {
+		for _, r := range roundsList {
+			row := []string{fmt.Sprint(k), fmt.Sprint(r)}
+			for _, lk := range lks {
+				var finals []float64
+				for t := 0; t < trials; t++ {
+					centers, _ := core.Init(ds, core.Config{
+						K: k, L: lk * float64(k), Rounds: r, Mode: core.ExactL,
+						Parallelism: opt.Parallelism,
+						Seed:        opt.Seed + uint64(31*t+7*r+k) + uint64(lk*1000),
+					})
+					res, _, _ := runLloyd(ds, centers, seqMaxIter, opt, model)
+					finals = append(finals, res.Cost)
+				}
+				row = append(row, eval.FmtSci(eval.Median(finals)))
+			}
+			tab.Rows = append(tab.Rows, row)
+		}
+	}
+	return []eval.Table{tab}
+}
+
+// sweepFigure implements the shared shape of Figures 5.2 and 5.3: for every
+// configuration (outer, ℓ/k, r) it reports the median seed cost (k-means||
+// before Lloyd) and median final cost (after Lloyd), with k-means++ medians
+// as the reference series the paper draws as horizontal lines.
+func sweepFigure(id, title string, datasets []struct {
+	label string
+	ds    *geom.Dataset
+	k     int
+}, roundsList []int, trials int, opt Options) []eval.Table {
+	model := eval.DefaultCluster()
+	lks := []float64{0.1, 0.5, 1, 2, 10}
+	seedTab := eval.Table{ID: id + "_seed", Title: title + " - cost after initialization (seed)"}
+	finalTab := eval.Table{ID: id + "_final", Title: title + " - cost after Lloyd (final)"}
+	headers := []string{"panel", "rounds"}
+	for _, lk := range lks {
+		headers = append(headers, fmt.Sprintf("l/k=%g", lk))
+	}
+	headers = append(headers, "km++ ref")
+	seedTab.Headers = headers
+	finalTab.Headers = headers
+	seedTab.Notes = []string{"km++ ref = median k-means++ cost (the horizontal reference line in the figure)"}
+
+	for _, d := range datasets {
+		// Reference series: k-means++ seed and final.
+		var refSeed, refFinal []float64
+		for t := 0; t < trials; t++ {
+			out := kmppMethod().init(d.ds, d.k, opt.Seed+uint64(100+t), opt, model)
+			res, _, _ := runLloyd(d.ds, out.centers, seqMaxIter, opt, model)
+			refSeed = append(refSeed, out.seedCost)
+			refFinal = append(refFinal, res.Cost)
+		}
+		refSeedMed := eval.FmtSci(eval.Median(refSeed))
+		refFinalMed := eval.FmtSci(eval.Median(refFinal))
+
+		for _, r := range roundsList {
+			seedRow := []string{d.label, fmt.Sprint(r)}
+			finalRow := []string{d.label, fmt.Sprint(r)}
+			for _, lk := range lks {
+				var seeds, finals []float64
+				for t := 0; t < trials; t++ {
+					centers, stats := core.Init(d.ds, core.Config{
+						K: d.k, L: lk * float64(d.k), Rounds: r,
+						Parallelism: opt.Parallelism,
+						Seed:        opt.Seed + uint64(61*t+11*r) + uint64(lk*10000),
+					})
+					res, _, _ := runLloyd(d.ds, centers, seqMaxIter, opt, model)
+					seeds = append(seeds, stats.SeedCost)
+					finals = append(finals, res.Cost)
+				}
+				seedRow = append(seedRow, eval.FmtSci(eval.Median(seeds)))
+				finalRow = append(finalRow, eval.FmtSci(eval.Median(finals)))
+			}
+			seedRow = append(seedRow, refSeedMed)
+			finalRow = append(finalRow, refFinalMed)
+			seedTab.Rows = append(seedTab.Rows, seedRow)
+			finalTab.Rows = append(finalTab.Rows, finalRow)
+		}
+	}
+	return []eval.Table{seedTab, finalTab}
+}
+
+// Fig52 reproduces Figure 5.2: seed and final cost of k-means|| as a
+// function of the number of rounds on GaussMixture (k = 50, R ∈ {1,10,100}),
+// for ℓ/k ∈ {0.1, 0.5, 1, 2, 10}, with the k-means++ reference.
+func Fig52(opt Options) []eval.Table {
+	n := 10000
+	roundsList := []int{1, 2, 3, 5, 8, 10, 15}
+	if opt.Quick {
+		n = 3000
+		roundsList = []int{1, 2, 5, 10, 15}
+	}
+	trials := opt.trials(11)
+	var panels []struct {
+		label string
+		ds    *geom.Dataset
+		k     int
+	}
+	for _, R := range []float64{1, 10, 100} {
+		ds, _ := data.GaussMixture(data.GaussMixtureConfig{N: n, D: 15, K: 50, R: R, Seed: 42})
+		panels = append(panels, struct {
+			label string
+			ds    *geom.Dataset
+			k     int
+		}{fmt.Sprintf("R=%g", R), ds, 50})
+	}
+	return sweepFigure("fig5_2",
+		fmt.Sprintf("GaussMixture (n=%d, k=50): cost vs initialization rounds, median of %d runs", n, trials),
+		panels, roundsList, trials, opt)
+}
+
+// Fig53 reproduces Figure 5.3: the same sweep on Spam for k ∈ {20, 50, 100}.
+func Fig53(opt Options) []eval.Table {
+	n := 0 // full 4601
+	ks := []int{20, 50, 100}
+	roundsList := []int{1, 2, 3, 5, 8, 10, 15}
+	if opt.Quick {
+		n = 1500
+		ks = []int{20, 50}
+		roundsList = []int{1, 2, 5, 10, 15}
+	}
+	trials := opt.trials(11)
+	ds := data.SpamLike(data.SpamLikeConfig{N: n, Seed: 42})
+	var panels []struct {
+		label string
+		ds    *geom.Dataset
+		k     int
+	}
+	for _, k := range ks {
+		panels = append(panels, struct {
+			label string
+			ds    *geom.Dataset
+			k     int
+		}{fmt.Sprintf("k=%d", k), ds, k})
+	}
+	return sweepFigure("fig5_3",
+		fmt.Sprintf("SpamLike (n=%d): cost vs initialization rounds, median of %d runs", ds.N(), trials),
+		panels, roundsList, trials, opt)
+}

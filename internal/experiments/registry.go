@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"kmeansll/internal/eval"
+)
+
+// Driver regenerates one or more of the paper's tables/figures.
+type Driver struct {
+	// Name is the driver's invocation name for cmd/kmbench.
+	Name string
+	// IDs are the experiment ids the driver produces (e.g. "table3",
+	// "table4", "table5" all come from the shared KDD runs).
+	IDs []string
+	// Describe is a one-line summary for listings.
+	Describe string
+	// Run executes the experiment.
+	Run func(Options) []eval.Table
+}
+
+// Registry lists every experiment driver, in paper order.
+var Registry = []Driver{
+	{Name: "table1", IDs: []string{"table1"},
+		Describe: "Table 1: GaussMixture k=50 median seed/final cost",
+		Run:      Table1},
+	{Name: "spam", IDs: []string{"table2", "table6"},
+		Describe: "Tables 2+6: Spam median cost and Lloyd iterations to convergence",
+		Run:      SpamTables},
+	{Name: "kdd", IDs: []string{"table3", "table4", "table5"},
+		Describe: "Tables 3-5: KDD cost, running time, intermediate-set size",
+		Run:      KDDTables},
+	{Name: "fig5_1", IDs: []string{"fig5_1"},
+		Describe: "Figure 5.1: cost vs rounds for l/k in {1,2,4} on 10% KDD sample",
+		Run:      Fig51},
+	{Name: "fig5_2", IDs: []string{"fig5_2_seed", "fig5_2_final"},
+		Describe: "Figure 5.2: cost vs rounds sweep on GaussMixture",
+		Run:      Fig52},
+	{Name: "fig5_3", IDs: []string{"fig5_3_seed", "fig5_3_final"},
+		Describe: "Figure 5.3: cost vs rounds sweep on Spam",
+		Run:      Fig53},
+	{Name: "ablation_sampling", IDs: []string{"ablation_sampling"},
+		Describe: "Ablation: Bernoulli vs exact-l sampling",
+		Run:      AblationSampling},
+	{Name: "ablation_recluster", IDs: []string{"ablation_recluster"},
+		Describe: "Ablation: Step 8 reclustering algorithm",
+		Run:      AblationRecluster},
+	{Name: "ablation_assign", IDs: []string{"ablation_assign"},
+		Describe: "Ablation: Lloyd assignment kernels (naive/Elkan/Hamerly)",
+		Run:      AblationAssign},
+	{Name: "ablation_parallelism", IDs: []string{"ablation_parallelism"},
+		Describe: "Ablation: k-means|| scaling with worker count",
+		Run:      AblationParallelism},
+	{Name: "ablation_mapreduce", IDs: []string{"ablation_mapreduce"},
+		Describe: "Ablation: MapReduce realization vs in-process",
+		Run:      AblationMapReduce},
+	{Name: "ablation_streaming", IDs: []string{"ablation_streaming"},
+		Describe: "Ablation: k-means|| vs Partition vs StreamKM++ coreset pipelines",
+		Run:      AblationStreaming},
+	{Name: "ablation_seeding", IDs: []string{"ablation_seeding"},
+		Describe: "Ablation: k-means++ vs greedy k-means++ vs k-means|| (quality vs passes)",
+		Run:      AblationSeeding},
+	{Name: "ablation_kdtree", IDs: []string{"ablation_kdtree"},
+		Describe: "Ablation: kd-tree filtering Lloyd (Kanungo et al.) vs naive",
+		Run:      AblationKDTree},
+	{Name: "ablation_trimmed", IDs: []string{"ablation_trimmed"},
+		Describe: "Ablation: trimmed (outlier-robust) k-means with k-means|| seeding",
+		Run:      AblationTrimmed},
+	{Name: "ablation_restarts", IDs: []string{"ablation_restarts"},
+		Describe: "Ablation: best-of-R Random restarts vs one k-means|| run (§4.2 claim)",
+		Run:      AblationRestarts},
+	{Name: "theory", IDs: []string{"theory"},
+		Describe: "Theory check: measured per-round cost vs Theorem 2 / Corollary 3 bounds",
+		Run:      TheoryBounds},
+}
+
+// Find returns the driver that produces the given name or experiment id.
+func Find(id string) (*Driver, error) {
+	id = strings.ToLower(strings.TrimSpace(id))
+	for i := range Registry {
+		d := &Registry[i]
+		if d.Name == id {
+			return d, nil
+		}
+		for _, x := range d.IDs {
+			if x == id {
+				return d, nil
+			}
+		}
+	}
+	var names []string
+	for _, d := range Registry {
+		names = append(names, d.Name)
+	}
+	sort.Strings(names)
+	return nil, fmt.Errorf("experiments: unknown experiment %q (known: %s)", id, strings.Join(names, ", "))
+}

@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"fmt"
+
+	"kmeansll/internal/core"
+	"kmeansll/internal/data"
+	"kmeansll/internal/eval"
+	"kmeansll/internal/geom"
+)
+
+// seqMaxIter bounds "Lloyd until convergence" in the sequential experiments
+// (far above every convergence point in Table 6).
+const seqMaxIter = 500
+
+// parMaxIter bounds Lloyd in the parallel experiments; the paper bounds the
+// parallel implementation at 20 iterations (§4.2).
+const parMaxIter = 20
+
+// Table1 reproduces Table 1: median seed/final cost (over 11 runs) on
+// GaussMixture with k = 50 and R ∈ {1, 10, 100}, scaled down by 10⁴.
+func Table1(opt Options) []eval.Table {
+	k := 50
+	n := 10000
+	if opt.Quick {
+		n = 3000
+	}
+	trials := opt.trials(11)
+	model := eval.DefaultCluster()
+	methods := []method{
+		randomMethod(),
+		kmppMethod(),
+		kmllMethod("k-means|| l=k/2,r=5", 0.5, 5, core.Bernoulli),
+		kmllMethod("k-means|| l=2k,r=5", 2, 5, core.Bernoulli),
+	}
+	tab := eval.Table{
+		ID:      "table1",
+		Title:   fmt.Sprintf("GaussMixture (n=%d, d=15, k=%d): median cost over %d runs, /1e4", n, k, trials),
+		Headers: []string{"method", "R=1 seed", "R=1 final", "R=10 seed", "R=10 final", "R=100 seed", "R=100 final"},
+		Notes:   []string{"Random seed cost omitted as in the paper (uniform seeding has no D^2 structure)"},
+	}
+	rows := make([][]string, len(methods))
+	for i, m := range methods {
+		rows[i] = []string{m.name}
+	}
+	for _, R := range []float64{1, 10, 100} {
+		ds, _ := data.GaussMixture(data.GaussMixtureConfig{N: n, D: 15, K: k, R: R, Seed: 42})
+		for mi, m := range methods {
+			var seeds, finals []float64
+			for t := 0; t < trials; t++ {
+				out := m.init(ds, k, opt.Seed+uint64(1000*mi+t), opt, model)
+				res, _, _ := runLloyd(ds, out.centers, seqMaxIter, opt, model)
+				seeds = append(seeds, out.seedCost)
+				finals = append(finals, res.Cost)
+			}
+			seedCell := eval.FmtCost(eval.Median(seeds), 4)
+			if m.name == "Random" {
+				seedCell = "-"
+			}
+			rows[mi] = append(rows[mi], seedCell, eval.FmtCost(eval.Median(finals), 4))
+		}
+	}
+	tab.Rows = rows
+	return []eval.Table{tab}
+}
+
+// SpamTables reproduces Table 2 (median seed/final cost on Spam, /1e5) and
+// Table 6 (mean Lloyd iterations to convergence on Spam) from one set of
+// runs, for k ∈ {20, 50, 100}.
+func SpamTables(opt Options) []eval.Table {
+	n := 0 // 4601, the Spambase size
+	ks := []int{20, 50, 100}
+	if opt.Quick {
+		n = 1500
+		ks = []int{20, 50}
+	}
+	trials := opt.trials(11)
+	model := eval.DefaultCluster()
+	ds := data.SpamLike(data.SpamLikeConfig{N: n, Seed: 42})
+	methods := []method{
+		randomMethod(),
+		kmppMethod(),
+		kmllMethod("k-means|| l=k/2,r=5", 0.5, 5, core.Bernoulli),
+		kmllMethod("k-means|| l=2k,r=5", 2, 5, core.Bernoulli),
+	}
+	t2 := eval.Table{
+		ID:    "table2",
+		Title: fmt.Sprintf("SpamLike (n=%d, d=58): median cost over %d runs, /1e5", ds.N(), trials),
+		Notes: []string{"synthetic stand-in for UCI Spambase (see DESIGN.md section 3)"},
+	}
+	t6 := eval.Table{
+		ID:    "table6",
+		Title: fmt.Sprintf("SpamLike: mean Lloyd iterations to convergence over %d runs", trials),
+	}
+	t2.Headers = []string{"method"}
+	t6.Headers = []string{"method"}
+	for _, k := range ks {
+		t2.Headers = append(t2.Headers, fmt.Sprintf("k=%d seed", k), fmt.Sprintf("k=%d final", k))
+		t6.Headers = append(t6.Headers, fmt.Sprintf("k=%d", k))
+	}
+	rows2 := make([][]string, len(methods))
+	rows6 := make([][]string, len(methods))
+	for i, m := range methods {
+		rows2[i] = []string{m.name}
+		rows6[i] = []string{m.name}
+	}
+	for _, k := range ks {
+		for mi, m := range methods {
+			var seeds, finals, iters []float64
+			for t := 0; t < trials; t++ {
+				out := m.init(ds, k, opt.Seed+uint64(7000*mi+13*t+k), opt, model)
+				res, _, _ := runLloyd(ds, out.centers, seqMaxIter, opt, model)
+				seeds = append(seeds, out.seedCost)
+				finals = append(finals, res.Cost)
+				iters = append(iters, float64(res.Iters))
+			}
+			seedCell := eval.FmtCost(eval.Median(seeds), 5)
+			if m.name == "Random" {
+				seedCell = "-"
+			}
+			rows2[mi] = append(rows2[mi], seedCell, eval.FmtCost(eval.Median(finals), 5))
+			rows6[mi] = append(rows6[mi], fmt.Sprintf("%.1f", eval.Mean(iters)))
+		}
+	}
+	t2.Rows = rows2
+	t6.Rows = rows6
+	return []eval.Table{t2, t6}
+}
+
+// KDDTables reproduces Tables 3, 4 and 5 from one set of parallel runs on
+// the KDDLike workload: clustering cost, running time (simulated cluster
+// minutes plus measured wall seconds), and intermediate-set sizes.
+func KDDTables(opt Options) []eval.Table {
+	n := 30000
+	ks := []int{500, 1000}
+	if opt.Quick {
+		n = 10000
+		ks = []int{100, 200}
+	}
+	trials := opt.trials(3)
+	model := eval.DefaultCluster()
+	ds := data.KDDLike(data.KDDLikeConfig{N: n, Seed: 42})
+
+	methods := []method{
+		randomMethod(),
+		partitionMethod(),
+		kmllMethod("k-means|| l=0.1k", 0.1, 15, core.Bernoulli),
+		kmllMethod("k-means|| l=0.5k", 0.5, 5, core.Bernoulli),
+		kmllMethod("k-means|| l=k", 1, 5, core.Bernoulli),
+		kmllMethod("k-means|| l=2k", 2, 5, core.Bernoulli),
+		kmllMethod("k-means|| l=10k", 10, 5, core.Bernoulli),
+	}
+
+	t3 := eval.Table{ID: "table3",
+		Title: fmt.Sprintf("KDDLike (n=%d, d=42): median clustering cost over %d runs, r=5 (r=15 for l=0.1k)", n, trials),
+		Notes: []string{"synthetic stand-in for KDDCup1999 (see DESIGN.md section 3)",
+			"paper scale is n=4.8M; cost ratios between methods are the comparison target"}}
+	t4 := eval.Table{ID: "table4",
+		Title: fmt.Sprintf("KDDLike: time; simulated minutes on a %d-node cluster (model) + measured wall seconds", model.Machines),
+		Notes: []string{"simulated minutes = eval.ClusterModel critical path (init + Lloyd, max 20 iters)",
+			"Partition's parallelism is capped at its m groups; k-means|| uses the whole cluster"}}
+	t5 := eval.Table{ID: "table5",
+		Title: "KDDLike: number of intermediate centers before reclustering",
+		Notes: []string{"Random has no intermediate set"}}
+	t3.Headers = []string{"method"}
+	t4.Headers = []string{"method"}
+	t5.Headers = []string{"method"}
+	for _, k := range ks {
+		t3.Headers = append(t3.Headers, fmt.Sprintf("k=%d", k))
+		t4.Headers = append(t4.Headers, fmt.Sprintf("k=%d sim-min", k), fmt.Sprintf("k=%d wall-s", k))
+		t5.Headers = append(t5.Headers, fmt.Sprintf("k=%d", k))
+	}
+	rows3 := make([][]string, len(methods))
+	rows4 := make([][]string, len(methods))
+	rows5 := make([][]string, len(methods))
+	for i, m := range methods {
+		rows3[i] = []string{m.name}
+		rows4[i] = []string{m.name}
+		rows5[i] = []string{m.name}
+	}
+	for _, k := range ks {
+		for mi, m := range methods {
+			var finals, simMins, wallSecs, inter []float64
+			for t := 0; t < trials; t++ {
+				out := m.init(ds, k, opt.Seed+uint64(9000*mi+17*t+k), opt, model)
+				res, lloydWall, lloydSim := runLloyd(ds, out.centers, parMaxIter, opt, model)
+				finals = append(finals, res.Cost)
+				simMins = append(simMins, (out.simSeconds+lloydSim)/60)
+				wallSecs = append(wallSecs, out.wall.Seconds()+lloydWall.Seconds())
+				inter = append(inter, float64(out.candidates))
+			}
+			rows3[mi] = append(rows3[mi], eval.FmtSci(eval.Median(finals)))
+			rows4[mi] = append(rows4[mi],
+				fmt.Sprintf("%.1f", eval.Median(simMins)),
+				fmt.Sprintf("%.1f", eval.Median(wallSecs)))
+			interCell := fmt.Sprintf("%.0f", eval.Median(inter))
+			if m.name == "Random" {
+				interCell = "-"
+			}
+			rows5[mi] = append(rows5[mi], interCell)
+		}
+	}
+	t3.Rows = rows3
+	t4.Rows = rows4
+	t5.Rows = rows5
+
+	// Analytic Table 5 column at the paper's true scale, where measurement
+	// is infeasible on one machine: E[intermediate] for k-means|| is 1+r·l;
+	// for Partition it is m·3k·ln k with m = sqrt(n/k).
+	t5.Notes = append(t5.Notes,
+		"paper-scale analytic sizes (n=4.8M): see EXPERIMENTS.md table5 discussion")
+	return []eval.Table{t3, t4, t5}
+}
+
+// blobsForTests builds a small deterministic dataset for harness tests.
+func blobsForTests(n, d, k int, sep float64, seedVal uint64) *geom.Dataset {
+	ds, _ := data.GaussMixture(data.GaussMixtureConfig{N: n, D: d, K: k, R: sep, Seed: seedVal})
+	return ds
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"kmeansll/internal/core"
+	"kmeansll/internal/data"
+	"kmeansll/internal/eval"
+	"kmeansll/internal/lloyd"
+)
+
+// TheoryBounds measures the per-round cost trajectory of k-means|| against
+// the paper's analysis: Theorem 2's contraction E[φ'] ≤ 8φ* + ((1+α)/2)·φ
+// and Corollary 3's envelope ((1+α)/2)^r·ψ + 16/(1−α)·φ*. It runs on
+// GaussMixture, where the generating centers give a tight upper bound on φ*.
+// Every row shows the measured mean φ after round r next to both bounds; the
+// "within" column is the fraction of the bound actually used.
+func TheoryBounds(opt Options) []eval.Table {
+	n := 10000
+	if opt.Quick {
+		n = 3000
+	}
+	const (
+		k      = 20
+		lk     = 2.0
+		rounds = 6
+	)
+	trials := opt.trials(11)
+	ds, truth := data.GaussMixture(data.GaussMixtureConfig{N: n, D: 10, K: k, R: 50, Seed: 42})
+	phiStar := lloyd.Cost(ds, truth, opt.Parallelism)
+	ell := lk * k
+	alpha := math.Exp(-(1 - math.Exp(-ell/(2*k))))
+	factor := (1 + alpha) / 2
+
+	tab := eval.Table{
+		ID: "theory",
+		Title: fmt.Sprintf("Theorem 2 / Corollary 3 check (GaussMixture n=%d, k=%d, l=2k, α=%.3f, %d runs)",
+			n, k, alpha, trials),
+		Headers: []string{"round", "mean phi", "Thm2 bound (8phi*+(1+a)/2 phi_prev)", "Cor3 envelope", "within"},
+		Notes: []string{fmt.Sprintf("phi* approximated by generating-center cost = %.4g", phiStar),
+			"within = mean phi / Thm2 bound; must stay ≤ 1 (up to sampling noise)"},
+	}
+
+	sums := make([]float64, rounds+1)
+	for t := 0; t < trials; t++ {
+		_, stats := core.Init(ds, core.Config{
+			K: k, L: ell, Rounds: rounds, Seed: opt.Seed + uint64(t),
+			Parallelism: opt.Parallelism,
+		})
+		for j := 0; j <= rounds && j < len(stats.PhiTrace); j++ {
+			sums[j] += stats.PhiTrace[j]
+		}
+	}
+	psi := sums[0] / float64(trials)
+	for r := 0; r <= rounds; r++ {
+		phi := sums[r] / float64(trials)
+		cor3 := math.Pow(factor, float64(r))*psi + 16/(1-alpha)*phiStar
+		row := []string{fmt.Sprint(r), eval.FmtSci(phi)}
+		if r == 0 {
+			row = append(row, "-", eval.FmtSci(cor3), "-")
+		} else {
+			prev := sums[r-1] / float64(trials)
+			thm2 := 8*phiStar + factor*prev
+			row = append(row, eval.FmtSci(thm2), eval.FmtSci(cor3),
+				fmt.Sprintf("%.2f", phi/thm2))
+		}
+		tab.Rows = append(tab.Rows, row)
+	}
+	return []eval.Table{tab}
+}

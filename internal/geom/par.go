@@ -1,0 +1,61 @@
+package geom
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers normalizes a parallelism setting: values < 1 mean "use all CPUs".
+func Workers(p int) int {
+	if p < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return p
+}
+
+// ParallelFor partitions [0, n) into at most `workers` contiguous chunks and
+// runs body(chunk, lo, hi) concurrently, one goroutine per chunk. Chunk
+// indices are dense in [0, chunks) so callers can allocate per-chunk
+// accumulators (and per-chunk RNG streams — the chunk decomposition for a
+// given (n, workers) is deterministic).
+//
+// It returns the number of chunks actually used (≤ workers, ≥ 1 when n > 0).
+func ParallelFor(n, workers int, body func(chunk, lo, hi int)) int {
+	if n <= 0 {
+		return 0
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		body(0, 0, n)
+		return 1
+	}
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for c := 0; c < w; c++ {
+		lo := c * n / w
+		hi := (c + 1) * n / w
+		go func(c, lo, hi int) {
+			defer wg.Done()
+			body(c, lo, hi)
+		}(c, lo, hi)
+	}
+	wg.Wait()
+	return w
+}
+
+// ChunkCount reports how many chunks ParallelFor would use for (n, workers)
+// without running anything. Callers use it to pre-size per-chunk accumulator
+// slices.
+func ChunkCount(n, workers int) int {
+	if n <= 0 {
+		return 0
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	return w
+}

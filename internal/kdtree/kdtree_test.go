@@ -1,0 +1,243 @@
+package kdtree
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"kmeansll/internal/geom"
+	"kmeansll/internal/lloyd"
+	"kmeansll/internal/rng"
+	"kmeansll/internal/seed"
+)
+
+func blobs(t testing.TB, k, m, dim int, sep float64, seedVal uint64) *geom.Dataset {
+	t.Helper()
+	r := rng.New(seedVal)
+	truth := geom.NewMatrix(k, dim)
+	for i := range truth.Data {
+		truth.Data[i] = sep * r.NormFloat64()
+	}
+	x := geom.NewMatrix(k*m, dim)
+	for c := 0; c < k; c++ {
+		for i := 0; i < m; i++ {
+			row := x.Row(c*m + i)
+			for j := 0; j < dim; j++ {
+				row[j] = truth.Row(c)[j] + r.NormFloat64()
+			}
+		}
+	}
+	return geom.NewDataset(x)
+}
+
+func TestBuildAggregates(t *testing.T) {
+	ds := blobs(t, 3, 50, 4, 20, 1)
+	tree := Build(ds, 8)
+	root := tree.nodes[0]
+	if root.weight != 150 {
+		t.Fatalf("root weight %v, want 150", root.weight)
+	}
+	var wantSum [4]float64
+	var wantSq float64
+	for i := 0; i < ds.N(); i++ {
+		p := ds.Point(i)
+		wantSq += geom.SqNorm(p)
+		for j, v := range p {
+			wantSum[j] += v
+		}
+	}
+	for j := range wantSum {
+		if math.Abs(root.wsum[j]-wantSum[j]) > 1e-9*(1+math.Abs(wantSum[j])) {
+			t.Fatalf("root wsum[%d] = %v, want %v", j, root.wsum[j], wantSum[j])
+		}
+	}
+	if math.Abs(root.sumSq-wantSq) > 1e-9*(1+wantSq) {
+		t.Fatalf("root sumSq = %v, want %v", root.sumSq, wantSq)
+	}
+}
+
+func TestBoxContainsAllPoints(t *testing.T) {
+	ds := blobs(t, 2, 40, 3, 15, 2)
+	tree := Build(ds, 4)
+	for ni := range tree.nodes {
+		n := &tree.nodes[ni]
+		for _, i := range tree.idx[n.lo:n.hi] {
+			p := ds.Point(int(i))
+			for j, v := range p {
+				if v < n.boxMin[j]-1e-12 || v > n.boxMax[j]+1e-12 {
+					t.Fatalf("node %d box does not contain its point", ni)
+				}
+			}
+		}
+	}
+}
+
+func TestStepMatchesNaiveLloydIteration(t *testing.T) {
+	ds := blobs(t, 5, 80, 6, 25, 3)
+	centers := seed.Random(ds, 5, rng.New(4))
+	tree := Build(ds, 16)
+	next, cost, _ := tree.Step(centers)
+
+	// Reference: one naive assignment + centroid update.
+	assign, wantCost := lloyd.Assign(ds, centers, 1)
+	if math.Abs(cost-wantCost) > 1e-9*(1+wantCost) {
+		t.Fatalf("filtered cost %v != naive %v", cost, wantCost)
+	}
+	k, d := centers.Rows, centers.Cols
+	sum := make([]float64, k*d)
+	cnt := make([]float64, k)
+	for i := 0; i < ds.N(); i++ {
+		c := int(assign[i])
+		cnt[c]++
+		for j, v := range ds.Point(i) {
+			sum[c*d+j] += v
+		}
+	}
+	for c := 0; c < k; c++ {
+		for j := 0; j < d; j++ {
+			want := centers.Row(c)[j]
+			if cnt[c] > 0 {
+				want = sum[c*d+j] / cnt[c]
+			}
+			if math.Abs(next.Row(c)[j]-want) > 1e-9*(1+math.Abs(want)) {
+				t.Fatalf("center %d coord %d: filtered %v, naive %v", c, j, next.Row(c)[j], want)
+			}
+		}
+	}
+}
+
+func TestRunMatchesNaiveCost(t *testing.T) {
+	ds := blobs(t, 6, 100, 5, 18, 5)
+	init := seed.KMeansPP(ds, 6, rng.New(6), 1)
+	tree := Build(ds, 16)
+	centers, cost, iters, _ := tree.Run(init, 200)
+	naive := lloyd.Run(ds, init, lloyd.Config{MaxIter: 200, Parallelism: 1})
+	if math.Abs(cost-naive.Cost) > 1e-6*(1+naive.Cost) {
+		t.Fatalf("filtered final cost %v != naive %v (iters %d vs %d)",
+			cost, naive.Cost, iters, naive.Iters)
+	}
+	if centers.Rows != 6 {
+		t.Fatalf("lost centers: %d", centers.Rows)
+	}
+}
+
+func TestFilteringSavesWork(t *testing.T) {
+	// On well-separated clustered data the filtering algorithm must perform
+	// far fewer distance evaluations than brute force n·k per iteration.
+	ds := blobs(t, 10, 300, 3, 100, 7)
+	centers := seed.KMeansPP(ds, 10, rng.New(8), 1)
+	tree := Build(ds, 16)
+	_, _, evals := tree.Step(centers)
+	brute := int64(ds.N() * centers.Rows)
+	if evals*2 > brute {
+		t.Fatalf("filtering did %d distance evals, brute force is %d", evals, brute)
+	}
+}
+
+func TestWeightedStep(t *testing.T) {
+	// Weighted tree step must equal the replicated unweighted step.
+	base := geom.FromRows([][]float64{{0, 0}, {1, 0}, {10, 0}, {11, 0}, {20, 3}})
+	weights := []float64{3, 1, 2, 2, 1}
+	wds := &geom.Dataset{X: base, Weight: weights}
+	rep := &geom.Matrix{Cols: 2}
+	for i, w := range weights {
+		for j := 0; j < int(w); j++ {
+			rep.AppendRow(base.Row(i))
+		}
+	}
+	rds := geom.NewDataset(rep)
+	centers := geom.FromRows([][]float64{{0, 0}, {15, 0}})
+	wNext, wCost, _ := Build(wds, 2).Step(centers)
+	rNext, rCost, _ := Build(rds, 2).Step(centers)
+	if math.Abs(wCost-rCost) > 1e-9*(1+rCost) {
+		t.Fatalf("weighted cost %v != replicated %v", wCost, rCost)
+	}
+	for i := range wNext.Data {
+		if math.Abs(wNext.Data[i]-rNext.Data[i]) > 1e-9 {
+			t.Fatalf("weighted centers %v != replicated %v", wNext.Data, rNext.Data)
+		}
+	}
+}
+
+func TestDuplicatePoints(t *testing.T) {
+	// Heavy duplication exercises the median fallback split.
+	x := &geom.Matrix{Cols: 2}
+	for i := 0; i < 100; i++ {
+		x.AppendRow([]float64{1, 1})
+	}
+	for i := 0; i < 10; i++ {
+		x.AppendRow([]float64{5, 5})
+	}
+	ds := geom.NewDataset(x)
+	tree := Build(ds, 4)
+	centers := geom.FromRows([][]float64{{0, 0}, {6, 6}})
+	_, cost, _ := tree.Step(centers)
+	_, want := lloyd.Assign(ds, centers, 1)
+	if math.Abs(cost-want) > 1e-9*(1+want) {
+		t.Fatalf("duplicated-data cost %v != %v", cost, want)
+	}
+}
+
+func TestEmptyAndTinyDatasets(t *testing.T) {
+	empty := geom.NewDataset(&geom.Matrix{Cols: 3})
+	tree := Build(empty, 4)
+	centers := geom.FromRows([][]float64{{0, 0, 0}})
+	next, cost, _ := tree.Step(centers)
+	if cost != 0 || next.Rows != 1 {
+		t.Fatalf("empty dataset step: cost %v rows %d", cost, next.Rows)
+	}
+	single := geom.NewDataset(geom.FromRows([][]float64{{2, 2, 2}}))
+	tree = Build(single, 4)
+	next, cost, _ = tree.Step(centers)
+	if math.Abs(cost-12) > 1e-12 {
+		t.Fatalf("single point cost %v, want 12", cost)
+	}
+	if next.Row(0)[0] != 2 {
+		t.Fatalf("center should move to the single point: %v", next.Row(0))
+	}
+}
+
+// Property: for random data and centers, one filtered step equals one naive
+// step in both cost and centroid output.
+func TestStepEquivalenceProperty(t *testing.T) {
+	f := func(sv uint64) bool {
+		r := rng.New(sv)
+		n := 5 + r.Intn(150)
+		d := 1 + r.Intn(5)
+		k := 1 + r.Intn(6)
+		x := geom.NewMatrix(n, d)
+		for i := range x.Data {
+			x.Data[i] = r.NormFloat64() * 10
+		}
+		ds := geom.NewDataset(x)
+		centers := geom.NewMatrix(k, d)
+		for i := range centers.Data {
+			centers.Data[i] = r.NormFloat64() * 10
+		}
+		tree := Build(ds, 1+r.Intn(20))
+		_, cost, _ := tree.Step(centers)
+		_, want := lloyd.Assign(ds, centers, 1)
+		return math.Abs(cost-want) <= 1e-6*(1+want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkFilteredStep(b *testing.B) {
+	ds := blobs(b, 20, 500, 8, 30, 1)
+	centers := seed.KMeansPP(ds, 20, rng.New(2), 0)
+	tree := Build(ds, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.Step(centers)
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	ds := blobs(b, 20, 500, 8, 30, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(ds, 16)
+	}
+}

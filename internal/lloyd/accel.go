@@ -1,0 +1,396 @@
+package lloyd
+
+import (
+	"math"
+
+	"kmeansll/internal/geom"
+)
+
+// The accelerated assignment methods produce exactly the same fixed point as
+// naive Lloyd (they are exact algorithms, not approximations); they only skip
+// distance computations that triangle-inequality bounds prove irrelevant.
+// CostTrace for these methods records an UPPER BOUND on the cost per
+// iteration (computed from the maintained upper bounds, which are not always
+// tight); the final Cost is always recomputed exactly.
+
+// centerGeometry holds per-iteration center-center information shared by
+// Elkan and Hamerly.
+type centerGeometry struct {
+	cc   []float64 // k×k center-center distances (Euclidean, not squared)
+	s    []float64 // s[c] = ½·min_{c'≠c} cc[c][c']
+	dist []float64 // scratch: movement of each center after an update
+}
+
+func newCenterGeometry(k int) *centerGeometry {
+	return &centerGeometry{cc: make([]float64, k*k), s: make([]float64, k), dist: make([]float64, k)}
+}
+
+func (g *centerGeometry) update(centers *geom.Matrix) {
+	k := centers.Rows
+	for a := 0; a < k; a++ {
+		g.s[a] = math.Inf(1)
+	}
+	for a := 0; a < k; a++ {
+		g.cc[a*k+a] = 0
+		for b := a + 1; b < k; b++ {
+			d := geom.Dist(centers.Row(a), centers.Row(b))
+			g.cc[a*k+b] = d
+			g.cc[b*k+a] = d
+			if h := d / 2; h < g.s[a] {
+				g.s[a] = h
+			}
+			if h := d / 2; h < g.s[b] {
+				g.s[b] = h
+			}
+		}
+	}
+	if k == 1 {
+		g.s[0] = math.Inf(1)
+	}
+}
+
+// moveCenters applies the accumulated sums to the centers and records each
+// center's movement in g.dist. Empty clusters are repaired and their movement
+// set to +Inf so callers invalidate bounds.
+func (g *centerGeometry) moveCenters(ds *geom.Dataset, centers *geom.Matrix, assign []int32, sum, weight []float64, parallelism int) (maxMove float64, repaired bool) {
+	k, d := centers.Rows, centers.Cols
+	var empty []int
+	for c := 0; c < k; c++ {
+		if weight[c] <= 0 {
+			empty = append(empty, c)
+			g.dist[c] = 0
+			continue
+		}
+		row := centers.Row(c)
+		inv := 1 / weight[c]
+		var move2 float64
+		for j := 0; j < d; j++ {
+			v := sum[c*d+j] * inv
+			diff := v - row[j]
+			move2 += diff * diff
+			row[j] = v
+		}
+		g.dist[c] = math.Sqrt(move2)
+		if g.dist[c] > maxMove {
+			maxMove = g.dist[c]
+		}
+	}
+	if len(empty) > 0 {
+		repairEmpty(ds, centers, assign, empty, parallelism)
+		for _, c := range empty {
+			g.dist[c] = math.Inf(1)
+		}
+		return math.Inf(1), true
+	}
+	return maxMove, false
+}
+
+func runElkan(ds *geom.Dataset, init *geom.Matrix, cfg Config) Result {
+	k, d, n := init.Rows, init.Cols, ds.N()
+	centers := init.Clone()
+	assign := make([]int32, n)
+	upper := make([]float64, n)   // upper bound on d(x, c_assign)
+	lower := make([]float64, n*k) // lower bounds on d(x, c) for every c
+	g := newCenterGeometry(k)
+	g.update(centers)
+
+	// Initial assignment with full bound setup.
+	geom.ParallelFor(n, cfg.Parallelism, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			p := ds.Point(i)
+			lb := lower[i*k : (i+1)*k]
+			best, bestD := 0, geom.Dist(p, centers.Row(0))
+			lb[0] = bestD
+			for c := 1; c < k; c++ {
+				// Elkan's init-time pruning: if cc(best,c) ≥ 2·bestD then c
+				// cannot be closer.
+				if g.cc[best*k+c] >= 2*bestD {
+					lb[c] = g.cc[best*k+c] - bestD // valid lower bound
+					continue
+				}
+				dc := geom.Dist(p, centers.Row(c))
+				lb[c] = dc
+				if dc < bestD {
+					best, bestD = c, dc
+				}
+			}
+			assign[i] = int32(best)
+			upper[i] = bestD
+		}
+	})
+
+	res := Result{Centers: centers, Assign: assign}
+	chunks := geom.ChunkCount(n, cfg.Parallelism)
+	accs := make([]accumulator, chunks)
+	for c := range accs {
+		accs[c] = accumulator{sum: make([]float64, k*d), weight: make([]float64, k)}
+	}
+	costPartial := make([]float64, chunks)
+	changedPartial := make([]int64, chunks)
+
+	limit := maxIter(cfg)
+	for it := 0; it < limit; it++ {
+		g.update(centers)
+		geom.ParallelFor(n, cfg.Parallelism, func(chunk, lo, hi int) {
+			acc := &accs[chunk]
+			for i := range acc.sum {
+				acc.sum[i] = 0
+			}
+			for i := range acc.weight {
+				acc.weight[i] = 0
+			}
+			var cost float64
+			var changed int64
+			for i := lo; i < hi; i++ {
+				p := ds.Point(i)
+				a := int(assign[i])
+				lb := lower[i*k : (i+1)*k]
+				u := upper[i]
+				if u > g.s[a] {
+					tight := false
+					for c := 0; c < k; c++ {
+						if c == a {
+							continue
+						}
+						if u <= lb[c] || u <= g.cc[a*k+c]/2 {
+							continue
+						}
+						if !tight {
+							u = geom.Dist(p, centers.Row(a))
+							lb[a] = u
+							tight = true
+							if u <= lb[c] || u <= g.cc[a*k+c]/2 {
+								continue
+							}
+						}
+						dc := geom.Dist(p, centers.Row(c))
+						lb[c] = dc
+						if dc < u {
+							a, u = c, dc
+						}
+					}
+					if int32(a) != assign[i] {
+						changed++
+						assign[i] = int32(a)
+					}
+					upper[i] = u
+				}
+				w := ds.W(i)
+				cost += w * upper[i] * upper[i]
+				geom.AddScaled(acc.sum[a*d:(a+1)*d], w, p)
+				acc.weight[a] += w
+			}
+			costPartial[chunk] = cost
+			changedPartial[chunk] = changed
+		})
+		var changed int64
+		var costUB float64
+		for c := 0; c < chunks; c++ {
+			changed += changedPartial[c]
+			costUB += costPartial[c]
+		}
+		res.Iters = it + 1
+		res.CostTrace = append(res.CostTrace, costUB)
+
+		sum, weight := mergeAccs(accs)
+		_, repaired := g.moveCenters(ds, centers, assign, sum, weight, cfg.Parallelism)
+
+		if repaired {
+			// Bounds no longer valid for the repaired centers; loosen fully.
+			geom.ParallelFor(n, cfg.Parallelism, func(_, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					upper[i] = math.Inf(1)
+					lb := lower[i*k : (i+1)*k]
+					for c := range lb {
+						lb[c] = 0
+					}
+				}
+			})
+			continue
+		}
+		// Standard Elkan bound maintenance after center movement.
+		geom.ParallelFor(n, cfg.Parallelism, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				upper[i] += g.dist[assign[i]]
+				lb := lower[i*k : (i+1)*k]
+				for c := 0; c < k; c++ {
+					lb[c] -= g.dist[c]
+					if lb[c] < 0 {
+						lb[c] = 0
+					}
+				}
+			}
+		})
+		if changed == 0 && it > 0 {
+			res.Converged = true
+			break
+		}
+	}
+	res.Cost = Cost(ds, centers, cfg.Parallelism)
+	return res
+}
+
+func runHamerly(ds *geom.Dataset, init *geom.Matrix, cfg Config) Result {
+	k, d, n := init.Rows, init.Cols, ds.N()
+	centers := init.Clone()
+	assign := make([]int32, n)
+	upper := make([]float64, n)
+	lower := make([]float64, n) // lower bound on distance to second-closest center
+	g := newCenterGeometry(k)
+
+	// Initial assignment: exact closest and second-closest.
+	geom.ParallelFor(n, cfg.Parallelism, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			p := ds.Point(i)
+			best, second := -1, -1
+			bestD, secondD := math.Inf(1), math.Inf(1)
+			for c := 0; c < k; c++ {
+				dc := geom.Dist(p, centers.Row(c))
+				if dc < bestD {
+					second, secondD = best, bestD
+					best, bestD = c, dc
+				} else if dc < secondD {
+					second, secondD = c, dc
+				}
+			}
+			_ = second
+			assign[i] = int32(best)
+			upper[i] = bestD
+			lower[i] = secondD
+		}
+	})
+
+	res := Result{Centers: centers, Assign: assign}
+	chunks := geom.ChunkCount(n, cfg.Parallelism)
+	accs := make([]accumulator, chunks)
+	for c := range accs {
+		accs[c] = accumulator{sum: make([]float64, k*d), weight: make([]float64, k)}
+	}
+	costPartial := make([]float64, chunks)
+	changedPartial := make([]int64, chunks)
+
+	limit := maxIter(cfg)
+	for it := 0; it < limit; it++ {
+		g.update(centers)
+		geom.ParallelFor(n, cfg.Parallelism, func(chunk, lo, hi int) {
+			acc := &accs[chunk]
+			for i := range acc.sum {
+				acc.sum[i] = 0
+			}
+			for i := range acc.weight {
+				acc.weight[i] = 0
+			}
+			var cost float64
+			var changed int64
+			for i := lo; i < hi; i++ {
+				p := ds.Point(i)
+				a := int(assign[i])
+				m := g.s[a]
+				if lower[i] > m {
+					m = lower[i]
+				}
+				if upper[i] > m {
+					// Tighten the upper bound and retest.
+					upper[i] = geom.Dist(p, centers.Row(a))
+					if upper[i] > m {
+						// Full scan: find closest and second closest.
+						best, bestD, secondD := a, upper[i], math.Inf(1)
+						for c := 0; c < k; c++ {
+							if c == a {
+								continue
+							}
+							dc := geom.Dist(p, centers.Row(c))
+							if dc < bestD {
+								secondD = bestD
+								best, bestD = c, dc
+							} else if dc < secondD {
+								secondD = dc
+							}
+						}
+						if best != a {
+							changed++
+							assign[i] = int32(best)
+							a = best
+						}
+						upper[i] = bestD
+						lower[i] = secondD
+					}
+				}
+				w := ds.W(i)
+				cost += w * upper[i] * upper[i]
+				geom.AddScaled(acc.sum[a*d:(a+1)*d], w, p)
+				acc.weight[a] += w
+			}
+			costPartial[chunk] = cost
+			changedPartial[chunk] = changed
+		})
+		var changed int64
+		var costUB float64
+		for c := 0; c < chunks; c++ {
+			changed += changedPartial[c]
+			costUB += costPartial[c]
+		}
+		res.Iters = it + 1
+		res.CostTrace = append(res.CostTrace, costUB)
+
+		sum, weight := mergeAccs(accs)
+		_, repaired := g.moveCenters(ds, centers, assign, sum, weight, cfg.Parallelism)
+
+		if repaired {
+			geom.ParallelFor(n, cfg.Parallelism, func(_, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					upper[i] = math.Inf(1)
+					lower[i] = 0
+				}
+			})
+			continue
+		}
+		// Bound maintenance: u grows by the movement of the assigned center,
+		// l shrinks by the largest movement of any center.
+		maxD, secondMaxD := 0.0, 0.0
+		maxC := -1
+		for c := 0; c < k; c++ {
+			if g.dist[c] > maxD {
+				secondMaxD = maxD
+				maxD = g.dist[c]
+				maxC = c
+			} else if g.dist[c] > secondMaxD {
+				secondMaxD = g.dist[c]
+			}
+		}
+		geom.ParallelFor(n, cfg.Parallelism, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				upper[i] += g.dist[assign[i]]
+				// The second-closest center moved at most maxD — unless the
+				// assigned center IS the max mover, in which case secondMaxD.
+				if int(assign[i]) == maxC {
+					lower[i] -= secondMaxD
+				} else {
+					lower[i] -= maxD
+				}
+				if lower[i] < 0 {
+					lower[i] = 0
+				}
+			}
+		})
+		if changed == 0 && it > 0 {
+			res.Converged = true
+			break
+		}
+	}
+	res.Cost = Cost(ds, centers, cfg.Parallelism)
+	return res
+}
+
+func mergeAccs(accs []accumulator) (sum, weight []float64) {
+	sum, weight = accs[0].sum, accs[0].weight
+	for c := 1; c < len(accs); c++ {
+		for i := range sum {
+			sum[i] += accs[c].sum[i]
+		}
+		for i := range weight {
+			weight[i] += accs[c].weight[i]
+		}
+	}
+	return sum, weight
+}

@@ -1,0 +1,302 @@
+// Package lloyd implements Lloyd's iteration — the local-search phase of
+// k-means (§3.1 of the paper) — in sequential and parallel form, for both
+// unweighted and weighted datasets (weighted is needed to recluster the
+// candidate set in Step 8 of k-means||).
+//
+// Beyond the textbook algorithm it provides the accelerated assignment
+// methods referenced by the paper's related work (Elkan and Hamerly
+// triangle-inequality pruning, Sculley mini-batch), which the benchmark
+// harness uses for ablations.
+package lloyd
+
+import (
+	"fmt"
+	"math"
+
+	"kmeansll/internal/geom"
+)
+
+// Method selects the assignment-step implementation.
+type Method int
+
+const (
+	// Naive scans all k centers per point (with early-exit distance bounds).
+	Naive Method = iota
+	// Elkan maintains k per-point lower bounds plus center-center distances
+	// (Elkan, ICML 2003). Fastest per iteration for moderate k; O(n·k) memory.
+	Elkan
+	// Hamerly maintains one lower bound per point (Hamerly, SDM 2010).
+	// O(n) memory; best when k is large.
+	Hamerly
+)
+
+func (m Method) String() string {
+	switch m {
+	case Naive:
+		return "naive"
+	case Elkan:
+		return "elkan"
+	case Hamerly:
+		return "hamerly"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Config controls a Lloyd run.
+type Config struct {
+	// MaxIter bounds the number of iterations; 0 means DefaultMaxIter.
+	MaxIter int
+	// Tol stops iteration when every center moves less than Tol (Euclidean).
+	// Iteration also stops when no assignment changes. 0 means exact
+	// assignment-stability only, matching "until the solution does not
+	// change between two consecutive rounds" (§1).
+	Tol float64
+	// Parallelism is the worker count for the assignment step; <1 = all CPUs.
+	Parallelism int
+	// Method selects the assignment algorithm.
+	Method Method
+}
+
+// DefaultMaxIter is the iteration cap when Config.MaxIter is zero. The
+// paper's sequential experiments run "until convergence"; 1000 is far beyond
+// every convergence point observed in Table 6 (max ≈ 176).
+const DefaultMaxIter = 1000
+
+// Result reports the outcome of a Lloyd run.
+type Result struct {
+	Centers   *geom.Matrix // final centers (k rows)
+	Assign    []int32      // nearest-center index per point
+	Cost      float64      // final φ_X(Centers)
+	Iters     int          // iterations executed
+	Converged bool         // true if stopped by stability/tolerance, not MaxIter
+	CostTrace []float64    // cost after each iteration (monotone non-increasing)
+}
+
+// Cost computes φ_X(C) in parallel.
+func Cost(ds *geom.Dataset, centers *geom.Matrix, parallelism int) float64 {
+	n := ds.N()
+	chunks := geom.ChunkCount(n, parallelism)
+	partial := make([]float64, chunks)
+	geom.ParallelFor(n, parallelism, func(chunk, lo, hi int) {
+		var s float64
+		for i := lo; i < hi; i++ {
+			_, d := geom.Nearest(ds.Point(i), centers)
+			s += ds.W(i) * d
+		}
+		partial[chunk] = s
+	})
+	var total float64
+	for _, s := range partial {
+		total += s
+	}
+	return total
+}
+
+// Assign computes the nearest center of every point in parallel and the
+// resulting cost.
+func Assign(ds *geom.Dataset, centers *geom.Matrix, parallelism int) ([]int32, float64) {
+	n := ds.N()
+	assign := make([]int32, n)
+	chunks := geom.ChunkCount(n, parallelism)
+	partial := make([]float64, chunks)
+	geom.ParallelFor(n, parallelism, func(chunk, lo, hi int) {
+		var s float64
+		for i := lo; i < hi; i++ {
+			idx, d := geom.Nearest(ds.Point(i), centers)
+			assign[i] = int32(idx)
+			s += ds.W(i) * d
+		}
+		partial[chunk] = s
+	})
+	var total float64
+	for _, s := range partial {
+		total += s
+	}
+	return assign, total
+}
+
+// accumulator holds per-chunk weighted sums for the update step.
+type accumulator struct {
+	sum    []float64 // k*d weighted coordinate sums
+	weight []float64 // k weighted counts
+}
+
+// Run executes Lloyd's iteration starting from the given centers (which are
+// not modified; a copy is made). It panics if centers is empty or wider than
+// the data.
+func Run(ds *geom.Dataset, centers *geom.Matrix, cfg Config) Result {
+	if centers.Rows == 0 {
+		panic("lloyd: no initial centers")
+	}
+	if centers.Cols != ds.Dim() {
+		panic(fmt.Sprintf("lloyd: center dim %d != data dim %d", centers.Cols, ds.Dim()))
+	}
+	switch cfg.Method {
+	case Elkan:
+		return runElkan(ds, centers, cfg)
+	case Hamerly:
+		return runHamerly(ds, centers, cfg)
+	}
+	return runNaive(ds, centers, cfg)
+}
+
+func maxIter(cfg Config) int {
+	if cfg.MaxIter > 0 {
+		return cfg.MaxIter
+	}
+	return DefaultMaxIter
+}
+
+func runNaive(ds *geom.Dataset, init *geom.Matrix, cfg Config) Result {
+	k, d, n := init.Rows, init.Cols, ds.N()
+	centers := init.Clone()
+	assign := make([]int32, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	chunks := geom.ChunkCount(n, cfg.Parallelism)
+	accs := make([]accumulator, chunks)
+	for c := range accs {
+		accs[c] = accumulator{sum: make([]float64, k*d), weight: make([]float64, k)}
+	}
+	costPartial := make([]float64, chunks)
+	changedPartial := make([]int64, chunks)
+
+	res := Result{Centers: centers, Assign: assign}
+	limit := maxIter(cfg)
+	for it := 0; it < limit; it++ {
+		// Assignment step (fused with accumulation so the data is scanned
+		// exactly once per iteration — this is the "one MapReduce pass"
+		// structure of §3.5).
+		geom.ParallelFor(n, cfg.Parallelism, func(chunk, lo, hi int) {
+			acc := &accs[chunk]
+			for i := range acc.sum {
+				acc.sum[i] = 0
+			}
+			for i := range acc.weight {
+				acc.weight[i] = 0
+			}
+			var cost float64
+			var changed int64
+			for i := lo; i < hi; i++ {
+				p := ds.Point(i)
+				idx, dist := geom.Nearest(p, centers)
+				if int32(idx) != assign[i] {
+					changed++
+					assign[i] = int32(idx)
+				}
+				w := ds.W(i)
+				cost += w * dist
+				geom.AddScaled(acc.sum[idx*d:(idx+1)*d], w, p)
+				acc.weight[idx] += w
+			}
+			costPartial[chunk] = cost
+			changedPartial[chunk] = changed
+		})
+		var cost float64
+		var changed int64
+		for c := 0; c < chunks; c++ {
+			cost += costPartial[c]
+			changed += changedPartial[c]
+		}
+		res.Iters = it + 1
+		res.Cost = cost
+		res.CostTrace = append(res.CostTrace, cost)
+
+		// Merge per-chunk accumulators (deterministic order).
+		sum := accs[0].sum
+		weight := accs[0].weight
+		if chunks > 1 {
+			for c := 1; c < chunks; c++ {
+				for i := range sum {
+					sum[i] += accs[c].sum[i]
+				}
+				for i := range weight {
+					weight[i] += accs[c].weight[i]
+				}
+			}
+		}
+
+		// Update step: move each center to the weighted centroid of its
+		// cluster; repair empty clusters by reseeding to the point with the
+		// largest cost contribution.
+		maxMove := updateCenters(ds, centers, assign, sum, weight, cfg.Parallelism)
+
+		if changed == 0 {
+			res.Converged = true
+			break
+		}
+		if cfg.Tol > 0 && maxMove <= cfg.Tol {
+			res.Converged = true
+			break
+		}
+	}
+	return res
+}
+
+// updateCenters recomputes centers from the accumulated sums, repairing empty
+// clusters, and returns the largest Euclidean movement of any center.
+func updateCenters(ds *geom.Dataset, centers *geom.Matrix, assign []int32, sum, weight []float64, parallelism int) float64 {
+	k, d := centers.Rows, centers.Cols
+	maxMove2 := 0.0
+	var empty []int
+	for c := 0; c < k; c++ {
+		if weight[c] <= 0 {
+			empty = append(empty, c)
+			continue
+		}
+		row := centers.Row(c)
+		inv := 1 / weight[c]
+		var move2 float64
+		for j := 0; j < d; j++ {
+			v := sum[c*d+j] * inv
+			diff := v - row[j]
+			move2 += diff * diff
+			row[j] = v
+		}
+		if move2 > maxMove2 {
+			maxMove2 = move2
+		}
+	}
+	if len(empty) > 0 {
+		repairEmpty(ds, centers, assign, empty, parallelism)
+		maxMove2 = math.Inf(1) // force another iteration
+	}
+	return math.Sqrt(maxMove2)
+}
+
+// repairEmpty reseeds each empty cluster to the point currently paying the
+// highest weighted cost, breaking ties by lowest index (deterministic). The
+// chosen point's cluster keeps its remaining members.
+func repairEmpty(ds *geom.Dataset, centers *geom.Matrix, assign []int32, empty []int, parallelism int) {
+	n := ds.N()
+	for _, c := range empty {
+		// Find the worst-served point in parallel.
+		chunks := geom.ChunkCount(n, parallelism)
+		bestIdx := make([]int, chunks)
+		bestVal := make([]float64, chunks)
+		geom.ParallelFor(n, parallelism, func(chunk, lo, hi int) {
+			bi, bv := -1, -1.0
+			for i := lo; i < hi; i++ {
+				_, dist := geom.Nearest(ds.Point(i), centers)
+				v := ds.W(i) * dist
+				if v > bv {
+					bv, bi = v, i
+				}
+			}
+			bestIdx[chunk], bestVal[chunk] = bi, bv
+		})
+		worst, worstVal := -1, -1.0
+		for ch := range bestIdx {
+			if bestVal[ch] > worstVal || (bestVal[ch] == worstVal && bestIdx[ch] < worst) {
+				worst, worstVal = bestIdx[ch], bestVal[ch]
+			}
+		}
+		if worst < 0 {
+			return // n == 0; nothing to do
+		}
+		copy(centers.Row(c), ds.Point(worst))
+		assign[worst] = int32(c)
+	}
+}

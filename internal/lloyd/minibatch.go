@@ -1,0 +1,60 @@
+package lloyd
+
+import (
+	"kmeansll/internal/geom"
+	"kmeansll/internal/rng"
+)
+
+// MiniBatchConfig controls MiniBatch (Sculley, WWW 2010 — cited as [31] in
+// the paper's related work). Mini-batch k-means trades per-iteration exactness
+// for throughput: each iteration samples B points and moves only their
+// assigned centers with a per-center learning rate 1/count.
+type MiniBatchConfig struct {
+	BatchSize int // B; 0 means 10·k
+	Iters     int // number of mini-batch steps; 0 means 100
+	Seed      uint64
+}
+
+// MiniBatch runs mini-batch k-means from the given initial centers and
+// returns the refined centers along with the exact final cost.
+func MiniBatch(ds *geom.Dataset, init *geom.Matrix, cfg MiniBatchConfig) Result {
+	k := init.Rows
+	centers := init.Clone()
+	b := cfg.BatchSize
+	if b <= 0 {
+		b = 10 * k
+	}
+	if b > ds.N() {
+		b = ds.N()
+	}
+	iters := cfg.Iters
+	if iters <= 0 {
+		iters = 100
+	}
+	r := rng.New(cfg.Seed)
+	counts := make([]float64, k)
+	batchAssign := make([]int32, b)
+	batch := make([]int, b)
+	for it := 0; it < iters; it++ {
+		for j := range batch {
+			batch[j] = r.Intn(ds.N())
+		}
+		for j, i := range batch {
+			idx, _ := geom.Nearest(ds.Point(i), centers)
+			batchAssign[j] = int32(idx)
+		}
+		for j, i := range batch {
+			c := int(batchAssign[j])
+			w := ds.W(i)
+			counts[c] += w
+			eta := w / counts[c]
+			row := centers.Row(c)
+			p := ds.Point(i)
+			for t := range row {
+				row[t] = (1-eta)*row[t] + eta*p[t]
+			}
+		}
+	}
+	assign, cost := Assign(ds, centers, 0)
+	return Result{Centers: centers, Assign: assign, Cost: cost, Iters: iters, Converged: true}
+}

@@ -1,0 +1,154 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"kmeansll/internal/geom"
+	"kmeansll/internal/lloyd"
+	"kmeansll/internal/rng"
+)
+
+// labeledBlobs returns k separated blobs plus ground-truth labels.
+func labeledBlobs(t testing.TB, k, m, dim int, sep float64, seedVal uint64) (*geom.Dataset, []int, *geom.Matrix) {
+	t.Helper()
+	r := rng.New(seedVal)
+	truth := geom.NewMatrix(k, dim)
+	for i := range truth.Data {
+		truth.Data[i] = sep * r.NormFloat64()
+	}
+	x := geom.NewMatrix(k*m, dim)
+	labels := make([]int, k*m)
+	for c := 0; c < k; c++ {
+		for i := 0; i < m; i++ {
+			labels[c*m+i] = c
+			row := x.Row(c*m + i)
+			for j := 0; j < dim; j++ {
+				row[j] = truth.Row(c)[j] + r.NormFloat64()
+			}
+		}
+	}
+	return geom.NewDataset(x), labels, truth
+}
+
+func TestSilhouetteSeparatedVsMixed(t *testing.T) {
+	ds, labels, _ := labeledBlobs(t, 4, 60, 3, 50, 1)
+	assign := make([]int32, len(labels))
+	for i, l := range labels {
+		assign[i] = int32(l)
+	}
+	good := Silhouette(ds, assign, 4, 0, 2)
+	if good < 0.7 {
+		t.Fatalf("silhouette of true clustering = %v, want > 0.7", good)
+	}
+	// Random assignment should be near zero or negative.
+	r := rng.New(3)
+	bad := make([]int32, len(labels))
+	for i := range bad {
+		bad[i] = int32(r.Intn(4))
+	}
+	if s := Silhouette(ds, bad, 4, 0, 4); s > good/2 {
+		t.Fatalf("silhouette of random assignment = %v, not ≪ %v", s, good)
+	}
+}
+
+func TestSilhouetteSampling(t *testing.T) {
+	ds, labels, _ := labeledBlobs(t, 3, 400, 3, 40, 5)
+	assign := make([]int32, len(labels))
+	for i, l := range labels {
+		assign[i] = int32(l)
+	}
+	full := Silhouette(ds, assign, 3, len(labels), 6)
+	sampled := Silhouette(ds, assign, 3, 200, 6)
+	if math.Abs(full-sampled) > 0.1 {
+		t.Fatalf("sampled silhouette %v far from full %v", sampled, full)
+	}
+}
+
+func TestSilhouetteDegenerate(t *testing.T) {
+	ds, _, _ := labeledBlobs(t, 2, 10, 2, 10, 7)
+	one := make([]int32, 20) // everything in cluster 0
+	if s := Silhouette(ds, one, 2, 0, 8); s != 0 {
+		t.Fatalf("single-cluster silhouette = %v, want 0", s)
+	}
+	if s := Silhouette(ds, one, 1, 0, 8); s != 0 {
+		t.Fatalf("k=1 silhouette = %v, want 0", s)
+	}
+}
+
+func TestDaviesBouldinOrdering(t *testing.T) {
+	ds, labels, truth := labeledBlobs(t, 4, 80, 3, 60, 9)
+	assign := make([]int32, len(labels))
+	for i, l := range labels {
+		assign[i] = int32(l)
+	}
+	good := DaviesBouldin(ds, truth, assign)
+	if good <= 0 || good > 0.5 {
+		t.Fatalf("DB of well-separated truth = %v, want small positive", good)
+	}
+	// A worse clustering (random centers) must have higher DB.
+	r := rng.New(10)
+	badCenters := geom.NewMatrix(4, 3)
+	for i := range badCenters.Data {
+		badCenters.Data[i] = 60 * r.NormFloat64()
+	}
+	badAssign, _ := lloyd.Assign(ds, badCenters, 1)
+	if bad := DaviesBouldin(ds, badCenters, badAssign); bad < good {
+		t.Fatalf("DB of random centers %v < DB of truth %v", bad, good)
+	}
+}
+
+func TestDaviesBouldinDegenerate(t *testing.T) {
+	ds, _, _ := labeledBlobs(t, 2, 5, 2, 10, 11)
+	centers := geom.FromRows([][]float64{{0, 0}, {1e9, 1e9}})
+	assign := make([]int32, 10) // all in cluster 0 → only one live cluster
+	if v := DaviesBouldin(ds, centers, assign); v != 0 {
+		t.Fatalf("DB with one live cluster = %v, want 0", v)
+	}
+}
+
+func TestPurityPerfectAndWorst(t *testing.T) {
+	labels := []int{0, 0, 1, 1, 2, 2}
+	perfect := []int32{2, 2, 0, 0, 1, 1} // relabeled but pure
+	if p := Purity(perfect, labels, 3, 3); p != 1 {
+		t.Fatalf("pure clustering purity = %v", p)
+	}
+	allOne := []int32{0, 0, 0, 0, 0, 0}
+	if p := Purity(allOne, labels, 3, 3); math.Abs(p-1.0/3) > 1e-12 {
+		t.Fatalf("single-cluster purity = %v, want 1/3", p)
+	}
+}
+
+func TestNMIPerfectAndIndependent(t *testing.T) {
+	labels := []int{0, 0, 1, 1, 2, 2}
+	perfect := []int32{1, 1, 2, 2, 0, 0}
+	if v := NMI(perfect, labels, 3, 3); math.Abs(v-1) > 1e-12 {
+		t.Fatalf("NMI of relabeled perfect clustering = %v, want 1", v)
+	}
+	allOne := []int32{0, 0, 0, 0, 0, 0}
+	if v := NMI(allOne, labels, 3, 3); v > 1e-9 {
+		t.Fatalf("NMI of constant clustering = %v, want ~0", v)
+	}
+}
+
+func TestNMIRecoversBlobs(t *testing.T) {
+	ds, labels, truth := labeledBlobs(t, 5, 100, 4, 50, 12)
+	res := lloyd.Run(ds, truth, lloyd.Config{})
+	v := NMI(res.Assign, labels, 5, 5)
+	if v < 0.95 {
+		t.Fatalf("NMI of recovered blobs = %v, want > 0.95", v)
+	}
+	p := Purity(res.Assign, labels, 5, 5)
+	if p < 0.95 {
+		t.Fatalf("purity of recovered blobs = %v, want > 0.95", p)
+	}
+}
+
+func TestPurityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	Purity([]int32{0}, []int{0, 1}, 1, 2)
+}

@@ -1,0 +1,105 @@
+package mr
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestStructKeys exercises the fmt-based fallback hash path with a custom
+// comparable key type.
+func TestStructKeys(t *testing.T) {
+	type key struct {
+		A int
+		B string
+	}
+	inputs := []int{1, 2, 3, 4, 5, 6}
+	mapper := func(x int, emit func(key, int)) {
+		emit(key{A: x % 2, B: "bucket"}, x)
+	}
+	reducer := func(k key, vs []int, emit func([2]int)) {
+		s := 0
+		for _, v := range vs {
+			s += v
+		}
+		emit([2]int{k.A, s})
+	}
+	out, counters := Run(inputs, mapper, nil, reducer, Config{Mappers: 2, Reducers: 3})
+	got := map[int]int{}
+	for _, o := range out {
+		got[o[0]] = o[1]
+	}
+	want := map[int]int{0: 12, 1: 9}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	if counters.ReduceGroups != 2 {
+		t.Fatalf("reduce groups = %d", counters.ReduceGroups)
+	}
+}
+
+// TestSingleReducerDeterministicOrder: with one reducer, output order is the
+// first-occurrence order across mappers.
+func TestSingleReducerDeterministicOrder(t *testing.T) {
+	inputs := []string{"b", "a", "c", "a", "b"}
+	mapper := func(s string, emit func(string, int)) { emit(s, 1) }
+	reducer := func(k string, vs []int, emit func(string)) { emit(k) }
+	out, _ := Run(inputs, mapper, nil, reducer, Config{Mappers: 1, Reducers: 1})
+	want := []string{"b", "a", "c"}
+	if !reflect.DeepEqual(out, want) {
+		t.Fatalf("order %v, want %v", out, want)
+	}
+}
+
+// TestCombinerSingletonBucket: the combiner is applied even to single-pair
+// buckets without corrupting them.
+func TestCombinerSingletonBucket(t *testing.T) {
+	inputs := []int{7}
+	mapper := func(x int, emit func(int, int)) { emit(x, x) }
+	combiner := func(_ int, vs []int) int {
+		s := 0
+		for _, v := range vs {
+			s += v
+		}
+		return s
+	}
+	reducer := func(k int, vs []int, emit func(int)) { emit(vs[0]) }
+	out, _ := Run(inputs, mapper, combiner, reducer, Config{Mappers: 1, Reducers: 1})
+	if len(out) != 1 || out[0] != 7 {
+		t.Fatalf("got %v", out)
+	}
+}
+
+// TestReducerEmitsMultiple: a reducer may emit zero or many outputs per key.
+func TestReducerEmitsMultiple(t *testing.T) {
+	inputs := []int{1, 2, 3}
+	mapper := func(x int, emit func(int, int)) { emit(0, x) }
+	reducer := func(_ int, vs []int, emit func(int)) {
+		for _, v := range vs {
+			if v%2 == 1 {
+				emit(v * 10)
+			}
+		}
+	}
+	out, counters := Run(inputs, mapper, nil, reducer, Config{Mappers: 3, Reducers: 1})
+	if !reflect.DeepEqual(out, []int{10, 30}) {
+		t.Fatalf("got %v", out)
+	}
+	if counters.OutputRecords != 2 {
+		t.Fatalf("output records = %d", counters.OutputRecords)
+	}
+}
+
+func TestHashKeyStableWithinRun(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		if hashKey(i, 7) != hashKey(i, 7) {
+			t.Fatal("hashKey unstable")
+		}
+		b := hashKey(i, 7)
+		if b < 0 || b >= 7 {
+			t.Fatalf("bucket %d out of range", b)
+		}
+	}
+	if hashKey("x", 3) != hashKey("x", 3) {
+		t.Fatal("string hashKey unstable")
+	}
+}

@@ -1,0 +1,235 @@
+// Package mr is an in-process MapReduce execution engine. It stands in for
+// the Hadoop cluster the paper evaluates on (§3.5, §4): the dataflow —
+// parallel mappers over input splits, hash-partitioned shuffle, grouped
+// reduce, optional combiners — is faithful, and the engine counts the
+// quantities the paper's cost arguments are stated in (passes over the data,
+// map-output/shuffle volume, rounds).
+//
+// Jobs are fully deterministic: mapper outputs are buffered per
+// (mapper, reducer-bucket) and merged in mapper order, so the reduce phase
+// sees values in an order independent of goroutine scheduling, and results
+// do not depend on the worker count.
+package mr
+
+import (
+	"fmt"
+	"hash/maphash"
+	"sync"
+
+	"kmeansll/internal/geom"
+)
+
+// Mapper transforms one input record into zero or more key/value pairs.
+type Mapper[I any, K comparable, V any] func(input I, emit func(K, V))
+
+// Reducer folds all values of one key into zero or more outputs.
+type Reducer[K comparable, V, O any] func(key K, values []V, emit func(O))
+
+// Combiner merges mapper-local values of one key before the shuffle,
+// reducing shuffle volume exactly like a Hadoop combiner. It must be
+// associative and commutative in the same sense Hadoop requires.
+type Combiner[K comparable, V any] func(key K, values []V) V
+
+// Counters mirrors the Hadoop job counters the paper's analysis speaks to.
+type Counters struct {
+	InputRecords  int64 // records read by mappers
+	MapOutputs    int64 // pairs emitted by mappers (pre-combine)
+	ShufflePairs  int64 // pairs that crossed the shuffle (post-combine)
+	ReduceGroups  int64 // distinct keys seen by reducers
+	OutputRecords int64 // records emitted by reducers
+}
+
+// Add accumulates other into c (for multi-job pipelines).
+func (c *Counters) Add(other Counters) {
+	c.InputRecords += other.InputRecords
+	c.MapOutputs += other.MapOutputs
+	c.ShufflePairs += other.ShufflePairs
+	c.ReduceGroups += other.ReduceGroups
+	c.OutputRecords += other.OutputRecords
+}
+
+// Config sizes the simulated cluster for one job.
+type Config struct {
+	// Mappers is the number of map tasks (input splits); <1 = all CPUs.
+	Mappers int
+	// Reducers is the number of reduce tasks; <1 = Mappers.
+	Reducers int
+}
+
+func (c Config) mappers(n int) int {
+	m := geom.Workers(c.Mappers)
+	if m > n && n > 0 {
+		m = n
+	}
+	if m < 1 {
+		m = 1
+	}
+	return m
+}
+
+func (c Config) reducers(mappers int) int {
+	if c.Reducers >= 1 {
+		return c.Reducers
+	}
+	return mappers
+}
+
+var hashSeed = maphash.MakeSeed()
+
+// hashKey buckets an arbitrary comparable key. Common key types get a fast
+// path; everything else goes through fmt, which is fine at the key
+// cardinalities the jobs here produce.
+func hashKey[K comparable](k K, buckets int) int {
+	var h uint64
+	switch v := any(k).(type) {
+	case int:
+		h = mix(uint64(v))
+	case int32:
+		h = mix(uint64(v))
+	case int64:
+		h = mix(uint64(v))
+	case uint64:
+		h = mix(v)
+	case string:
+		h = maphash.String(hashSeed, v)
+	default:
+		h = maphash.String(hashSeed, fmt.Sprint(v))
+	}
+	return int(h % uint64(buckets))
+}
+
+func mix(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	return x ^ (x >> 33)
+}
+
+// pair is one shuffled key/value.
+type pair[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// Run executes one MapReduce job over the given input records and returns
+// the reducer outputs (in deterministic order) plus job counters.
+func Run[I any, K comparable, V any, O any](
+	inputs []I,
+	mapper Mapper[I, K, V],
+	combiner Combiner[K, V],
+	reducer Reducer[K, V, O],
+	cfg Config,
+) ([]O, Counters) {
+	n := len(inputs)
+	nm := cfg.mappers(n)
+	nr := cfg.reducers(nm)
+
+	// Map phase: each mapper owns a contiguous split and writes to
+	// per-(mapper, bucket) buffers — no cross-goroutine contention, and a
+	// deterministic merge order afterwards.
+	buffers := make([][][]pair[K, V], nm) // [mapper][bucket][]pair
+	var mapOutputs, shufflePairs int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(nm)
+	for m := 0; m < nm; m++ {
+		lo := m * n / nm
+		hi := (m + 1) * n / nm
+		go func(m, lo, hi int) {
+			defer wg.Done()
+			local := make([][]pair[K, V], nr)
+			var emitted int64
+			emit := func(k K, v V) {
+				b := hashKey(k, nr)
+				local[b] = append(local[b], pair[K, V]{k, v})
+				emitted++
+			}
+			for i := lo; i < hi; i++ {
+				mapper(inputs[i], emit)
+			}
+			var kept int64
+			if combiner != nil {
+				for b := range local {
+					local[b] = combineBucket(local[b], combiner)
+					kept += int64(len(local[b]))
+				}
+			} else {
+				kept = emitted
+			}
+			buffers[m] = local
+			mu.Lock()
+			mapOutputs += emitted
+			shufflePairs += kept
+			mu.Unlock()
+		}(m, lo, hi)
+	}
+	wg.Wait()
+
+	// Shuffle + reduce phase: each reducer merges its bucket from every
+	// mapper in mapper order, groups by key (first-occurrence order), and
+	// reduces. Outputs are concatenated in bucket order.
+	outBuckets := make([][]O, nr)
+	groupCounts := make([]int64, nr)
+	wg.Add(nr)
+	for b := 0; b < nr; b++ {
+		go func(b int) {
+			defer wg.Done()
+			groups := make(map[K][]V)
+			var order []K
+			for m := 0; m < nm; m++ {
+				for _, p := range buffers[m][b] {
+					vs, seen := groups[p.key]
+					if !seen {
+						order = append(order, p.key)
+					}
+					groups[p.key] = append(vs, p.val)
+				}
+			}
+			groupCounts[b] = int64(len(order))
+			var out []O
+			emit := func(o O) { out = append(out, o) }
+			for _, k := range order {
+				reducer(k, groups[k], emit)
+			}
+			outBuckets[b] = out
+		}(b)
+	}
+	wg.Wait()
+
+	var outputs []O
+	var groups int64
+	for b := 0; b < nr; b++ {
+		outputs = append(outputs, outBuckets[b]...)
+		groups += groupCounts[b]
+	}
+	return outputs, Counters{
+		InputRecords:  int64(n),
+		MapOutputs:    mapOutputs,
+		ShufflePairs:  shufflePairs,
+		ReduceGroups:  groups,
+		OutputRecords: int64(len(outputs)),
+	}
+}
+
+// combineBucket applies the combiner within one mapper-local bucket,
+// preserving first-occurrence key order.
+func combineBucket[K comparable, V any](ps []pair[K, V], combiner Combiner[K, V]) []pair[K, V] {
+	if len(ps) <= 1 {
+		return ps
+	}
+	groups := make(map[K][]V, len(ps))
+	var order []K
+	for _, p := range ps {
+		vs, seen := groups[p.key]
+		if !seen {
+			order = append(order, p.key)
+		}
+		groups[p.key] = append(vs, p.val)
+	}
+	out := ps[:0]
+	for _, k := range order {
+		out = append(out, pair[K, V]{k, combiner(k, groups[k])})
+	}
+	return out
+}

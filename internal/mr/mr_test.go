@@ -1,0 +1,245 @@
+package mr
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+type kvOut struct {
+	Key   string
+	Count int
+}
+
+func wordCount(docs []string, cfg Config, withCombiner bool) ([]kvOut, Counters) {
+	mapper := func(doc string, emit func(string, int)) {
+		for _, w := range strings.Fields(doc) {
+			emit(w, 1)
+		}
+	}
+	var combiner Combiner[string, int]
+	if withCombiner {
+		combiner = func(_ string, vs []int) int {
+			s := 0
+			for _, v := range vs {
+				s += v
+			}
+			return s
+		}
+	}
+	reducer := func(k string, vs []int, emit func(kvOut)) {
+		s := 0
+		for _, v := range vs {
+			s += v
+		}
+		emit(kvOut{k, s})
+	}
+	return Run(docs, mapper, combiner, reducer, cfg)
+}
+
+var docs = []string{
+	"the quick brown fox",
+	"the lazy dog",
+	"the quick dog jumps",
+	"fox and dog and fox",
+}
+
+func wantCounts() map[string]int {
+	want := map[string]int{}
+	for _, d := range docs {
+		for _, w := range strings.Fields(d) {
+			want[w]++
+		}
+	}
+	return want
+}
+
+func TestWordCount(t *testing.T) {
+	out, counters := wordCount(docs, Config{Mappers: 2, Reducers: 3}, false)
+	got := map[string]int{}
+	for _, o := range out {
+		got[o.Key] = o.Count
+	}
+	if !reflect.DeepEqual(got, wantCounts()) {
+		t.Fatalf("got %v, want %v", got, wantCounts())
+	}
+	if counters.InputRecords != 4 {
+		t.Fatalf("input records = %d", counters.InputRecords)
+	}
+	if counters.MapOutputs != 16 {
+		t.Fatalf("map outputs = %d, want 16 words", counters.MapOutputs)
+	}
+	if counters.ShufflePairs != 16 {
+		t.Fatalf("no combiner: shuffle pairs = %d, want 16", counters.ShufflePairs)
+	}
+	if int(counters.ReduceGroups) != len(wantCounts()) {
+		t.Fatalf("reduce groups = %d", counters.ReduceGroups)
+	}
+}
+
+func TestCombinerReducesShuffle(t *testing.T) {
+	out, counters := wordCount(docs, Config{Mappers: 2, Reducers: 2}, true)
+	got := map[string]int{}
+	for _, o := range out {
+		got[o.Key] = o.Count
+	}
+	if !reflect.DeepEqual(got, wantCounts()) {
+		t.Fatalf("combiner changed results: %v", got)
+	}
+	if counters.ShufflePairs >= counters.MapOutputs {
+		t.Fatalf("combiner did not reduce shuffle: %d >= %d",
+			counters.ShufflePairs, counters.MapOutputs)
+	}
+}
+
+func TestDeterministicAcrossWorkerCounts(t *testing.T) {
+	var prev []kvOut
+	for _, cfg := range []Config{{Mappers: 1, Reducers: 1}, {Mappers: 3, Reducers: 1}} {
+		out, _ := wordCount(docs, cfg, true)
+		if prev != nil {
+			// Same reducer count ⇒ identical order; different mapper counts
+			// must not change content.
+			if !reflect.DeepEqual(out, prev) {
+				t.Fatalf("output differs across mapper counts: %v vs %v", out, prev)
+			}
+		}
+		prev = out
+	}
+	// Repeated runs with identical config are bit-identical.
+	a, _ := wordCount(docs, Config{Mappers: 4, Reducers: 4}, false)
+	b, _ := wordCount(docs, Config{Mappers: 4, Reducers: 4}, false)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("repeated runs differ")
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	out, counters := wordCount(nil, Config{}, false)
+	if len(out) != 0 || counters.InputRecords != 0 {
+		t.Fatalf("empty input produced %v %v", out, counters)
+	}
+}
+
+func TestMoreMappersThanRecords(t *testing.T) {
+	out, _ := wordCount([]string{"solo"}, Config{Mappers: 64, Reducers: 8}, false)
+	if len(out) != 1 || out[0] != (kvOut{"solo", 1}) {
+		t.Fatalf("got %v", out)
+	}
+}
+
+func TestIntKeys(t *testing.T) {
+	inputs := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	mapper := func(x int, emit func(int, int)) { emit(x%3, x) }
+	reducer := func(k int, vs []int, emit func([2]int)) {
+		s := 0
+		for _, v := range vs {
+			s += v
+		}
+		emit([2]int{k, s})
+	}
+	out, _ := Run(inputs, mapper, nil, reducer, Config{Mappers: 3, Reducers: 2})
+	got := map[int]int{}
+	for _, o := range out {
+		got[o[0]] = o[1]
+	}
+	want := map[int]int{0: 3 + 6 + 9, 1: 1 + 4 + 7 + 10, 2: 2 + 5 + 8}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestValuesArriveInMapperOrder(t *testing.T) {
+	// All pairs share one key; values must arrive ordered by (mapper index,
+	// emission order), i.e. the original input order when splits are
+	// contiguous.
+	inputs := make([]int, 100)
+	for i := range inputs {
+		inputs[i] = i
+	}
+	mapper := func(x int, emit func(string, int)) { emit("k", x) }
+	reducer := func(_ string, vs []int, emit func([]int)) {
+		emit(append([]int(nil), vs...))
+	}
+	out, _ := Run(inputs, mapper, nil, reducer, Config{Mappers: 7, Reducers: 3})
+	if len(out) != 1 {
+		t.Fatalf("expected one group, got %d", len(out))
+	}
+	if !sort.IntsAreSorted(out[0]) {
+		t.Fatalf("values not in mapper order: %v", out[0][:10])
+	}
+}
+
+func TestCountersAdd(t *testing.T) {
+	a := Counters{1, 2, 3, 4, 5}
+	a.Add(Counters{10, 20, 30, 40, 50})
+	if a != (Counters{11, 22, 33, 44, 55}) {
+		t.Fatalf("Add wrong: %+v", a)
+	}
+}
+
+// Property: for an arbitrary multiset of (key, value) pairs, sum-per-key via
+// MapReduce equals the sequential reference, with and without a combiner,
+// for several cluster shapes.
+func TestSumPerKeyProperty(t *testing.T) {
+	type rec struct {
+		K uint8
+		V int16
+	}
+	f := func(recs []rec, mappers, reducers uint8) bool {
+		want := map[uint8]int64{}
+		for _, r := range recs {
+			want[r.K] += int64(r.V)
+		}
+		mapper := func(r rec, emit func(uint8, int64)) { emit(r.K, int64(r.V)) }
+		comb := func(_ uint8, vs []int64) int64 {
+			var s int64
+			for _, v := range vs {
+				s += v
+			}
+			return s
+		}
+		reducer := func(k uint8, vs []int64, emit func([2]int64)) {
+			var s int64
+			for _, v := range vs {
+				s += v
+			}
+			emit([2]int64{int64(k), s})
+		}
+		cfg := Config{Mappers: int(mappers%8) + 1, Reducers: int(reducers%8) + 1}
+		for _, c := range []Combiner[uint8, int64]{nil, comb} {
+			out, counters := Run(recs, mapper, c, reducer, cfg)
+			got := map[uint8]int64{}
+			for _, o := range out {
+				got[uint8(o[0])] = o[1]
+			}
+			if len(got) != len(want) {
+				return false
+			}
+			for k, v := range want {
+				if got[k] != v {
+					return false
+				}
+			}
+			if counters.InputRecords != int64(len(recs)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkWordCount(b *testing.B) {
+	big := make([]string, 1000)
+	for i := range big {
+		big[i] = strings.Repeat("alpha beta gamma delta ", 10)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wordCount(big, Config{}, true)
+	}
+}

@@ -1,0 +1,79 @@
+package mrkm
+
+import (
+	"kmeansll/internal/geom"
+	"kmeansll/internal/mr"
+)
+
+// CostLargeC computes φ_X(C) without assuming the center set fits in mapper
+// memory — the second realization sketched in §3.5 of the paper: "Each
+// mapper holding X' ⊆ X and C' ⊆ C can output the tuple ⟨x; argmin_{c∈C'}
+// d(x, c)⟩, where x ∈ X' is the key. From this, the reducer can easily
+// compute d(x, C) and hence φ_X(C)."
+//
+// The input records are the cross product of point partitions and center
+// partitions; every mapper sees one (X', C') block and emits one per-point
+// partial minimum, keyed by point. The reducer takes the min over the
+// centerParts partials for each point and emits its weighted contribution;
+// the driver sums. The returned counters expose the shuffle blow-up the
+// paper calls out as an open problem: n·centerParts pairs cross the shuffle,
+// versus `mappers` pairs in the broadcast-C version.
+func CostLargeC(ds *geom.Dataset, centers *geom.Matrix, centerParts int, cluster Config) (float64, mr.Counters) {
+	n := ds.N()
+	if n == 0 || centers.Rows == 0 {
+		return 0, mr.Counters{}
+	}
+	if centerParts < 1 {
+		centerParts = 1
+	}
+	if centerParts > centers.Rows {
+		centerParts = centers.Rows
+	}
+	pointSpans := makeSpans(n, cluster.Mappers)
+
+	// One input record per (point-span, center-span) block.
+	type block struct {
+		x span
+		c span
+	}
+	var blocks []block
+	for _, xs := range pointSpans {
+		for p := 0; p < centerParts; p++ {
+			blocks = append(blocks, block{
+				x: xs,
+				c: span{Lo: p * centers.Rows / centerParts, Hi: (p + 1) * centers.Rows / centerParts},
+			})
+		}
+	}
+
+	mapper := func(b block, emit func(int32, float64)) {
+		for i := b.x.Lo; i < b.x.Hi; i++ {
+			p := ds.Point(i)
+			best := geom.SqDist(p, centers.Row(b.c.Lo))
+			for c := b.c.Lo + 1; c < b.c.Hi; c++ {
+				if d := geom.SqDistBound(p, centers.Row(c), best); d < best {
+					best = d
+				}
+			}
+			emit(int32(i), best)
+		}
+	}
+	// A min-combiner would defeat the purpose of measuring the blow-up;
+	// Hadoop could use one only when X' blocks for the same x land in the
+	// same mapper, which they do not here (one block = one (X', C') pair).
+	reducer := func(i int32, vs []float64, emit func(float64)) {
+		best := vs[0]
+		for _, v := range vs[1:] {
+			if v < best {
+				best = v
+			}
+		}
+		emit(ds.W(int(i)) * best)
+	}
+	out, counters := mr.Run(blocks, mapper, nil, reducer, cluster.engine())
+	var phi float64
+	for _, v := range out {
+		phi += v
+	}
+	return phi, counters
+}

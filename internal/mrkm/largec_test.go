@@ -1,0 +1,60 @@
+package mrkm
+
+import (
+	"math"
+	"testing"
+
+	"kmeansll/internal/lloyd"
+	"kmeansll/internal/rng"
+	"kmeansll/internal/seed"
+)
+
+func TestCostLargeCMatchesBroadcast(t *testing.T) {
+	ds := blobs(t, 4, 80, 5, 25, 1)
+	centers := seed.KMeansPP(ds, 12, rng.New(2), 1)
+	want := lloyd.Cost(ds, centers, 1)
+	for _, parts := range []int{1, 2, 3, 12} {
+		got, _ := CostLargeC(ds, centers, parts, Config{Mappers: 4})
+		if math.Abs(got-want) > 1e-9*(1+want) {
+			t.Fatalf("centerParts=%d: cost %v, want %v", parts, got, want)
+		}
+	}
+}
+
+func TestCostLargeCShuffleBlowup(t *testing.T) {
+	// The paper notes the tuple-based realization shuffles one pair per
+	// (point, center-partition): n·parts total, vs O(mappers) for the
+	// broadcast version.
+	ds := blobs(t, 3, 100, 4, 20, 3)
+	centers := seed.Random(ds, 9, rng.New(4))
+	const parts = 3
+	_, counters := CostLargeC(ds, centers, parts, Config{Mappers: 4})
+	want := int64(ds.N() * parts)
+	if counters.ShufflePairs != want {
+		t.Fatalf("shuffle pairs = %d, want n·parts = %d", counters.ShufflePairs, want)
+	}
+	if counters.ReduceGroups != int64(ds.N()) {
+		t.Fatalf("reduce groups = %d, want n = %d", counters.ReduceGroups, ds.N())
+	}
+}
+
+func TestCostLargeCClampsParts(t *testing.T) {
+	ds := blobs(t, 2, 30, 3, 15, 5)
+	centers := seed.Random(ds, 4, rng.New(6))
+	want := lloyd.Cost(ds, centers, 1)
+	// parts > k and parts <= 0 both degrade gracefully.
+	for _, parts := range []int{0, -3, 100} {
+		got, _ := CostLargeC(ds, centers, parts, Config{Mappers: 2})
+		if math.Abs(got-want) > 1e-9*(1+want) {
+			t.Fatalf("parts=%d: cost %v, want %v", parts, got, want)
+		}
+	}
+}
+
+func TestCostLargeCEmpty(t *testing.T) {
+	ds := blobs(t, 1, 5, 2, 1, 7)
+	centers := seed.Random(ds, 2, rng.New(8))
+	if got, _ := CostLargeC(ds, centers, 2, Config{}); got < 0 {
+		t.Fatalf("negative cost %v", got)
+	}
+}

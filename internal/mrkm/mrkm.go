@@ -1,0 +1,414 @@
+// Package mrkm realizes k-means|| and Lloyd's iteration as MapReduce jobs on
+// the engine in internal/mr, following §3.5 of the paper:
+//
+//   - the (small) current center set C is broadcast to every mapper;
+//   - one sampling round of Algorithm 2 is ONE map pass: each mapper updates
+//     its points' cached distances against the newly added centers, computes
+//     its partition's contribution to φ_X(C), and independently samples
+//     candidates; the reducer sums φ and collects the candidates;
+//   - Step 7 (weighting) is one map pass emitting (center, weight) pairs
+//     through a summing combiner;
+//   - Step 8 (reclustering) runs on "a single machine" — sequential weighted
+//     k-means++ — because the candidate set is tiny;
+//   - one Lloyd iteration is one map pass emitting (center, Σw·x ⧺ Σw)
+//     through a vector-summing combiner.
+//
+// The per-point distance cache lives with the input partition, mirroring the
+// data-local state a Hadoop implementation would persist alongside its split
+// between rounds (or recompute; the pass count is identical either way).
+package mrkm
+
+import (
+	"math"
+
+	"kmeansll/internal/core"
+	"kmeansll/internal/geom"
+	"kmeansll/internal/lloyd"
+	"kmeansll/internal/mr"
+	"kmeansll/internal/rng"
+	"kmeansll/internal/seed"
+)
+
+// span is one input partition: points [Lo, Hi) of the dataset.
+type span struct{ Lo, Hi int }
+
+func makeSpans(n, mappers int) []span {
+	m := geom.Workers(mappers)
+	if m > n {
+		m = n
+	}
+	if m < 1 {
+		m = 1
+	}
+	out := make([]span, m)
+	for i := 0; i < m; i++ {
+		out[i] = span{Lo: i * n / m, Hi: (i + 1) * n / m}
+	}
+	return out
+}
+
+// Stats describes an MR-realized run.
+type Stats struct {
+	// MRRounds is the number of MapReduce jobs executed (each job is one
+	// full pass over the input).
+	MRRounds int
+	// Candidates is |C| before reclustering.
+	Candidates int
+	// SeedCost is φ_X of the k centers produced by Init.
+	SeedCost float64
+	// Counters aggregates engine counters over all jobs.
+	Counters mr.Counters
+	// Psi is φ after the first center (Init only).
+	Psi float64
+	// PhiTrace is φ after each sampling round (Init only).
+	PhiTrace []float64
+}
+
+// Config parameterizes the simulated cluster.
+type Config struct {
+	// Mappers is the number of map tasks (the paper's "machines"); <1 = all
+	// CPUs.
+	Mappers int
+	// Reducers is the number of reduce tasks; <1 = Mappers.
+	Reducers int
+}
+
+func (c Config) engine() mr.Config { return mr.Config{Mappers: c.Mappers, Reducers: c.Reducers} }
+
+// Init runs Algorithm 2 with the MapReduce dataflow and returns k centers.
+// The algorithmic parameters are taken from cfg (K, L, Rounds, Seed); the
+// sampling is Bernoulli with the same counter-based per-point randomness as
+// core.Init, so for equal parameters the candidate sets agree with the
+// in-process implementation.
+func Init(ds *geom.Dataset, cfg core.Config, cluster Config) (*geom.Matrix, Stats) {
+	if cfg.K <= 0 {
+		panic("mrkm: Config.K must be positive")
+	}
+	n := ds.N()
+	if n == 0 {
+		panic("mrkm: empty dataset")
+	}
+	spans := makeSpans(n, cluster.Mappers)
+	engine := cluster.engine()
+	r := rng.New(cfg.Seed)
+	stats := Stats{}
+
+	ell := cfg.L
+	if ell <= 0 {
+		ell = 2 * float64(cfg.K)
+	}
+	rounds := cfg.Rounds
+	if rounds <= 0 {
+		rounds = 5
+		if need := int(math.Ceil(float64(cfg.K) / ell)); need > rounds {
+			rounds = need
+		}
+	}
+
+	// Step 1: first center, chosen by the driver.
+	var first int
+	if ds.Weight == nil {
+		first = r.Intn(n)
+	} else {
+		first = r.WeightedIndex(ds.Weight)
+	}
+	centers := geom.NewMatrix(0, ds.Dim())
+	centers.Cols = ds.Dim()
+	centers.AppendRow(ds.Point(first))
+
+	// d2 is the data-local distance cache (one entry per point, owned by the
+	// mapper that owns the point's span).
+	d2 := make([]float64, n)
+	for i := range d2 {
+		d2[i] = math.Inf(1)
+	}
+
+	// Job: update caches against centers[from:] and return the new φ. One
+	// full pass over the data, like the cost computation described in §3.5
+	// ("each mapper ... can compute φ_{X'}(C) and the reducer can simply add
+	// these values").
+	updateAndCost := func(from int) float64 {
+		mapper := func(s span, emit func(int, float64)) {
+			var part float64
+			for i := s.Lo; i < s.Hi; i++ {
+				if d2[i] > 0 {
+					w := ds.W(i)
+					p := ds.Point(i)
+					best := d2[i]
+					if !math.IsInf(best, 1) {
+						best /= w
+					}
+					for c := from; c < centers.Rows; c++ {
+						if nd := geom.SqDistBound(p, centers.Row(c), best); nd < best {
+							best = nd
+						}
+					}
+					d2[i] = w * best
+				}
+				part += d2[i]
+			}
+			emit(0, part)
+		}
+		reducer := func(_ int, vs []float64, emit func(float64)) { emit(sum(vs)) }
+		out, counters := mr.Run(spans, mapper, nil, reducer, engine)
+		stats.MRRounds++
+		stats.Counters.Add(counters)
+		if len(out) == 0 {
+			return 0
+		}
+		return out[0]
+	}
+
+	// Step 2: ψ (pure cost pass).
+	phi := updateAndCost(0)
+	stats.Psi = phi
+	stats.PhiTrace = append(stats.PhiTrace, phi)
+
+	// Steps 3–6: each round is a sampling job (reads the cache, needs the φ
+	// the previous job produced) followed by an update+cost job against the
+	// newly added centers — two full passes per round, which is exactly what
+	// a Hadoop driver threading φ between jobs does.
+	for round := 0; round < rounds && phi > 0; round++ {
+		from := centers.Rows
+		cand := sampleOnly(spans, d2, phi, ell, cfg.Seed, round, engine, &stats)
+		for _, i := range cand {
+			centers.AppendRow(ds.Point(i))
+		}
+		phi = updateAndCost(from)
+		stats.PhiTrace = append(stats.PhiTrace, phi)
+	}
+	stats.Candidates = centers.Rows
+
+	// Step 7: weighting job.
+	weights := weightJob(spans, ds, centers, engine, &stats)
+
+	// Step 8: sequential reclustering on the driver.
+	cds := weightedCandidates(centers, weights)
+	final := seed.KMeansPP(cds, cfg.K, r, 1)
+
+	// Final cost pass (also an MR job, like the evaluation step in §3.5).
+	stats.SeedCost = costJob(spans, ds, final, engine, &stats)
+	return final, stats
+}
+
+// sampleOnly is the Bernoulli selection over cached distances. It reads the
+// caches but performs no distance work (the cache is current); it is merged
+// with the update pass in runRound when possible, but the very first sampling
+// of a round needs φ from the previous pass, hence this dedicated job.
+func sampleOnly(spans []span, d2 []float64, phi, ell float64, seedVal uint64, round int, engine mr.Config, stats *Stats) []int {
+	mapper := func(s span, emit func(int, []int)) {
+		var sel []int
+		for i := s.Lo; i < s.Hi; i++ {
+			if d2[i] <= 0 {
+				continue
+			}
+			p := ell * d2[i] / phi
+			if p >= 1 || pointRand(seedVal, round, i) < p {
+				sel = append(sel, i)
+			}
+		}
+		emit(0, sel)
+	}
+	reducer := func(_ int, vs [][]int, emit func([]int)) {
+		var all []int
+		for _, v := range vs {
+			all = append(all, v...)
+		}
+		emit(all)
+	}
+	out, counters := mr.Run(spans, mapper, nil, reducer, engine)
+	stats.MRRounds++
+	stats.Counters.Add(counters)
+	if len(out) == 0 {
+		return nil
+	}
+	return out[0]
+}
+
+// pointRand matches core's counter-based per-point uniform variate so the MR
+// realization and the in-process implementation sample identically.
+func pointRand(seed uint64, round, i int) float64 {
+	x := seed ^ (uint64(round)+1)*0x9e3779b97f4a7c15 ^ (uint64(i)+1)*0xbf58476d1ce4e5b9
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}
+
+// weightJob is Step 7 as map + combine + reduce over (centerIdx, weight).
+func weightJob(spans []span, ds *geom.Dataset, centers *geom.Matrix, engine mr.Config, stats *Stats) []float64 {
+	mapper := func(s span, emit func(int, float64)) {
+		for i := s.Lo; i < s.Hi; i++ {
+			idx, _ := geom.Nearest(ds.Point(i), centers)
+			emit(idx, ds.W(i))
+		}
+	}
+	combiner := func(_ int, vs []float64) float64 { return sum(vs) }
+	type cw struct {
+		C int
+		W float64
+	}
+	reducer := func(c int, vs []float64, emit func(cw)) { emit(cw{c, sum(vs)}) }
+	out, counters := mr.Run(spans, mapper, combiner, reducer, engine)
+	stats.MRRounds++
+	stats.Counters.Add(counters)
+	weights := make([]float64, centers.Rows)
+	for _, o := range out {
+		weights[o.C] = o.W
+	}
+	return weights
+}
+
+// costJob computes φ_X(C) as one MR job.
+func costJob(spans []span, ds *geom.Dataset, centers *geom.Matrix, engine mr.Config, stats *Stats) float64 {
+	mapper := func(s span, emit func(int, float64)) {
+		var part float64
+		for i := s.Lo; i < s.Hi; i++ {
+			_, d := geom.Nearest(ds.Point(i), centers)
+			part += ds.W(i) * d
+		}
+		emit(0, part)
+	}
+	reducer := func(_ int, vs []float64, emit func(float64)) { emit(sum(vs)) }
+	out, counters := mr.Run(spans, mapper, nil, reducer, engine)
+	stats.MRRounds++
+	stats.Counters.Add(counters)
+	if len(out) == 0 {
+		return 0
+	}
+	return out[0]
+}
+
+func weightedCandidates(centers *geom.Matrix, weights []float64) *geom.Dataset {
+	keep := make([]int, 0, centers.Rows)
+	for i, w := range weights {
+		if w > 0 {
+			keep = append(keep, i)
+		}
+	}
+	if len(keep) == 0 {
+		keep = append(keep, 0)
+		weights[0] = 1
+	}
+	x := geom.NewMatrix(len(keep), centers.Cols)
+	w := make([]float64, len(keep))
+	for j, i := range keep {
+		copy(x.Row(j), centers.Row(i))
+		w[j] = weights[i]
+	}
+	return &geom.Dataset{X: x, Weight: w}
+}
+
+// Lloyd runs Lloyd's iteration where each iteration is one MapReduce job
+// (the standard parallel k-means the paper cites from Mahout). Empty clusters
+// keep their previous position, as in the textbook MR implementation.
+func Lloyd(ds *geom.Dataset, init *geom.Matrix, maxIter int, cluster Config) (lloyd.Result, Stats) {
+	if maxIter <= 0 {
+		maxIter = 20 // the paper bounds parallel Lloyd at 20 iterations (§4.2)
+	}
+	n := ds.N()
+	spans := makeSpans(n, cluster.Mappers)
+	engine := cluster.engine()
+	centers := init.Clone()
+	k, d := centers.Rows, centers.Cols
+	stats := Stats{}
+	res := lloyd.Result{Centers: centers}
+
+	type acc struct {
+		Vec []float64 // Σ w·x followed by Σ w, length d+1
+		Phi float64
+	}
+	for it := 0; it < maxIter; it++ {
+		mapper := func(s span, emit func(int, acc)) {
+			local := make([]acc, k)
+			for i := s.Lo; i < s.Hi; i++ {
+				p := ds.Point(i)
+				idx, dist := geom.Nearest(p, centers)
+				w := ds.W(i)
+				a := &local[idx]
+				if a.Vec == nil {
+					a.Vec = make([]float64, d+1)
+				}
+				for j, v := range p {
+					a.Vec[j] += w * v
+				}
+				a.Vec[d] += w
+				a.Phi += w * dist
+			}
+			for c := range local {
+				if local[c].Vec != nil {
+					emit(c, local[c])
+				}
+			}
+		}
+		combiner := func(_ int, vs []acc) acc {
+			out := acc{Vec: make([]float64, d+1)}
+			for _, v := range vs {
+				for j := range out.Vec {
+					out.Vec[j] += v.Vec[j]
+				}
+				out.Phi += v.Phi
+			}
+			return out
+		}
+		type cu struct {
+			C   int
+			Row []float64
+			Phi float64
+		}
+		reducer := func(c int, vs []acc, emit func(cu)) {
+			total := make([]float64, d+1)
+			var phi float64
+			for _, v := range vs {
+				for j := range total {
+					total[j] += v.Vec[j]
+				}
+				phi += v.Phi
+			}
+			row := make([]float64, d)
+			if total[d] > 0 {
+				for j := 0; j < d; j++ {
+					row[j] = total[j] / total[d]
+				}
+			}
+			emit(cu{C: c, Row: row, Phi: phi})
+		}
+		out, counters := mr.Run(spans, mapper, combiner, reducer, engine)
+		stats.MRRounds++
+		stats.Counters.Add(counters)
+
+		var phi float64
+		maxMove := 0.0
+		for _, o := range out {
+			phi += o.Phi
+			if len(o.Row) == d {
+				move := geom.SqDist(o.Row, centers.Row(o.C))
+				if move > maxMove {
+					maxMove = move
+				}
+				copy(centers.Row(o.C), o.Row)
+			}
+		}
+		res.Iters = it + 1
+		res.Cost = phi
+		res.CostTrace = append(res.CostTrace, phi)
+		if maxMove == 0 {
+			res.Converged = true
+			break
+		}
+	}
+	// res.Cost above is the cost w.r.t. the PREVIOUS centers (assignment
+	// cost); report the final cost against the final centers.
+	res.Assign, res.Cost = lloyd.Assign(ds, centers, 0)
+	stats.SeedCost = res.Cost
+	return res, stats
+}
+
+func sum(vs []float64) float64 {
+	var s float64
+	for _, v := range vs {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,166 @@
+package mrkm
+
+import (
+	"math"
+	"testing"
+
+	"kmeansll/internal/core"
+	"kmeansll/internal/geom"
+	"kmeansll/internal/lloyd"
+	"kmeansll/internal/rng"
+	"kmeansll/internal/seed"
+)
+
+func blobs(t testing.TB, k, m, dim int, sep float64, seedVal uint64) *geom.Dataset {
+	t.Helper()
+	r := rng.New(seedVal)
+	truth := geom.NewMatrix(k, dim)
+	for i := range truth.Data {
+		truth.Data[i] = sep * r.NormFloat64()
+	}
+	x := geom.NewMatrix(k*m, dim)
+	for c := 0; c < k; c++ {
+		for i := 0; i < m; i++ {
+			row := x.Row(c*m + i)
+			for j := 0; j < dim; j++ {
+				row[j] = truth.Row(c)[j] + r.NormFloat64()
+			}
+		}
+	}
+	return geom.NewDataset(x)
+}
+
+func TestInitMatchesInProcessCandidates(t *testing.T) {
+	// Same seed + Bernoulli sampling with counter-based randomness ⇒ the MR
+	// realization selects the same candidate set as core.Init.
+	ds := blobs(t, 5, 100, 6, 25, 1)
+	cfg := core.Config{K: 5, L: 10, Rounds: 5, Seed: 7}
+	_, coreStats := core.Init(ds, cfg)
+	_, mrStats := Init(ds, cfg, Config{Mappers: 4})
+	if coreStats.Candidates != mrStats.Candidates {
+		t.Fatalf("candidate counts differ: core %d vs mr %d",
+			coreStats.Candidates, mrStats.Candidates)
+	}
+	if math.Abs(coreStats.Psi-mrStats.Psi) > 1e-6*(1+coreStats.Psi) {
+		t.Fatalf("ψ differs: %v vs %v", coreStats.Psi, mrStats.Psi)
+	}
+	for i := range coreStats.PhiTrace {
+		if math.Abs(coreStats.PhiTrace[i]-mrStats.PhiTrace[i]) > 1e-6*(1+coreStats.PhiTrace[i]) {
+			t.Fatalf("φ trace differs at %d: %v vs %v", i,
+				coreStats.PhiTrace[i], mrStats.PhiTrace[i])
+		}
+	}
+}
+
+func TestInitQuality(t *testing.T) {
+	ds := blobs(t, 8, 150, 8, 50, 2)
+	centers, stats := Init(ds, core.Config{K: 8, Seed: 3}, Config{Mappers: 8})
+	if centers.Rows != 8 {
+		t.Fatalf("got %d centers", centers.Rows)
+	}
+	rc := seed.Random(ds, 8, rng.New(99))
+	randCost := lloyd.Cost(ds, rc, 0)
+	if stats.SeedCost*2 > randCost {
+		t.Fatalf("MR k-means|| seed cost %v not ≪ random %v", stats.SeedCost, randCost)
+	}
+}
+
+func TestMRRoundAccounting(t *testing.T) {
+	ds := blobs(t, 4, 100, 5, 20, 4)
+	_, stats := Init(ds, core.Config{K: 4, L: 8, Rounds: 3, Seed: 5}, Config{Mappers: 4})
+	// 1 (ψ) + 3×2 (sample + update per round) + 1 (weights) + 1 (cost) = 9.
+	if stats.MRRounds != 9 {
+		t.Fatalf("MR rounds = %d, want 9", stats.MRRounds)
+	}
+	if stats.Counters.InputRecords == 0 || stats.Counters.ShufflePairs == 0 {
+		t.Fatalf("counters not populated: %+v", stats.Counters)
+	}
+}
+
+func TestInitInvariantToMapperCount(t *testing.T) {
+	ds := blobs(t, 5, 120, 6, 30, 6)
+	cfg := core.Config{K: 5, L: 10, Rounds: 5, Seed: 8}
+	c1, s1 := Init(ds, cfg, Config{Mappers: 1})
+	c2, s2 := Init(ds, cfg, Config{Mappers: 16})
+	if s1.Candidates != s2.Candidates {
+		t.Fatalf("candidates differ: %d vs %d", s1.Candidates, s2.Candidates)
+	}
+	for i := range c1.Data {
+		if math.Abs(c1.Data[i]-c2.Data[i]) > 1e-9 {
+			t.Fatal("MR Init result depends on mapper count")
+		}
+	}
+}
+
+func TestLloydMatchesInProcess(t *testing.T) {
+	ds := blobs(t, 4, 100, 5, 40, 9)
+	init := seed.KMeansPP(ds, 4, rng.New(10), 0)
+	mrRes, stats := Lloyd(ds, init, 30, Config{Mappers: 4})
+	inRes := lloyd.Run(ds, init, lloyd.Config{MaxIter: 30})
+	if math.Abs(mrRes.Cost-inRes.Cost) > 1e-6*(1+inRes.Cost) {
+		t.Fatalf("MR Lloyd cost %v != in-process %v", mrRes.Cost, inRes.Cost)
+	}
+	if stats.MRRounds != mrRes.Iters {
+		t.Fatalf("one MR job per iteration expected: %d jobs, %d iters",
+			stats.MRRounds, mrRes.Iters)
+	}
+}
+
+func TestLloydCostTraceMonotone(t *testing.T) {
+	ds := blobs(t, 5, 80, 4, 15, 11)
+	init := seed.Random(ds, 5, rng.New(12))
+	res, _ := Lloyd(ds, init, 25, Config{Mappers: 3})
+	for i := 1; i < len(res.CostTrace); i++ {
+		if res.CostTrace[i] > res.CostTrace[i-1]*(1+1e-9) {
+			t.Fatalf("MR Lloyd cost increased at %d: %v -> %v",
+				i, res.CostTrace[i-1], res.CostTrace[i])
+		}
+	}
+}
+
+func TestLloydConvergesAndStops(t *testing.T) {
+	ds := blobs(t, 3, 60, 4, 60, 13)
+	init := seed.KMeansPP(ds, 3, rng.New(14), 0)
+	res, stats := Lloyd(ds, init, 100, Config{})
+	if !res.Converged {
+		t.Fatal("MR Lloyd did not converge on easy data")
+	}
+	if stats.MRRounds >= 100 {
+		t.Fatalf("MR Lloyd ran all %d iterations", stats.MRRounds)
+	}
+}
+
+func TestWeightJobSumsToN(t *testing.T) {
+	ds := blobs(t, 4, 50, 3, 20, 15)
+	centers := seed.Random(ds, 6, rng.New(16))
+	spans := makeSpans(ds.N(), 4)
+	var stats Stats
+	w := weightJob(spans, ds, centers, Config{Mappers: 4}.engine(), &stats)
+	var total float64
+	for _, v := range w {
+		total += v
+	}
+	if math.Abs(total-float64(ds.N())) > 1e-9 {
+		t.Fatalf("weights sum to %v, want %d", total, ds.N())
+	}
+}
+
+func TestMakeSpans(t *testing.T) {
+	spans := makeSpans(10, 3)
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	covered := 0
+	for i, s := range spans {
+		covered += s.Hi - s.Lo
+		if i > 0 && spans[i-1].Hi != s.Lo {
+			t.Fatalf("spans not contiguous: %+v", spans)
+		}
+	}
+	if covered != 10 {
+		t.Fatalf("spans cover %d of 10", covered)
+	}
+	if got := makeSpans(2, 100); len(got) != 2 {
+		t.Fatalf("mappers should clamp to n: %d", len(got))
+	}
+}

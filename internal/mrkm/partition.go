@@ -1,0 +1,100 @@
+package mrkm
+
+import (
+	"kmeansll/internal/geom"
+	"kmeansll/internal/mr"
+	"kmeansll/internal/rng"
+	"kmeansll/internal/seed"
+	"kmeansll/internal/stream"
+)
+
+// Partition runs the Ailon et al. baseline with the two-round parallel
+// dataflow §4.2.1 describes: "in the first round, groups are assigned to m
+// different machines that can be run in parallel to obtain the intermediate
+// set and in the second round, k-means++ is run on this set sequentially."
+// Round 1 is one MapReduce job whose mappers each run k-means# on their
+// group; round 2 happens on the driver. The engine counters expose the
+// shuffle volume — the full weighted intermediate set crosses the network,
+// which is the structural cost Table 5 is about.
+func Partition(ds *geom.Dataset, cfg stream.Config, cluster Config) (*geom.Matrix, stream.Stats, mr.Counters) {
+	if cfg.K <= 0 {
+		panic("mrkm: Partition K must be positive")
+	}
+	n := ds.N()
+	if n == 0 {
+		panic("mrkm: empty dataset")
+	}
+	m := cfg.M
+	if m <= 0 {
+		m = stream.DefaultM(n, cfg.K)
+	}
+	if m > n {
+		m = n
+	}
+
+	// Group assignment: random permutation sliced into m groups, exactly as
+	// the in-process implementation (same seed ⇒ same groups).
+	root := rng.New(cfg.Seed)
+	perm := root.Perm(n)
+	type group struct {
+		id  int
+		idx []int
+	}
+	groups := make([]group, m)
+	for g := 0; g < m; g++ {
+		groups[g] = group{id: g, idx: perm[g*n/m : (g+1)*n/m]}
+	}
+
+	// Round 1: one mapper invocation per group ("m different machines").
+	// Each mapper clusters its group with k-means#, weights the group
+	// centers by the group's points, and emits the weighted centers.
+	type weightedCenter struct {
+		Row []float64
+		W   float64
+	}
+	mapper := func(g group, emit func(int, weightedCenter)) {
+		gr := rng.New(cfg.Seed).Split(uint64(g.id) + 1)
+		sub := ds.Subset(g.idx)
+		centers := stream.KMeansSharp(sub, cfg.K, cfg.BatchPerRound, gr)
+		ws := make([]float64, centers.Rows)
+		for j := 0; j < sub.N(); j++ {
+			idx, _ := geom.Nearest(sub.Point(j), centers)
+			ws[idx] += sub.W(j)
+		}
+		for i := 0; i < centers.Rows; i++ {
+			if ws[i] <= 0 {
+				continue
+			}
+			emit(0, weightedCenter{Row: append([]float64(nil), centers.Row(i)...), W: ws[i]})
+		}
+	}
+	reducer := func(_ int, vs []weightedCenter, emit func([]weightedCenter)) {
+		emit(vs)
+	}
+	out, counters := mr.Run(groups, mapper, nil, reducer, cluster.engine())
+
+	union := &geom.Matrix{Cols: ds.Dim()}
+	var weights []float64
+	for _, batch := range out {
+		for _, wc := range batch {
+			union.AppendRow(wc.Row)
+			weights = append(weights, wc.W)
+		}
+	}
+	stats := stream.Stats{Groups: m, Intermediate: union.Rows}
+
+	// Round 2: sequential weighted k-means++ on the driver.
+	cds := &geom.Dataset{X: union, Weight: weights}
+	final := seed.KMeansPP(cds, cfg.K, root.Split(0), 1)
+	stats.SeedCost = geomCost(ds, final)
+	return final, stats, counters
+}
+
+func geomCost(ds *geom.Dataset, centers *geom.Matrix) float64 {
+	var total float64
+	for i := 0; i < ds.N(); i++ {
+		_, d := geom.Nearest(ds.Point(i), centers)
+		total += ds.W(i) * d
+	}
+	return total
+}

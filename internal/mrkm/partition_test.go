@@ -1,0 +1,67 @@
+package mrkm
+
+import (
+	"math"
+	"testing"
+
+	"kmeansll/internal/lloyd"
+	"kmeansll/internal/rng"
+	"kmeansll/internal/seed"
+	"kmeansll/internal/stream"
+)
+
+func TestPartitionMRMatchesInProcess(t *testing.T) {
+	// Same seed ⇒ identical group assignment and per-group RNG streams ⇒
+	// identical intermediate sets and final centers.
+	ds := blobs(t, 5, 150, 5, 30, 1)
+	cfg := stream.Config{K: 5, Seed: 7}
+	inC, inStats := stream.Partition(ds, cfg)
+	mrC, mrStats, counters := Partition(ds, cfg, Config{Mappers: 4})
+
+	if inStats.Groups != mrStats.Groups {
+		t.Fatalf("groups differ: %d vs %d", inStats.Groups, mrStats.Groups)
+	}
+	if inStats.Intermediate != mrStats.Intermediate {
+		t.Fatalf("intermediate differs: %d vs %d", inStats.Intermediate, mrStats.Intermediate)
+	}
+	if math.Abs(inStats.SeedCost-mrStats.SeedCost) > 1e-9*(1+inStats.SeedCost) {
+		t.Fatalf("seed cost differs: %v vs %v", inStats.SeedCost, mrStats.SeedCost)
+	}
+	for i := range inC.Data {
+		if inC.Data[i] != mrC.Data[i] {
+			t.Fatal("final centers differ between MR and in-process Partition")
+		}
+	}
+	// The full intermediate set crossed the shuffle.
+	if counters.ShufflePairs != int64(mrStats.Intermediate) {
+		t.Fatalf("shuffle pairs %d != intermediate %d",
+			counters.ShufflePairs, mrStats.Intermediate)
+	}
+}
+
+func TestPartitionMRQuality(t *testing.T) {
+	ds := blobs(t, 8, 120, 6, 50, 2)
+	centers, stats, _ := Partition(ds, stream.Config{K: 8, Seed: 3}, Config{Mappers: 8})
+	if centers.Rows != 8 {
+		t.Fatalf("got %d centers", centers.Rows)
+	}
+	rc := seed.Random(ds, 8, rng.New(99))
+	if randCost := lloyd.Cost(ds, rc, 0); stats.SeedCost*2 > randCost {
+		t.Fatalf("MR Partition seed cost %v not ≪ random %v", stats.SeedCost, randCost)
+	}
+}
+
+func TestPartitionMRInvariantToMappers(t *testing.T) {
+	ds := blobs(t, 4, 100, 4, 25, 4)
+	cfg := stream.Config{K: 4, Seed: 5}
+	c1, s1, _ := Partition(ds, cfg, Config{Mappers: 1})
+	c2, s2, _ := Partition(ds, cfg, Config{Mappers: 16})
+	if s1.Intermediate != s2.Intermediate {
+		t.Fatalf("intermediate differs across mappers: %d vs %d", s1.Intermediate, s2.Intermediate)
+	}
+	for i := range c1.Data {
+		if c1.Data[i] != c2.Data[i] {
+			t.Fatal("MR Partition depends on mapper count")
+		}
+	}
+}

@@ -1,0 +1,377 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestDistinctSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 1 and 2 collided %d/100 times", same)
+	}
+}
+
+func TestZeroSeedWorks(t *testing.T) {
+	r := New(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed produced degenerate stream")
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split(0)
+	c2 := parent.Split(0) // parent advanced, so same stream id still differs
+	if c1.Uint64() == c2.Uint64() && c1.Uint64() == c2.Uint64() {
+		t.Fatal("successive splits produced identical streams")
+	}
+	p1, p2 := New(7), New(7)
+	d1, d2 := p1.Split(1), p2.Split(2)
+	if d1.Uint64() == d2.Uint64() && d1.Uint64() == d2.Uint64() {
+		t.Fatal("distinct stream ids produced identical streams")
+	}
+	// Same parent state + same stream id must reproduce exactly.
+	e1, e2 := New(7).Split(5), New(7).Split(5)
+	for i := 0; i < 100; i++ {
+		if e1.Uint64() != e2.Uint64() {
+			t.Fatal("split is not deterministic")
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(4)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(5)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 1000; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(6)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Fatalf("bucket %d count %d deviates from %v", i, c, want)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(8)
+	const n = 200000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Fatalf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Fatalf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	r := New(9)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := r.ExpFloat64()
+		if v < 0 {
+			t.Fatalf("exponential variate negative: %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.02 {
+		t.Fatalf("exponential mean = %v, want ~1", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(10)
+	for _, n := range []int{0, 1, 2, 10, 257} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestWeightedIndexRespectsZeros(t *testing.T) {
+	r := New(11)
+	w := []float64{0, 1, 0, 3, 0}
+	counts := make([]int, len(w))
+	for i := 0; i < 40000; i++ {
+		counts[r.WeightedIndex(w)]++
+	}
+	if counts[0]+counts[2]+counts[4] != 0 {
+		t.Fatalf("zero-weight index selected: %v", counts)
+	}
+	ratio := float64(counts[3]) / float64(counts[1])
+	if ratio < 2.7 || ratio > 3.3 {
+		t.Fatalf("weight ratio = %v, want ~3", ratio)
+	}
+}
+
+func TestWeightedIndexPanicsOnZeroTotal(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on zero total weight")
+		}
+	}()
+	New(1).WeightedIndex([]float64{0, 0})
+}
+
+func TestAliasMatchesWeights(t *testing.T) {
+	r := New(12)
+	w := []float64{1, 2, 3, 4}
+	a := NewAlias(w)
+	counts := make([]float64, len(w))
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		counts[a.Draw(r)]++
+	}
+	for i, wi := range w {
+		got := counts[i] / draws
+		want := wi / 10
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("alias index %d frequency %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestAliasSingleton(t *testing.T) {
+	a := NewAlias([]float64{5})
+	r := New(13)
+	for i := 0; i < 100; i++ {
+		if a.Draw(r) != 0 {
+			t.Fatal("singleton alias returned nonzero index")
+		}
+	}
+}
+
+func TestAliasZeroWeightNeverDrawn(t *testing.T) {
+	a := NewAlias([]float64{0, 1, 0})
+	r := New(14)
+	for i := 0; i < 10000; i++ {
+		if v := a.Draw(r); v != 1 {
+			t.Fatalf("alias drew zero-weight index %d", v)
+		}
+	}
+}
+
+func TestSampleWithoutReplacement(t *testing.T) {
+	r := New(15)
+	for _, tc := range []struct{ n, m int }{{10, 10}, {10, 3}, {100, 1}, {5, 0}} {
+		s := r.SampleWithoutReplacement(tc.n, tc.m)
+		if len(s) != tc.m {
+			t.Fatalf("got %d samples, want %d", len(s), tc.m)
+		}
+		seen := map[int]bool{}
+		for _, v := range s {
+			if v < 0 || v >= tc.n || seen[v] {
+				t.Fatalf("invalid sample %v for n=%d", s, tc.n)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestWeightedSampleWithoutReplacement(t *testing.T) {
+	r := New(16)
+	w := []float64{0, 5, 5, 0, 5}
+	s := r.WeightedSampleWithoutReplacement(w, 3)
+	if len(s) != 3 {
+		t.Fatalf("got %d samples, want 3", len(s))
+	}
+	for _, i := range s {
+		if w[i] == 0 {
+			t.Fatalf("selected zero-weight index %d", i)
+		}
+	}
+	// Requesting more than the positive-weight count truncates.
+	s = r.WeightedSampleWithoutReplacement(w, 10)
+	if len(s) != 3 {
+		t.Fatalf("got %d samples, want 3 (all positive-weight)", len(s))
+	}
+}
+
+func TestBinomialMoments(t *testing.T) {
+	r := New(17)
+	const n, p, draws = 1000, 0.3, 20000
+	sum := 0.0
+	for i := 0; i < draws; i++ {
+		v := r.Binomial(n, p)
+		if v < 0 || v > n {
+			t.Fatalf("binomial out of range: %d", v)
+		}
+		sum += float64(v)
+	}
+	mean := sum / draws
+	if math.Abs(mean-n*p) > 3 {
+		t.Fatalf("binomial mean %v, want ~%v", mean, n*p)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := New(18)
+	z := NewZipf(100, 1.5)
+	counts := make([]int, 100)
+	for i := 0; i < 100000; i++ {
+		counts[z.Draw(r)]++
+	}
+	if counts[0] < counts[10] {
+		t.Fatal("Zipf rank 0 should dominate rank 10")
+	}
+	w := z.Weights()
+	sum := 0.0
+	for _, x := range w {
+		sum += x
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("Zipf weights sum to %v", sum)
+	}
+}
+
+// Property: Bernoulli(p) frequencies track p for arbitrary p in [0,1].
+func TestBernoulliProperty(t *testing.T) {
+	f := func(seed uint64, praw float64) bool {
+		p := math.Abs(praw)
+		p -= math.Floor(p) // into [0,1)
+		r := New(seed)
+		hits := 0
+		const n = 5000
+		for i := 0; i < n; i++ {
+			if r.Bernoulli(p) {
+				hits++
+			}
+		}
+		freq := float64(hits) / n
+		return math.Abs(freq-p) < 0.05
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Perm output is always a valid permutation.
+func TestPermProperty(t *testing.T) {
+	f := func(seed uint64, nraw uint16) bool {
+		n := int(nraw % 500)
+		p := New(seed).Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return len(p) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkNormFloat64(b *testing.B) {
+	r := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += r.NormFloat64()
+	}
+	_ = sink
+}
+
+func BenchmarkAliasDraw(b *testing.B) {
+	r := New(1)
+	w := make([]float64, 1024)
+	for i := range w {
+		w[i] = r.Float64()
+	}
+	a := NewAlias(w)
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink ^= a.Draw(r)
+	}
+	_ = sink
+}

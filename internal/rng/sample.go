@@ -1,0 +1,238 @@
+package rng
+
+import (
+	"math"
+	"sort"
+)
+
+// WeightedIndex draws a single index i with probability weights[i]/sum.
+// Weights must be non-negative with a positive sum; entries that are zero are
+// never selected. It is O(n) and allocation-free, which is the right
+// trade-off for one-shot draws; use NewAlias for repeated draws from the same
+// distribution.
+func (r *Rng) WeightedIndex(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	if !(total > 0) {
+		panic("rng: WeightedIndex requires a positive total weight")
+	}
+	target := r.Float64() * total
+	acc := 0.0
+	last := -1
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		last = i
+		acc += w
+		if target < acc {
+			return i
+		}
+	}
+	// Floating-point shortfall: target ended within rounding error of total.
+	// Return the last positive-weight index.
+	return last
+}
+
+// Alias is Walker's alias method: O(n) setup, O(1) per draw from a fixed
+// discrete distribution. Used by the exact-ℓ joint sampler in k-means||
+// (Figure 5.1 mode), which draws ℓ times per round from the D² distribution.
+type Alias struct {
+	prob  []float64
+	alias []int32
+}
+
+// NewAlias builds an alias table for the given non-negative weights.
+func NewAlias(weights []float64) *Alias {
+	n := len(weights)
+	if n == 0 {
+		panic("rng: NewAlias requires at least one weight")
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			panic("rng: NewAlias weight must be non-negative")
+		}
+		total += w
+	}
+	if !(total > 0) {
+		panic("rng: NewAlias requires a positive total weight")
+	}
+	a := &Alias{prob: make([]float64, n), alias: make([]int32, n)}
+	scaled := make([]float64, n)
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / total
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, l := range large {
+		a.prob[l] = 1
+	}
+	for _, s := range small {
+		a.prob[s] = 1 // numerical leftovers
+	}
+	return a
+}
+
+// Draw returns an index distributed according to the weights passed to
+// NewAlias.
+func (a *Alias) Draw(r *Rng) int {
+	i := r.Intn(len(a.prob))
+	if r.Float64() < a.prob[i] {
+		return i
+	}
+	return int(a.alias[i])
+}
+
+// SampleWithoutReplacement returns m distinct uniform indices from [0, n),
+// in random order. It panics if m > n.
+func (r *Rng) SampleWithoutReplacement(n, m int) []int {
+	if m > n {
+		panic("rng: SampleWithoutReplacement m > n")
+	}
+	if m <= 0 {
+		return nil
+	}
+	// Floyd's algorithm: O(m) expected time, O(m) space.
+	chosen := make(map[int]struct{}, m)
+	out := make([]int, 0, m)
+	for j := n - m; j < n; j++ {
+		t := r.Intn(j + 1)
+		if _, ok := chosen[t]; ok {
+			t = j
+		}
+		chosen[t] = struct{}{}
+		out = append(out, t)
+	}
+	r.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// WeightedSampleWithoutReplacement draws m distinct indices with probability
+// proportional to weights, using the exponential-clocks (Efraimidis–Spirakis)
+// method: index i gets key Exp(1)/w_i and the m smallest keys win. Zero
+// weights are never selected. If fewer than m indices have positive weight,
+// all of them are returned.
+func (r *Rng) WeightedSampleWithoutReplacement(weights []float64, m int) []int {
+	type kv struct {
+		key float64
+		idx int
+	}
+	keys := make([]kv, 0, len(weights))
+	for i, w := range weights {
+		if w > 0 {
+			keys = append(keys, kv{r.ExpFloat64() / w, i})
+		}
+	}
+	if m > len(keys) {
+		m = len(keys)
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a].key < keys[b].key })
+	out := make([]int, m)
+	for i := 0; i < m; i++ {
+		out[i] = keys[i].idx
+	}
+	return out
+}
+
+// Bernoulli returns true with probability p (clamped to [0,1]).
+func (r *Rng) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Binomial draws from Binomial(n, p) by inversion for small n·p and by
+// normal approximation with continuity correction for large n·p. It is used
+// only by workload generators (cluster-size splits), where the approximation
+// error is irrelevant.
+func (r *Rng) Binomial(n int, p float64) int {
+	if n <= 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	mean := float64(n) * p
+	if mean < 32 && float64(n)*(1-p) < 1e6 {
+		// Direct simulation via geometric skips would be faster; plain
+		// Bernoulli summation is fine at this size.
+		c := 0
+		for i := 0; i < n; i++ {
+			if r.Float64() < p {
+				c++
+			}
+		}
+		return c
+	}
+	sd := math.Sqrt(mean * (1 - p))
+	v := int(math.Round(mean + sd*r.NormFloat64()))
+	if v < 0 {
+		v = 0
+	}
+	if v > n {
+		v = n
+	}
+	return v
+}
+
+// Zipf draws from a Zipf distribution over {0,...,n-1} with exponent s>0 via
+// inverse-CDF on precomputed cumulative weights. For repeated draws, build
+// the table once with NewZipf.
+type Zipf struct {
+	cum []float64
+}
+
+// NewZipf precomputes a Zipf(n, s) sampler (rank i gets weight (i+1)^-s).
+func NewZipf(n int, s float64) *Zipf {
+	cum := make([]float64, n)
+	acc := 0.0
+	for i := 0; i < n; i++ {
+		acc += math.Pow(float64(i+1), -s)
+		cum[i] = acc
+	}
+	return &Zipf{cum: cum}
+}
+
+// Draw returns a rank in [0, n) with Zipf probabilities.
+func (z *Zipf) Draw(r *Rng) int {
+	target := r.Float64() * z.cum[len(z.cum)-1]
+	return sort.SearchFloat64s(z.cum, target)
+}
+
+// Weights returns the normalized probability of each rank.
+func (z *Zipf) Weights() []float64 {
+	out := make([]float64, len(z.cum))
+	prev := 0.0
+	total := z.cum[len(z.cum)-1]
+	for i, c := range z.cum {
+		out[i] = (c - prev) / total
+		prev = c
+	}
+	return out
+}

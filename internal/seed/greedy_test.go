@@ -1,0 +1,74 @@
+package seed
+
+import (
+	"testing"
+
+	"kmeansll/internal/geom"
+	"kmeansll/internal/lloyd"
+	"kmeansll/internal/rng"
+)
+
+func TestGreedyShapeAndMembership(t *testing.T) {
+	ds := blobs(t, 4, 50, 5, 25, 1)
+	c := GreedyKMeansPP(ds, 4, 3, rng.New(2), 1)
+	if c.Rows != 4 || c.Cols != 5 {
+		t.Fatalf("got %dx%d", c.Rows, c.Cols)
+	}
+	for i := 0; i < c.Rows; i++ {
+		if !isDataPoint(ds, c.Row(i)) {
+			t.Fatalf("greedy center %d not a data point", i)
+		}
+	}
+}
+
+func TestGreedyDefaultTries(t *testing.T) {
+	ds := blobs(t, 3, 30, 3, 20, 3)
+	c := GreedyKMeansPP(ds, 3, 0, rng.New(4), 1) // tries=0 → auto
+	if c.Rows != 3 {
+		t.Fatalf("got %d centers", c.Rows)
+	}
+}
+
+func TestGreedyNotWorseThanVanilla(t *testing.T) {
+	// Greedy selection should on average beat vanilla k-means++ seed cost.
+	ds := blobs(t, 10, 80, 6, 30, 5)
+	var greedy, vanilla float64
+	const trials = 15
+	for s := 0; s < trials; s++ {
+		g := GreedyKMeansPP(ds, 10, 4, rng.New(uint64(s)), 1)
+		v := KMeansPP(ds, 10, rng.New(uint64(s)), 1)
+		greedy += lloyd.Cost(ds, g, 1)
+		vanilla += lloyd.Cost(ds, v, 1)
+	}
+	if greedy > vanilla*1.02 {
+		t.Fatalf("greedy mean seed cost %v worse than vanilla %v", greedy/trials, vanilla/trials)
+	}
+}
+
+func TestGreedyKGreaterEqualN(t *testing.T) {
+	ds := blobs(t, 1, 5, 2, 1, 6)
+	c := GreedyKMeansPP(ds, 9, 3, rng.New(7), 1)
+	if c.Rows != 5 {
+		t.Fatalf("k>n should return all points, got %d", c.Rows)
+	}
+}
+
+func TestGreedyDuplicatePoints(t *testing.T) {
+	x := geom.FromRows([][]float64{{1, 1}, {1, 1}, {1, 1}, {2, 2}})
+	ds := geom.NewDataset(x)
+	c := GreedyKMeansPP(ds, 3, 2, rng.New(8), 1)
+	if c.Rows != 3 {
+		t.Fatalf("got %d centers", c.Rows)
+	}
+}
+
+func TestGreedyParallelismInvariance(t *testing.T) {
+	ds := blobs(t, 5, 40, 4, 25, 9)
+	c1 := GreedyKMeansPP(ds, 5, 3, rng.New(10), 1)
+	c8 := GreedyKMeansPP(ds, 5, 3, rng.New(10), 8)
+	for i := range c1.Data {
+		if c1.Data[i] != c8.Data[i] {
+			t.Fatal("greedy result depends on parallelism")
+		}
+	}
+}

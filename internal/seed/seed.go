@@ -1,0 +1,165 @@
+// Package seed implements the initialization baselines the paper compares
+// against: Random (uniform) selection and k-means++ (Arthur & Vassilvitskii,
+// SODA 2007 — Algorithm 1 in the paper), including the weighted variant that
+// k-means|| and Partition use to recluster their candidate sets.
+//
+// All functions return a k×d matrix of centers and never modify the dataset.
+// When the dataset has fewer than k points, all points are returned (callers
+// asking for k ≥ n get the trivially optimal seeding).
+package seed
+
+import (
+	"fmt"
+
+	"kmeansll/internal/geom"
+	"kmeansll/internal/rng"
+)
+
+// Random selects min(k, n) distinct points uniformly at random. Point weights
+// are ignored, matching the paper's Random baseline ("selects k points
+// uniformly at random from the dataset", §4.2).
+func Random(ds *geom.Dataset, k int, r *rng.Rng) *geom.Matrix {
+	n := ds.N()
+	if k > n {
+		k = n
+	}
+	if k <= 0 {
+		panic("seed: k must be positive")
+	}
+	idx := r.SampleWithoutReplacement(n, k)
+	return gather(ds, idx)
+}
+
+// WeightedRandom selects min(k, n) distinct points with probability
+// proportional to their weights (without replacement).
+func WeightedRandom(ds *geom.Dataset, k int, r *rng.Rng) *geom.Matrix {
+	n := ds.N()
+	if k > n {
+		k = n
+	}
+	if k <= 0 {
+		panic("seed: k must be positive")
+	}
+	if ds.Weight == nil {
+		return Random(ds, k, r)
+	}
+	idx := r.WeightedSampleWithoutReplacement(ds.Weight, k)
+	if len(idx) < k {
+		// Fewer than k positive-weight points: impossible for valid datasets
+		// (Validate enforces positive weights), but degrade gracefully.
+		return gather(ds, idx)
+	}
+	return gather(ds, idx)
+}
+
+// KMeansPP is Algorithm 1 of the paper: the first center is drawn
+// w-proportionally (uniformly for unweighted data); each subsequent center is
+// drawn with probability w_x·d²(x, C)/φ_X(C). The distance cache is updated
+// incrementally against only the newly chosen center, so the total work is
+// O(n·k·d) — the cost of a single Lloyd iteration, as the paper notes.
+//
+// parallelism controls the distance-update passes; <1 means all CPUs.
+func KMeansPP(ds *geom.Dataset, k int, r *rng.Rng, parallelism int) *geom.Matrix {
+	n := ds.N()
+	if k <= 0 {
+		panic("seed: k must be positive")
+	}
+	if k >= n {
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		return gather(ds, all)
+	}
+
+	centers := geom.NewMatrix(0, ds.Dim())
+	centers.Cols = ds.Dim()
+
+	// First center: weight-proportional (uniform when unweighted).
+	var first int
+	if ds.Weight == nil {
+		first = r.Intn(n)
+	} else {
+		first = r.WeightedIndex(ds.Weight)
+	}
+	centers.AppendRow(ds.Point(first))
+
+	// d2[i] = w_i · d²(x_i, C), maintained incrementally.
+	d2 := make([]float64, n)
+	chunks := geom.ChunkCount(n, parallelism)
+	partial := make([]float64, chunks)
+	geom.ParallelFor(n, parallelism, func(chunk, lo, hi int) {
+		var s float64
+		c0 := centers.Row(0)
+		for i := lo; i < hi; i++ {
+			d2[i] = ds.W(i) * geom.SqDist(ds.Point(i), c0)
+			s += d2[i]
+		}
+		partial[chunk] = s
+	})
+	phi := sum(partial)
+
+	for centers.Rows < k {
+		if !(phi > 0) {
+			// All remaining mass sits exactly on chosen centers (fewer
+			// distinct points than k). Fill with uniform picks.
+			centers.AppendRow(ds.Point(r.Intn(n)))
+			continue
+		}
+		next := sampleIndex(r, d2, phi)
+		centers.AppendRow(ds.Point(next))
+		cNew := centers.Row(centers.Rows - 1)
+		geom.ParallelFor(n, parallelism, func(chunk, lo, hi int) {
+			var s float64
+			for i := lo; i < hi; i++ {
+				if d2[i] > 0 {
+					if nd := ds.W(i) * geom.SqDist(ds.Point(i), cNew); nd < d2[i] {
+						d2[i] = nd
+					}
+				}
+				s += d2[i]
+			}
+			partial[chunk] = s
+		})
+		phi = sum(partial)
+	}
+	return centers
+}
+
+// sampleIndex draws an index proportionally to d2 given its precomputed sum.
+// Equivalent to r.WeightedIndex but reuses the known total.
+func sampleIndex(r *rng.Rng, d2 []float64, total float64) int {
+	target := r.Float64() * total
+	acc := 0.0
+	last := -1
+	for i, w := range d2 {
+		if w <= 0 {
+			continue
+		}
+		last = i
+		acc += w
+		if target < acc {
+			return i
+		}
+	}
+	if last < 0 {
+		panic(fmt.Sprintf("seed: sampleIndex with non-positive total %v", total))
+	}
+	return last
+}
+
+func sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func gather(ds *geom.Dataset, idx []int) *geom.Matrix {
+	m := geom.NewMatrix(len(idx), ds.Dim())
+	for j, i := range idx {
+		copy(m.Row(j), ds.Point(i))
+	}
+	return m
+}

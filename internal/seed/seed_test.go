@@ -1,0 +1,248 @@
+package seed
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"kmeansll/internal/geom"
+	"kmeansll/internal/lloyd"
+	"kmeansll/internal/rng"
+)
+
+func blobs(t testing.TB, k, m, dim int, sep float64, seed uint64) *geom.Dataset {
+	t.Helper()
+	r := rng.New(seed)
+	truth := geom.NewMatrix(k, dim)
+	for i := range truth.Data {
+		truth.Data[i] = sep * r.NormFloat64()
+	}
+	x := geom.NewMatrix(k*m, dim)
+	for c := 0; c < k; c++ {
+		for i := 0; i < m; i++ {
+			row := x.Row(c*m + i)
+			for j := 0; j < dim; j++ {
+				row[j] = truth.Row(c)[j] + r.NormFloat64()
+			}
+		}
+	}
+	return geom.NewDataset(x)
+}
+
+func TestRandomShapeAndMembership(t *testing.T) {
+	ds := blobs(t, 3, 30, 4, 20, 1)
+	c := Random(ds, 10, rng.New(2))
+	if c.Rows != 10 || c.Cols != 4 {
+		t.Fatalf("Random returned %dx%d", c.Rows, c.Cols)
+	}
+	for i := 0; i < c.Rows; i++ {
+		if !isDataPoint(ds, c.Row(i)) {
+			t.Fatalf("Random center %d is not a data point", i)
+		}
+	}
+}
+
+func TestRandomDistinct(t *testing.T) {
+	ds := blobs(t, 2, 50, 3, 10, 3)
+	c := Random(ds, 100, rng.New(4)) // all points
+	if c.Rows != 100 {
+		t.Fatalf("expected all 100 points, got %d", c.Rows)
+	}
+	seen := map[[3]float64]bool{}
+	for i := 0; i < c.Rows; i++ {
+		var key [3]float64
+		copy(key[:], c.Row(i))
+		if seen[key] {
+			t.Fatal("Random selected a duplicate point")
+		}
+		seen[key] = true
+	}
+}
+
+func TestRandomClampsK(t *testing.T) {
+	ds := blobs(t, 1, 5, 2, 1, 5)
+	c := Random(ds, 50, rng.New(6))
+	if c.Rows != 5 {
+		t.Fatalf("expected clamp to n=5, got %d", c.Rows)
+	}
+}
+
+func TestKMeansPPShapeAndMembership(t *testing.T) {
+	ds := blobs(t, 4, 40, 5, 25, 7)
+	c := KMeansPP(ds, 4, rng.New(8), 1)
+	if c.Rows != 4 || c.Cols != 5 {
+		t.Fatalf("KMeansPP returned %dx%d", c.Rows, c.Cols)
+	}
+	for i := 0; i < c.Rows; i++ {
+		if !isDataPoint(ds, c.Row(i)) {
+			t.Fatalf("KMeansPP center %d is not a data point", i)
+		}
+	}
+}
+
+func TestKMeansPPSpreadsAcrossBlobs(t *testing.T) {
+	// With well-separated blobs, k-means++ should pick one center per blob
+	// nearly always; Random frequently collides. Check k-means++ hits all
+	// blobs in a strong majority of trials.
+	const k = 5
+	ds := blobs(t, k, 50, 3, 100, 9)
+	hits := 0
+	const trials = 50
+	for trial := 0; trial < trials; trial++ {
+		c := KMeansPP(ds, k, rng.New(uint64(trial)), 1)
+		blobsHit := map[int]bool{}
+		for i := 0; i < c.Rows; i++ {
+			// Blob identity: points were generated blob-major, 50 each.
+			idx := findPoint(ds, c.Row(i))
+			blobsHit[idx/50] = true
+		}
+		if len(blobsHit) == k {
+			hits++
+		}
+	}
+	if hits < trials*8/10 {
+		t.Fatalf("k-means++ covered all blobs in only %d/%d trials", hits, trials)
+	}
+}
+
+func TestKMeansPPBeatsRandomSeedCost(t *testing.T) {
+	ds := blobs(t, 10, 100, 8, 50, 10)
+	var ppTotal, randTotal float64
+	const trials = 11
+	for i := 0; i < trials; i++ {
+		pp := KMeansPP(ds, 10, rng.New(uint64(100+i)), 0)
+		rd := Random(ds, 10, rng.New(uint64(200+i)))
+		ppTotal += lloyd.Cost(ds, pp, 0)
+		randTotal += lloyd.Cost(ds, rd, 0)
+	}
+	if ppTotal >= randTotal {
+		t.Fatalf("k-means++ mean seed cost %v not better than Random %v",
+			ppTotal/trials, randTotal/trials)
+	}
+}
+
+func TestKMeansPPKGreaterEqualN(t *testing.T) {
+	ds := blobs(t, 1, 6, 2, 1, 11)
+	c := KMeansPP(ds, 6, rng.New(12), 1)
+	if c.Rows != 6 {
+		t.Fatalf("k=n should return all points, got %d", c.Rows)
+	}
+	c = KMeansPP(ds, 10, rng.New(13), 1)
+	if c.Rows != 6 {
+		t.Fatalf("k>n should return all points, got %d", c.Rows)
+	}
+}
+
+func TestKMeansPPDuplicatePoints(t *testing.T) {
+	// Fewer distinct points than k: must terminate and return k rows.
+	x := geom.FromRows([][]float64{{0, 0}, {0, 0}, {0, 0}, {1, 1}})
+	ds := geom.NewDataset(x)
+	c := KMeansPP(ds, 3, rng.New(14), 1)
+	if c.Rows != 3 {
+		t.Fatalf("got %d centers, want 3", c.Rows)
+	}
+}
+
+func TestKMeansPPWeightedBiasesSelection(t *testing.T) {
+	// Two identical-geometry groups; one has weight 100x. The first center
+	// should come from the heavy group almost always.
+	x := geom.FromRows([][]float64{{0, 0}, {0.1, 0}, {10, 0}, {10.1, 0}})
+	ds := &geom.Dataset{X: x, Weight: []float64{100, 100, 1, 1}}
+	heavy := 0
+	for i := 0; i < 200; i++ {
+		c := KMeansPP(ds, 1, rng.New(uint64(i)), 1)
+		if c.Row(0)[0] < 5 {
+			heavy++
+		}
+	}
+	if heavy < 190 {
+		t.Fatalf("heavy group selected only %d/200 times", heavy)
+	}
+}
+
+func TestKMeansPPParallelismInvariance(t *testing.T) {
+	ds := blobs(t, 5, 60, 4, 30, 15)
+	c1 := KMeansPP(ds, 5, rng.New(16), 1)
+	c8 := KMeansPP(ds, 5, rng.New(16), 8)
+	for i := range c1.Data {
+		if c1.Data[i] != c8.Data[i] {
+			t.Fatal("KMeansPP result depends on parallelism")
+		}
+	}
+}
+
+func TestWeightedRandomPrefersHeavy(t *testing.T) {
+	x := geom.FromRows([][]float64{{0}, {1}, {2}, {3}})
+	ds := &geom.Dataset{X: x, Weight: []float64{1000, 1, 1, 1}}
+	first := 0
+	for i := 0; i < 100; i++ {
+		c := WeightedRandom(ds, 1, rng.New(uint64(i)))
+		if c.Row(0)[0] == 0 {
+			first++
+		}
+	}
+	if first < 90 {
+		t.Fatalf("heavy point selected only %d/100 times", first)
+	}
+}
+
+// Property: k-means++ seed cost is finite, non-negative, and zero only when
+// k covers all distinct points.
+func TestKMeansPPCostProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 10 + r.Intn(50)
+		d := 1 + r.Intn(4)
+		k := 1 + r.Intn(8)
+		x := geom.NewMatrix(n, d)
+		for i := range x.Data {
+			x.Data[i] = r.NormFloat64()
+		}
+		ds := geom.NewDataset(x)
+		c := KMeansPP(ds, k, r.Split(1), 1)
+		cost := lloyd.Cost(ds, c, 1)
+		return cost >= 0 && !math.IsNaN(cost) && !math.IsInf(cost, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a chosen center always has zero distance contribution afterwards
+// — the same point is never chosen twice while distinct points remain.
+func TestKMeansPPNoEarlyDuplicates(t *testing.T) {
+	ds := blobs(t, 3, 20, 3, 40, 17)
+	for trial := 0; trial < 30; trial++ {
+		c := KMeansPP(ds, 10, rng.New(uint64(trial)), 1)
+		seen := map[[3]float64]bool{}
+		for i := 0; i < c.Rows; i++ {
+			var key [3]float64
+			copy(key[:], c.Row(i))
+			if seen[key] {
+				t.Fatalf("trial %d: duplicate center selected with distinct points remaining", trial)
+			}
+			seen[key] = true
+		}
+	}
+}
+
+func isDataPoint(ds *geom.Dataset, p []float64) bool {
+	return findPoint(ds, p) >= 0
+}
+
+func findPoint(ds *geom.Dataset, p []float64) int {
+	for i := 0; i < ds.N(); i++ {
+		if geom.SqDist(ds.Point(i), p) == 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+func BenchmarkKMeansPP(b *testing.B) {
+	ds := blobs(b, 20, 200, 15, 20, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		KMeansPP(ds, 20, rng.New(uint64(i)), 0)
+	}
+}

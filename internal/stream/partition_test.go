@@ -1,0 +1,156 @@
+package stream
+
+import (
+	"math"
+	"testing"
+
+	"kmeansll/internal/geom"
+	"kmeansll/internal/lloyd"
+	"kmeansll/internal/rng"
+	"kmeansll/internal/seed"
+)
+
+func blobs(t testing.TB, k, m, dim int, sep float64, seedVal uint64) *geom.Dataset {
+	t.Helper()
+	r := rng.New(seedVal)
+	truth := geom.NewMatrix(k, dim)
+	for i := range truth.Data {
+		truth.Data[i] = sep * r.NormFloat64()
+	}
+	x := geom.NewMatrix(k*m, dim)
+	for c := 0; c < k; c++ {
+		for i := 0; i < m; i++ {
+			row := x.Row(c*m + i)
+			for j := 0; j < dim; j++ {
+				row[j] = truth.Row(c)[j] + r.NormFloat64()
+			}
+		}
+	}
+	return geom.NewDataset(x)
+}
+
+func TestDefaultM(t *testing.T) {
+	if m := DefaultM(4800000, 500); m != 98 {
+		t.Fatalf("DefaultM(4.8M, 500) = %d, want 98", m)
+	}
+	if m := DefaultM(100, 100); m != 1 {
+		t.Fatalf("DefaultM(100,100) = %d, want 1", m)
+	}
+	if m := DefaultM(0, 5); m != 1 {
+		t.Fatalf("DefaultM(0,5) = %d, want 1", m)
+	}
+}
+
+func TestPartitionShape(t *testing.T) {
+	ds := blobs(t, 5, 200, 6, 30, 1)
+	centers, stats := Partition(ds, Config{K: 5, Seed: 2})
+	if centers.Rows != 5 || centers.Cols != 6 {
+		t.Fatalf("got %dx%d centers", centers.Rows, centers.Cols)
+	}
+	if stats.Groups != DefaultM(1000, 5) {
+		t.Fatalf("groups = %d", stats.Groups)
+	}
+	if stats.Intermediate < 5 {
+		t.Fatalf("intermediate = %d", stats.Intermediate)
+	}
+	if stats.SeedCost <= 0 || math.IsNaN(stats.SeedCost) {
+		t.Fatalf("seed cost %v", stats.SeedCost)
+	}
+}
+
+func TestIntermediateSizeScales(t *testing.T) {
+	// Intermediate set should be on the order of m·3k·ln k and in particular
+	// much larger than k (the structural property behind Table 5).
+	ds := blobs(t, 4, 500, 5, 20, 3)
+	k := 20
+	_, stats := Partition(ds, Config{K: k, Seed: 4})
+	if stats.Intermediate <= k {
+		t.Fatalf("intermediate %d not > k=%d", stats.Intermediate, k)
+	}
+	bound := stats.Groups * 3 * int(math.Ceil(math.Log(float64(k)))) * k
+	if stats.Intermediate > bound {
+		t.Fatalf("intermediate %d exceeds m·k·3lnk = %d", stats.Intermediate, bound)
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	ds := blobs(t, 4, 150, 5, 25, 5)
+	c1, s1 := Partition(ds, Config{K: 4, Seed: 6, Parallelism: 1})
+	c2, s2 := Partition(ds, Config{K: 4, Seed: 6, Parallelism: 8})
+	if s1.Intermediate != s2.Intermediate {
+		t.Fatalf("intermediate differs: %d vs %d", s1.Intermediate, s2.Intermediate)
+	}
+	for i := range c1.Data {
+		if c1.Data[i] != c2.Data[i] {
+			t.Fatal("Partition result depends on parallelism")
+		}
+	}
+}
+
+func TestPartitionBeatsRandom(t *testing.T) {
+	ds := blobs(t, 10, 200, 8, 60, 7)
+	var part, rand float64
+	for s := 0; s < 5; s++ {
+		_, st := Partition(ds, Config{K: 10, Seed: uint64(s)})
+		part += st.SeedCost
+		rc := seed.Random(ds, 10, rng.New(uint64(100+s)))
+		rand += lloyd.Cost(ds, rc, 0)
+	}
+	if part*2 > rand {
+		t.Fatalf("Partition seed cost %v not ≪ Random %v", part/5, rand/5)
+	}
+}
+
+func TestPartitionSingleGroup(t *testing.T) {
+	// m=1 degenerates to k-means# on the whole data then recluster.
+	ds := blobs(t, 3, 60, 4, 30, 8)
+	centers, stats := Partition(ds, Config{K: 3, M: 1, Seed: 9})
+	if stats.Groups != 1 {
+		t.Fatalf("groups = %d", stats.Groups)
+	}
+	if centers.Rows != 3 {
+		t.Fatalf("centers = %d", centers.Rows)
+	}
+}
+
+func TestPartitionTinyData(t *testing.T) {
+	ds := blobs(t, 1, 8, 3, 1, 10)
+	centers, _ := Partition(ds, Config{K: 3, Seed: 11})
+	if centers.Rows > 3 || centers.Rows < 1 {
+		t.Fatalf("centers = %d", centers.Rows)
+	}
+}
+
+func TestKMeansSharpCoversBlobs(t *testing.T) {
+	// k-means# over-samples, so all well-separated blobs should be covered.
+	const k = 5
+	ds := blobs(t, k, 100, 3, 100, 12)
+	covered := 0
+	const trials = 20
+	for s := 0; s < trials; s++ {
+		c := KMeansSharp(ds, k, 3*int(math.Ceil(math.Log(k))), rng.New(uint64(s)))
+		hit := map[int]bool{}
+		for i := 0; i < c.Rows; i++ {
+			for p := 0; p < ds.N(); p++ {
+				if geom.SqDist(ds.Point(p), c.Row(i)) == 0 {
+					hit[p/100] = true
+					break
+				}
+			}
+		}
+		if len(hit) == k {
+			covered++
+		}
+	}
+	if covered < trials*9/10 {
+		t.Fatalf("k-means# covered all blobs only %d/%d times", covered, trials)
+	}
+}
+
+func BenchmarkPartition(b *testing.B) {
+	ds := blobs(b, 10, 500, 10, 20, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Partition(ds, Config{K: 10, Seed: uint64(i)})
+	}
+}

@@ -1,0 +1,263 @@
+// Package kmeansll is a scalable k-means clustering library for Go,
+// implementing "Scalable K-Means++" (Bahmani, Moseley, Vattani, Kumar,
+// Vassilvitskii; PVLDB 5(7), 2012).
+//
+// The package front door is Cluster, which seeds centers with the paper's
+// k-means|| initialization (or one of the baselines) and refines them with
+// Lloyd's iteration:
+//
+//	model, err := kmeansll.Cluster(points, kmeansll.Config{K: 20})
+//	if err != nil { ... }
+//	cluster := model.Predict(point)
+//
+// k-means|| replaces the k sequential passes of k-means++ with ~5 passes
+// that each sample O(k) candidate centers in parallel, then reclusters the
+// candidates; it keeps k-means++'s quality guarantees (Theorem 1 of the
+// paper) while being embarrassingly parallel. The lower-level packages under
+// internal/ expose every building block — the initializers, exact
+// accelerated Lloyd kernels, the Partition streaming baseline, a MapReduce
+// engine and the paper's experiment harness — and are exercised by the
+// benches in bench_test.go, one per table and figure of the paper.
+package kmeansll
+
+import (
+	"errors"
+	"fmt"
+
+	"kmeansll/internal/core"
+	"kmeansll/internal/geom"
+	"kmeansll/internal/lloyd"
+	"kmeansll/internal/rng"
+	"kmeansll/internal/seed"
+	"kmeansll/internal/stream"
+)
+
+// InitMethod selects the center-seeding algorithm.
+type InitMethod int
+
+const (
+	// KMeansParallel is k-means|| (the paper's Algorithm 2). Default.
+	KMeansParallel InitMethod = iota
+	// KMeansPlusPlus is the sequential k-means++ (Algorithm 1).
+	KMeansPlusPlus
+	// RandomInit picks k points uniformly at random.
+	RandomInit
+	// PartitionInit is the streaming baseline of Ailon et al. (§4.2.1).
+	PartitionInit
+)
+
+func (m InitMethod) String() string {
+	switch m {
+	case KMeansParallel:
+		return "kmeans||"
+	case KMeansPlusPlus:
+		return "kmeans++"
+	case RandomInit:
+		return "random"
+	case PartitionInit:
+		return "partition"
+	default:
+		return fmt.Sprintf("InitMethod(%d)", int(m))
+	}
+}
+
+// Kernel selects the exact Lloyd assignment algorithm.
+type Kernel int
+
+const (
+	// NaiveKernel scans every center per point (with distance bounds).
+	NaiveKernel Kernel = iota
+	// ElkanKernel uses Elkan's triangle-inequality bounds (O(n·k) memory).
+	ElkanKernel
+	// HamerlyKernel uses Hamerly's single lower bound (O(n) memory).
+	HamerlyKernel
+)
+
+// Config controls Cluster. The zero value of every field except K selects a
+// sensible default.
+type Config struct {
+	// K is the number of clusters. Required, must be ≥ 1.
+	K int
+	// Init selects the seeding algorithm (default k-means||).
+	Init InitMethod
+	// Oversampling is the k-means|| factor ℓ expressed as a multiple of K
+	// (ℓ = Oversampling·K). 0 means 2, the paper's recommended setting.
+	Oversampling float64
+	// Rounds is the number of k-means|| sampling rounds; 0 means automatic
+	// (5, or more when Oversampling·Rounds would not reach K).
+	Rounds int
+	// MaxIter caps Lloyd's iteration; 0 means run until convergence.
+	MaxIter int
+	// Kernel selects the Lloyd assignment implementation. All kernels are
+	// exact (same fixed point); they differ only in speed/memory:
+	// NaiveKernel (default) scans all centers, ElkanKernel keeps n×k bounds
+	// (fastest for moderate k), HamerlyKernel keeps 2n bounds (best for
+	// large k).
+	Kernel Kernel
+	// Weights, when non-nil, gives each point a positive weight (must match
+	// len(points)).
+	Weights []float64
+	// Parallelism bounds worker goroutines; 0 means all CPUs.
+	Parallelism int
+	// Seed makes the run deterministic; runs with equal seeds and configs
+	// return identical models regardless of Parallelism.
+	Seed uint64
+}
+
+// Model is a fitted clustering.
+type Model struct {
+	// Centers holds the k final cluster centers.
+	Centers [][]float64
+	// Assign[i] is the cluster index of input point i.
+	Assign []int
+	// Cost is the k-means cost Σᵢ wᵢ·d²(xᵢ, Centers) of the fit.
+	Cost float64
+	// SeedCost is the cost right after initialization, before Lloyd.
+	SeedCost float64
+	// Iters is the number of Lloyd iterations run.
+	Iters int
+	// Converged reports whether Lloyd reached a fixed point before MaxIter.
+	Converged bool
+
+	dim int
+}
+
+// Cluster fits k centers to the given points. Points must be non-empty and
+// rectangular; see Config for the knobs.
+func Cluster(points [][]float64, cfg Config) (*Model, error) {
+	if cfg.K < 1 {
+		return nil, errors.New("kmeansll: Config.K must be ≥ 1")
+	}
+	if len(points) == 0 {
+		return nil, errors.New("kmeansll: no points")
+	}
+	dim := len(points[0])
+	if dim == 0 {
+		return nil, errors.New("kmeansll: zero-dimensional points")
+	}
+	for i, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("kmeansll: point %d has %d dims, want %d", i, len(p), dim)
+		}
+	}
+	if cfg.Weights != nil && len(cfg.Weights) != len(points) {
+		return nil, fmt.Errorf("kmeansll: %d weights for %d points", len(cfg.Weights), len(points))
+	}
+	for i, w := range cfg.Weights {
+		if !(w > 0) {
+			return nil, fmt.Errorf("kmeansll: weight %d is %v, must be positive", i, w)
+		}
+	}
+
+	ds := &geom.Dataset{X: geom.FromRows(points), Weight: cfg.Weights}
+	if err := ds.Validate(); err != nil {
+		return nil, fmt.Errorf("kmeansll: %w", err)
+	}
+
+	var centers *geom.Matrix
+	var seedCost float64
+	switch cfg.Init {
+	case KMeansParallel:
+		over := cfg.Oversampling
+		if over <= 0 {
+			over = 2
+		}
+		var stats core.Stats
+		centers, stats = core.Init(ds, core.Config{
+			K: cfg.K, L: over * float64(cfg.K), Rounds: cfg.Rounds,
+			Parallelism: cfg.Parallelism, Seed: cfg.Seed,
+		})
+		seedCost = stats.SeedCost
+	case KMeansPlusPlus:
+		centers = seed.KMeansPP(ds, cfg.K, rng.New(cfg.Seed), cfg.Parallelism)
+		seedCost = lloyd.Cost(ds, centers, cfg.Parallelism)
+	case RandomInit:
+		centers = seed.Random(ds, cfg.K, rng.New(cfg.Seed))
+		seedCost = lloyd.Cost(ds, centers, cfg.Parallelism)
+	case PartitionInit:
+		var stats stream.Stats
+		centers, stats = stream.Partition(ds, stream.Config{
+			K: cfg.K, Parallelism: cfg.Parallelism, Seed: cfg.Seed,
+		})
+		seedCost = stats.SeedCost
+	default:
+		return nil, fmt.Errorf("kmeansll: unknown InitMethod %d", cfg.Init)
+	}
+
+	var kernel lloyd.Method
+	switch cfg.Kernel {
+	case NaiveKernel:
+		kernel = lloyd.Naive
+	case ElkanKernel:
+		kernel = lloyd.Elkan
+	case HamerlyKernel:
+		kernel = lloyd.Hamerly
+	default:
+		return nil, fmt.Errorf("kmeansll: unknown Kernel %d", cfg.Kernel)
+	}
+	res := lloyd.Run(ds, centers, lloyd.Config{
+		MaxIter: cfg.MaxIter, Parallelism: cfg.Parallelism, Method: kernel,
+	})
+
+	out := &Model{
+		Cost:      res.Cost,
+		SeedCost:  seedCost,
+		Iters:     res.Iters,
+		Converged: res.Converged,
+		dim:       dim,
+	}
+	out.Centers = make([][]float64, res.Centers.Rows)
+	for c := range out.Centers {
+		row := make([]float64, dim)
+		copy(row, res.Centers.Row(c))
+		out.Centers[c] = row
+	}
+	out.Assign = make([]int, len(res.Assign))
+	for i, a := range res.Assign {
+		out.Assign[i] = int(a)
+	}
+	return out, nil
+}
+
+// ClusterBest runs Cluster `restarts` times with derived seeds and returns
+// the model with the lowest final cost. Restart seeds are cfg.Seed,
+// cfg.Seed+1, ..., so results are reproducible. This is the classic remedy
+// for Lloyd's local optima; §4.2 of the paper observes that even best-of-many
+// Random seeding gains only marginally — a good D² seeding (the default
+// k-means||) buys far more than extra restarts, which the
+// `ablation_restarts` experiment reproduces.
+func ClusterBest(points [][]float64, cfg Config, restarts int) (*Model, error) {
+	if restarts < 1 {
+		return nil, errors.New("kmeansll: restarts must be ≥ 1")
+	}
+	var best *Model
+	for i := 0; i < restarts; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + uint64(i)
+		m, err := Cluster(points, c)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || m.Cost < best.Cost {
+			best = m
+		}
+	}
+	return best, nil
+}
+
+// Predict returns the index of the center closest to the point.
+func (m *Model) Predict(point []float64) int {
+	if len(point) != m.dim {
+		panic(fmt.Sprintf("kmeansll: Predict dim %d, model dim %d", len(point), m.dim))
+	}
+	best, bestD := 0, geom.SqDist(point, m.Centers[0])
+	for c := 1; c < len(m.Centers); c++ {
+		if d := geom.SqDist(point, m.Centers[c]); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+// K returns the number of centers in the model.
+func (m *Model) K() int { return len(m.Centers) }

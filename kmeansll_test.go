@@ -1,0 +1,230 @@
+package kmeansll
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"kmeansll/internal/rng"
+)
+
+// makeBlobs returns n points drawn around k well-separated centers.
+func makeBlobs(t testing.TB, n, d, k int, sep float64, seed uint64) [][]float64 {
+	t.Helper()
+	r := rng.New(seed)
+	centers := make([][]float64, k)
+	for c := range centers {
+		centers[c] = make([]float64, d)
+		for j := range centers[c] {
+			centers[c][j] = sep * r.NormFloat64()
+		}
+	}
+	points := make([][]float64, n)
+	for i := range points {
+		c := centers[i%k]
+		p := make([]float64, d)
+		for j := range p {
+			p[j] = c[j] + r.NormFloat64()
+		}
+		points[i] = p
+	}
+	return points
+}
+
+func TestClusterBasic(t *testing.T) {
+	points := makeBlobs(t, 600, 5, 6, 40, 1)
+	m, err := Cluster(points, Config{K: 6, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.K() != 6 {
+		t.Fatalf("K() = %d", m.K())
+	}
+	if len(m.Assign) != 600 {
+		t.Fatalf("Assign length %d", len(m.Assign))
+	}
+	if !m.Converged {
+		t.Fatal("did not converge on easy blobs")
+	}
+	if m.Cost <= 0 || math.IsNaN(m.Cost) {
+		t.Fatalf("cost %v", m.Cost)
+	}
+	if m.Cost > m.SeedCost {
+		t.Fatalf("Lloyd worsened the seed: %v -> %v", m.SeedCost, m.Cost)
+	}
+}
+
+func TestClusterAllInitMethods(t *testing.T) {
+	points := makeBlobs(t, 500, 4, 5, 30, 3)
+	for _, init := range []InitMethod{KMeansParallel, KMeansPlusPlus, RandomInit, PartitionInit} {
+		m, err := Cluster(points, Config{K: 5, Init: init, Seed: 4})
+		if err != nil {
+			t.Fatalf("%v: %v", init, err)
+		}
+		if m.K() != 5 {
+			t.Fatalf("%v: got %d centers", init, m.K())
+		}
+	}
+}
+
+func TestClusterErrors(t *testing.T) {
+	points := makeBlobs(t, 10, 3, 2, 10, 5)
+	cases := []struct {
+		name string
+		pts  [][]float64
+		cfg  Config
+	}{
+		{"k=0", points, Config{K: 0}},
+		{"no points", nil, Config{K: 2}},
+		{"ragged", [][]float64{{1, 2}, {3}}, Config{K: 1}},
+		{"zero-dim", [][]float64{{}}, Config{K: 1}},
+		{"bad weights len", points, Config{K: 2, Weights: []float64{1}}},
+		{"zero weight", points, Config{K: 2, Weights: make([]float64, 10)}},
+		{"bad init", points, Config{K: 2, Init: InitMethod(99)}},
+		{"nan point", [][]float64{{math.NaN(), 1}, {2, 3}}, Config{K: 1}},
+	}
+	for _, tc := range cases {
+		if _, err := Cluster(tc.pts, tc.cfg); err == nil {
+			t.Fatalf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestPredictConsistentWithAssign(t *testing.T) {
+	points := makeBlobs(t, 300, 4, 4, 50, 6)
+	m, err := Cluster(points, Config{K: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range points {
+		if got := m.Predict(p); got != m.Assign[i] {
+			t.Fatalf("Predict(points[%d]) = %d, Assign = %d", i, got, m.Assign[i])
+		}
+	}
+}
+
+func TestPredictDimPanics(t *testing.T) {
+	points := makeBlobs(t, 50, 3, 2, 10, 8)
+	m, _ := Cluster(points, Config{K: 2, Seed: 9})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Predict with wrong dim did not panic")
+		}
+	}()
+	m.Predict([]float64{1, 2})
+}
+
+func TestDeterministicAcrossParallelism(t *testing.T) {
+	points := makeBlobs(t, 400, 5, 4, 25, 10)
+	a, err := Cluster(points, Config{K: 4, Seed: 11, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Cluster(points, Config{K: 4, Seed: 11, Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Candidate selection is bit-identical across parallelism; centroid sums
+	// reassociate across chunks, so allow last-ulp float drift.
+	if a.Iters != b.Iters {
+		t.Fatalf("parallelism changed iteration count: %d vs %d", a.Iters, b.Iters)
+	}
+	if math.Abs(a.Cost-b.Cost) > 1e-12*(1+a.Cost) {
+		t.Fatalf("parallelism changed result: cost %v vs %v", a.Cost, b.Cost)
+	}
+	for c := range a.Centers {
+		for j := range a.Centers[c] {
+			if math.Abs(a.Centers[c][j]-b.Centers[c][j]) > 1e-9*(1+math.Abs(a.Centers[c][j])) {
+				t.Fatal("centers differ across parallelism")
+			}
+		}
+	}
+}
+
+func TestWeightedClustering(t *testing.T) {
+	// Two tight groups; the heavy group must get the center when k=1 is
+	// forced to choose, i.e. center lands near the heavy group's mean.
+	points := [][]float64{{0, 0}, {0.2, 0}, {10, 0}, {10.2, 0}}
+	m, err := Cluster(points, Config{K: 1, Weights: []float64{100, 100, 1, 1}, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Centers[0][0] > 1 {
+		t.Fatalf("center %v ignores weights", m.Centers[0])
+	}
+}
+
+func TestSeedCostOrdering(t *testing.T) {
+	// On skewed blobby data, k-means|| and k-means++ seeds should both be
+	// far better than random seeds (the paper's core claim), measured over a
+	// few trials to dodge noise.
+	points := makeBlobs(t, 1000, 8, 10, 60, 13)
+	var ll, pp, rd float64
+	for s := uint64(0); s < 5; s++ {
+		a, _ := Cluster(points, Config{K: 10, Init: KMeansParallel, Seed: s, MaxIter: 1})
+		b, _ := Cluster(points, Config{K: 10, Init: KMeansPlusPlus, Seed: s, MaxIter: 1})
+		c, _ := Cluster(points, Config{K: 10, Init: RandomInit, Seed: s, MaxIter: 1})
+		ll += a.SeedCost
+		pp += b.SeedCost
+		rd += c.SeedCost
+	}
+	if ll*2 > rd || pp*2 > rd {
+		t.Fatalf("seed costs: kmeans|| %v, kmeans++ %v, random %v — D² seeding not winning", ll/5, pp/5, rd/5)
+	}
+}
+
+func TestClusterBest(t *testing.T) {
+	points := makeBlobs(t, 400, 4, 6, 15, 20)
+	single, err := Cluster(points, Config{K: 6, Init: RandomInit, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := ClusterBest(points, Config{K: 6, Init: RandomInit, Seed: 21}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Cost > single.Cost {
+		t.Fatalf("best-of-8 (%v) worse than its own first restart (%v)", best.Cost, single.Cost)
+	}
+	if _, err := ClusterBest(points, Config{K: 6}, 0); err == nil {
+		t.Fatal("restarts=0 accepted")
+	}
+	if _, err := ClusterBest(points, Config{K: 0}, 2); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}
+
+// Property: Cluster never returns more centers than K or than distinct
+// points, and every assignment index is valid.
+func TestClusterInvariantsProperty(t *testing.T) {
+	f := func(s uint64) bool {
+		r := rng.New(s)
+		n := 10 + r.Intn(80)
+		d := 1 + r.Intn(4)
+		k := 1 + r.Intn(6)
+		points := make([][]float64, n)
+		for i := range points {
+			p := make([]float64, d)
+			for j := range p {
+				p[j] = r.NormFloat64()
+			}
+			points[i] = p
+		}
+		m, err := Cluster(points, Config{K: k, Seed: s, MaxIter: 20})
+		if err != nil {
+			return false
+		}
+		if m.K() > k || m.K() < 1 {
+			return false
+		}
+		for _, a := range m.Assign {
+			if a < 0 || a >= m.K() {
+				return false
+			}
+		}
+		return m.Cost >= 0 && !math.IsNaN(m.Cost)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,122 @@
+package kmeansll
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// modelFormatVersion guards the on-disk format; bump on breaking changes.
+const modelFormatVersion = 1
+
+// Save writes the model to w in a plain-text format: a header line with the
+// format version, k and dim, the fit statistics, then one center per line as
+// CSV. Assignments are not persisted (they belong to the training data, not
+// the model); a loaded model supports Predict and can seed further Lloyd
+// runs.
+func (m *Model) Save(w io.Writer) error {
+	if len(m.Centers) == 0 {
+		return errors.New("kmeansll: cannot save an empty model")
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "kmeansll-model v%d k=%d dim=%d\n", modelFormatVersion, len(m.Centers), m.dim)
+	fmt.Fprintf(bw, "cost=%s seedcost=%s iters=%d converged=%v\n",
+		strconv.FormatFloat(m.Cost, 'g', -1, 64),
+		strconv.FormatFloat(m.SeedCost, 'g', -1, 64),
+		m.Iters, m.Converged)
+	for _, c := range m.Centers {
+		for j, v := range c {
+			if j > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// SaveFile writes the model to a file path.
+func (m *Model) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := m.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadModel reads a model written by Save.
+func LoadModel(r io.Reader) (*Model, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+
+	if !sc.Scan() {
+		return nil, errors.New("kmeansll: empty model input")
+	}
+	var version, k, dim int
+	if _, err := fmt.Sscanf(sc.Text(), "kmeansll-model v%d k=%d dim=%d", &version, &k, &dim); err != nil {
+		return nil, fmt.Errorf("kmeansll: bad model header %q: %w", sc.Text(), err)
+	}
+	if version != modelFormatVersion {
+		return nil, fmt.Errorf("kmeansll: unsupported model version %d", version)
+	}
+	if k < 1 || dim < 1 {
+		return nil, fmt.Errorf("kmeansll: invalid model shape k=%d dim=%d", k, dim)
+	}
+
+	if !sc.Scan() {
+		return nil, errors.New("kmeansll: truncated model (missing stats line)")
+	}
+	m := &Model{dim: dim}
+	var converged string
+	if _, err := fmt.Sscanf(sc.Text(), "cost=%g seedcost=%g iters=%d converged=%s",
+		&m.Cost, &m.SeedCost, &m.Iters, &converged); err != nil {
+		return nil, fmt.Errorf("kmeansll: bad stats line %q: %w", sc.Text(), err)
+	}
+	m.Converged = converged == "true"
+
+	for i := 0; i < k; i++ {
+		if !sc.Scan() {
+			return nil, fmt.Errorf("kmeansll: truncated model (%d of %d centers)", i, k)
+		}
+		fields := strings.Split(strings.TrimSpace(sc.Text()), ",")
+		if len(fields) != dim {
+			return nil, fmt.Errorf("kmeansll: center %d has %d dims, want %d", i, len(fields), dim)
+		}
+		row := make([]float64, dim)
+		for j, f := range fields {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("kmeansll: center %d col %d: %w", i, j, err)
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("kmeansll: center %d col %d is non-finite", i, j)
+			}
+			row[j] = v
+		}
+		m.Centers = append(m.Centers, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// LoadModelFile reads a model from a file path.
+func LoadModelFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadModel(f)
+}

@@ -1,0 +1,86 @@
+package kmeansll
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestModelSaveLoadRoundTrip(t *testing.T) {
+	points := makeBlobs(t, 200, 4, 3, 30, 1)
+	m, err := Cluster(points, Config{K: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.K() != m.K() || back.Cost != m.Cost || back.SeedCost != m.SeedCost ||
+		back.Iters != m.Iters || back.Converged != m.Converged {
+		t.Fatalf("stats lost in round trip: %+v vs %+v", back, m)
+	}
+	for c := range m.Centers {
+		for j := range m.Centers[c] {
+			if back.Centers[c][j] != m.Centers[c][j] {
+				t.Fatalf("center (%d,%d) lost precision: %v vs %v",
+					c, j, back.Centers[c][j], m.Centers[c][j])
+			}
+		}
+	}
+	// Loaded model predicts identically.
+	for _, p := range points[:50] {
+		if back.Predict(p) != m.Predict(p) {
+			t.Fatal("loaded model predicts differently")
+		}
+	}
+}
+
+func TestModelSaveLoadFile(t *testing.T) {
+	points := makeBlobs(t, 100, 3, 2, 20, 3)
+	m, err := Cluster(points, Config{K: 2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/model.txt"
+	if err := m.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadModelFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.K() != 2 {
+		t.Fatalf("loaded K = %d", back.K())
+	}
+}
+
+func TestLoadModelErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":            "",
+		"bad header":       "not a model\n",
+		"bad version":      "kmeansll-model v99 k=1 dim=1\ncost=1 seedcost=1 iters=1 converged=true\n0\n",
+		"bad shape":        "kmeansll-model v1 k=0 dim=1\ncost=1 seedcost=1 iters=1 converged=true\n",
+		"missing stats":    "kmeansll-model v1 k=1 dim=1\n",
+		"truncated center": "kmeansll-model v1 k=2 dim=1\ncost=1 seedcost=1 iters=1 converged=true\n0\n",
+		"ragged center":    "kmeansll-model v1 k=1 dim=2\ncost=1 seedcost=1 iters=1 converged=true\n0\n",
+		"nan center":       "kmeansll-model v1 k=1 dim=1\ncost=1 seedcost=1 iters=1 converged=true\nNaN\n",
+		"garbage center":   "kmeansll-model v1 k=1 dim=1\ncost=1 seedcost=1 iters=1 converged=true\nzzz\n",
+	}
+	for name, input := range cases {
+		if _, err := LoadModel(strings.NewReader(input)); err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+	}
+}
+
+func TestSaveEmptyModelFails(t *testing.T) {
+	m := &Model{}
+	if err := m.Save(&bytes.Buffer{}); err == nil {
+		t.Fatal("saving empty model should fail")
+	}
+}

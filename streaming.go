@@ -1,0 +1,111 @@
+package kmeansll
+
+import (
+	"errors"
+	"fmt"
+
+	"kmeansll/internal/coreset"
+	"kmeansll/internal/geom"
+	"kmeansll/internal/lloyd"
+)
+
+// StreamingClusterer consumes points one at a time in bounded memory and can
+// produce a k-clustering of everything seen so far at any moment. It is
+// backed by the StreamKM++ merge-and-reduce coreset (internal/coreset): the
+// memory footprint is O(CoresetSize·log(n/CoresetSize)) points regardless of
+// stream length.
+//
+//	sc, _ := kmeansll.NewStreamingClusterer(kmeansll.StreamingConfig{K: 50, Dim: 42})
+//	for p := range feed { sc.Add(p) }
+//	model, _ := sc.Model()
+type StreamingClusterer struct {
+	k      int
+	stream *coreset.Stream
+}
+
+// StreamingConfig sizes a StreamingClusterer.
+type StreamingConfig struct {
+	// K is the number of clusters a Model() call produces. Required.
+	K int
+	// Dim is the point dimensionality. Required.
+	Dim int
+	// CoresetSize is the summary size m; 0 means 20·K (a good default per
+	// the StreamKM++ paper).
+	CoresetSize int
+	// Seed makes the run deterministic.
+	Seed uint64
+}
+
+// NewStreamingClusterer validates the config and returns a ready clusterer.
+func NewStreamingClusterer(cfg StreamingConfig) (*StreamingClusterer, error) {
+	if cfg.K < 1 {
+		return nil, errors.New("kmeansll: StreamingConfig.K must be ≥ 1")
+	}
+	if cfg.Dim < 1 {
+		return nil, errors.New("kmeansll: StreamingConfig.Dim must be ≥ 1")
+	}
+	m := cfg.CoresetSize
+	if m <= 0 {
+		m = 20 * cfg.K
+	}
+	if m < 2 {
+		m = 2
+	}
+	return &StreamingClusterer{
+		k:      cfg.K,
+		stream: coreset.NewStream(m, cfg.Dim, cfg.Seed),
+	}, nil
+}
+
+// Add consumes one point. It returns an error (instead of panicking) on a
+// dimension mismatch, since streaming inputs are often externally sourced.
+func (s *StreamingClusterer) Add(p []float64) error {
+	if len(p) != s.stream.Dim() {
+		return fmt.Errorf("kmeansll: point dim %d, stream dim %d", len(p), s.stream.Dim())
+	}
+	s.stream.Add(p)
+	return nil
+}
+
+// N returns the number of points consumed so far.
+func (s *StreamingClusterer) N() int { return s.stream.N() }
+
+// Model clusters the current coreset into k centers. The returned Model has
+// no Assign (the stream is not retained); Predict works as usual. Cost is
+// the weighted cost on the coreset — an estimate of the cost on the full
+// history.
+func (s *StreamingClusterer) Model() (*Model, error) {
+	if s.stream.N() == 0 {
+		return nil, errors.New("kmeansll: no points consumed")
+	}
+	centers := s.stream.Cluster(s.k)
+	cs := s.stream.Coreset()
+	cost := lloyd.Cost(cs, centers, 0)
+	m := &Model{Cost: cost, SeedCost: cost, Converged: true, dim: centers.Cols}
+	m.Centers = matrixRows(centers)
+	return m, nil
+}
+
+func matrixRows(x *geom.Matrix) [][]float64 {
+	out := make([][]float64, x.Rows)
+	for i := range out {
+		row := make([]float64, x.Cols)
+		copy(row, x.Row(i))
+		out[i] = row
+	}
+	return out
+}
+
+// Transform returns the squared Euclidean distance from the point to every
+// center — the feature-transform view of a fitted model (one column per
+// cluster), useful for downstream anomaly scoring.
+func (m *Model) Transform(point []float64) []float64 {
+	if len(point) != m.dim {
+		panic(fmt.Sprintf("kmeansll: Transform dim %d, model dim %d", len(point), m.dim))
+	}
+	out := make([]float64, len(m.Centers))
+	for c, center := range m.Centers {
+		out[c] = geom.SqDist(point, center)
+	}
+	return out
+}

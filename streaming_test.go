@@ -1,0 +1,134 @@
+package kmeansll
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStreamingClustererBasic(t *testing.T) {
+	points := makeBlobs(t, 2000, 4, 5, 40, 1)
+	sc, err := NewStreamingClusterer(StreamingConfig{K: 5, Dim: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range points {
+		if err := sc.Add(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sc.N() != 2000 {
+		t.Fatalf("N = %d", sc.N())
+	}
+	m, err := sc.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.K() != 5 {
+		t.Fatalf("K = %d", m.K())
+	}
+	// Streamed model should be within a modest factor of the batch fit.
+	batch, err := Cluster(points, Config{K: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamOnFull := 0.0
+	for _, p := range points {
+		best := math.Inf(1)
+		for _, c := range m.Centers {
+			d := 0.0
+			for j := range p {
+				dv := p[j] - c[j]
+				d += dv * dv
+			}
+			if d < best {
+				best = d
+			}
+		}
+		streamOnFull += best
+	}
+	if streamOnFull > 2*batch.Cost {
+		t.Fatalf("streaming cost on full data %v ≫ batch %v", streamOnFull, batch.Cost)
+	}
+}
+
+func TestStreamingClustererErrors(t *testing.T) {
+	if _, err := NewStreamingClusterer(StreamingConfig{K: 0, Dim: 2}); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+	if _, err := NewStreamingClusterer(StreamingConfig{K: 2, Dim: 0}); err == nil {
+		t.Fatal("Dim=0 accepted")
+	}
+	sc, _ := NewStreamingClusterer(StreamingConfig{K: 2, Dim: 3})
+	if err := sc.Add([]float64{1, 2}); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+	if _, err := sc.Model(); err == nil {
+		t.Fatal("Model on empty stream accepted")
+	}
+}
+
+func TestStreamingClustererIncremental(t *testing.T) {
+	sc, _ := NewStreamingClusterer(StreamingConfig{K: 2, Dim: 2, CoresetSize: 32, Seed: 4})
+	points := makeBlobs(t, 500, 2, 2, 60, 5)
+	for _, p := range points[:250] {
+		sc.Add(p)
+	}
+	m1, err := sc.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range points[250:] {
+		sc.Add(p)
+	}
+	m2, err := sc.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.K() != 2 || m2.K() != 2 {
+		t.Fatalf("K drifted: %d %d", m1.K(), m2.K())
+	}
+}
+
+func TestTransform(t *testing.T) {
+	points := makeBlobs(t, 200, 3, 3, 30, 6)
+	m, err := Cluster(points, Config{K: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range points[:20] {
+		d := m.Transform(p)
+		if len(d) != 3 {
+			t.Fatalf("Transform length %d", len(d))
+		}
+		// argmin of Transform must equal Predict.
+		best, bestD := 0, d[0]
+		for c := 1; c < len(d); c++ {
+			if d[c] < bestD {
+				best, bestD = c, d[c]
+			}
+		}
+		if best != m.Predict(p) {
+			t.Fatal("Transform argmin disagrees with Predict")
+		}
+	}
+}
+
+func TestKernelSelection(t *testing.T) {
+	points := makeBlobs(t, 600, 5, 6, 25, 8)
+	var costs []float64
+	for _, k := range []Kernel{NaiveKernel, ElkanKernel, HamerlyKernel} {
+		m, err := Cluster(points, Config{K: 6, Seed: 9, Kernel: k})
+		if err != nil {
+			t.Fatalf("kernel %d: %v", k, err)
+		}
+		costs = append(costs, m.Cost)
+	}
+	for i := 1; i < len(costs); i++ {
+		if math.Abs(costs[i]-costs[0]) > 1e-6*(1+costs[0]) {
+			t.Fatalf("kernel %d cost %v != naive %v", i, costs[i], costs[0])
+		}
+	}
+	if _, err := Cluster(points, Config{K: 2, Kernel: Kernel(42)}); err == nil {
+		t.Fatal("bad kernel accepted")
+	}
+}
