@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: build test vet race serve clean
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test: vet
+	$(GO) test -race ./...
+
+race: test
+
+serve: build
+	$(GO) run ./cmd/kmserved -addr :8080
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,97 @@
+// Command kmserved serves kmeansll models over HTTP: a versioned model
+// registry, parallel batch prediction, async fit jobs and online streaming
+// ingest, with per-endpoint stats at /v1/stats.
+//
+// Usage:
+//
+//	kmserved -addr :8080 -model-dir ./models
+//
+// Quick tour (see the README for the full walk-through):
+//
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/v1/fit -d '{"model":"demo","generate":{"n":10000,"d":15,"k":20},"config":{"k":20}}'
+//	curl -s localhost:8080/v1/jobs/job-1
+//	curl -s -X POST localhost:8080/v1/models/demo/predict -d '{"points":[[0,0,0,0,0,0,0,0,0,0,0,0,0,0,0]]}'
+//	curl -s localhost:8080/v1/stats
+//
+// On SIGINT/SIGTERM the server drains in-flight requests, waits for running
+// fit jobs, and (with -model-dir) persists the current model versions so a
+// restart serves the same registry.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"kmeansll/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		modelDir    = flag.String("model-dir", "", "directory to load models from at boot and save them to on shutdown")
+		parallelism = flag.Int("parallelism", 0, "per-request and per-fit worker goroutines (0 = all CPUs)")
+		fitWorkers  = flag.Int("fit-workers", 2, "concurrent fit jobs")
+		queueDepth  = flag.Int("fit-queue", 16, "queued fit jobs before 503")
+		maxBody     = flag.Int64("max-body", 32<<20, "request body cap in bytes")
+		maxPoints   = flag.Int("max-points", 1_000_000, "points per request cap")
+		history     = flag.Int("history", server.DefaultMaxHistory, "retained versions per model")
+		drainSecs   = flag.Int("drain", 30, "graceful shutdown timeout in seconds")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "kmserved: ", log.LstdFlags)
+	srv := server.New(server.Config{
+		Parallelism:     *parallelism,
+		FitWorkers:      *fitWorkers,
+		FitQueueDepth:   *queueDepth,
+		MaxRequestBytes: *maxBody,
+		MaxBatchPoints:  *maxPoints,
+		MaxHistory:      *history,
+		Logf:            logger.Printf,
+	})
+
+	if *modelDir != "" {
+		n, err := srv.Registry().LoadDir(*modelDir)
+		if err != nil {
+			logger.Fatalf("loading models from %s: %v", *modelDir, err)
+		}
+		logger.Printf("loaded %d model(s) from %s", n, *modelDir)
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe(*addr) }()
+	logger.Printf("listening on %s", *addr)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		logger.Printf("received %s, draining (up to %ds)", sig, *drainSecs)
+		ctx, cancel := context.WithTimeout(context.Background(), time.Duration(*drainSecs)*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			logger.Printf("shutdown: %v", err)
+		}
+		if *modelDir != "" {
+			if err := srv.Registry().SaveDir(*modelDir); err != nil {
+				logger.Printf("saving models to %s: %v", *modelDir, err)
+			} else {
+				logger.Printf("saved registry to %s", *modelDir)
+			}
+		}
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "kmserved: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

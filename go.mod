@@ -1,0 +1,3 @@
+module kmeansll
+
+go 1.24

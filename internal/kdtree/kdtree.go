@@ -280,6 +280,71 @@ func dominated(zStar, z, boxMin, boxMax []float64) bool {
 	return vs <= vz
 }
 
+// Nearest returns the index (into the original dataset ordering) of the
+// point in the tree closest to q and the squared distance to it. It is the
+// standard kd-tree nearest-neighbor descent: visit the child whose bounding
+// box is nearer first, prune any subtree whose box cannot beat the best
+// distance found so far. Built over a set of cluster centers it answers
+// nearest-center queries in roughly O(log k) per point, which is how
+// Model.PredictBatch serves large-k prediction. Ties between equidistant
+// points may resolve to either index. Traversal is read-only, so concurrent
+// Nearest calls on one Tree are safe.
+func (t *Tree) Nearest(q []float64) (int, float64) {
+	if len(t.nodes) == 0 {
+		panic("kdtree: Nearest on an empty tree")
+	}
+	if len(q) != t.ds.Dim() {
+		panic("kdtree: Nearest dimension mismatch")
+	}
+	best, bestD := -1, math.Inf(1)
+	t.nearest(0, q, &best, &bestD)
+	if best < 0 {
+		// Every distance comparison failed — q has NaN coordinates. Match
+		// the linear-scan convention (geom.Nearest) of answering index 0.
+		best, bestD = int(t.idx[0]), geom.SqDist(q, t.ds.Point(int(t.idx[0])))
+	}
+	return best, bestD
+}
+
+// nearest is the recursive NN descent for Nearest.
+func (t *Tree) nearest(ni int32, q []float64, best *int, bestD *float64) {
+	n := &t.nodes[ni]
+	if boxSqDist(q, n.boxMin, n.boxMax) >= *bestD {
+		return
+	}
+	if n.axis < 0 { // leaf
+		for _, i := range t.idx[n.lo:n.hi] {
+			if d := geom.SqDistBound(t.ds.Point(int(i)), q, *bestD); d < *bestD {
+				*best, *bestD = int(i), d
+			}
+		}
+		return
+	}
+	l, r := n.left, n.right
+	if boxSqDist(q, t.nodes[l].boxMin, t.nodes[l].boxMax) >
+		boxSqDist(q, t.nodes[r].boxMin, t.nodes[r].boxMax) {
+		l, r = r, l
+	}
+	t.nearest(l, q, best, bestD)
+	t.nearest(r, q, best, bestD)
+}
+
+// boxSqDist returns the squared distance from q to the axis-aligned box
+// [boxMin, boxMax] (0 when q is inside).
+func boxSqDist(q, boxMin, boxMax []float64) float64 {
+	var s float64
+	for j, v := range q {
+		if v < boxMin[j] {
+			d := boxMin[j] - v
+			s += d * d
+		} else if v > boxMax[j] {
+			d := v - boxMax[j]
+			s += d * d
+		}
+	}
+	return s
+}
+
 // Run drives Step to convergence (assignment fixed point measured by center
 // movement) or maxIter, mirroring lloyd.Run semantics. It returns the final
 // centers, exact final cost, iterations and total distance evaluations.

@@ -1,0 +1,93 @@
+package kdtree
+
+import (
+	"math"
+	"testing"
+
+	"kmeansll/internal/geom"
+	"kmeansll/internal/rng"
+)
+
+// TestNearestMatchesLinearScan cross-checks the kd-tree NN descent against a
+// brute-force scan on random data, comparing distances (ties may legally
+// resolve to different indices).
+func TestNearestMatchesLinearScan(t *testing.T) {
+	for _, tc := range []struct{ n, dim int }{
+		{1, 3}, {7, 1}, {100, 2}, {500, 5}, {1000, 15},
+	} {
+		ds := blobs(t, 8, (tc.n+7)/8, tc.dim, 10, uint64(tc.n))
+		ds.X.Rows = tc.n
+		ds.X.Data = ds.X.Data[:tc.n*tc.dim]
+		tree := Build(ds, 4)
+		r := rng.New(99)
+		for q := 0; q < 200; q++ {
+			p := make([]float64, tc.dim)
+			for j := range p {
+				p[j] = 20 * r.NormFloat64()
+			}
+			gotIdx, gotD := tree.Nearest(p)
+			wantIdx, wantD := -1, math.Inf(1)
+			for i := 0; i < ds.N(); i++ {
+				if d := geom.SqDist(p, ds.Point(i)); d < wantD {
+					wantIdx, wantD = i, d
+				}
+			}
+			if math.Abs(gotD-wantD) > 1e-9*(1+wantD) {
+				t.Fatalf("n=%d dim=%d query %d: tree found idx %d dist %g, scan idx %d dist %g",
+					tc.n, tc.dim, q, gotIdx, gotD, wantIdx, wantD)
+			}
+			if got := geom.SqDist(p, ds.Point(gotIdx)); math.Abs(got-gotD) > 1e-9*(1+gotD) {
+				t.Fatalf("reported distance %g does not match point %d at %g", gotD, gotIdx, got)
+			}
+		}
+	}
+}
+
+// TestNearestDuplicatePoints exercises the median-split fallback path (heavy
+// duplication) and the all-identical leaf.
+func TestNearestDuplicatePoints(t *testing.T) {
+	x := geom.NewMatrix(64, 2)
+	for i := 0; i < 32; i++ {
+		x.Row(i)[0], x.Row(i)[1] = 1, 1
+	}
+	for i := 32; i < 64; i++ {
+		x.Row(i)[0], x.Row(i)[1] = 5, 5
+	}
+	tree := Build(geom.NewDataset(x), 4)
+	idx, d := tree.Nearest([]float64{1.4, 1.4})
+	if idx < 0 || idx >= 32 {
+		t.Fatalf("expected an index in the (1,1) block, got %d", idx)
+	}
+	if want := 2 * 0.4 * 0.4; math.Abs(d-want) > 1e-12 {
+		t.Fatalf("distance %g, want %g", d, want)
+	}
+}
+
+// TestNearestNaNQuery matches the linear-scan convention: a query with NaN
+// coordinates answers a valid index (0th tree point) instead of -1.
+func TestNearestNaNQuery(t *testing.T) {
+	ds := blobs(t, 4, 32, 3, 10, 2)
+	tree := Build(ds, 8)
+	idx, _ := tree.Nearest([]float64{math.NaN(), 0, 0})
+	if idx < 0 || idx >= ds.N() {
+		t.Fatalf("NaN query returned index %d", idx)
+	}
+}
+
+func TestNearestPanics(t *testing.T) {
+	ds := blobs(t, 2, 8, 3, 5, 1)
+	tree := Build(ds, 0)
+	mustPanic(t, "dim mismatch", func() { tree.Nearest([]float64{1, 2}) })
+	empty := Build(geom.NewDataset(geom.NewMatrix(0, 0)), 0)
+	mustPanic(t, "empty tree", func() { empty.Nearest(nil) })
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", name)
+		}
+	}()
+	f()
+}

@@ -1,0 +1,722 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"kmeansll"
+	"kmeansll/internal/data"
+	"kmeansll/internal/geom"
+)
+
+// Config sizes a Server. Zero values select the documented defaults.
+type Config struct {
+	// Parallelism bounds the worker goroutines of one predict/transform
+	// batch and of each fit job (0 = all CPUs).
+	Parallelism int
+	// FitWorkers is the number of concurrent fit jobs (0 = 2).
+	FitWorkers int
+	// FitQueueDepth bounds queued-but-unstarted fit jobs (0 = 16).
+	FitQueueDepth int
+	// MaxRequestBytes caps any request body (0 = 32 MiB).
+	MaxRequestBytes int64
+	// MaxBatchPoints caps points per predict/transform/ingest/fit request
+	// (0 = 1_000_000).
+	MaxBatchPoints int
+	// MaxHistory bounds per-model retained versions (0 = DefaultMaxHistory).
+	MaxHistory int
+	// Logf, when non-nil, receives one line per notable server event.
+	Logf func(format string, args ...any)
+}
+
+// Server is the kmserved HTTP application: registry + prediction + fit jobs
+// + streaming ingest + stats, assembled onto one ServeMux. It implements
+// http.Handler, so tests drive it through httptest and cmd/kmserved wraps
+// it in an http.Server.
+type Server struct {
+	cfg      Config
+	registry *Registry
+	jobs     *JobManager
+	streams  *StreamManager
+	stats    *statsTable
+	mux      *http.ServeMux
+
+	httpMu   sync.Mutex // guards http and shutdown (ListenAndServe vs Shutdown)
+	http     *http.Server
+	shutdown bool
+}
+
+// New assembles a Server. Call Close (or Shutdown) when done to stop the
+// fit workers.
+func New(cfg Config) *Server {
+	if cfg.MaxRequestBytes <= 0 {
+		cfg.MaxRequestBytes = 32 << 20
+	}
+	if cfg.MaxBatchPoints <= 0 {
+		cfg.MaxBatchPoints = 1_000_000
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	reg := NewRegistry(cfg.MaxHistory)
+	s := &Server{
+		cfg:      cfg,
+		registry: reg,
+		jobs:     NewJobManager(reg, cfg.FitWorkers, cfg.FitQueueDepth),
+		streams:  NewStreamManager(reg),
+		stats:    newStatsTable(),
+		mux:      http.NewServeMux(),
+	}
+	s.routes()
+	return s
+}
+
+// Registry exposes the model registry (cmd/kmserved persists it).
+func (s *Server) Registry() *Registry { return s.registry }
+
+// Handler returns the root http.Handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close stops the background fit workers. Safe to call more than once.
+func (s *Server) Close() { s.jobs.Stop() }
+
+// routes registers every endpoint, each wrapped in the stats middleware
+// under its route pattern so /v1/stats shows one row per endpoint.
+func (s *Server) routes() {
+	handle := func(pattern string, h http.HandlerFunc) {
+		s.mux.HandleFunc(pattern, s.stats.instrument(pattern, s.limitBody(h)))
+	}
+	handle("GET /healthz", s.handleHealth)
+	handle("GET /v1/stats", s.handleStats)
+
+	handle("GET /v1/models", s.handleListModels)
+	handle("GET /v1/models/{name}", s.handleGetModel)
+	handle("PUT /v1/models/{name}", s.handlePutModel)
+	handle("DELETE /v1/models/{name}", s.handleDeleteModel)
+	handle("GET /v1/models/{name}/versions", s.handleVersions)
+	handle("POST /v1/models/{name}/rollback", s.handleRollback)
+	handle("POST /v1/models/{name}/predict", s.handlePredict)
+	handle("POST /v1/models/{name}/transform", s.handleTransform)
+
+	handle("POST /v1/fit", s.handleFit)
+	handle("GET /v1/jobs", s.handleListJobs)
+	handle("GET /v1/jobs/{id}", s.handleGetJob)
+
+	handle("POST /v1/streams/{name}", s.handleCreateStream)
+	handle("GET /v1/streams", s.handleListStreams)
+	handle("GET /v1/streams/{name}", s.handleGetStream)
+	handle("DELETE /v1/streams/{name}", s.handleDeleteStream)
+	handle("POST /v1/streams/{name}/ingest", s.handleIngest)
+	handle("POST /v1/streams/{name}/refit", s.handleRefitStream)
+}
+
+// limitBody enforces the request-size cap before any handler reads.
+func (s *Server) limitBody(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes)
+		}
+		h(w, r)
+	}
+}
+
+// ---- shared plumbing ----------------------------------------------------
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeJSON strictly decodes the request body into v, translating the
+// common failure modes into client-facing messages. It returns an HTTP
+// status and error for the handler to report.
+func decodeJSON(r *http.Request, v any) (int, error) {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			return http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", maxErr.Limit)
+		}
+		return http.StatusBadRequest, fmt.Errorf("invalid JSON body: %v", err)
+	}
+	if dec.More() {
+		return http.StatusBadRequest, errors.New("invalid JSON body: trailing data")
+	}
+	return 0, nil
+}
+
+// checkBatch validates a point batch: non-empty, within the size cap, and
+// (when wantDim > 0) rectangular with the given dimensionality.
+func (s *Server) checkBatch(points [][]float64, wantDim int) error {
+	if len(points) == 0 {
+		return errors.New("no points in request")
+	}
+	if len(points) > s.cfg.MaxBatchPoints {
+		return fmt.Errorf("%d points exceeds the per-request cap of %d", len(points), s.cfg.MaxBatchPoints)
+	}
+	dim := wantDim
+	if dim <= 0 {
+		dim = len(points[0])
+	}
+	for i, p := range points {
+		if len(p) != dim {
+			return fmt.Errorf("point %d has %d dims, want %d", i, len(p), dim)
+		}
+	}
+	return nil
+}
+
+// currentModel resolves {name} (with optional ?version=N) to a model
+// version, writing the HTTP error itself when resolution fails.
+func (s *Server) currentModel(w http.ResponseWriter, r *http.Request) (*ModelVersion, bool) {
+	name := r.PathValue("name")
+	if v := r.URL.Query().Get("version"); v != "" {
+		version, err := strconv.Atoi(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "invalid version %q", v)
+			return nil, false
+		}
+		mv, ok := s.registry.GetVersion(name, version)
+		if !ok {
+			writeError(w, http.StatusNotFound, "model %q has no retained version %d", name, version)
+			return nil, false
+		}
+		return mv, true
+	}
+	mv, ok := s.registry.Get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "model %q not found", name)
+		return nil, false
+	}
+	return mv, true
+}
+
+// modelSummary is the JSON metadata view of a model version.
+type modelSummary struct {
+	Name      string      `json:"name"`
+	Version   int         `json:"version"`
+	K         int         `json:"k"`
+	Dim       int         `json:"dim"`
+	Cost      float64     `json:"cost"`
+	Iters     int         `json:"iters"`
+	Converged bool        `json:"converged"`
+	Source    string      `json:"source"`
+	CreatedAt string      `json:"created_at"`
+	Centers   [][]float64 `json:"centers,omitempty"`
+}
+
+func summarize(mv *ModelVersion, withCenters bool) modelSummary {
+	out := modelSummary{
+		Name: mv.Name, Version: mv.Version,
+		K: mv.Model.K(), Dim: mv.Model.Dim(),
+		Cost: mv.Model.Cost, Iters: mv.Model.Iters, Converged: mv.Model.Converged,
+		Source: mv.Source, CreatedAt: mv.CreatedAt.Format(time.RFC3339Nano),
+	}
+	if withCenters {
+		out.Centers = mv.Model.Centers
+	}
+	return out
+}
+
+// ---- health and stats ---------------------------------------------------
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+type statsResponse struct {
+	UptimeSeconds float64          `json:"uptime_seconds"`
+	Goroutines    int              `json:"goroutines"`
+	Endpoints     []EndpointStats  `json:"endpoints"`
+	Models        int              `json:"models"`
+	Versions      int              `json:"versions"`
+	Jobs          map[JobState]int `json:"jobs"`
+	Streams       []StreamStatus   `json:"streams"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	models, versions := s.registry.Counts()
+	writeJSON(w, http.StatusOK, statsResponse{
+		UptimeSeconds: time.Since(s.stats.start).Seconds(),
+		Goroutines:    runtime.NumGoroutine(),
+		Endpoints:     s.stats.snapshot(),
+		Models:        models,
+		Versions:      versions,
+		Jobs:          s.jobs.Counts(),
+		Streams:       s.streams.List(),
+	})
+}
+
+// ---- model registry endpoints -------------------------------------------
+
+func (s *Server) handleListModels(w http.ResponseWriter, _ *http.Request) {
+	list := s.registry.List()
+	out := make([]modelSummary, len(list))
+	for i, mv := range list {
+		out[i] = summarize(mv, false)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"models": out})
+}
+
+func (s *Server) handleGetModel(w http.ResponseWriter, r *http.Request) {
+	mv, ok := s.currentModel(w, r)
+	if !ok {
+		return
+	}
+	withCenters := r.URL.Query().Get("centers") == "true"
+	writeJSON(w, http.StatusOK, summarize(mv, withCenters))
+}
+
+type putModelRequest struct {
+	Centers [][]float64 `json:"centers"`
+}
+
+func (s *Server) handlePutModel(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !ValidModelName(name) {
+		writeError(w, http.StatusBadRequest, "invalid model name %q", name)
+		return
+	}
+	var req putModelRequest
+	if status, err := decodeJSON(r, &req); err != nil {
+		writeError(w, status, "%v", err)
+		return
+	}
+	model, err := kmeansll.NewModel(req.Centers)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	mv, err := s.registry.Publish(name, model, "upload")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.cfg.Logf("model %q v%d uploaded (k=%d dim=%d)", name, mv.Version, model.K(), model.Dim())
+	writeJSON(w, http.StatusCreated, summarize(mv, false))
+}
+
+func (s *Server) handleDeleteModel(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.registry.Delete(name) {
+		writeError(w, http.StatusNotFound, "model %q not found", name)
+		return
+	}
+	s.cfg.Logf("model %q deleted", name)
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
+}
+
+func (s *Server) handleVersions(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	versions := s.registry.Versions(name)
+	if len(versions) == 0 {
+		writeError(w, http.StatusNotFound, "model %q not found", name)
+		return
+	}
+	out := make([]modelSummary, len(versions))
+	for i, mv := range versions {
+		out[i] = summarize(mv, false)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"name": name, "versions": out})
+}
+
+type rollbackRequest struct {
+	Version int `json:"version"`
+}
+
+func (s *Server) handleRollback(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req rollbackRequest
+	if status, err := decodeJSON(r, &req); err != nil {
+		writeError(w, status, "%v", err)
+		return
+	}
+	mv, err := s.registry.Rollback(name, req.Version)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	s.cfg.Logf("model %q rolled back to v%d (now v%d)", name, req.Version, mv.Version)
+	writeJSON(w, http.StatusOK, summarize(mv, false))
+}
+
+// ---- prediction service -------------------------------------------------
+
+type pointsRequest struct {
+	Points [][]float64 `json:"points"`
+}
+
+type predictResponse struct {
+	Model       string `json:"model"`
+	Version     int    `json:"version"`
+	Assignments []int  `json:"assignments"`
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	mv, ok := s.currentModel(w, r)
+	if !ok {
+		return
+	}
+	var req pointsRequest
+	if status, err := decodeJSON(r, &req); err != nil {
+		writeError(w, status, "%v", err)
+		return
+	}
+	if err := s.checkBatch(req.Points, mv.Model.Dim()); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, predictResponse{
+		Model: mv.Name, Version: mv.Version,
+		Assignments: mv.Model.PredictBatch(req.Points, s.cfg.Parallelism),
+	})
+}
+
+type transformResponse struct {
+	Model     string      `json:"model"`
+	Version   int         `json:"version"`
+	Distances [][]float64 `json:"distances"`
+}
+
+func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request) {
+	mv, ok := s.currentModel(w, r)
+	if !ok {
+		return
+	}
+	var req pointsRequest
+	if status, err := decodeJSON(r, &req); err != nil {
+		writeError(w, status, "%v", err)
+		return
+	}
+	if err := s.checkBatch(req.Points, mv.Model.Dim()); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	out := make([][]float64, len(req.Points))
+	geom.ParallelFor(len(req.Points), s.cfg.Parallelism, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = mv.Model.Transform(req.Points[i])
+		}
+	})
+	writeJSON(w, http.StatusOK, transformResponse{Model: mv.Name, Version: mv.Version, Distances: out})
+}
+
+// ---- fit jobs -----------------------------------------------------------
+
+// GenerateSpec asks the server to synthesize a Gaussian-mixture training set
+// (internal/data, §4.1 of the paper) instead of shipping points inline.
+type GenerateSpec struct {
+	N    int     `json:"n"`
+	D    int     `json:"d"`
+	K    int     `json:"k"`
+	R    float64 `json:"r,omitempty"`
+	Seed uint64  `json:"seed,omitempty"`
+}
+
+type fitConfig struct {
+	K            int     `json:"k"`
+	Init         string  `json:"init,omitempty"`   // kmeansll | kmeans++ | random | partition
+	Kernel       string  `json:"kernel,omitempty"` // naive | elkan | hamerly
+	Oversampling float64 `json:"oversampling,omitempty"`
+	Rounds       int     `json:"rounds,omitempty"`
+	MaxIter      int     `json:"max_iter,omitempty"`
+	Seed         uint64  `json:"seed,omitempty"`
+}
+
+type fitRequest struct {
+	Model    string        `json:"model"`
+	Points   [][]float64   `json:"points,omitempty"`
+	Generate *GenerateSpec `json:"generate,omitempty"`
+	Config   fitConfig     `json:"config"`
+	Restarts int           `json:"restarts,omitempty"`
+}
+
+func (c fitConfig) toLibrary(parallelism int) (kmeansll.Config, error) {
+	out := kmeansll.Config{
+		K: c.K, Oversampling: c.Oversampling, Rounds: c.Rounds,
+		MaxIter: c.MaxIter, Seed: c.Seed, Parallelism: parallelism,
+	}
+	switch strings.ToLower(c.Init) {
+	case "", "kmeansll", "kmeans||":
+		out.Init = kmeansll.KMeansParallel
+	case "kmeans++":
+		out.Init = kmeansll.KMeansPlusPlus
+	case "random":
+		out.Init = kmeansll.RandomInit
+	case "partition":
+		out.Init = kmeansll.PartitionInit
+	default:
+		return out, fmt.Errorf("unknown init %q (want kmeansll, kmeans++, random or partition)", c.Init)
+	}
+	switch strings.ToLower(c.Kernel) {
+	case "", "naive":
+		out.Kernel = kmeansll.NaiveKernel
+	case "elkan":
+		out.Kernel = kmeansll.ElkanKernel
+	case "hamerly":
+		out.Kernel = kmeansll.HamerlyKernel
+	default:
+		return out, fmt.Errorf("unknown kernel %q (want naive, elkan or hamerly)", c.Kernel)
+	}
+	return out, nil
+}
+
+// maxRestarts caps fit restarts: a job is uncancellable once running, so an
+// unbounded restart count could wedge a worker (and shutdown) indefinitely.
+const maxRestarts = 64
+
+func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
+	var req fitRequest
+	if status, err := decodeJSON(r, &req); err != nil {
+		writeError(w, status, "%v", err)
+		return
+	}
+	if !ValidModelName(req.Model) {
+		writeError(w, http.StatusBadRequest, "invalid model name %q", req.Model)
+		return
+	}
+	if req.Config.K < 1 {
+		writeError(w, http.StatusBadRequest, "config.k must be ≥ 1")
+		return
+	}
+	if req.Restarts < 0 || req.Restarts > maxRestarts {
+		writeError(w, http.StatusBadRequest, "restarts must be between 0 and %d", maxRestarts)
+		return
+	}
+	cfg, err := req.Config.toLibrary(s.cfg.Parallelism)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	points := req.Points
+	switch {
+	case req.Generate != nil && len(points) > 0:
+		writeError(w, http.StatusBadRequest, "give either points or generate, not both")
+		return
+	case req.Generate != nil:
+		points, err = s.generate(*req.Generate)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	if err := s.checkBatch(points, 0); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.Config.K > len(points) {
+		writeError(w, http.StatusBadRequest, "config.k (%d) exceeds the number of training points (%d)", req.Config.K, len(points))
+		return
+	}
+
+	job, err := s.jobs.Submit(req.Model, points, cfg, req.Restarts)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	s.cfg.Logf("fit %s enqueued: model=%q n=%d k=%d init=%s", job.ID, req.Model, len(points), cfg.K, cfg.Init)
+	writeJSON(w, http.StatusAccepted, job.Status())
+}
+
+// maxGenerateValues caps n·d of a server-side generated dataset (~512 MB of
+// float64s). Inline points are bounded by MaxRequestBytes; without this the
+// generate path would let a 200-byte request demand an arbitrary allocation.
+const maxGenerateValues = 1 << 26
+
+// generate synthesizes a Gaussian-mixture training set server-side.
+func (s *Server) generate(g GenerateSpec) ([][]float64, error) {
+	if g.N < 1 || g.D < 1 || g.K < 1 {
+		return nil, errors.New("generate requires positive n, d and k")
+	}
+	if g.N > s.cfg.MaxBatchPoints {
+		return nil, fmt.Errorf("generate.n %d exceeds the per-request cap of %d", g.N, s.cfg.MaxBatchPoints)
+	}
+	if int64(g.N)*int64(g.D) > maxGenerateValues {
+		return nil, fmt.Errorf("generate.n×d %d exceeds the cap of %d values", int64(g.N)*int64(g.D), int64(maxGenerateValues))
+	}
+	if g.K > g.N {
+		return nil, fmt.Errorf("generate.k %d cannot exceed generate.n %d", g.K, g.N)
+	}
+	if g.R == 0 {
+		g.R = 10
+	}
+	ds, _ := data.GaussMixture(data.GaussMixtureConfig{N: g.N, D: g.D, K: g.K, R: g.R, Seed: g.Seed})
+	out := make([][]float64, ds.N())
+	for i := range out {
+		row := make([]float64, ds.Dim())
+		copy(row, ds.Point(i))
+		out[i] = row
+	}
+	return out, nil
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, _ *http.Request) {
+	jobs := s.jobs.List()
+	out := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Status()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, ok := s.jobs.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "job %q not found", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+// ---- streaming ingest ---------------------------------------------------
+
+func (s *Server) handleCreateStream(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var spec StreamSpec
+	if status, err := decodeJSON(r, &spec); err != nil {
+		writeError(w, status, "%v", err)
+		return
+	}
+	e, err := s.streams.Create(name, spec)
+	if err != nil {
+		status := http.StatusBadRequest
+		if strings.Contains(err.Error(), "already exists") {
+			status = http.StatusConflict
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	s.cfg.Logf("stream %q created: k=%d dim=%d refit_every=%d", name, e.spec.K, e.spec.Dim, e.spec.RefitEvery)
+	writeJSON(w, http.StatusCreated, e.status())
+}
+
+func (s *Server) handleListStreams(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"streams": s.streams.List()})
+}
+
+func (s *Server) handleGetStream(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.streams.Get(r.PathValue("name"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "stream %q not found", r.PathValue("name"))
+		return
+	}
+	writeJSON(w, http.StatusOK, e.status())
+}
+
+func (s *Server) handleDeleteStream(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.streams.Delete(name) {
+		writeError(w, http.StatusNotFound, "stream %q not found", name)
+		return
+	}
+	s.cfg.Logf("stream %q deleted", name)
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
+}
+
+type ingestResponse struct {
+	Stream      string `json:"stream"`
+	Ingested    int    `json:"ingested"`
+	TotalPoints int    `json:"total_points"`
+	Refits      int    `json:"refits"`
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.streams.Get(r.PathValue("name"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "stream %q not found", r.PathValue("name"))
+		return
+	}
+	var req pointsRequest
+	if status, err := decodeJSON(r, &req); err != nil {
+		writeError(w, status, "%v", err)
+		return
+	}
+	if err := s.checkBatch(req.Points, e.spec.Dim); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	total, refits, err := s.streams.Ingest(e, req.Points)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ingestResponse{
+		Stream: e.name, Ingested: len(req.Points), TotalPoints: total, Refits: refits,
+	})
+}
+
+func (s *Server) handleRefitStream(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.streams.Get(r.PathValue("name"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "stream %q not found", r.PathValue("name"))
+		return
+	}
+	mv, err := s.streams.Refit(e)
+	if err != nil {
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, summarize(mv, false))
+}
+
+// ---- serving ------------------------------------------------------------
+
+// ListenAndServe runs the server on addr until Shutdown. It returns
+// http.ErrServerClosed after a clean shutdown, like net/http — including
+// when Shutdown won the race and ran first.
+func (s *Server) ListenAndServe(addr string) error {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	s.httpMu.Lock()
+	if s.shutdown {
+		s.httpMu.Unlock()
+		return http.ErrServerClosed
+	}
+	s.http = srv
+	s.httpMu.Unlock()
+	return srv.ListenAndServe()
+}
+
+// Shutdown gracefully drains in-flight HTTP requests, then stops the fit
+// workers (waiting for running jobs to finish).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.httpMu.Lock()
+	s.shutdown = true
+	srv := s.http
+	s.httpMu.Unlock()
+	var err error
+	if srv != nil {
+		err = srv.Shutdown(ctx)
+	}
+	s.jobs.Stop()
+	return err
+}

@@ -1,0 +1,302 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"kmeansll"
+)
+
+// JobState is the lifecycle of an async fit job.
+type JobState string
+
+const (
+	JobQueued   JobState = "queued"
+	JobRunning  JobState = "running"
+	JobDone     JobState = "done"
+	JobFailed   JobState = "failed"
+	JobCanceled JobState = "canceled"
+)
+
+// Job is one enqueued fit. Fields after the mutex are guarded by it; the
+// inputs are immutable once submitted.
+type Job struct {
+	ID        string
+	ModelName string
+	points    [][]float64
+	nPoints   int
+	cfg       kmeansll.Config
+	restarts  int
+
+	mu       sync.Mutex
+	state    JobState
+	err      string
+	queued   time.Time
+	started  time.Time
+	finished time.Time
+	result   *ModelVersion
+}
+
+// JobStatus is the JSON view of a job returned by GET /v1/jobs/{id}.
+type JobStatus struct {
+	ID         string   `json:"id"`
+	Model      string   `json:"model"`
+	State      JobState `json:"state"`
+	Error      string   `json:"error,omitempty"`
+	QueuedAt   string   `json:"queued_at"`
+	StartedAt  string   `json:"started_at,omitempty"`
+	FinishedAt string   `json:"finished_at,omitempty"`
+	NumPoints  int      `json:"num_points"`
+	K          int      `json:"k"`
+	Version    int      `json:"version,omitempty"`
+	Cost       float64  `json:"cost,omitempty"`
+	Iters      int      `json:"iters,omitempty"`
+	Converged  bool     `json:"converged,omitempty"`
+}
+
+// Status snapshots the job for serialization.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := JobStatus{
+		ID: j.ID, Model: j.ModelName, State: j.state, Error: j.err,
+		QueuedAt:  j.queued.Format(time.RFC3339Nano),
+		NumPoints: j.nPoints, K: j.cfg.K,
+	}
+	if !j.started.IsZero() {
+		s.StartedAt = j.started.Format(time.RFC3339Nano)
+	}
+	if !j.finished.IsZero() {
+		s.FinishedAt = j.finished.Format(time.RFC3339Nano)
+	}
+	if j.result != nil {
+		s.Version = j.result.Version
+		s.Cost = j.result.Model.Cost
+		s.Iters = j.result.Model.Iters
+		s.Converged = j.result.Model.Converged
+	}
+	return s
+}
+
+// JobManager runs fit jobs on a bounded worker pool and publishes completed
+// models into the registry. Submission is non-blocking: a full queue is an
+// immediate error (the HTTP layer maps it to 503), which keeps memory
+// bounded under overload instead of buffering unbounded training sets.
+type JobManager struct {
+	registry *Registry
+	queue    chan *Job
+	stop     chan struct{}
+	wg       sync.WaitGroup
+
+	mu      sync.Mutex
+	jobs    map[string]*Job
+	order   []string // insertion order, for bounded retention
+	nextID  int
+	maxJobs int
+	stopped bool
+}
+
+// NewJobManager starts `workers` fit workers (≤ 0 means 2) consuming a queue
+// of depth `depth` (≤ 0 means 16). Each job additionally parallelizes its
+// own Lloyd iterations via kmeansll.Config.Parallelism, so a small worker
+// count saturates the machine.
+func NewJobManager(reg *Registry, workers, depth int) *JobManager {
+	if workers <= 0 {
+		workers = 2
+	}
+	if depth <= 0 {
+		depth = 16
+	}
+	m := &JobManager{
+		registry: reg,
+		queue:    make(chan *Job, depth),
+		stop:     make(chan struct{}),
+		jobs:     make(map[string]*Job),
+		maxJobs:  1024,
+	}
+	m.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go m.worker()
+	}
+	return m
+}
+
+// Submit enqueues a fit of cfg over points, publishing the result as
+// modelName. restarts ≤ 1 runs Cluster once; otherwise ClusterBest.
+func (m *JobManager) Submit(modelName string, points [][]float64, cfg kmeansll.Config, restarts int) (*Job, error) {
+	if restarts < 1 {
+		restarts = 1
+	}
+	j := &Job{
+		ModelName: modelName, points: points, nPoints: len(points),
+		cfg: cfg, restarts: restarts,
+		state: JobQueued, queued: time.Now().UTC(),
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.stopped {
+		return nil, errors.New("job manager is shut down")
+	}
+	m.nextID++
+	j.ID = fmt.Sprintf("job-%d", m.nextID)
+	m.retainLocked(j)
+
+	// The enqueue stays under m.mu so it cannot interleave with Stop: once
+	// Stop has set stopped (also under m.mu) and drained the queue, no send
+	// can slip a job into the dead channel.
+	select {
+	case m.queue <- j:
+		return j, nil
+	default:
+		j.mu.Lock()
+		j.state = JobFailed
+		j.err = "fit queue full"
+		j.finished = time.Now().UTC()
+		j.mu.Unlock()
+		return nil, errors.New("fit queue full")
+	}
+}
+
+// retainLocked records j, evicting the oldest finished job when over the
+// retention bound. Callers hold m.mu.
+func (m *JobManager) retainLocked(j *Job) {
+	m.jobs[j.ID] = j
+	m.order = append(m.order, j.ID)
+	if len(m.order) <= m.maxJobs {
+		return
+	}
+	for i, id := range m.order {
+		old := m.jobs[id]
+		old.mu.Lock()
+		finished := old.state == JobDone || old.state == JobFailed || old.state == JobCanceled
+		old.mu.Unlock()
+		if finished {
+			delete(m.jobs, id)
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			return
+		}
+	}
+}
+
+// Get returns a job by ID.
+func (m *JobManager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// List returns retained jobs, oldest first.
+func (m *JobManager) List() []*Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Job, 0, len(m.order))
+	for _, id := range m.order {
+		if j, ok := m.jobs[id]; ok {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// Counts tallies retained jobs by state for the stats endpoint.
+func (m *JobManager) Counts() map[JobState]int {
+	out := make(map[JobState]int)
+	for _, j := range m.List() {
+		j.mu.Lock()
+		out[j.state]++
+		j.mu.Unlock()
+	}
+	return out
+}
+
+func (m *JobManager) worker() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case j := <-m.queue:
+			m.run(j)
+		}
+	}
+}
+
+// run executes one job and publishes its model.
+func (m *JobManager) run(j *Job) {
+	j.mu.Lock()
+	if j.state != JobQueued {
+		j.mu.Unlock()
+		return
+	}
+	j.state = JobRunning
+	j.started = time.Now().UTC()
+	j.mu.Unlock()
+
+	var (
+		model *kmeansll.Model
+		err   error
+	)
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("fit panicked: %v", r)
+			}
+		}()
+		if j.restarts > 1 {
+			model, err = kmeansll.ClusterBest(j.points, j.cfg, j.restarts)
+		} else {
+			model, err = kmeansll.Cluster(j.points, j.cfg)
+		}
+	}()
+
+	var mv *ModelVersion
+	if err == nil {
+		mv, err = m.registry.Publish(j.ModelName, model, "fit-job:"+j.ID)
+	}
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finished = time.Now().UTC()
+	j.points = nil // release the training set as soon as the job settles
+	if err != nil {
+		j.state = JobFailed
+		j.err = err.Error()
+		return
+	}
+	j.state = JobDone
+	j.result = mv
+}
+
+// Stop shuts the pool down: no new submissions, queued-but-unstarted jobs
+// are marked canceled, and the call blocks until in-flight fits finish.
+func (m *JobManager) Stop() {
+	m.mu.Lock()
+	if m.stopped {
+		m.mu.Unlock()
+		return
+	}
+	m.stopped = true
+	m.mu.Unlock()
+
+	close(m.stop)
+	m.wg.Wait()
+	for {
+		select {
+		case j := <-m.queue:
+			j.mu.Lock()
+			if j.state == JobQueued {
+				j.state = JobCanceled
+				j.err = "server shutting down"
+				j.finished = time.Now().UTC()
+				j.points = nil
+			}
+			j.mu.Unlock()
+		default:
+			return
+		}
+	}
+}

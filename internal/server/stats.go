@@ -1,0 +1,134 @@
+package server
+
+import (
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// endpointCounters is one row of the stats table, updated lock-free on the
+// request path.
+type endpointCounters struct {
+	requests   atomic.Int64
+	errors     atomic.Int64 // responses with status ≥ 400
+	totalNanos atomic.Int64
+	maxNanos   atomic.Int64
+}
+
+// statsTable aggregates per-endpoint request counters, in the spirit of the
+// V$ virtual tables of production data servers: every registered route gets
+// a row, GET /v1/stats renders the table. Rows are created at route
+// registration time, so the request path is a map read plus atomic adds.
+type statsTable struct {
+	start time.Time
+	mu    sync.RWMutex
+	rows  map[string]*endpointCounters
+}
+
+func newStatsTable() *statsTable {
+	return &statsTable{start: time.Now(), rows: make(map[string]*endpointCounters)}
+}
+
+// row returns (creating if needed) the counters for an endpoint key.
+func (t *statsTable) row(endpoint string) *endpointCounters {
+	t.mu.RLock()
+	c := t.rows[endpoint]
+	t.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if c = t.rows[endpoint]; c == nil {
+		c = &endpointCounters{}
+		t.rows[endpoint] = c
+	}
+	return c
+}
+
+// observe records one finished request.
+func (c *endpointCounters) observe(d time.Duration, status int) {
+	c.requests.Add(1)
+	if status >= 400 {
+		c.errors.Add(1)
+	}
+	n := d.Nanoseconds()
+	c.totalNanos.Add(n)
+	for {
+		cur := c.maxNanos.Load()
+		if n <= cur || c.maxNanos.CompareAndSwap(cur, n) {
+			break
+		}
+	}
+}
+
+// EndpointStats is one rendered row of the stats table.
+type EndpointStats struct {
+	Endpoint  string  `json:"endpoint"`
+	Requests  int64   `json:"requests"`
+	Errors    int64   `json:"errors"`
+	QPS       float64 `json:"qps"`
+	AvgMillis float64 `json:"avg_ms"`
+	MaxMillis float64 `json:"max_ms"`
+}
+
+// snapshot renders the table. QPS is averaged over server uptime.
+func (t *statsTable) snapshot() []EndpointStats {
+	uptime := time.Since(t.start).Seconds()
+	if uptime <= 0 {
+		uptime = 1e-9
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]EndpointStats, 0, len(t.rows))
+	for name, c := range t.rows {
+		reqs := c.requests.Load()
+		row := EndpointStats{
+			Endpoint:  name,
+			Requests:  reqs,
+			Errors:    c.errors.Load(),
+			QPS:       float64(reqs) / uptime,
+			MaxMillis: float64(c.maxNanos.Load()) / 1e6,
+		}
+		if reqs > 0 {
+			row.AvgMillis = float64(c.totalNanos.Load()) / float64(reqs) / 1e6
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// statusRecorder captures the response status for the stats middleware.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+// instrument wraps a handler with latency/QPS accounting under the given
+// endpoint key (normally the mux pattern, so path parameters collapse into
+// one row).
+func (t *statsTable) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	row := t.row(endpoint)
+	return func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w}
+		begin := time.Now()
+		h(rec, r)
+		if rec.status == 0 {
+			rec.status = http.StatusOK
+		}
+		row.observe(time.Since(begin), rec.status)
+	}
+}

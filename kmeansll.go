@@ -18,14 +18,23 @@
 // accelerated Lloyd kernels, the Partition streaming baseline, a MapReduce
 // engine and the paper's experiment harness — and are exercised by the
 // benches in bench_test.go, one per table and figure of the paper.
+//
+// Beyond the library there is a serving layer: cmd/kmserved (built on
+// internal/server) exposes fitted models over HTTP with a versioned model
+// registry, batch prediction (Model.PredictBatch), async fit jobs, and an
+// online ingest endpoint backed by StreamingClusterer. See the README for a
+// curl walk-through.
 package kmeansll
 
 import (
 	"errors"
 	"fmt"
+	"math"
+	"sync"
 
 	"kmeansll/internal/core"
 	"kmeansll/internal/geom"
+	"kmeansll/internal/kdtree"
 	"kmeansll/internal/lloyd"
 	"kmeansll/internal/rng"
 	"kmeansll/internal/seed"
@@ -120,6 +129,14 @@ type Model struct {
 	Converged bool
 
 	dim int
+
+	// centerIndex lazily caches a kd-tree over Centers for PredictBatch.
+	// Built at most once, so a served (immutable) model pays the build cost
+	// on its first large-k batch only.
+	centerIndex struct {
+		once sync.Once
+		tree *kdtree.Tree
+	}
 }
 
 // Cluster fits k centers to the given points. Points must be non-empty and
@@ -245,7 +262,42 @@ func ClusterBest(points [][]float64, cfg Config, restarts int) (*Model, error) {
 	return best, nil
 }
 
+// NewModel builds a servable model directly from a set of centers, e.g. one
+// computed elsewhere and uploaded to the kmserved registry. The centers must
+// be non-empty, rectangular and finite. The returned model has no training
+// statistics (Cost, Iters and friends are zero) but fully supports Predict,
+// PredictBatch, Transform and Save.
+func NewModel(centers [][]float64) (*Model, error) {
+	if len(centers) == 0 {
+		return nil, errors.New("kmeansll: NewModel needs at least one center")
+	}
+	dim := len(centers[0])
+	if dim == 0 {
+		return nil, errors.New("kmeansll: zero-dimensional centers")
+	}
+	m := &Model{Centers: make([][]float64, len(centers)), dim: dim}
+	for i, c := range centers {
+		if len(c) != dim {
+			return nil, fmt.Errorf("kmeansll: center %d has %d dims, want %d", i, len(c), dim)
+		}
+		for j, v := range c {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("kmeansll: center %d col %d is non-finite", i, j)
+			}
+		}
+		row := make([]float64, dim)
+		copy(row, c)
+		m.Centers[i] = row
+	}
+	return m, nil
+}
+
 // Predict returns the index of the center closest to the point.
+//
+// Predict panics when the point's dimensionality does not match the model's
+// (as do Transform and PredictBatch): a dimension mismatch is a programming
+// error, not a data condition. Callers handling untrusted input should check
+// len(point) against Dim first.
 func (m *Model) Predict(point []float64) int {
 	if len(point) != m.dim {
 		panic(fmt.Sprintf("kmeansll: Predict dim %d, model dim %d", len(point), m.dim))
@@ -259,5 +311,73 @@ func (m *Model) Predict(point []float64) int {
 	return best
 }
 
+// predictTreeMinK is the center count at which PredictBatch switches from
+// linear center scans to a kd-tree over the centers. Below it, the scan's
+// cache behavior and SqDistBound early exits win; above it, the tree's
+// O(log k) descent does.
+const predictTreeMinK = 64
+
+// PredictBatch assigns every point to its nearest center and returns one
+// cluster index per point, in order. The batch is processed by up to
+// `parallelism` goroutines (≤ 0 means all CPUs). For models with many
+// centers (k ≥ 64) the nearest-center search runs against a kd-tree built
+// once over the centers (internal/kdtree) instead of scanning all k per
+// point. The tree is built once per model and cached, so steady-state
+// serving pays only the O(log k) descents; consequently Centers must not be
+// mutated after the first PredictBatch call. Ties between equidistant
+// centers may resolve differently between the two regimes; both answers are
+// exact nearest centers.
+//
+// Like Predict, it panics if any point's dimensionality does not match the
+// model's.
+func (m *Model) PredictBatch(points [][]float64, parallelism int) []int {
+	for i, p := range points {
+		if len(p) != m.dim {
+			panic(fmt.Sprintf("kmeansll: PredictBatch point %d dim %d, model dim %d", i, len(p), m.dim))
+		}
+	}
+	return m.predictBatch(points, parallelism, len(m.Centers) >= predictTreeMinK)
+}
+
+// predictBatch is PredictBatch with the kd-tree decision forced, so tests
+// can exercise both regimes at any k.
+func (m *Model) predictBatch(points [][]float64, parallelism int, useTree bool) []int {
+	out := make([]int, len(points))
+	if len(points) == 0 {
+		return out
+	}
+	if useTree {
+		tree := m.centerTree()
+		geom.ParallelFor(len(points), parallelism, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				c, _ := tree.Nearest(points[i])
+				out[i] = c
+			}
+		})
+		return out
+	}
+	centers := geom.FromRows(m.Centers)
+	geom.ParallelFor(len(points), parallelism, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			c, _ := geom.Nearest(points[i], centers)
+			out[i] = c
+		}
+	})
+	return out
+}
+
+// centerTree returns the cached kd-tree over the centers, building it on
+// first use. Concurrent callers share one build via sync.Once.
+func (m *Model) centerTree() *kdtree.Tree {
+	m.centerIndex.once.Do(func() {
+		m.centerIndex.tree = kdtree.Build(geom.NewDataset(geom.FromRows(m.Centers)), 0)
+	})
+	return m.centerIndex.tree
+}
+
 // K returns the number of centers in the model.
 func (m *Model) K() int { return len(m.Centers) }
+
+// Dim returns the dimensionality of the model's centers. Callers validating
+// external input check it before Predict/Transform, which panic on mismatch.
+func (m *Model) Dim() int { return m.dim }

@@ -1,0 +1,54 @@
+package kmeansll
+
+import (
+	"testing"
+)
+
+// TestPredictBatchMatchesPredict checks both PredictBatch regimes (linear
+// scan and kd-tree) against per-point Predict on well-separated blobs, where
+// the nearest center is unambiguous.
+func TestPredictBatchMatchesPredict(t *testing.T) {
+	for _, k := range []int{3, predictTreeMinK + 6} {
+		pts := makeBlobs(t, 40*k, 6, k, 60, uint64(k))
+		m, err := Cluster(pts, Config{K: k, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries := makeBlobs(t, 500, 6, k, 60, uint64(k)+1)
+		for _, useTree := range []bool{false, true} {
+			got := m.predictBatch(queries, 3, useTree)
+			if len(got) != len(queries) {
+				t.Fatalf("k=%d tree=%v: %d assignments for %d points", k, useTree, len(got), len(queries))
+			}
+			for i, p := range queries {
+				if want := m.Predict(p); got[i] != want {
+					t.Fatalf("k=%d tree=%v point %d: batch says %d, Predict says %d", k, useTree, i, got[i], want)
+				}
+			}
+		}
+		// The public entry point must agree too, whichever regime it picks.
+		got := m.PredictBatch(queries, 0)
+		for i, p := range queries {
+			if want := m.Predict(p); got[i] != want {
+				t.Fatalf("k=%d PredictBatch point %d: %d, want %d", k, i, got[i], want)
+			}
+		}
+	}
+}
+
+func TestPredictBatchEdgeCases(t *testing.T) {
+	pts := makeBlobs(t, 100, 4, 2, 50, 3)
+	m, err := Cluster(pts, Config{K: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.PredictBatch(nil, 4); len(got) != 0 {
+		t.Fatalf("empty batch returned %d assignments", len(got))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dimension mismatch")
+		}
+	}()
+	m.PredictBatch([][]float64{{1, 2}}, 1)
+}

@@ -99,6 +99,10 @@ func matrixRows(x *geom.Matrix) [][]float64 {
 // Transform returns the squared Euclidean distance from the point to every
 // center — the feature-transform view of a fitted model (one column per
 // cluster), useful for downstream anomaly scoring.
+//
+// Like Predict, it panics if the point's dimensionality does not match the
+// model's; callers handling untrusted input should check len(point) against
+// Dim first.
 func (m *Model) Transform(point []float64) []float64 {
 	if len(point) != m.dim {
 		panic(fmt.Sprintf("kmeansll: Transform dim %d, model dim %d", len(point), m.dim))
