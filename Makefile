@@ -1,9 +1,15 @@
 GO ?= go
 
-.PHONY: build test vet race serve clean
+.PHONY: build test vet race serve bench clean
 
 build:
 	$(GO) build ./...
+
+# bench regenerates BENCH_init.json / BENCH_predict.json: the hot-path perf
+# suite (Init, Lloyd iteration, steady-state PredictBatch) measured under the
+# naive-scan baseline and the blocked distance engine.
+bench: build
+	$(GO) run ./cmd/kmbench -json
 
 vet:
 	$(GO) vet ./...

@@ -15,6 +15,10 @@ import (
 
 	"kmeansll/internal/eval"
 	"kmeansll/internal/experiments"
+	"kmeansll/internal/geom"
+	"kmeansll/internal/lloyd"
+	"kmeansll/internal/rng"
+	"kmeansll/internal/seed"
 )
 
 func benchOpts() experiments.Options {
@@ -115,5 +119,41 @@ func BenchmarkClusterAPI(b *testing.B) {
 		if _, err := Cluster(points, Config{K: 20, Seed: uint64(i)}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkPredictBatch measures steady-state serving at the tracked shape
+// (k=32, dim=58, 512-point batches, moderately overlapping clusters): the
+// blocked linear-scan regime with warm caches and a caller-owned output
+// buffer. The same workload is recorded in BENCH_predict.json by
+// `make bench`, naive baseline included; allocs/op here must stay 0.
+func BenchmarkPredictBatch(b *testing.B) {
+	const batch, dim, k = 512, 58, 32
+	points := makeBlobs(b, 20000, dim, k, 2, 1)
+	m, err := Cluster(points, Config{K: k, Seed: 7, MaxIter: 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := makeBlobs(b, batch, dim, k, 2, 2)
+	out := make([]int, batch)
+	m.PredictBatchInto(queries[:1], out, 1) // warm the lazy caches
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.PredictBatchInto(queries, out, 1)
+	}
+}
+
+// BenchmarkLloydIteration measures one fused assignment+update pass over the
+// tracked workload (n=20000, k=32, dim=58), the per-iteration unit cost that
+// BENCH_init.json records under both kernels.
+func BenchmarkLloydIteration(b *testing.B) {
+	const n, dim, k = 20000, 58, 32
+	points := makeBlobs(b, n, dim, k, 2, 3)
+	ds := geom.NewDataset(geom.FromRows(points))
+	init := seed.Random(ds, k, rng.New(4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lloyd.Run(ds, init, lloyd.Config{MaxIter: 1, Parallelism: 1})
 	}
 }

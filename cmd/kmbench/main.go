@@ -10,6 +10,11 @@
 //	kmbench -exp kdd            # tables 3, 4 and 5 from one set of runs
 //	kmbench -exp all -quick     # everything, at reduced scale
 //	kmbench -exp fig5_2 -trials 3 -seed 7
+//
+// Beyond the paper experiments, `kmbench -json` runs the hot-path perf suite
+// (Init, one Lloyd iteration, steady-state PredictBatch — each under the
+// naive-scan baseline and the blocked distance engine) and writes
+// BENCH_init.json / BENCH_predict.json for regression tracking; see perf.go.
 package main
 
 import (
@@ -30,8 +35,18 @@ func main() {
 		parallel = flag.Int("parallelism", 0, "worker count (0 = all CPUs)")
 		seed     = flag.Uint64("seed", 0, "base seed offset for all trials")
 		format   = flag.String("format", "table", "output format: table | csv")
+		jsonPerf = flag.Bool("json", false, "run the hot-path perf suite and write BENCH_init.json / BENCH_predict.json")
+		outDir   = flag.String("out", ".", "directory for the -json benchmark files")
 	)
 	flag.Parse()
+
+	if *jsonPerf {
+		if err := runPerfSuite(*outDir); err != nil {
+			fmt.Fprintln(os.Stderr, "kmbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, d := range experiments.Registry {

@@ -1,0 +1,212 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"kmeansll"
+	"kmeansll/internal/core"
+	"kmeansll/internal/geom"
+	"kmeansll/internal/lloyd"
+	"kmeansll/internal/rng"
+	"kmeansll/internal/seed"
+)
+
+// The -json perf suite tracks the repo's hot-path trajectory: it measures
+// Init (k-means||), one Lloyd iteration, and steady-state PredictBatch with
+// the naive SqDistBound scan pinned (the pre-blocked-engine code path, i.e.
+// the baseline) and with the blocked pairwise-distance engine pinned, then
+// writes BENCH_init.json and BENCH_predict.json. CI and future PRs compare
+// against the committed files; `make bench` regenerates them.
+
+// perfN/perfDim/perfK pin the workload to the serving-tier shape the
+// acceptance gate tracks (dim 58 = the paper's KDD dimensionality).
+const (
+	perfN       = 20000
+	perfDim     = 58
+	perfK       = 32
+	perfBatch   = 512
+	perfRestart = 3 // distinct seeds averaged implicitly via b.N spread
+)
+
+type perfResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+type perfFile struct {
+	Suite    string  `json:"suite"`
+	GoOS     string  `json:"goos"`
+	GoArch   string  `json:"goarch"`
+	MaxProcs int     `json:"gomaxprocs"`
+	Workload workload `json:"workload"`
+	// Results hold one entry per (benchmark, kernel); kernel=naive is the
+	// pre-engine baseline path (SqDistBound scans), kernel=blocked the
+	// norm-cached tiled engine.
+	Results  []perfResult       `json:"results"`
+	Speedups map[string]float64 `json:"speedup_blocked_vs_naive"`
+}
+
+type workload struct {
+	N     int `json:"n"`
+	Dim   int `json:"dim"`
+	K     int `json:"k"`
+	Batch int `json:"batch,omitempty"`
+}
+
+// perfData builds a deterministic mixture-of-Gaussians dataset: perfK true
+// clusters, unit noise, per-coordinate separation 1.5. At dim 58 that gives
+// moderately overlapping clusters — distances concentrate the way they do on
+// the paper's KDD/Spam features, rather than the toy well-separated regime
+// where SqDistBound's early exit prunes nearly all work and no kernel choice
+// matters.
+func perfData(n, dim, k int, seedVal uint64) *geom.Matrix {
+	r := rng.New(seedVal)
+	truth := geom.NewMatrix(k, dim)
+	for i := range truth.Data {
+		truth.Data[i] = 1.5 * r.NormFloat64()
+	}
+	x := geom.NewMatrix(n, dim)
+	for i := 0; i < n; i++ {
+		row := x.Row(i)
+		c := truth.Row(i % k)
+		for j := 0; j < dim; j++ {
+			row[j] = c[j] + r.NormFloat64()
+		}
+	}
+	return x
+}
+
+func measure(name string, f func(b *testing.B)) perfResult {
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		f(b)
+	})
+	return perfResult{
+		Name:        name,
+		NsPerOp:     float64(res.NsPerOp()),
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+	}
+}
+
+// runPerfSuite measures the three hot paths under both kernels and writes
+// BENCH_init.json / BENCH_predict.json into outDir.
+func runPerfSuite(outDir string) error {
+	x := perfData(perfN, perfDim, perfK, 1)
+	ds := geom.NewDataset(x)
+
+	// Fixed Lloyd starting centers: a deterministic uniform seeding, so the
+	// iteration benchmark measures exactly one assignment+update pass over
+	// identical state for both kernels.
+	initCenters := seed.Random(ds, perfK, rng.New(2))
+
+	// Serving model: the converged centers, queried with fresh points.
+	res := lloyd.Run(ds, initCenters, lloyd.Config{MaxIter: 20, Parallelism: 0})
+	centerRows := make([][]float64, res.Centers.Rows)
+	for c := range centerRows {
+		centerRows[c] = res.Centers.Row(c)
+	}
+	queriesM := perfData(perfBatch, perfDim, perfK, 3)
+	queries := make([][]float64, perfBatch)
+	for i := range queries {
+		queries[i] = queriesM.Row(i)
+	}
+	out := make([]int, perfBatch)
+
+	kernels := []struct {
+		name string
+		sel  geom.KernelSelect
+	}{
+		{"naive", geom.KernelNaive},
+		{"blocked", geom.KernelBlocked},
+	}
+
+	defer geom.SetKernel(geom.KernelAuto)
+
+	initFile := perfFile{
+		Suite: "init", GoOS: runtime.GOOS, GoArch: runtime.GOARCH,
+		MaxProcs: runtime.GOMAXPROCS(0),
+		Workload: workload{N: perfN, Dim: perfDim, K: perfK},
+		Speedups: map[string]float64{},
+	}
+	predictFile := perfFile{
+		Suite: "predict", GoOS: runtime.GOOS, GoArch: runtime.GOARCH,
+		MaxProcs: runtime.GOMAXPROCS(0),
+		Workload: workload{N: perfN, Dim: perfDim, K: perfK, Batch: perfBatch},
+		Speedups: map[string]float64{},
+	}
+
+	byKernel := map[string]map[string]float64{}
+	for _, k := range kernels {
+		geom.SetKernel(k.sel)
+		byKernel[k.name] = map[string]float64{}
+
+		r := measure("Init/kernel="+k.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.Init(ds, core.Config{K: perfK, Parallelism: 1, Seed: uint64(i % perfRestart)})
+			}
+		})
+		initFile.Results = append(initFile.Results, r)
+		byKernel[k.name]["init"] = r.NsPerOp
+
+		r = measure("LloydIter/kernel="+k.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				lloyd.Run(ds, initCenters, lloyd.Config{MaxIter: 1, Parallelism: 1})
+			}
+		})
+		initFile.Results = append(initFile.Results, r)
+		byKernel[k.name]["lloyd_iter"] = r.NsPerOp
+
+		// Steady state: model caches warm, output buffer reused, serial
+		// chunk (the per-request serving shape). Allocs/op must be 0 for
+		// the blocked kernel.
+		model, err := kmeansll.NewModel(centerRows)
+		if err != nil {
+			return err
+		}
+		model.PredictBatch(queries[:1], 1) // warm the lazy center caches
+		r = measure("PredictBatch/kernel="+k.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				model.PredictBatchInto(queries, out, 1)
+			}
+		})
+		predictFile.Results = append(predictFile.Results, r)
+		byKernel[k.name]["predict_batch"] = r.NsPerOp
+	}
+
+	for _, metric := range []string{"init", "lloyd_iter"} {
+		initFile.Speedups[metric] = byKernel["naive"][metric] / byKernel["blocked"][metric]
+	}
+	predictFile.Speedups["predict_batch"] = byKernel["naive"]["predict_batch"] / byKernel["blocked"]["predict_batch"]
+
+	if err := writePerfFile(filepath.Join(outDir, "BENCH_init.json"), initFile); err != nil {
+		return err
+	}
+	if err := writePerfFile(filepath.Join(outDir, "BENCH_predict.json"), predictFile); err != nil {
+		return err
+	}
+	for _, f := range []perfFile{initFile, predictFile} {
+		for _, r := range f.Results {
+			fmt.Printf("%-28s %14.0f ns/op %6d B/op %4d allocs/op\n", r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+		}
+		for metric, s := range f.Speedups {
+			fmt.Printf("%-28s %14.2fx\n", "speedup/"+metric, s)
+		}
+	}
+	return nil
+}
+
+func writePerfFile(path string, f perfFile) error {
+	buf, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}

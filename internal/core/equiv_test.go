@@ -1,0 +1,58 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"kmeansll/internal/geom"
+)
+
+// TestInitKernelEquivalence runs the full k-means|| initialization with the
+// naive scan pinned and with the blocked engine pinned. The two kernels
+// round differently at the last bit, but on the exercised seeds every
+// sampling decision and nearest assignment must agree: same candidates per
+// round, same final centers (to 1e-9), seed costs within 1e-9 relative.
+func TestInitKernelEquivalence(t *testing.T) {
+	for _, weighted := range []bool{false, true} {
+		ds := blobs(t, 8, 250, 16, 30, 42)
+		if weighted {
+			w := make([]float64, ds.N())
+			for i := range w {
+				w[i] = 0.25 + float64(i%5)
+			}
+			ds.Weight = w
+		}
+		cfg := Config{K: 8, Seed: 9, Parallelism: 3}
+
+		defer geom.SetKernel(geom.KernelAuto)
+		geom.SetKernel(geom.KernelNaive)
+		nC, nStats := Init(ds, cfg)
+		geom.SetKernel(geom.KernelBlocked)
+		bC, bStats := Init(ds, cfg)
+		geom.SetKernel(geom.KernelAuto)
+
+		if len(nStats.RoundCandidates) != len(bStats.RoundCandidates) {
+			t.Fatalf("round counts diverge: %v vs %v", nStats.RoundCandidates, bStats.RoundCandidates)
+		}
+		for r := range nStats.RoundCandidates {
+			if nStats.RoundCandidates[r] != bStats.RoundCandidates[r] {
+				t.Fatalf("round %d candidates diverge: naive %d, blocked %d (weighted=%v)",
+					r, nStats.RoundCandidates[r], bStats.RoundCandidates[r], weighted)
+			}
+		}
+		if nC.Rows != bC.Rows {
+			t.Fatalf("center counts diverge: %d vs %d", nC.Rows, bC.Rows)
+		}
+		for c := 0; c < nC.Rows; c++ {
+			for j := 0; j < nC.Cols; j++ {
+				a, b := nC.Row(c)[j], bC.Row(c)[j]
+				if math.Abs(a-b) > 1e-9*math.Max(1, math.Abs(a)) {
+					t.Fatalf("center %d coord %d diverges: naive %v, blocked %v (weighted=%v)", c, j, a, b, weighted)
+				}
+			}
+		}
+		if d := math.Abs(nStats.SeedCost - bStats.SeedCost); d > 1e-9*nStats.SeedCost {
+			t.Fatalf("seed costs diverge: naive %v, blocked %v", nStats.SeedCost, bStats.SeedCost)
+		}
+	}
+}

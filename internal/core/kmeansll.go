@@ -22,6 +22,12 @@
 // Per-point randomness in Bernoulli mode is derived from a counter-based hash
 // of (seed, round, point index), so results are bit-identical for a given
 // seed regardless of the worker count.
+//
+// The two distance-heavy passes — the per-round D² cache update and the
+// Step 7 weighting — run on geom's blocked pairwise-distance engine (cached
+// center norms, tiled inner-product kernels) whenever the round's center
+// count clears geom.UseBlocked; tiny rounds keep the SqDistBound early-exit
+// scan.
 package core
 
 import (
@@ -187,6 +193,13 @@ func Init(ds *geom.Dataset, cfg Config) (*geom.Matrix, Stats) {
 	}
 	centers := geom.NewMatrix(0, ds.Dim())
 	centers.Cols = ds.Dim()
+	// The candidate set grows to ~1 + r·ℓ rows; reserve once so the
+	// per-round AppendRow loop never reallocates mid-run.
+	est := 1 + rounds*int(math.Ceil(ell))
+	if est > n {
+		est = n
+	}
+	centers.Reserve(est)
 	centers.AppendRow(ds.Point(first))
 
 	// Step 2: ψ ← φ_X(C), cached per point. d2 holds w_i·d²(x_i, C)
@@ -229,24 +242,44 @@ func Init(ds *geom.Dataset, cfg Config) (*geom.Matrix, Stats) {
 			centers.AppendRow(ds.Point(i))
 		}
 		// Update cached distances against only the new centers — one pass.
-		geom.ParallelFor(n, cfg.Parallelism, func(chunk, lo, hi int) {
-			var s float64
-			for i := lo; i < hi; i++ {
-				if d2[i] > 0 {
-					w := ds.W(i)
-					p := ds.Point(i)
-					best := d2[i] / w
-					for c := from; c < centers.Rows; c++ {
-						if nd := geom.SqDistBound(p, centers.Row(c), best); nd < best {
-							best = nd
-						}
+		// Above the crossover the pass runs through the blocked engine:
+		// per-point min over the round's centers, folded into the weighted
+		// cache (min(d2, w·d²new) ≡ the bounded scan's result).
+		if kNew := centers.Rows - from; geom.UseBlocked(kNew, ds.Dim()) {
+			newView := centers.RowRange(from, centers.Rows)
+			cNorms := geom.RowSqNorms(&newView, nil)
+			geom.ParallelFor(n, cfg.Parallelism, func(chunk, lo, hi int) {
+				sc := geom.GetScratch()
+				var s float64
+				geom.VisitNearest(ds.X, &newView, cNorms, lo, hi, sc, false, func(i int, _ int32, dNew float64) {
+					if nd := ds.W(i) * dNew; nd < d2[i] {
+						d2[i] = nd
 					}
-					d2[i] = w * best
+					s += d2[i]
+				})
+				sc.Release()
+				partial[chunk] = s
+			})
+		} else {
+			geom.ParallelFor(n, cfg.Parallelism, func(chunk, lo, hi int) {
+				var s float64
+				for i := lo; i < hi; i++ {
+					if d2[i] > 0 {
+						w := ds.W(i)
+						p := ds.Point(i)
+						best := d2[i] / w
+						for c := from; c < centers.Rows; c++ {
+							if nd := geom.SqDistBound(p, centers.Row(c), best); nd < best {
+								best = nd
+							}
+						}
+						d2[i] = w * best
+					}
+					s += d2[i]
 				}
-				s += d2[i]
-			}
-			partial[chunk] = s
-		})
+				partial[chunk] = s
+			})
+		}
 		phi = sum(partial)
 		stats.Passes++
 		stats.PhiTrace = append(stats.PhiTrace, phi)
@@ -326,16 +359,31 @@ func sampleExactL(r *rng.Rng, d2 []float64, m int) []int {
 }
 
 // candidateWeights performs Step 7: w_x = Σ of input weights of the points
-// whose nearest candidate is x.
+// whose nearest candidate is x. The candidate set is the largest center set
+// the algorithm ever scans (~1 + r·ℓ rows), so this pass benefits most from
+// the blocked engine.
 func candidateWeights(ds *geom.Dataset, centers *geom.Matrix, parallelism int) []float64 {
 	n, k := ds.N(), centers.Rows
 	chunks := geom.ChunkCount(n, parallelism)
 	perChunk := make([][]float64, chunks)
+	blocked := geom.UseBlocked(k, centers.Cols)
+	var cNorms []float64
+	if blocked {
+		cNorms = geom.RowSqNorms(centers, nil)
+	}
 	geom.ParallelFor(n, parallelism, func(chunk, lo, hi int) {
 		w := make([]float64, k)
-		for i := lo; i < hi; i++ {
-			idx, _ := geom.Nearest(ds.Point(i), centers)
-			w[idx] += ds.W(i)
+		if blocked {
+			sc := geom.GetScratch()
+			geom.VisitNearest(ds.X, centers, cNorms, lo, hi, sc, true, func(i int, idx int32, _ float64) {
+				w[idx] += ds.W(i)
+			})
+			sc.Release()
+		} else {
+			for i := lo; i < hi; i++ {
+				idx, _ := geom.Nearest(ds.Point(i), centers)
+				w[idx] += ds.W(i)
+			}
 		}
 		perChunk[chunk] = w
 	})

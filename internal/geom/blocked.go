@@ -1,0 +1,534 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the blocked pairwise-distance engine. Instead of one
+// (point, center) pair at a time through SqDist, consumers hand the kernels a
+// tile of points and a tile of centers and get back nearest indices and
+// squared distances for the whole block. Distances are computed via the
+// expansion
+//
+//	d²(x, c) = ‖x‖² + ‖c‖² − 2·⟨x, c⟩
+//
+// with the norms cached (centers once per round/iteration, points once per
+// tile), so the inner loop is a fused multi-accumulator inner product — 2
+// flops per coordinate instead of SqDist's 3, with each point row loaded once
+// per 4 centers and each center tile resident in L1 across the point tile.
+//
+// Determinism: every micro-kernel (dot2x4, dot1x4, and the scalar tails)
+// accumulates each (point, center) inner product strictly sequentially in
+// coordinate order, so the value computed for a given pair is bit-identical
+// no matter where the pair lands in the tiling or how many workers share the
+// scan. Results therefore do not depend on Parallelism. The expansion itself
+// rounds differently from SqDist's (a−b)² sum — equivalence tests bound the
+// difference (costs agree to ~1e-9 relative) and assert identical nearest
+// assignments on all exercised datasets.
+//
+// Cancellation: for x ≈ c the expansion can go slightly negative; the
+// kernels clamp at 0 so downstream D² sampling weights stay valid.
+
+const (
+	// tilePoints is the number of point rows processed per tile. At the
+	// paper's dimensionalities (≤ 128) a tile is ≤ 128 KiB and stays in L2
+	// while every center tile streams through it.
+	tilePoints = 128
+	// tileCenters is the number of center rows per tile: 16×128×8 B = 16 KiB
+	// keeps the tile L1-resident for dims up to 128.
+	tileCenters = 16
+)
+
+// KernelSelect overrides the automatic naive/blocked choice that UseBlocked
+// makes. Benchmarks and equivalence tests use it to pin a kernel; production
+// code leaves it at KernelAuto.
+type KernelSelect int32
+
+const (
+	// KernelAuto picks blocked vs naive per call site from the measured
+	// crossover (the default).
+	KernelAuto KernelSelect = iota
+	// KernelNaive forces the SqDistBound early-exit scan everywhere.
+	KernelNaive
+	// KernelBlocked forces the blocked engine everywhere.
+	KernelBlocked
+)
+
+var kernelOverride atomic.Int32
+
+// SetKernel pins kernel selection globally (for benchmarks and equivalence
+// tests). Pass KernelAuto to restore the measured-crossover default.
+//
+// Pinning KernelNaive also disables the single-pair norm-expansion kernel
+// (SqDistNorm) in consumers such as k-means++'s D² update, restoring the
+// exact (a−b)² arithmetic everywhere — the escape hatch for data far from
+// the origin, where the expansion's cancellation costs precision.
+func SetKernel(k KernelSelect) { kernelOverride.Store(int32(k)) }
+
+// PinnedKernel returns the current SetKernel override (KernelAuto when none).
+func PinnedKernel() KernelSelect { return KernelSelect(kernelOverride.Load()) }
+
+// Crossover between the early-exit scan and the blocked engine, measured on
+// linux/amd64 (go1.24, BenchmarkNearestCrossover in blocked_test.go): the
+// blocked kernel wins from k = 4 up at every dimension in the grid
+// (d ∈ {3,15,58,128} × k ∈ {4..128}, 1.3–2.2×; 2.1× at the k=32/d=58
+// serving point). Below k = 4 the register-blocked kernel degenerates to its
+// tail paths and the scan's early exits win, so tiny center counts — and
+// degenerate k·d products where norm setup dominates — stay on SqDistBound.
+const (
+	blockedMinCenters = 4
+	blockedMinWork    = 16
+)
+
+// UseBlocked reports whether the blocked engine should handle a nearest-
+// center workload of k centers in d dimensions. The small-k/small-d regime
+// stays on the SqDistBound early-exit scan.
+func UseBlocked(k, d int) bool {
+	switch KernelSelect(kernelOverride.Load()) {
+	case KernelNaive:
+		return false
+	case KernelBlocked:
+		return true
+	}
+	return k >= blockedMinCenters && k*d >= blockedMinWork
+}
+
+// Scratch holds the reusable tile buffers of the blocked kernels. Steady-
+// state callers (serving) obtain one from the pool per batch and release it,
+// so no per-batch allocations happen once the pool is warm. A Scratch is not
+// safe for concurrent use; parallel scans take one per worker.
+type Scratch struct {
+	pn     []float64 // point-tile squared norms
+	gather []float64 // contiguous copy of a point tile (slice-of-rows inputs)
+	d2     []float64 // tile nearest distances (slice-of-rows inputs)
+	idx    []int32   // tile nearest indices (slice-of-rows inputs)
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
+
+// GetScratch returns a Scratch from the shared pool.
+func GetScratch() *Scratch { return scratchPool.Get().(*Scratch) }
+
+// Release returns the Scratch to the pool. The caller must not use it after.
+func (s *Scratch) Release() { scratchPool.Put(s) }
+
+// TileBuffers returns pooled index/distance buffers of length n for callers
+// that consume NearestBlocked results tile by tile. The buffers alias the
+// scratch storage NearestBlockedRows uses internally, so a caller must not
+// mix the two on one Scratch.
+func (s *Scratch) TileBuffers(n int) ([]int32, []float64) {
+	return growI32(&s.idx, n), growF64(&s.d2, n)
+}
+
+func growF64(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	return (*buf)[:n]
+}
+
+func growI32(buf *[]int32, n int) []int32 {
+	if cap(*buf) < n {
+		*buf = make([]int32, n)
+	}
+	return (*buf)[:n]
+}
+
+// RowSqNorms returns ‖row‖² for every row of m, reusing dst when it has
+// capacity. Consumers compute center norms once per round/iteration and pass
+// them to the blocked kernels.
+func RowSqNorms(m *Matrix, dst []float64) []float64 {
+	dst = growF64(&dst, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		dst[i] = SqNorm(m.Row(i))
+	}
+	return dst
+}
+
+// NearestBlocked computes, for every row of pts, the index of the nearest
+// row of centers and the squared distance to it, writing d2[i] (and idx[i]
+// when idx is non-nil; pass nil when only distances are needed). cNorms must
+// be RowSqNorms(centers, ...). Ties go to the lowest center index. sc
+// provides the tile buffers; pass a pooled Scratch to avoid allocation.
+func NearestBlocked(pts, centers *Matrix, cNorms []float64, idx []int32, d2 []float64, sc *Scratch) {
+	n, d, k := pts.Rows, pts.Cols, centers.Rows
+	if k == 0 {
+		panic("geom: NearestBlocked with no centers")
+	}
+	if centers.Cols != d {
+		panic(fmt.Sprintf("geom: NearestBlocked dim mismatch: points %d, centers %d", d, centers.Cols))
+	}
+	if len(cNorms) != k {
+		panic(fmt.Sprintf("geom: NearestBlocked got %d center norms for %d centers", len(cNorms), k))
+	}
+	if len(d2) < n || (idx != nil && len(idx) < n) {
+		panic("geom: NearestBlocked output shorter than points")
+	}
+	for lo := 0; lo < n; lo += tilePoints {
+		hi := lo + tilePoints
+		if hi > n {
+			hi = n
+		}
+		var idxTile []int32
+		if idx != nil {
+			idxTile = idx[lo:hi]
+		}
+		nearestTile(pts, lo, hi, centers, cNorms, idxTile, d2[lo:hi], sc)
+	}
+}
+
+// NearestBlockedRows is NearestBlocked for points held as one slice per row
+// (the public API's representation). Each tile is gathered into contiguous
+// scratch storage first, so the inner kernels run at full speed; out[i]
+// receives the nearest-center index of points[i].
+func NearestBlockedRows(points [][]float64, centers *Matrix, cNorms []float64, out []int, sc *Scratch) {
+	d := centers.Cols
+	n := len(points)
+	for lo := 0; lo < n; lo += tilePoints {
+		hi := lo + tilePoints
+		if hi > n {
+			hi = n
+		}
+		m := hi - lo
+		g := growF64(&sc.gather, m*d)
+		for i := 0; i < m; i++ {
+			copy(g[i*d:(i+1)*d], points[lo+i])
+		}
+		view := Matrix{Rows: m, Cols: d, Data: g}
+		tIdx := growI32(&sc.idx, m)
+		tD2 := growF64(&sc.d2, m)
+		nearestTile(&view, 0, m, centers, cNorms, tIdx, tD2, sc)
+		for i := 0; i < m; i++ {
+			out[lo+i] = int(tIdx[i])
+		}
+	}
+}
+
+// VisitNearest runs the blocked nearest-center search over rows [lo, hi) of
+// pts in engine-tile steps, invoking visit(i, idx, d2) for every row in
+// ascending order — the building block consumers tile their fused scan
+// passes on (Lloyd assignment+accumulate, k-means|| round updates and
+// Step 7), keeping each point tile cache-resident while it is consumed.
+// When withIdx is false the index argument is always 0 and per-tile index
+// tracking is skipped. Tile buffers come from sc's pool (TileBuffers), so
+// the caller must not also use TileBuffers or NearestBlockedRows on sc.
+func VisitNearest(pts, centers *Matrix, cNorms []float64, lo, hi int, sc *Scratch, withIdx bool, visit func(i int, idx int32, d2 float64)) {
+	idxT, d2T := sc.TileBuffers(tilePoints)
+	if !withIdx {
+		idxT = nil
+	}
+	for tLo := lo; tLo < hi; tLo += tilePoints {
+		tHi := tLo + tilePoints
+		if tHi > hi {
+			tHi = hi
+		}
+		view := pts.RowRange(tLo, tHi)
+		NearestBlocked(&view, centers, cNorms, idxT, d2T, sc)
+		for i := tLo; i < tHi; i++ {
+			var ix int32
+			if idxT != nil {
+				ix = idxT[i-tLo]
+			}
+			visit(i, ix, d2T[i-tLo])
+		}
+	}
+}
+
+// nearestTile runs the blocked nearest-center search for point rows
+// [pLo, pHi) of pts. idxTile (optional) and d2Tile are tile-local views
+// (length pHi−pLo).
+func nearestTile(pts *Matrix, pLo, pHi int, centers *Matrix, cNorms []float64, idxTile []int32, d2Tile []float64, sc *Scratch) {
+	m := pHi - pLo
+	k := centers.Rows
+	pn := growF64(&sc.pn, m)
+	for i := 0; i < m; i++ {
+		pn[i] = SqNorm(pts.Row(pLo + i))
+	}
+	for i := 0; i < m; i++ {
+		d2Tile[i] = math.Inf(1)
+		if idxTile != nil {
+			idxTile[i] = 0
+		}
+	}
+	for cLo := 0; cLo < k; cLo += tileCenters {
+		cHi := cLo + tileCenters
+		if cHi > k {
+			cHi = k
+		}
+		// Two points at a time against the center tile.
+		i := 0
+		for ; i+2 <= m; i += 2 {
+			pa, pb := pts.Row(pLo+i), pts.Row(pLo+i+1)
+			na, nb := pn[i], pn[i+1]
+			ba, bb := d2Tile[i], d2Tile[i+1]
+			var ia, ib int32
+			if idxTile != nil {
+				ia, ib = idxTile[i], idxTile[i+1]
+			}
+			c := cLo
+			for ; c+4 <= cHi; c += 4 {
+				a0, a1, a2, a3, b0, b1, b2, b3 := dot2x4(pa, pb,
+					centers.Row(c), centers.Row(c+1), centers.Row(c+2), centers.Row(c+3))
+				n0, n1, n2, n3 := cNorms[c], cNorms[c+1], cNorms[c+2], cNorms[c+3]
+				if v := clamp0(na + n0 - 2*a0); v < ba {
+					ba, ia = v, int32(c)
+				}
+				if v := clamp0(na + n1 - 2*a1); v < ba {
+					ba, ia = v, int32(c+1)
+				}
+				if v := clamp0(na + n2 - 2*a2); v < ba {
+					ba, ia = v, int32(c+2)
+				}
+				if v := clamp0(na + n3 - 2*a3); v < ba {
+					ba, ia = v, int32(c+3)
+				}
+				if v := clamp0(nb + n0 - 2*b0); v < bb {
+					bb, ib = v, int32(c)
+				}
+				if v := clamp0(nb + n1 - 2*b1); v < bb {
+					bb, ib = v, int32(c+1)
+				}
+				if v := clamp0(nb + n2 - 2*b2); v < bb {
+					bb, ib = v, int32(c+2)
+				}
+				if v := clamp0(nb + n3 - 2*b3); v < bb {
+					bb, ib = v, int32(c+3)
+				}
+			}
+			for ; c < cHi; c++ {
+				row := centers.Row(c)
+				da, db := dot2x1(pa, pb, row)
+				if v := clamp0(na + cNorms[c] - 2*da); v < ba {
+					ba, ia = v, int32(c)
+				}
+				if v := clamp0(nb + cNorms[c] - 2*db); v < bb {
+					bb, ib = v, int32(c)
+				}
+			}
+			d2Tile[i], d2Tile[i+1] = ba, bb
+			if idxTile != nil {
+				idxTile[i], idxTile[i+1] = ia, ib
+			}
+		}
+		if i < m { // odd tail point
+			p := pts.Row(pLo + i)
+			np := pn[i]
+			best := d2Tile[i]
+			var bi int32
+			if idxTile != nil {
+				bi = idxTile[i]
+			}
+			c := cLo
+			for ; c+4 <= cHi; c += 4 {
+				a0, a1, a2, a3 := dot1x4(p,
+					centers.Row(c), centers.Row(c+1), centers.Row(c+2), centers.Row(c+3))
+				if v := clamp0(np + cNorms[c] - 2*a0); v < best {
+					best, bi = v, int32(c)
+				}
+				if v := clamp0(np + cNorms[c+1] - 2*a1); v < best {
+					best, bi = v, int32(c+1)
+				}
+				if v := clamp0(np + cNorms[c+2] - 2*a2); v < best {
+					best, bi = v, int32(c+2)
+				}
+				if v := clamp0(np + cNorms[c+3] - 2*a3); v < best {
+					best, bi = v, int32(c+3)
+				}
+			}
+			for ; c < cHi; c++ {
+				da := dot1(p, centers.Row(c))
+				if v := clamp0(np + cNorms[c] - 2*da); v < best {
+					best, bi = v, int32(c)
+				}
+			}
+			d2Tile[i] = best
+			if idxTile != nil {
+				idxTile[i] = bi
+			}
+		}
+	}
+}
+
+// PairwiseSqDist fills out with the full pts.Rows×centers.Rows block of
+// squared distances, row-major (out[i*k+j] = d²(point i, center j)), using
+// the same norm-expansion kernels as NearestBlocked. pNorms/cNorms may be
+// nil, in which case they are computed internally (allocating); pass cached
+// norms on hot paths. out must have length ≥ pts.Rows*centers.Rows.
+func PairwiseSqDist(pts, centers *Matrix, pNorms, cNorms, out []float64) {
+	n, d, k := pts.Rows, pts.Cols, centers.Rows
+	if centers.Cols != d {
+		panic(fmt.Sprintf("geom: PairwiseSqDist dim mismatch: points %d, centers %d", d, centers.Cols))
+	}
+	if len(out) < n*k {
+		panic("geom: PairwiseSqDist output too short")
+	}
+	if pNorms == nil {
+		pNorms = RowSqNorms(pts, nil)
+	}
+	if cNorms == nil {
+		cNorms = RowSqNorms(centers, nil)
+	}
+	for i := 0; i < n; i++ {
+		p := pts.Row(i)
+		np := pNorms[i]
+		row := out[i*k : (i+1)*k]
+		c := 0
+		for ; c+4 <= k; c += 4 {
+			a0, a1, a2, a3 := dot1x4(p,
+				centers.Row(c), centers.Row(c+1), centers.Row(c+2), centers.Row(c+3))
+			row[c] = clamp0(np + cNorms[c] - 2*a0)
+			row[c+1] = clamp0(np + cNorms[c+1] - 2*a1)
+			row[c+2] = clamp0(np + cNorms[c+2] - 2*a2)
+			row[c+3] = clamp0(np + cNorms[c+3] - 2*a3)
+		}
+		for ; c < k; c++ {
+			row[c] = clamp0(np + cNorms[c] - 2*dot1(p, centers.Row(c)))
+		}
+	}
+}
+
+// PairwiseSqDistRows is PairwiseSqDist for points held as one slice per row,
+// gathered tile-wise through sc (like NearestBlockedRows): out[i*k+j]
+// receives d²(points[i], center j). The batch feature-transform path uses it
+// to fill a whole distance block with the norm-expansion kernels.
+func PairwiseSqDistRows(points [][]float64, centers *Matrix, cNorms []float64, out []float64, sc *Scratch) {
+	d, k := centers.Cols, centers.Rows
+	n := len(points)
+	if len(out) < n*k {
+		panic("geom: PairwiseSqDistRows output too short")
+	}
+	for lo := 0; lo < n; lo += tilePoints {
+		hi := lo + tilePoints
+		if hi > n {
+			hi = n
+		}
+		m := hi - lo
+		g := growF64(&sc.gather, m*d)
+		for i := 0; i < m; i++ {
+			copy(g[i*d:(i+1)*d], points[lo+i])
+		}
+		view := Matrix{Rows: m, Cols: d, Data: g}
+		pn := RowSqNorms(&view, growF64(&sc.pn, m))
+		PairwiseSqDist(&view, centers, pn, cNorms, out[lo*k:hi*k])
+	}
+}
+
+// SqDistNorm returns d²(a, b) via the norm expansion given precomputed
+// ‖a‖² and ‖b‖². With both norms cached this is 2 flops per coordinate
+// against SqDist's 3; k-means++'s incremental D² update caches the point
+// norms once and the new center's norm per draw.
+//
+// Like all expansion kernels, its absolute error scales with the norms, not
+// the distance: for data offset far from the origin (coordinates ≫ 1e6 with
+// unit-scale separations) prefer SqDist, or pin KernelNaive.
+func SqDistNorm(a, b []float64, an, bn float64) float64 {
+	return clamp0(an + bn - 2*dotWide(a, b))
+}
+
+func clamp0(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// dot2x4 computes the 8 inner products of points {a, b} against centers
+// {c0..c3}. Each product is accumulated strictly sequentially in coordinate
+// order (one accumulator per pair), so its value is bit-identical to dot1/
+// dot2x1/dot1x4 for the same operands; the 8 independent chains exist only
+// for instruction-level parallelism.
+func dot2x4(a, b, c0, c1, c2, c3 []float64) (a0, a1, a2, a3, b0, b1, b2, b3 float64) {
+	d := len(a)
+	if d == 0 {
+		return
+	}
+	_ = b[d-1]
+	_ = c0[d-1]
+	_ = c1[d-1]
+	_ = c2[d-1]
+	_ = c3[d-1]
+	for i := 0; i < d; i++ {
+		av, bv := a[i], b[i]
+		w0, w1, w2, w3 := c0[i], c1[i], c2[i], c3[i]
+		a0 += av * w0
+		a1 += av * w1
+		a2 += av * w2
+		a3 += av * w3
+		b0 += bv * w0
+		b1 += bv * w1
+		b2 += bv * w2
+		b3 += bv * w3
+	}
+	return
+}
+
+// dot1x4 is dot2x4 for a single point.
+func dot1x4(a, c0, c1, c2, c3 []float64) (a0, a1, a2, a3 float64) {
+	d := len(a)
+	if d == 0 {
+		return
+	}
+	_ = c0[d-1]
+	_ = c1[d-1]
+	_ = c2[d-1]
+	_ = c3[d-1]
+	for i := 0; i < d; i++ {
+		av := a[i]
+		a0 += av * c0[i]
+		a1 += av * c1[i]
+		a2 += av * c2[i]
+		a3 += av * c3[i]
+	}
+	return
+}
+
+// dot2x1 computes ⟨a,c⟩ and ⟨b,c⟩ with the same per-pair ordering.
+func dot2x1(a, b, c []float64) (da, db float64) {
+	d := len(a)
+	if d == 0 {
+		return
+	}
+	_ = b[d-1]
+	_ = c[d-1]
+	for i := 0; i < d; i++ {
+		w := c[i]
+		da += a[i] * w
+		db += b[i] * w
+	}
+	return
+}
+
+// dot1 is the scalar tail kernel, per-pair order identical to the blocked
+// variants.
+func dot1(a, b []float64) (s float64) {
+	d := len(a)
+	if d == 0 {
+		return
+	}
+	_ = b[d-1]
+	for i := 0; i < d; i++ {
+		s += a[i] * b[i]
+	}
+	return
+}
+
+// dotWide is a 4-accumulator unrolled dot product for single-pair call sites
+// (SqDistNorm); faster than dot1's single chain, with its own fixed
+// summation order.
+func dotWide(a, b []float64) float64 {
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	for ; i < len(a); i++ {
+		s0 += a[i] * b[i]
+	}
+	return (s0 + s1) + (s2 + s3)
+}

@@ -1,10 +1,24 @@
 // Package geom provides the dense vector and matrix primitives that every
-// other package builds on: row-major matrices, unrolled squared Euclidean
-// distance, centroids, and the Dataset container (points plus optional
+// other package builds on: row-major matrices, squared Euclidean distance
+// kernels, centroids, and the Dataset container (points plus optional
 // per-point weights).
 //
-// All distance-heavy inner loops in this repository funnel through SqDist and
-// SqDistBound so that the k-means cost model is defined in exactly one place.
+// Distance-heavy inner loops funnel through two kernel families so the
+// k-means cost model is defined in exactly one place:
+//
+//   - SqDist / SqDistBound — one (point, center) pair at a time, unrolled,
+//     with early termination against a running best. Best for small center
+//     counts, where the bound prunes most coordinates.
+//   - The blocked engine (blocked.go) — NearestBlocked, PairwiseSqDist,
+//     RowSqNorms and pooled Scratch buffers. Distances are expanded as
+//     ‖x‖² + ‖c‖² − 2⟨x,c⟩ with cached norms, and point×center tiles are
+//     computed with a register-blocked inner-product kernel sized so the
+//     center tile stays in L1. Best from a handful of centers up, and the
+//     backbone of k-means|| round updates, Step 7 weighting, Lloyd
+//     assignment and batch serving.
+//
+// UseBlocked picks between the two from a measured crossover; SetKernel
+// pins one for benchmarks and equivalence tests.
 package geom
 
 import (
@@ -50,6 +64,13 @@ func (m *Matrix) Row(i int) []float64 {
 	return m.Data[i*m.Cols : (i+1)*m.Cols : (i+1)*m.Cols]
 }
 
+// RowRange returns a value view of rows [lo, hi) sharing the backing
+// storage. The blocked kernels take matrix views, so per-chunk and
+// per-round sub-scans need no copying.
+func (m *Matrix) RowRange(lo, hi int) Matrix {
+	return Matrix{Rows: hi - lo, Cols: m.Cols, Data: m.Data[lo*m.Cols : hi*m.Cols]}
+}
+
 // CopyRow copies row i into dst, which must have length Cols.
 func (m *Matrix) CopyRow(i int, dst []float64) {
 	copy(dst, m.Row(i))
@@ -60,6 +81,24 @@ func (m *Matrix) Clone() *Matrix {
 	c := NewMatrix(m.Rows, m.Cols)
 	copy(c.Data, m.Data)
 	return c
+}
+
+// Reserve grows the backing storage so the matrix can hold at least rows
+// rows without reallocating. Callers that append in a loop with a known
+// upper bound (e.g. k-means|| collecting ~1+r·ℓ candidates) reserve once so
+// AppendRow never copies. No-op when Cols is still unknown or capacity is
+// already sufficient.
+func (m *Matrix) Reserve(rows int) {
+	if m.Cols <= 0 || rows <= 0 {
+		return
+	}
+	need := rows * m.Cols
+	if cap(m.Data) >= need {
+		return
+	}
+	buf := make([]float64, len(m.Data), need)
+	copy(buf, m.Data)
+	m.Data = buf
 }
 
 // AppendRow grows the matrix by one row (copying p). Amortized O(Cols).

@@ -1,0 +1,118 @@
+package lloyd
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"kmeansll/internal/geom"
+)
+
+// runBothKernels executes f once with the naive scan pinned and once with the
+// blocked engine pinned, restoring auto selection afterwards.
+func runBothKernels(t *testing.T, f func(t *testing.T) ([]int32, float64)) (naiveA, blockedA []int32, naiveC, blockedC float64) {
+	t.Helper()
+	defer geom.SetKernel(geom.KernelAuto)
+	geom.SetKernel(geom.KernelNaive)
+	naiveA, naiveC = f(t)
+	geom.SetKernel(geom.KernelBlocked)
+	blockedA, blockedC = f(t)
+	return
+}
+
+func assertSameAssign(t *testing.T, naive, blocked []int32, naiveCost, blockedCost float64) {
+	t.Helper()
+	if len(naive) != len(blocked) {
+		t.Fatalf("assignment lengths differ: %d vs %d", len(naive), len(blocked))
+	}
+	for i := range naive {
+		if naive[i] != blocked[i] {
+			t.Fatalf("point %d: naive kernel assigns %d, blocked assigns %d", i, naive[i], blocked[i])
+		}
+	}
+	if d := math.Abs(naiveCost - blockedCost); d > 1e-9*math.Max(1, math.Abs(naiveCost)) {
+		t.Fatalf("costs diverge: naive %v, blocked %v", naiveCost, blockedCost)
+	}
+}
+
+// TestAssignKernelEquivalence runs the one-shot assignment with both kernels
+// pinned across the paper's dimensionalities, weighted and unweighted, and
+// requires bit-identical assignments with costs within 1e-9 relative.
+func TestAssignKernelEquivalence(t *testing.T) {
+	for _, dim := range []int{1, 3, 15, 58, 128} {
+		for _, weighted := range []bool{false, true} {
+			t.Run(fmt.Sprintf("d=%d_weighted=%v", dim, weighted), func(t *testing.T) {
+				ds, truth := blobs(t, 12, 40, dim, 25, uint64(dim))
+				if weighted {
+					w := make([]float64, ds.N())
+					for i := range w {
+						w[i] = 0.5 + float64(i%7)
+					}
+					ds.Weight = w
+				}
+				na, nb, nc, bc := runBothKernels(t, func(t *testing.T) ([]int32, float64) {
+					return Assign(ds, truth, 3)
+				})
+				assertSameAssign(t, na, nb, nc, bc)
+			})
+		}
+	}
+}
+
+// TestRunKernelEquivalence runs full Lloyd to convergence with both kernels
+// pinned and requires the same fixed point: identical final assignments and
+// iteration counts, costs within 1e-9 relative.
+func TestRunKernelEquivalence(t *testing.T) {
+	for _, dim := range []int{3, 15, 58} {
+		for _, weighted := range []bool{false, true} {
+			t.Run(fmt.Sprintf("d=%d_weighted=%v", dim, weighted), func(t *testing.T) {
+				ds, _ := blobs(t, 10, 60, dim, 12, uint64(100+dim))
+				if weighted {
+					w := make([]float64, ds.N())
+					for i := range w {
+						w[i] = 1 + float64(i%4)
+					}
+					ds.Weight = w
+				}
+				// Seed from a perturbed subset so Lloyd has real work to do.
+				init := geom.NewMatrix(10, dim)
+				for c := 0; c < 10; c++ {
+					copy(init.Row(c), ds.Point(c*37))
+				}
+				var naive, blocked Result
+				func() {
+					defer geom.SetKernel(geom.KernelAuto)
+					geom.SetKernel(geom.KernelNaive)
+					naive = Run(ds, init, Config{Parallelism: 2})
+					geom.SetKernel(geom.KernelBlocked)
+					blocked = Run(ds, init, Config{Parallelism: 2})
+				}()
+				assertSameAssign(t, naive.Assign, blocked.Assign, naive.Cost, blocked.Cost)
+				if naive.Iters != blocked.Iters {
+					t.Fatalf("iteration counts diverge: naive %d, blocked %d", naive.Iters, blocked.Iters)
+				}
+				for c := 0; c < 10; c++ {
+					for j := 0; j < dim; j++ {
+						a, b := naive.Centers.Row(c)[j], blocked.Centers.Row(c)[j]
+						if math.Abs(a-b) > 1e-9*math.Max(1, math.Abs(a)) {
+							t.Fatalf("center %d coord %d diverges: %v vs %v", c, j, a, b)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestCostKernelEquivalence pins both kernels through the parallel Cost path.
+func TestCostKernelEquivalence(t *testing.T) {
+	ds, truth := blobs(t, 16, 50, 58, 20, 5)
+	defer geom.SetKernel(geom.KernelAuto)
+	geom.SetKernel(geom.KernelNaive)
+	naive := Cost(ds, truth, 4)
+	geom.SetKernel(geom.KernelBlocked)
+	blocked := Cost(ds, truth, 4)
+	if d := math.Abs(naive - blocked); d > 1e-9*naive {
+		t.Fatalf("Cost diverges: naive %v, blocked %v", naive, blocked)
+	}
+}

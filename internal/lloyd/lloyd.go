@@ -73,16 +73,30 @@ type Result struct {
 	CostTrace []float64    // cost after each iteration (monotone non-increasing)
 }
 
-// Cost computes φ_X(C) in parallel.
+// Cost computes φ_X(C) in parallel, using the blocked engine when the
+// workload is above the measured crossover.
 func Cost(ds *geom.Dataset, centers *geom.Matrix, parallelism int) float64 {
 	n := ds.N()
 	chunks := geom.ChunkCount(n, parallelism)
 	partial := make([]float64, chunks)
+	blocked := geom.UseBlocked(centers.Rows, centers.Cols)
+	var cNorms []float64
+	if blocked {
+		cNorms = geom.RowSqNorms(centers, nil)
+	}
 	geom.ParallelFor(n, parallelism, func(chunk, lo, hi int) {
 		var s float64
-		for i := lo; i < hi; i++ {
-			_, d := geom.Nearest(ds.Point(i), centers)
-			s += ds.W(i) * d
+		if blocked {
+			sc := geom.GetScratch()
+			geom.VisitNearest(ds.X, centers, cNorms, lo, hi, sc, false, func(i int, _ int32, d2 float64) {
+				s += ds.W(i) * d2
+			})
+			sc.Release()
+		} else {
+			for i := lo; i < hi; i++ {
+				_, d := geom.Nearest(ds.Point(i), centers)
+				s += ds.W(i) * d
+			}
 		}
 		partial[chunk] = s
 	})
@@ -100,12 +114,26 @@ func Assign(ds *geom.Dataset, centers *geom.Matrix, parallelism int) ([]int32, f
 	assign := make([]int32, n)
 	chunks := geom.ChunkCount(n, parallelism)
 	partial := make([]float64, chunks)
+	blocked := geom.UseBlocked(centers.Rows, centers.Cols)
+	var cNorms []float64
+	if blocked {
+		cNorms = geom.RowSqNorms(centers, nil)
+	}
 	geom.ParallelFor(n, parallelism, func(chunk, lo, hi int) {
 		var s float64
-		for i := lo; i < hi; i++ {
-			idx, d := geom.Nearest(ds.Point(i), centers)
-			assign[i] = int32(idx)
-			s += ds.W(i) * d
+		if blocked {
+			sc := geom.GetScratch()
+			geom.VisitNearest(ds.X, centers, cNorms, lo, hi, sc, true, func(i int, idx int32, d2 float64) {
+				assign[i] = idx
+				s += ds.W(i) * d2
+			})
+			sc.Release()
+		} else {
+			for i := lo; i < hi; i++ {
+				idx, d := geom.Nearest(ds.Point(i), centers)
+				assign[i] = int32(idx)
+				s += ds.W(i) * d
+			}
 		}
 		partial[chunk] = s
 	})
@@ -163,12 +191,20 @@ func runNaive(ds *geom.Dataset, init *geom.Matrix, cfg Config) Result {
 	costPartial := make([]float64, chunks)
 	changedPartial := make([]int64, chunks)
 
+	blocked := geom.UseBlocked(k, d)
+	var cNorms []float64
+
 	res := Result{Centers: centers, Assign: assign}
 	limit := maxIter(cfg)
 	for it := 0; it < limit; it++ {
+		if blocked {
+			cNorms = geom.RowSqNorms(centers, cNorms)
+		}
 		// Assignment step (fused with accumulation so the data is scanned
 		// exactly once per iteration — this is the "one MapReduce pass"
-		// structure of §3.5).
+		// structure of §3.5). The blocked path runs the nearest-center
+		// kernel and the accumulation tile by tile over the same rows, so
+		// each point tile is consumed while still cache-resident.
 		geom.ParallelFor(n, cfg.Parallelism, func(chunk, lo, hi int) {
 			acc := &accs[chunk]
 			for i := range acc.sum {
@@ -179,17 +215,33 @@ func runNaive(ds *geom.Dataset, init *geom.Matrix, cfg Config) Result {
 			}
 			var cost float64
 			var changed int64
-			for i := lo; i < hi; i++ {
-				p := ds.Point(i)
-				idx, dist := geom.Nearest(p, centers)
-				if int32(idx) != assign[i] {
-					changed++
-					assign[i] = int32(idx)
+			if blocked {
+				sc := geom.GetScratch()
+				geom.VisitNearest(ds.X, centers, cNorms, lo, hi, sc, true, func(i int, idx32 int32, dist float64) {
+					if idx32 != assign[i] {
+						changed++
+						assign[i] = idx32
+					}
+					idx := int(idx32)
+					w := ds.W(i)
+					cost += w * dist
+					geom.AddScaled(acc.sum[idx*d:(idx+1)*d], w, ds.Point(i))
+					acc.weight[idx] += w
+				})
+				sc.Release()
+			} else {
+				for i := lo; i < hi; i++ {
+					p := ds.Point(i)
+					idx, dist := geom.Nearest(p, centers)
+					if int32(idx) != assign[i] {
+						changed++
+						assign[i] = int32(idx)
+					}
+					w := ds.W(i)
+					cost += w * dist
+					geom.AddScaled(acc.sum[idx*d:(idx+1)*d], w, p)
+					acc.weight[idx] += w
 				}
-				w := ds.W(i)
-				cost += w * dist
-				geom.AddScaled(acc.sum[idx*d:(idx+1)*d], w, p)
-				acc.weight[idx] += w
 			}
 			costPartial[chunk] = cost
 			changedPartial[chunk] = changed

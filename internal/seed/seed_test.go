@@ -246,3 +246,30 @@ func BenchmarkKMeansPP(b *testing.B) {
 		KMeansPP(ds, 20, rng.New(uint64(i)), 0)
 	}
 }
+
+// TestKMeansPPNaivePinTranslationInvariant exercises the KernelNaive escape
+// hatch: the norm-expansion D² kernel loses precision when data sits far
+// from the origin (absolute error scales with ‖x‖²), while the pinned
+// (a−b)² path is translation invariant. With the pin, seeding a far-offset
+// copy of the dataset must select exactly the same points.
+func TestKMeansPPNaivePinTranslationInvariant(t *testing.T) {
+	defer geom.SetKernel(geom.KernelAuto)
+	geom.SetKernel(geom.KernelNaive)
+
+	ds := blobs(t, 6, 60, 8, 10, 21)
+	const offset = 1e8
+	shifted := geom.NewDataset(ds.X.Clone())
+	for i := range shifted.X.Data {
+		shifted.X.Data[i] += offset
+	}
+
+	a := KMeansPP(ds, 6, rng.New(3), 1)
+	b := KMeansPP(shifted, 6, rng.New(3), 1)
+	for c := 0; c < a.Rows; c++ {
+		for j := 0; j < a.Cols; j++ {
+			if got, want := b.Row(c)[j]-offset, a.Row(c)[j]; math.Abs(got-want) > 1e-6 {
+				t.Fatalf("center %d coord %d: shifted run picked a different point (%v vs %v)", c, j, got, want)
+			}
+		}
+	}
+}

@@ -14,7 +14,6 @@ import (
 
 	"kmeansll"
 	"kmeansll/internal/data"
-	"kmeansll/internal/geom"
 )
 
 // Config sizes a Server. Zero values select the documented defaults.
@@ -376,6 +375,11 @@ type predictResponse struct {
 	Assignments []int  `json:"assignments"`
 }
 
+// assignPool recycles assignment buffers across predict requests; together
+// with Model.PredictBatchInto's pooled kernel scratch, the steady-state
+// predict path allocates nothing beyond request decode/encode.
+var assignPool = sync.Pool{New: func() any { return new([]int) }}
+
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	mv, ok := s.currentModel(w, r)
 	if !ok {
@@ -390,10 +394,17 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	bufp := assignPool.Get().(*[]int)
+	if cap(*bufp) < len(req.Points) {
+		*bufp = make([]int, len(req.Points))
+	}
+	out := (*bufp)[:len(req.Points)]
+	mv.Model.PredictBatchInto(req.Points, out, s.cfg.Parallelism)
 	writeJSON(w, http.StatusOK, predictResponse{
 		Model: mv.Name, Version: mv.Version,
-		Assignments: mv.Model.PredictBatch(req.Points, s.cfg.Parallelism),
+		Assignments: out,
 	})
+	assignPool.Put(bufp)
 }
 
 type transformResponse struct {
@@ -416,12 +427,7 @@ func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	out := make([][]float64, len(req.Points))
-	geom.ParallelFor(len(req.Points), s.cfg.Parallelism, func(_, lo, hi int) {
-		for i := lo; i < hi; i++ {
-			out[i] = mv.Model.Transform(req.Points[i])
-		}
-	})
+	out := mv.Model.TransformBatch(req.Points, s.cfg.Parallelism)
 	writeJSON(w, http.StatusOK, transformResponse{Model: mv.Name, Version: mv.Version, Distances: out})
 }
 

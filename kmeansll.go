@@ -24,6 +24,23 @@
 // registry, batch prediction (Model.PredictBatch), async fit jobs, and an
 // online ingest endpoint backed by StreamingClusterer. See the README for a
 // curl walk-through.
+//
+// # Performance
+//
+// Every distance-heavy loop — k-means|| round updates and Step 7 weighting,
+// Lloyd assignment, and batch prediction — runs on the blocked pairwise-
+// distance engine in internal/geom: squared distances are expanded as
+// ‖x‖² + ‖c‖² − 2⟨x,c⟩ with cached norms and computed tile-wise so center
+// tiles stay cache-resident. Small workloads fall back to the early-exit
+// scan; the kd-tree handles Predict batches over many low-dimensional
+// centers (k ≥ 256, dim ≤ 4), the only regime where its pruning beats the
+// blocked scan. PredictBatchInto plus the engine's pooled scratch make
+// steady-state serving allocation-free, and TransformBatch fills whole
+// distance blocks with the same kernels. The expansion trades a little
+// absolute precision for speed; for data far from the origin see
+// UseExactDistances. `make bench` regenerates BENCH_init.json and
+// BENCH_predict.json, which track ns/op and allocs/op for initialization,
+// one Lloyd iteration and batch prediction under both kernels.
 package kmeansll
 
 import (
@@ -136,6 +153,16 @@ type Model struct {
 	centerIndex struct {
 		once sync.Once
 		tree *kdtree.Tree
+	}
+
+	// linearIndex lazily caches the contiguous center matrix and center
+	// norms the blocked linear-scan regime of PredictBatch uses. Like the
+	// kd-tree, it is built once, so Centers must not be mutated after the
+	// first PredictBatch call.
+	linearIndex struct {
+		once  sync.Once
+		mat   *geom.Matrix
+		norms []float64
 	}
 }
 
@@ -304,47 +331,64 @@ func (m *Model) Predict(point []float64) int {
 	}
 	best, bestD := 0, geom.SqDist(point, m.Centers[0])
 	for c := 1; c < len(m.Centers); c++ {
-		if d := geom.SqDist(point, m.Centers[c]); d < bestD {
+		if d := geom.SqDistBound(point, m.Centers[c], bestD); d < bestD {
 			best, bestD = c, d
 		}
 	}
 	return best
 }
 
-// predictTreeMinK is the center count at which PredictBatch switches from
-// linear center scans to a kd-tree over the centers. Below it, the scan's
-// cache behavior and SqDistBound early exits win; above it, the tree's
-// O(log k) descent does.
-const predictTreeMinK = 64
+// PredictBatch switches from the (blocked) linear center scan to a kd-tree
+// over the centers only when the centers are numerous AND low-dimensional.
+// Measured on linux/amd64 (BenchmarkPredictRegimes, both overlapping and
+// well-separated mixtures): the blocked scan beats the tree descent at every
+// (k ≤ 256, dim ≥ 4) grid point — tree pruning decays rapidly with
+// dimension — and the tree only trends ahead for dim ≤ 4 around k ≳ 256.
+const (
+	predictTreeMinK   = 256
+	predictTreeMaxDim = 4
+)
 
 // PredictBatch assigns every point to its nearest center and returns one
 // cluster index per point, in order. The batch is processed by up to
 // `parallelism` goroutines (≤ 0 means all CPUs). For models with many
-// centers (k ≥ 64) the nearest-center search runs against a kd-tree built
-// once over the centers (internal/kdtree) instead of scanning all k per
-// point. The tree is built once per model and cached, so steady-state
-// serving pays only the O(log k) descents; consequently Centers must not be
-// mutated after the first PredictBatch call. Ties between equidistant
-// centers may resolve differently between the two regimes; both answers are
-// exact nearest centers.
+// low-dimensional centers (k ≥ 256, dim ≤ 4) the nearest-center search runs
+// against a kd-tree built once over the centers (internal/kdtree) instead
+// of scanning; everywhere else the scan runs through the blocked
+// pairwise-distance engine (internal/geom) with the center matrix and norms
+// cached on the model. Both caches are built once, so Centers must not be mutated after
+// the first PredictBatch call. Ties between equidistant centers may resolve
+// differently between regimes; every answer is an exact nearest center.
 //
 // Like Predict, it panics if any point's dimensionality does not match the
 // model's.
 func (m *Model) PredictBatch(points [][]float64, parallelism int) []int {
+	out := make([]int, len(points))
+	m.PredictBatchInto(points, out, parallelism)
+	return out
+}
+
+// PredictBatchInto is PredictBatch writing into a caller-provided slice
+// (len(out) ≥ len(points)), for serving loops that reuse buffers: with a
+// warm scratch pool the steady state allocates nothing per batch.
+func (m *Model) PredictBatchInto(points [][]float64, out []int, parallelism int) {
 	for i, p := range points {
 		if len(p) != m.dim {
 			panic(fmt.Sprintf("kmeansll: PredictBatch point %d dim %d, model dim %d", i, len(p), m.dim))
 		}
 	}
-	return m.predictBatch(points, parallelism, len(m.Centers) >= predictTreeMinK)
+	if len(out) < len(points) {
+		panic(fmt.Sprintf("kmeansll: PredictBatchInto out len %d for %d points", len(out), len(points)))
+	}
+	useTree := len(m.Centers) >= predictTreeMinK && m.dim <= predictTreeMaxDim
+	m.predictBatch(points, out, parallelism, useTree)
 }
 
-// predictBatch is PredictBatch with the kd-tree decision forced, so tests
-// can exercise both regimes at any k.
-func (m *Model) predictBatch(points [][]float64, parallelism int, useTree bool) []int {
-	out := make([]int, len(points))
+// predictBatch is PredictBatchInto with the kd-tree decision forced, so
+// tests can exercise every regime at any k.
+func (m *Model) predictBatch(points [][]float64, out []int, parallelism int, useTree bool) {
 	if len(points) == 0 {
-		return out
+		return
 	}
 	if useTree {
 		tree := m.centerTree()
@@ -354,16 +398,41 @@ func (m *Model) predictBatch(points [][]float64, parallelism int, useTree bool) 
 				out[i] = c
 			}
 		})
-		return out
+		return
 	}
-	centers := geom.FromRows(m.Centers)
+	centers, norms := m.linearScanIndex()
+	if geom.UseBlocked(centers.Rows, centers.Cols) {
+		if geom.ChunkCount(len(points), parallelism) == 1 {
+			// Serial fast path: no ParallelFor closure, so a warm scratch
+			// pool makes the whole call allocation-free.
+			sc := geom.GetScratch()
+			geom.NearestBlockedRows(points, centers, norms, out, sc)
+			sc.Release()
+			return
+		}
+		geom.ParallelFor(len(points), parallelism, func(_, lo, hi int) {
+			sc := geom.GetScratch()
+			geom.NearestBlockedRows(points[lo:hi], centers, norms, out[lo:hi], sc)
+			sc.Release()
+		})
+		return
+	}
 	geom.ParallelFor(len(points), parallelism, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			c, _ := geom.Nearest(points[i], centers)
 			out[i] = c
 		}
 	})
-	return out
+}
+
+// linearScanIndex returns the cached contiguous center matrix and center
+// norms for the linear-scan regime, building them on first use.
+func (m *Model) linearScanIndex() (*geom.Matrix, []float64) {
+	m.linearIndex.once.Do(func() {
+		m.linearIndex.mat = geom.FromRows(m.Centers)
+		m.linearIndex.norms = geom.RowSqNorms(m.linearIndex.mat, nil)
+	})
+	return m.linearIndex.mat, m.linearIndex.norms
 }
 
 // centerTree returns the cached kd-tree over the centers, building it on
@@ -373,6 +442,23 @@ func (m *Model) centerTree() *kdtree.Tree {
 		m.centerIndex.tree = kdtree.Build(geom.NewDataset(geom.FromRows(m.Centers)), 0)
 	})
 	return m.centerIndex.tree
+}
+
+// UseExactDistances(true) globally disables the norm-expansion distance
+// kernels, restoring plain (a−b)² arithmetic in every inner loop. The
+// expansion ‖x‖²+‖c‖²−2⟨x,c⟩ carries absolute error proportional to the
+// norms, so for data whose coordinates sit far from the origin (|x| ≫ 1e6
+// with unit-scale cluster separations) D² sampling weights and assignments
+// can be swamped by rounding noise; centering the data is the better fix,
+// but this switch is the drop-in one. UseExactDistances(false) restores the
+// measured-crossover default. The setting is process-global and meant to be
+// flipped once at startup, not per call.
+func UseExactDistances(on bool) {
+	if on {
+		geom.SetKernel(geom.KernelNaive)
+	} else {
+		geom.SetKernel(geom.KernelAuto)
+	}
 }
 
 // K returns the number of centers in the model.

@@ -2,6 +2,8 @@ package kmeansll
 
 import (
 	"testing"
+
+	"kmeansll/internal/geom"
 )
 
 // TestPredictBatchMatchesPredict checks both PredictBatch regimes (linear
@@ -16,10 +18,8 @@ func TestPredictBatchMatchesPredict(t *testing.T) {
 		}
 		queries := makeBlobs(t, 500, 6, k, 60, uint64(k)+1)
 		for _, useTree := range []bool{false, true} {
-			got := m.predictBatch(queries, 3, useTree)
-			if len(got) != len(queries) {
-				t.Fatalf("k=%d tree=%v: %d assignments for %d points", k, useTree, len(got), len(queries))
-			}
+			got := make([]int, len(queries))
+			m.predictBatch(queries, got, 3, useTree)
 			for i, p := range queries {
 				if want := m.Predict(p); got[i] != want {
 					t.Fatalf("k=%d tree=%v point %d: batch says %d, Predict says %d", k, useTree, i, got[i], want)
@@ -51,4 +51,78 @@ func TestPredictBatchEdgeCases(t *testing.T) {
 		}
 	}()
 	m.PredictBatch([][]float64{{1, 2}}, 1)
+}
+
+// TestTransformBatchMatchesTransform checks the blocked batch transform
+// against per-point Transform. The batch path uses the norm expansion, so
+// distances agree to 1e-9 relative (plus a norm-scaled absolute floor).
+func TestTransformBatchMatchesTransform(t *testing.T) {
+	pts := makeBlobs(t, 600, 13, 9, 8, 5)
+	m, err := Cluster(pts, Config{K: 9, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := makeBlobs(t, 333, 13, 9, 8, 6)
+	got := m.TransformBatch(queries, 2)
+	if len(got) != len(queries) {
+		t.Fatalf("TransformBatch returned %d rows for %d points", len(got), len(queries))
+	}
+	for i, p := range queries {
+		want := m.Transform(p)
+		for c := range want {
+			diff := got[i][c] - want[c]
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > 1e-9*(1+want[c]) {
+				t.Fatalf("point %d center %d: batch %v, Transform %v", i, c, got[i][c], want[c])
+			}
+		}
+	}
+	if empty := m.TransformBatch(nil, 1); len(empty) != 0 {
+		t.Fatalf("empty batch returned %d rows", len(empty))
+	}
+}
+
+// TestUseExactDistances checks the public precision escape hatch pins the
+// naive kernel (and that predictions still work while pinned).
+func TestUseExactDistances(t *testing.T) {
+	defer UseExactDistances(false)
+	UseExactDistances(true)
+	if geom.UseBlocked(1000, 1000) {
+		t.Fatal("UseExactDistances(true) did not pin the naive kernel")
+	}
+	pts := makeBlobs(t, 200, 6, 4, 40, 8)
+	m, err := Cluster(pts, Config{K: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.PredictBatch(pts[:50], 1)
+	for i, p := range pts[:50] {
+		if want := m.Predict(p); got[i] != want {
+			t.Fatalf("point %d: batch %d, Predict %d under exact distances", i, got[i], want)
+		}
+	}
+	// Under the pin, TransformBatch must match per-point Transform exactly
+	// (both run the (a−b)² kernel), even for data far from the origin.
+	far := make([][]float64, 20)
+	for i := range far {
+		far[i] = make([]float64, 6)
+		for j := range far[i] {
+			far[i][j] = 1e8 + pts[i][j]
+		}
+	}
+	tb := m.TransformBatch(far, 1)
+	for i, p := range far {
+		want := m.Transform(p)
+		for c := range want {
+			if tb[i][c] != want[c] {
+				t.Fatalf("pinned TransformBatch[%d][%d] = %v, Transform = %v", i, c, tb[i][c], want[c])
+			}
+		}
+	}
+	UseExactDistances(false)
+	if !geom.UseBlocked(32, 58) {
+		t.Fatal("UseExactDistances(false) did not restore auto selection")
+	}
 }

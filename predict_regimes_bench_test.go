@@ -1,0 +1,33 @@
+package kmeansll
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkPredictRegimes compares PredictBatch's kd-tree descent against
+// the blocked linear scan across (dim, k), the measurement behind
+// predictTreeMinK/predictTreeMaxDim. The tree regime only pays off for very
+// low-dimensional centers at large k; pruning decays rapidly with dimension.
+func BenchmarkPredictRegimes(b *testing.B) {
+	for _, dim := range []int{4, 16, 58} {
+		for _, k := range []int{64, 256} {
+			pts := makeBlobs(b, 20*k, dim, k, 2, uint64(dim+k))
+			m, err := Cluster(pts, Config{K: k, Seed: 3, MaxIter: 5})
+			if err != nil {
+				b.Fatal(err)
+			}
+			queries := makeBlobs(b, 512, dim, k, 2, 9)
+			out := make([]int, 512)
+			for _, regime := range []string{"tree", "linear"} {
+				b.Run(fmt.Sprintf("%s/d=%d/k=%d", regime, dim, k), func(b *testing.B) {
+					m.predictBatch(queries[:1], out, 1, regime == "tree")
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						m.predictBatch(queries, out, 1, regime == "tree")
+					}
+				})
+			}
+		}
+	}
+}

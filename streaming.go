@@ -113,3 +113,49 @@ func (m *Model) Transform(point []float64) []float64 {
 	}
 	return out
 }
+
+// TransformBatch returns Transform for every point: out[i][c] is the squared
+// distance from points[i] to center c. The whole result is backed by one
+// flat allocation (row i aliases it), and the distances are computed with
+// the blocked norm-expansion kernels against the model's cached center
+// norms, so large batches run at the same throughput as PredictBatch. The
+// batch is processed by up to `parallelism` goroutines (≤ 0 means all CPUs).
+//
+// Like Transform, it panics if any point's dimensionality does not match
+// the model's.
+func (m *Model) TransformBatch(points [][]float64, parallelism int) [][]float64 {
+	for i, p := range points {
+		if len(p) != m.dim {
+			panic(fmt.Sprintf("kmeansll: TransformBatch point %d dim %d, model dim %d", i, len(p), m.dim))
+		}
+	}
+	k := len(m.Centers)
+	flat := make([]float64, len(points)*k)
+	out := make([][]float64, len(points))
+	for i := range out {
+		out[i] = flat[i*k : (i+1)*k]
+	}
+	if len(points) == 0 {
+		return out
+	}
+	centers, norms := m.linearScanIndex()
+	if !geom.UseBlocked(k, m.dim) {
+		// Small models — or an UseExactDistances pin — keep Transform's
+		// exact (a−b)² arithmetic.
+		geom.ParallelFor(len(points), parallelism, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				row := out[i]
+				for c := 0; c < k; c++ {
+					row[c] = geom.SqDist(points[i], centers.Row(c))
+				}
+			}
+		})
+		return out
+	}
+	geom.ParallelFor(len(points), parallelism, func(_, lo, hi int) {
+		sc := geom.GetScratch()
+		geom.PairwiseSqDistRows(points[lo:hi], centers, norms, flat[lo*k:hi*k], sc)
+		sc.Release()
+	})
+	return out
+}
