@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race serve bench clean
+.PHONY: build test vet race serve bench bench-check clean
 
 build:
 	$(GO) build ./...
@@ -10,6 +10,13 @@ build:
 # naive-scan baseline and the blocked distance engine.
 bench: build
 	$(GO) run ./cmd/kmbench -json
+
+# bench-check is the CI bench-regression gate, runnable locally: regenerate
+# the suite into a scratch dir and compare against the committed baselines
+# (fails on >25% ns/op regressions or new allocations on zero-alloc paths).
+bench-check: build
+	$(GO) run ./cmd/kmbench -json -out /tmp/kmeansll-bench
+	$(GO) run ./cmd/kmbench -compare -baseline . -current /tmp/kmeansll-bench
 
 vet:
 	$(GO) vet ./...

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// The bench-regression gate: CI regenerates the perf suite into a scratch
+// directory, then compares it against the committed BENCH_init.json /
+// BENCH_predict.json baselines. A hot path whose ns/op grew past the
+// threshold — or that started allocating where the baseline did not — fails
+// the gate, so "the blocked engine is fast and allocation-free" stays an
+// enforced property instead of a README claim. Intentional baseline bumps
+// regenerate the files with `make bench` and either commit them (the gate
+// then passes) or carry a `[bench-skip]` commit-message tag, which the
+// workflow honors by skipping the job.
+
+// benchFiles are the perf-suite outputs the gate tracks.
+var benchFiles = []string{"BENCH_init.json", "BENCH_predict.json"}
+
+// compareFiles checks one regenerated perf file against its baseline and
+// returns human-readable regression findings (empty = gate passes).
+// threshold is the allowed ns/op growth in percent.
+func compareFiles(baseline, current perfFile, threshold float64) []string {
+	var findings []string
+	cur := make(map[string]perfResult, len(current.Results))
+	for _, r := range current.Results {
+		cur[r.Name] = r
+	}
+	for _, base := range baseline.Results {
+		got, ok := cur[base.Name]
+		if !ok {
+			findings = append(findings,
+				fmt.Sprintf("%s: benchmark %q missing from the regenerated suite", baseline.Suite, base.Name))
+			continue
+		}
+		if base.NsPerOp > 0 {
+			ratio := got.NsPerOp / base.NsPerOp
+			if ratio > 1+threshold/100 {
+				findings = append(findings, fmt.Sprintf(
+					"%s: %s regressed %.1f%%: %.0f ns/op → %.0f ns/op (threshold %.0f%%)",
+					baseline.Suite, base.Name, (ratio-1)*100, base.NsPerOp, got.NsPerOp, threshold))
+			}
+		}
+		if base.AllocsPerOp == 0 && got.AllocsPerOp > 0 {
+			findings = append(findings, fmt.Sprintf(
+				"%s: %s started allocating: 0 allocs/op → %d allocs/op",
+				baseline.Suite, base.Name, got.AllocsPerOp))
+		}
+	}
+	// Speedup ratios (blocked vs naive, measured within one run) are
+	// machine-independent, unlike absolute ns/op: a clear baseline win that
+	// evaporates means the blocked engine itself regressed, however fast or
+	// slow the runner is.
+	for metric, baseRatio := range baseline.Speedups {
+		gotRatio, ok := current.Speedups[metric]
+		if !ok {
+			findings = append(findings,
+				fmt.Sprintf("%s: speedup metric %q missing from the regenerated suite", baseline.Suite, metric))
+			continue
+		}
+		if baseRatio >= 1.2 && gotRatio < 1.0 {
+			findings = append(findings, fmt.Sprintf(
+				"%s: blocked engine no longer beats naive on %s: speedup %.2fx → %.2fx",
+				baseline.Suite, metric, baseRatio, gotRatio))
+		}
+	}
+	return findings
+}
+
+// readPerfFile loads one BENCH_*.json.
+func readPerfFile(path string) (perfFile, error) {
+	var f perfFile
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(buf, &f); err != nil {
+		return f, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}
+
+// runCompare is the -compare entry point: compare every tracked bench file
+// in currentDir against baselineDir and report. Returns an error (exit 1)
+// when any hot path regressed.
+func runCompare(baselineDir, currentDir string, threshold float64) error {
+	var all []string
+	for _, name := range benchFiles {
+		base, err := readPerfFile(filepath.Join(baselineDir, name))
+		if err != nil {
+			return fmt.Errorf("reading baseline: %w", err)
+		}
+		cur, err := readPerfFile(filepath.Join(currentDir, name))
+		if err != nil {
+			return fmt.Errorf("reading regenerated suite: %w", err)
+		}
+		findings := compareFiles(base, cur, threshold)
+		all = append(all, findings...)
+		status := "ok"
+		if len(findings) > 0 {
+			status = fmt.Sprintf("%d regression(s)", len(findings))
+		}
+		fmt.Printf("%-20s %d benchmarks vs baseline: %s\n", name, len(base.Results), status)
+	}
+	if len(all) > 0 {
+		return fmt.Errorf("bench gate failed:\n  %s", strings.Join(all, "\n  "))
+	}
+	fmt.Printf("bench gate passed: no hot path regressed more than %.0f%% ns/op\n", threshold)
+	return nil
+}

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func basePerf() perfFile {
+	return perfFile{
+		Suite: "init",
+		Results: []perfResult{
+			{Name: "Init/kernel=naive", NsPerOp: 100_000_000, AllocsPerOp: 12, BytesPerOp: 1 << 20},
+			{Name: "Init/kernel=blocked", NsPerOp: 60_000_000, AllocsPerOp: 12, BytesPerOp: 1 << 20},
+			{Name: "PredictBatch/kernel=blocked", NsPerOp: 500_000, AllocsPerOp: 0, BytesPerOp: 0},
+		},
+	}
+}
+
+// The acceptance-criteria case: a synthetic slowdown past the threshold
+// makes the gate fire.
+func TestCompareFiresOnSyntheticSlowdown(t *testing.T) {
+	base := basePerf()
+	cur := basePerf()
+	cur.Results[1].NsPerOp *= 1.40 // 40% regression on the blocked Init path
+
+	findings := compareFiles(base, cur, 25)
+	if len(findings) != 1 {
+		t.Fatalf("want exactly one finding, got %v", findings)
+	}
+	if !strings.Contains(findings[0], "Init/kernel=blocked") ||
+		!strings.Contains(findings[0], "regressed 40.0%") {
+		t.Fatalf("finding does not name the regressed path: %q", findings[0])
+	}
+}
+
+func TestComparePassesWithinThreshold(t *testing.T) {
+	base := basePerf()
+	cur := basePerf()
+	cur.Results[0].NsPerOp *= 1.20 // 20% < 25% threshold: noise, not a gate failure
+	cur.Results[1].NsPerOp *= 0.80 // improvements never fire
+	if findings := compareFiles(base, cur, 25); len(findings) != 0 {
+		t.Fatalf("gate fired within threshold: %v", findings)
+	}
+}
+
+func TestCompareThresholdIsConfigurable(t *testing.T) {
+	base := basePerf()
+	cur := basePerf()
+	cur.Results[0].NsPerOp *= 1.20
+	if findings := compareFiles(base, cur, 10); len(findings) != 1 {
+		t.Fatalf("tighter threshold should fire: %v", findings)
+	}
+}
+
+// A zero-alloc baseline path that starts allocating is a regression even if
+// its ns/op stayed put (the steady-state serving guarantee).
+func TestCompareFiresOnNewAllocations(t *testing.T) {
+	base := basePerf()
+	cur := basePerf()
+	cur.Results[2].AllocsPerOp = 3
+	findings := compareFiles(base, cur, 25)
+	if len(findings) != 1 || !strings.Contains(findings[0], "started allocating") {
+		t.Fatalf("alloc regression not caught: %v", findings)
+	}
+}
+
+// The machine-independent check: a baseline blocked-vs-naive speedup that
+// collapses below 1x fires the gate even when every absolute ns/op is
+// plausible for the (different) machine.
+func TestCompareFiresOnSpeedupCollapse(t *testing.T) {
+	base := basePerf()
+	base.Speedups = map[string]float64{"init": 1.6}
+	cur := basePerf()
+	cur.Speedups = map[string]float64{"init": 0.9}
+	findings := compareFiles(base, cur, 25)
+	if len(findings) != 1 || !strings.Contains(findings[0], "no longer beats naive") {
+		t.Fatalf("speedup collapse not caught: %v", findings)
+	}
+
+	// A modest dip that stays above 1x is machine noise, not a regression.
+	cur.Speedups["init"] = 1.15
+	if findings := compareFiles(base, cur, 25); len(findings) != 0 {
+		t.Fatalf("gate fired on a still-winning speedup: %v", findings)
+	}
+}
+
+// A benchmark that silently disappears from the suite must fail the gate —
+// otherwise deleting a slow benchmark "fixes" its regression.
+func TestCompareFiresOnMissingBenchmark(t *testing.T) {
+	base := basePerf()
+	cur := basePerf()
+	cur.Results = cur.Results[:2]
+	findings := compareFiles(base, cur, 25)
+	if len(findings) != 1 || !strings.Contains(findings[0], "missing") {
+		t.Fatalf("missing benchmark not caught: %v", findings)
+	}
+}
+
+// End-to-end over real files: runCompare reads both directories and returns
+// an error exactly when a tracked file regressed.
+func TestRunCompareRoundTrip(t *testing.T) {
+	baseDir, curDir := t.TempDir(), t.TempDir()
+	base := basePerf()
+	predict := perfFile{
+		Suite: "predict",
+		Results: []perfResult{
+			{Name: "PredictBatch/kernel=naive", NsPerOp: 1_000_000, AllocsPerOp: 0},
+		},
+	}
+	writeBoth := func(dir string, init, pred perfFile) {
+		if err := writePerfFile(filepath.Join(dir, "BENCH_init.json"), init); err != nil {
+			t.Fatal(err)
+		}
+		if err := writePerfFile(filepath.Join(dir, "BENCH_predict.json"), pred); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeBoth(baseDir, base, predict)
+	writeBoth(curDir, base, predict)
+	if err := runCompare(baseDir, curDir, 25); err != nil {
+		t.Fatalf("identical suites must pass: %v", err)
+	}
+
+	slow := predict
+	slow.Results = append([]perfResult(nil), predict.Results...)
+	slow.Results[0].NsPerOp *= 2
+	writeBoth(curDir, base, slow)
+	err := runCompare(baseDir, curDir, 25)
+	if err == nil || !strings.Contains(err.Error(), "PredictBatch/kernel=naive") {
+		t.Fatalf("2x predict slowdown must fail the gate, got %v", err)
+	}
+
+	// Missing baseline file is a hard error, not a silent pass.
+	if err := os.Remove(filepath.Join(baseDir, "BENCH_predict.json")); err != nil {
+		t.Fatal(err)
+	}
+	if err := runCompare(baseDir, curDir, 25); err == nil {
+		t.Fatal("missing baseline file must error")
+	}
+}

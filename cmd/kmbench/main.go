@@ -15,6 +15,10 @@
 // (Init, one Lloyd iteration, steady-state PredictBatch — each under the
 // naive-scan baseline and the blocked distance engine) and writes
 // BENCH_init.json / BENCH_predict.json for regression tracking; see perf.go.
+// `kmbench -compare -baseline . -current DIR` is the CI bench gate: it fails
+// when any tracked hot path regressed more than -threshold percent ns/op
+// against the committed baselines, or started allocating where the baseline
+// did not; see compare.go.
 package main
 
 import (
@@ -37,8 +41,24 @@ func main() {
 		format   = flag.String("format", "table", "output format: table | csv")
 		jsonPerf = flag.Bool("json", false, "run the hot-path perf suite and write BENCH_init.json / BENCH_predict.json")
 		outDir   = flag.String("out", ".", "directory for the -json benchmark files")
+		compare  = flag.Bool("compare", false, "compare the BENCH files in -current against the -baseline dir and fail on regressions")
+		baseline = flag.String("baseline", ".", "directory holding the committed BENCH_*.json baselines (-compare)")
+		current  = flag.String("current", "", "directory holding freshly regenerated BENCH_*.json files (-compare; defaults to -out)")
+		thresh   = flag.Float64("threshold", 25, "allowed ns/op growth in percent before -compare fails")
 	)
 	flag.Parse()
+
+	if *compare {
+		cur := *current
+		if cur == "" {
+			cur = *outDir
+		}
+		if err := runCompare(*baseline, cur, *thresh); err != nil {
+			fmt.Fprintln(os.Stderr, "kmbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *jsonPerf {
 		if err := runPerfSuite(*outDir); err != nil {

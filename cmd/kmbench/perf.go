@@ -41,10 +41,10 @@ type perfResult struct {
 }
 
 type perfFile struct {
-	Suite    string  `json:"suite"`
-	GoOS     string  `json:"goos"`
-	GoArch   string  `json:"goarch"`
-	MaxProcs int     `json:"gomaxprocs"`
+	Suite    string   `json:"suite"`
+	GoOS     string   `json:"goos"`
+	GoArch   string   `json:"goarch"`
+	MaxProcs int      `json:"gomaxprocs"`
 	Workload workload `json:"workload"`
 	// Results hold one entry per (benchmark, kernel); kernel=naive is the
 	// pre-engine baseline path (SqDistBound scans), kernel=blocked the
@@ -97,8 +97,11 @@ func measure(name string, f func(b *testing.B)) perfResult {
 }
 
 // runPerfSuite measures the three hot paths under both kernels and writes
-// BENCH_init.json / BENCH_predict.json into outDir.
+// BENCH_init.json / BENCH_predict.json into outDir (created if missing).
 func runPerfSuite(outDir string) error {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
 	x := perfData(perfN, perfDim, perfK, 1)
 	ds := geom.NewDataset(x)
 

@@ -1,0 +1,127 @@
+// Command kmcoord is the coordinator of the distributed k-means|| fitting
+// tier: it connects to a set of kmworker processes, shards a dataset across
+// them, runs Algorithm 2's sampling rounds plus distributed Lloyd iterations
+// with every pass answered remotely (internal/distkm), and writes the fitted
+// model in the kmeansll text format that kmserved and kmcluster consume.
+//
+// Usage:
+//
+//	kmworker -addr :9091 &
+//	kmworker -addr :9092 &
+//	kmcoord -workers localhost:9091,localhost:9092 \
+//	        -data points.csv -k 20 -out model.kmm
+//
+//	# or with a synthetic Gaussian-mixture workload (§4.1 of the paper):
+//	kmcoord -workers localhost:9091,localhost:9092 \
+//	        -gen-n 100000 -gen-d 15 -gen-k 20 -k 20 -out model.kmm
+//
+// For equal seeds the resulting centers are bit-identical to a
+// single-process mrkm fit with Mappers set to the worker count; workers that
+// die mid-fit have their shards re-assigned to survivors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"kmeansll/internal/core"
+	"kmeansll/internal/data"
+	"kmeansll/internal/distkm"
+	"kmeansll/internal/geom"
+)
+
+func main() {
+	var (
+		workers = flag.String("workers", "", "comma-separated kmworker addresses (required)")
+		dataCSV = flag.String("data", "", "CSV dataset to fit (mutually exclusive with -gen-*)")
+		genN    = flag.Int("gen-n", 0, "generate a Gaussian mixture with this many points")
+		genD    = flag.Int("gen-d", 15, "generated dimensionality")
+		genK    = flag.Int("gen-k", 20, "generated mixture components")
+		k       = flag.Int("k", 10, "clusters to fit")
+		ell     = flag.Float64("l", 0, "oversampling factor ℓ (0 = 2k)")
+		rounds  = flag.Int("rounds", 0, "sampling rounds (0 = auto)")
+		maxIter = flag.Int("max-iter", 20, "Lloyd iteration cap")
+		seedVal = flag.Uint64("seed", 1, "run seed")
+		out     = flag.String("out", "", "write the fitted model here (kmeansll text format)")
+		timeout = flag.Duration("dial-timeout", 5*time.Second, "per-worker dial timeout")
+	)
+	flag.Parse()
+
+	if *workers == "" {
+		fail("kmcoord: -workers is required (comma-separated kmworker addresses)")
+	}
+	ds, err := loadDataset(*dataCSV, *genN, *genD, *genK, *seedVal)
+	if err != nil {
+		fail("kmcoord: %v", err)
+	}
+
+	addrs := strings.Split(*workers, ",")
+	clients := make([]distkm.Client, 0, len(addrs))
+	for _, addr := range addrs {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		cl, err := distkm.Dial(addr, *timeout)
+		if err != nil {
+			fail("kmcoord: dialing %s: %v", addr, err)
+		}
+		clients = append(clients, cl)
+	}
+	coord, err := distkm.NewCoordinator(clients)
+	if err != nil {
+		fail("kmcoord: %v", err)
+	}
+	defer coord.Close()
+
+	start := time.Now()
+	if err := coord.Distribute(ds); err != nil {
+		fail("kmcoord: distributing %d points across %d workers: %v", ds.N(), len(clients), err)
+	}
+	fmt.Fprintf(os.Stderr, "kmcoord: %d points × %d dims over %d shards on %d workers (%s)\n",
+		ds.N(), ds.Dim(), coord.Shards(), coord.Workers(), time.Since(start).Round(time.Millisecond))
+
+	cfg := core.Config{K: *k, L: *ell, Rounds: *rounds, Seed: *seedVal}
+	_, res, stats, err := coord.Fit(cfg, *maxIter)
+	if err != nil {
+		fail("kmcoord: fit: %v", err)
+	}
+	fmt.Fprintf(os.Stderr,
+		"kmcoord: k-means|| sampled %d candidates, seed cost %.6g; Lloyd ran %d iters to cost %.6g (converged=%v)\n",
+		stats.Candidates, stats.SeedCost, res.Iters, res.Cost, res.Converged)
+	fmt.Fprintf(os.Stderr, "kmcoord: %d RPC rounds, %d shard calls, %d failovers, total %s\n",
+		stats.RPCRounds, stats.Calls, stats.Failovers, time.Since(start).Round(time.Millisecond))
+
+	if *out != "" {
+		model, err := distkm.Model(res, stats)
+		if err != nil {
+			fail("kmcoord: %v", err)
+		}
+		if err := model.SaveFile(*out); err != nil {
+			fail("kmcoord: saving model: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "kmcoord: wrote %s\n", *out)
+	}
+}
+
+func loadDataset(csvPath string, genN, genD, genK int, seed uint64) (*geom.Dataset, error) {
+	switch {
+	case csvPath != "" && genN > 0:
+		return nil, fmt.Errorf("give either -data or -gen-n, not both")
+	case csvPath != "":
+		return data.LoadCSV(csvPath)
+	case genN > 0:
+		ds, _ := data.GaussMixture(data.GaussMixtureConfig{N: genN, D: genD, K: genK, R: 10, Seed: seed})
+		return ds, nil
+	default:
+		return nil, fmt.Errorf("need a dataset: -data points.csv or -gen-n N")
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -28,6 +28,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -45,8 +46,16 @@ func main() {
 		maxPoints   = flag.Int("max-points", 1_000_000, "points per request cap")
 		history     = flag.Int("history", server.DefaultMaxHistory, "retained versions per model")
 		drainSecs   = flag.Int("drain", 30, "graceful shutdown timeout in seconds")
+		distWorkers = flag.String("dist-workers", "", "comma-separated kmworker addresses for backend=dist fit jobs (empty = in-process loopback cluster)")
 	)
 	flag.Parse()
+
+	var distAddrs []string
+	for _, addr := range strings.Split(*distWorkers, ",") {
+		if addr = strings.TrimSpace(addr); addr != "" {
+			distAddrs = append(distAddrs, addr)
+		}
+	}
 
 	logger := log.New(os.Stderr, "kmserved: ", log.LstdFlags)
 	srv := server.New(server.Config{
@@ -56,6 +65,7 @@ func main() {
 		MaxRequestBytes: *maxBody,
 		MaxBatchPoints:  *maxPoints,
 		MaxHistory:      *history,
+		DistWorkers:     distAddrs,
 		Logf:            logger.Printf,
 	})
 

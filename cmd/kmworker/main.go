@@ -1,0 +1,46 @@
+// Command kmworker is one shard worker of the distributed k-means|| fitting
+// tier (internal/distkm). It starts empty, waits for a kmcoord (or kmserved)
+// coordinator to push it a data shard, and then answers the per-round
+// primitives of Algorithm 2 — D² cache update + cost, threshold sampling,
+// weight counts — plus Lloyd partial sums, over net/rpc (gob).
+//
+// Usage:
+//
+//	kmworker -addr :9090
+//	kmworker -addr 127.0.0.1:0        # pick a free port, printed on stdout
+//
+// The worker prints exactly one line "kmworker: listening on HOST:PORT" to
+// stdout once it is ready, which scripts (and the two-process integration
+// test) parse to discover the port. It runs until killed; losing a worker
+// mid-fit is fine — the coordinator re-assigns its shard to a survivor.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"kmeansll/internal/distkm"
+)
+
+func main() {
+	addr := flag.String("addr", ":9090", "listen address (host:0 picks a free port)")
+	shardTTL := flag.Duration("shard-ttl", time.Hour,
+		"drop shards untouched for this long (coordinator crashed without releasing them); 0 disables")
+	flag.Parse()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("kmworker: %v", err)
+	}
+	fmt.Printf("kmworker: listening on %s\n", ln.Addr())
+
+	w := distkm.NewWorker()
+	stop := w.StartJanitor(*shardTTL)
+	defer stop()
+	if err := w.Serve(ln); err != nil {
+		log.Fatalf("kmworker: %v", err)
+	}
+}

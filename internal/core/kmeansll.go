@@ -301,8 +301,8 @@ func Init(ds *geom.Dataset, cfg Config) (*geom.Matrix, Stats) {
 
 // sampleBernoulli implements Step 4: each point independently with
 // probability min(1, ℓ·d²(x,C)/φ). The uniform variate for point i in a given
-// round is a pure function of (seed, round, i), making the selection
-// independent of the parallel chunking.
+// round is a pure function of (seed, round, i) — rng.PointRand — making the
+// selection independent of the parallel chunking.
 func sampleBernoulli(seedVal uint64, round int, d2 []float64, phi, ell float64, parallelism int) []int {
 	n := len(d2)
 	chunks := geom.ChunkCount(n, parallelism)
@@ -314,7 +314,7 @@ func sampleBernoulli(seedVal uint64, round int, d2 []float64, phi, ell float64, 
 				continue
 			}
 			p := ell * d2[i] / phi
-			if p >= 1 || pointRand(seedVal, round, i) < p {
+			if p >= 1 || rng.PointRand(seedVal, round, i) < p {
 				sel = append(sel, i)
 			}
 		}
@@ -325,16 +325,6 @@ func sampleBernoulli(seedVal uint64, round int, d2 []float64, phi, ell float64, 
 		out = append(out, sel...)
 	}
 	return out
-}
-
-// pointRand returns a uniform [0,1) variate determined by (seed, round, i).
-func pointRand(seed uint64, round, i int) float64 {
-	x := seed ^ (uint64(round)+1)*0x9e3779b97f4a7c15 ^ (uint64(i)+1)*0xbf58476d1ce4e5b9
-	z := x
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	z ^= z >> 31
-	return float64(z>>11) / (1 << 53)
 }
 
 // sampleExactL draws m indices from the joint distribution proportional to

@@ -315,13 +315,13 @@ func TestBernoulliSamplingProperty(t *testing.T) {
 
 // Property: pointRand is deterministic and uniform-ish.
 func TestPointRandProperty(t *testing.T) {
-	if pointRand(1, 2, 3) != pointRand(1, 2, 3) {
+	if rng.PointRand(1, 2, 3) != rng.PointRand(1, 2, 3) {
 		t.Fatal("pointRand not deterministic")
 	}
 	var sum float64
 	const n = 100000
 	for i := 0; i < n; i++ {
-		v := pointRand(42, 1, i)
+		v := rng.PointRand(42, 1, i)
 		if v < 0 || v >= 1 {
 			t.Fatalf("pointRand out of range: %v", v)
 		}
@@ -333,7 +333,7 @@ func TestPointRandProperty(t *testing.T) {
 	// Different rounds give different streams.
 	same := 0
 	for i := 0; i < 1000; i++ {
-		if pointRand(42, 1, i) == pointRand(42, 2, i) {
+		if rng.PointRand(42, 1, i) == rng.PointRand(42, 2, i) {
 			same++
 		}
 	}

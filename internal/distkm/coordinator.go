@@ -1,0 +1,542 @@
+package distkm
+
+import (
+	"errors"
+	"fmt"
+	"net/rpc"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kmeansll/internal/core"
+	"kmeansll/internal/geom"
+	"kmeansll/internal/lloyd"
+	"kmeansll/internal/mrkm"
+	"kmeansll/internal/rng"
+	"kmeansll/internal/seed"
+)
+
+// Stats describes a distributed run, mirroring mrkm.Stats with the network
+// quantities added.
+type Stats struct {
+	// RPCRounds counts barrier-synchronized fan-outs (one per "MR job" of the
+	// mrkm realization: cost pass, sampling pass, weighting, Lloyd iteration).
+	RPCRounds int
+	// Calls counts individual shard RPCs issued, including failover retries.
+	Calls int64
+	// Failovers counts shard re-assignments after a worker failure.
+	Failovers int
+	// Candidates is |C| before reclustering (Init only).
+	Candidates int
+	// Psi is φ after the first center (Init only).
+	Psi float64
+	// PhiTrace is φ after each sampling round (Init only).
+	PhiTrace []float64
+	// SeedCost is φ_X of the k centers Init produced.
+	SeedCost float64
+}
+
+// Coordinator drives k-means|| rounds and Lloyd iterations over remote shard
+// workers. It holds no point data on the hot path — only the (small) center
+// set crosses the network each round, exactly the property that lets the
+// paper's algorithm run on a share-nothing cluster — but it retains the
+// dataset it distributed so it can re-push a shard when a worker dies.
+//
+// All floating-point reductions run in fixed shard order, so for W workers
+// the results are bit-identical to mrkm.Init/mrkm.Lloyd with Mappers: W
+// (which reduce in mapper order over the same spans), regardless of which
+// physical worker computed which partial and of any mid-run failovers.
+type Coordinator struct {
+	fit     uint64 // unique id namespacing this coordinator's shards on shared workers
+	clients []Client
+	ds      *geom.Dataset
+	spans   []mrkm.Span
+
+	mu     sync.Mutex
+	assign []int  // shard -> worker index
+	alive  []bool // worker index -> reachable
+
+	// rebuildCenters, when non-nil, is the center set whose distances are
+	// folded into the shards' D² caches right now; a failover re-load rebuilds
+	// the cache from it before the failed call is retried.
+	rebuildCenters *geom.Matrix
+
+	rpcRounds atomic.Int64
+	calls     atomic.Int64
+	failovers atomic.Int64
+}
+
+// NewCoordinator wraps the given worker connections. Call Distribute before
+// fitting.
+func NewCoordinator(clients []Client) (*Coordinator, error) {
+	if len(clients) == 0 {
+		return nil, errors.New("distkm: need at least one worker")
+	}
+	alive := make([]bool, len(clients))
+	for i := range alive {
+		alive[i] = true
+	}
+	return &Coordinator{fit: newFitID(), clients: clients, alive: alive}, nil
+}
+
+// fitSeq disambiguates coordinators created in the same nanosecond within
+// one process; the timestamp disambiguates across processes sharing workers.
+var fitSeq atomic.Uint64
+
+func newFitID() uint64 {
+	return uint64(time.Now().UnixNano())<<8 | (fitSeq.Add(1) & 0xff)
+}
+
+// ref names one of this coordinator's shards on the wire.
+func (c *Coordinator) ref(shardID int) ShardRef { return ShardRef{Fit: c.fit, Shard: shardID} }
+
+// Workers returns how many worker connections the coordinator holds.
+func (c *Coordinator) Workers() int { return len(c.clients) }
+
+// Shards returns how many shards the dataset was split into.
+func (c *Coordinator) Shards() int { return len(c.spans) }
+
+// Close releases this fit's shards on every live worker (best effort, so
+// shared long-lived workers drop the datasets) and closes the connections.
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	alive := append([]bool(nil), c.alive...)
+	c.mu.Unlock()
+	for i, cl := range c.clients {
+		if alive[i] && len(c.spans) > 0 {
+			_ = cl.Call("Worker.Release", ReleaseArgs{Fit: c.fit}, &Ack{})
+		}
+		_ = cl.Close()
+	}
+}
+
+// Distribute splits ds into one contiguous shard per worker (fewer when
+// n < workers, matching mrkm's mapper clamp) and pushes each shard to its
+// worker. The spans come from mrkm.MakeSpans — the same function the
+// in-process realization partitions with — so per-shard partial sums line up
+// with its mapper partials term for term.
+func (c *Coordinator) Distribute(ds *geom.Dataset) error {
+	n := ds.N()
+	if n == 0 {
+		return errors.New("distkm: empty dataset")
+	}
+	c.ds = ds
+	c.spans = mrkm.MakeSpans(n, len(c.clients))
+	c.assign = make([]int, len(c.spans))
+	for i := range c.assign {
+		c.assign[i] = i
+	}
+	for s := range c.spans {
+		if err := c.withFailover(s, func(shardID int, cl Client) error {
+			return c.loadShard(cl, shardID)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// loadShard pushes shard shardID's span of the retained dataset onto cl.
+func (c *Coordinator) loadShard(cl Client, shardID int) error {
+	sp := c.spans[shardID]
+	view := c.ds.X.RowRange(sp.Lo, sp.Hi)
+	var w []float64
+	if c.ds.Weight != nil {
+		w = c.ds.Weight[sp.Lo:sp.Hi]
+	}
+	return cl.Call("Worker.Load", LoadArgs{
+		Ref:     c.ref(shardID),
+		Lo:      sp.Lo,
+		Points:  matOf(view.Rows, view.Cols, view.Data),
+		Weights: w,
+	}, &Ack{})
+}
+
+// withFailover runs call against the shard's current worker, re-assigning
+// the shard to a surviving worker (re-pushing its data and rebuilding its D²
+// cache) on transport failure, then retrying. Application-level errors from
+// the worker (rpc.ServerError) are returned as-is: they are deterministic
+// and re-assignment cannot fix them. Sampling is counter-based, so a retried
+// call returns exactly what the first attempt would have.
+func (c *Coordinator) withFailover(shardID int, call func(int, Client) error) error {
+	for {
+		c.mu.Lock()
+		w := c.assign[shardID]
+		cl := c.clients[w]
+		ok := c.alive[w]
+		c.mu.Unlock()
+
+		if ok {
+			c.calls.Add(1)
+			err := call(shardID, cl)
+			if err == nil {
+				return nil
+			}
+			var appErr rpc.ServerError
+			if errors.As(err, &appErr) {
+				return fmt.Errorf("distkm: shard %d: %w", shardID, err)
+			}
+			c.mu.Lock()
+			c.alive[w] = false
+			c.mu.Unlock()
+		}
+		if err := c.reassign(shardID); err != nil {
+			return err
+		}
+	}
+}
+
+// reassign moves shardID to the next live worker, re-pushes its data, and
+// rebuilds its distance cache against the currently-broadcast center set.
+func (c *Coordinator) reassign(shardID int) error {
+	c.mu.Lock()
+	prev := c.assign[shardID]
+	next := -1
+	for off := 1; off <= len(c.clients); off++ {
+		cand := (prev + off) % len(c.clients)
+		if c.alive[cand] {
+			next = cand
+			break
+		}
+	}
+	if next < 0 {
+		c.mu.Unlock()
+		return errors.New("distkm: no live workers left")
+	}
+	c.assign[shardID] = next
+	cl := c.clients[next]
+	rebuild := c.rebuildCenters
+	c.mu.Unlock()
+
+	if c.ds == nil {
+		return errors.New("distkm: cannot re-assign a shard without the retained dataset")
+	}
+	c.failovers.Add(1)
+	c.calls.Add(1)
+	if err := c.loadShard(cl, shardID); err != nil {
+		c.mu.Lock()
+		c.alive[next] = false
+		c.mu.Unlock()
+		return nil // loop in withFailover picks the next survivor
+	}
+	if rebuild != nil && rebuild.Rows > 0 {
+		c.calls.Add(1)
+		if err := cl.Call("Worker.Update", UpdateArgs{
+			Ref:   c.ref(shardID),
+			New:   matOf(rebuild.Rows, rebuild.Cols, rebuild.Data),
+			Reset: true,
+		}, &CostReply{}); err != nil {
+			c.mu.Lock()
+			c.alive[next] = false
+			c.mu.Unlock()
+		}
+	}
+	return nil
+}
+
+// fanOut runs one barrier-synchronized pass: call for every shard
+// concurrently, with per-shard failover. It is the network analogue of one
+// MapReduce job.
+func (c *Coordinator) fanOut(call func(shardID int, cl Client) error) error {
+	if len(c.spans) == 0 {
+		return errors.New("distkm: no shards distributed; call Distribute first")
+	}
+	c.rpcRounds.Add(1)
+	errs := make([]error, len(c.spans))
+	var wg sync.WaitGroup
+	wg.Add(len(c.spans))
+	for s := range c.spans {
+		go func(s int) {
+			defer wg.Done()
+			errs[s] = c.withFailover(s, call)
+		}(s)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// snapshot copies the network counters accumulated since the given baseline
+// into st.
+func (c *Coordinator) snapshot(st *Stats, rounds0, calls0, fail0 int64) {
+	st.RPCRounds = int(c.rpcRounds.Load() - rounds0)
+	st.Calls = c.calls.Load() - calls0
+	st.Failovers = int(c.failovers.Load() - fail0)
+}
+
+// Init runs Algorithm 2 with every per-round primitive answered by the
+// remote shards, following mrkm.Init step for step: one Update fan-out is
+// one cost/cache job, one Sample fan-out is one sampling job, Step 7 is a
+// Weights fan-out, and Step 8 (tiny) runs on the coordinator.
+func (c *Coordinator) Init(cfg core.Config) (*geom.Matrix, Stats, error) {
+	stats := Stats{}
+	if cfg.K <= 0 {
+		return nil, stats, errors.New("distkm: Config.K must be positive")
+	}
+	if c.ds == nil || len(c.spans) == 0 {
+		return nil, stats, errors.New("distkm: call Distribute before Init")
+	}
+	rounds0, calls0, fail0 := c.rpcRounds.Load(), c.calls.Load(), c.failovers.Load()
+	n := c.ds.N()
+	r := rng.New(cfg.Seed)
+	ell, rounds := mrkm.Defaults(cfg)
+
+	// Step 1: the driver picks the first center uniformly (weight-
+	// proportionally when weighted) and fetches it from the owning shard.
+	var first int
+	if c.ds.Weight == nil {
+		first = r.Intn(n)
+	} else {
+		first = r.WeightedIndex(c.ds.Weight)
+	}
+	firstPoint, err := c.fetch(first)
+	if err != nil {
+		return nil, stats, err
+	}
+	centers := geom.NewMatrix(0, c.ds.Dim())
+	centers.Cols = c.ds.Dim()
+	centers.AppendRow(firstPoint)
+
+	c.mu.Lock()
+	c.rebuildCenters = centers
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		c.rebuildCenters = nil
+		c.mu.Unlock()
+	}()
+
+	// updateAndCost broadcasts centers[from:], folds them into every shard's
+	// D² cache, and reduces the φ partials in shard order.
+	updateAndCost := func(from int) (float64, error) {
+		view := centers.RowRange(from, centers.Rows)
+		args := matOf(view.Rows, view.Cols, view.Data)
+		phis := make([]float64, len(c.spans))
+		err := c.fanOut(func(s int, cl Client) error {
+			var rep CostReply
+			if err := cl.Call("Worker.Update", UpdateArgs{Ref: c.ref(s), New: args, Reset: from == 0}, &rep); err != nil {
+				return err
+			}
+			phis[s] = rep.Phi
+			return nil
+		})
+		if err != nil {
+			return 0, err
+		}
+		var phi float64
+		for _, p := range phis {
+			phi += p
+		}
+		return phi, nil
+	}
+
+	// Step 2: ψ.
+	phi, err := updateAndCost(0)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.Psi = phi
+	stats.PhiTrace = append(stats.PhiTrace, phi)
+
+	// Steps 3–6: sample (needs last job's φ), then update+cost against the
+	// new centers — two fan-outs per round, like the Hadoop driver.
+	for round := 0; round < rounds && phi > 0; round++ {
+		from := centers.Rows
+		replies := make([]SampleReply, len(c.spans))
+		err := c.fanOut(func(s int, cl Client) error {
+			return cl.Call("Worker.Sample",
+				SampleArgs{Ref: c.ref(s), Round: round, Phi: phi, Ell: ell, Seed: cfg.Seed}, &replies[s])
+		})
+		if err != nil {
+			return nil, stats, err
+		}
+		for s := range replies {
+			pts := replies[s].Points.matrix()
+			for i := 0; i < pts.Rows; i++ {
+				centers.AppendRow(pts.Row(i))
+			}
+		}
+		if phi, err = updateAndCost(from); err != nil {
+			return nil, stats, err
+		}
+		stats.PhiTrace = append(stats.PhiTrace, phi)
+	}
+	stats.Candidates = centers.Rows
+
+	// Step 7: weighting fan-out, reduced per candidate in shard order.
+	weights, err := c.weightPass(centers)
+	if err != nil {
+		return nil, stats, err
+	}
+
+	// Step 8: sequential reclustering on the coordinator (the candidate set
+	// is tiny). Same RNG stream position and inputs as mrkm ⇒ same centers.
+	cds := mrkm.WeightedCandidates(centers, weights)
+	final := seed.KMeansPP(cds, cfg.K, r, 1)
+
+	stats.SeedCost, err = c.costPass(final)
+	if err != nil {
+		return nil, stats, err
+	}
+	c.snapshot(&stats, rounds0, calls0, fail0)
+	return final, stats, nil
+}
+
+// fetch retrieves one point by global index from its owning shard.
+func (c *Coordinator) fetch(index int) ([]float64, error) {
+	shardID := -1
+	for s, sp := range c.spans {
+		if index >= sp.Lo && index < sp.Hi {
+			shardID = s
+			break
+		}
+	}
+	if shardID < 0 {
+		return nil, fmt.Errorf("distkm: no shard owns global index %d", index)
+	}
+	var rep FetchReply
+	err := c.withFailover(shardID, func(s int, cl Client) error {
+		return cl.Call("Worker.Fetch", FetchArgs{Ref: c.ref(s), Index: index}, &rep)
+	})
+	return rep.Point, err
+}
+
+// weightPass is Step 7: per-candidate weight partials reduced in shard order.
+func (c *Coordinator) weightPass(centers *geom.Matrix) ([]float64, error) {
+	args := matOf(centers.Rows, centers.Cols, centers.Data)
+	replies := make([]WeightsReply, len(c.spans))
+	err := c.fanOut(func(s int, cl Client) error {
+		return cl.Call("Worker.Weights", CentersArgs{Ref: c.ref(s), Centers: args}, &replies[s])
+	})
+	if err != nil {
+		return nil, err
+	}
+	weights := make([]float64, centers.Rows)
+	for s := range replies {
+		for i, w := range replies[s].W {
+			weights[i] += w
+		}
+	}
+	return weights, nil
+}
+
+// costPass reduces φ_X(centers) over the shards in shard order.
+func (c *Coordinator) costPass(centers *geom.Matrix) (float64, error) {
+	args := matOf(centers.Rows, centers.Cols, centers.Data)
+	phis := make([]float64, len(c.spans))
+	err := c.fanOut(func(s int, cl Client) error {
+		var rep CostReply
+		if err := cl.Call("Worker.Cost", CentersArgs{Ref: c.ref(s), Centers: args}, &rep); err != nil {
+			return err
+		}
+		phis[s] = rep.Phi
+		return nil
+	})
+	var phi float64
+	for _, p := range phis {
+		phi += p
+	}
+	return phi, err
+}
+
+// Lloyd runs distributed Lloyd iterations: each iteration is one LloydStep
+// fan-out whose per-shard (Σw·x, Σw) partials are reduced at the coordinator
+// in shard order, then the updated centers are re-broadcast. Empty clusters
+// keep their previous position, as in mrkm.Lloyd.
+func (c *Coordinator) Lloyd(init *geom.Matrix, maxIter int) (lloyd.Result, Stats, error) {
+	stats := Stats{}
+	res := lloyd.Result{}
+	if c.ds == nil || len(c.spans) == 0 {
+		return res, stats, errors.New("distkm: call Distribute before Lloyd")
+	}
+	if maxIter <= 0 {
+		maxIter = 20 // the paper bounds parallel Lloyd at 20 iterations (§4.2)
+	}
+	rounds0, calls0, fail0 := c.rpcRounds.Load(), c.calls.Load(), c.failovers.Load()
+	centers := init.Clone()
+	k, d := centers.Rows, centers.Cols
+	res.Centers = centers
+
+	total := make([]float64, d+1)
+	row := make([]float64, d)
+	for it := 0; it < maxIter; it++ {
+		args := matOf(centers.Rows, centers.Cols, centers.Data)
+		replies := make([]LloydReply, len(c.spans))
+		err := c.fanOut(func(s int, cl Client) error {
+			return cl.Call("Worker.LloydStep", CentersArgs{Ref: c.ref(s), Centers: args}, &replies[s])
+		})
+		if err != nil {
+			return res, stats, err
+		}
+
+		var phi float64
+		maxMove := 0.0
+		for cIdx := 0; cIdx < k; cIdx++ {
+			for j := range total {
+				total[j] = 0
+			}
+			for s := range replies {
+				part := replies[s].Sums.matrix().Row(cIdx)
+				for j := range total {
+					total[j] += part[j]
+				}
+			}
+			if total[d] > 0 {
+				for j := 0; j < d; j++ {
+					row[j] = total[j] / total[d]
+				}
+				move := geom.SqDist(row, centers.Row(cIdx))
+				if move > maxMove {
+					maxMove = move
+				}
+				copy(centers.Row(cIdx), row)
+			}
+		}
+		for s := range replies {
+			phi += replies[s].Phi
+		}
+		res.Iters = it + 1
+		res.Cost = phi
+		res.CostTrace = append(res.CostTrace, phi)
+		if maxMove == 0 {
+			res.Converged = true
+			break
+		}
+	}
+
+	// Final pass: assignments and cost against the final centers, reduced in
+	// shard order (mrkm uses an in-process lloyd.Assign here; the values
+	// agree, the cost may differ in the last ulp from the different chunking).
+	args := matOf(centers.Rows, centers.Cols, centers.Data)
+	replies := make([]AssignReply, len(c.spans))
+	err := c.fanOut(func(s int, cl Client) error {
+		return cl.Call("Worker.Assign", CentersArgs{Ref: c.ref(s), Centers: args}, &replies[s])
+	})
+	if err != nil {
+		return res, stats, err
+	}
+	res.Assign = res.Assign[:0]
+	var phi float64
+	for s := range replies {
+		res.Assign = append(res.Assign, replies[s].Assign...)
+		phi += replies[s].Phi
+	}
+	res.Cost = phi
+	stats.SeedCost = phi
+	c.snapshot(&stats, rounds0, calls0, fail0)
+	return res, stats, nil
+}
+
+// Fit is the full pipeline: k-means|| seeding then Lloyd refinement, both
+// distributed. The merged Stats sums the network counters of both phases.
+func (c *Coordinator) Fit(cfg core.Config, maxIter int) (*geom.Matrix, lloyd.Result, Stats, error) {
+	initCenters, initStats, err := c.Init(cfg)
+	if err != nil {
+		return nil, lloyd.Result{}, initStats, err
+	}
+	res, lloydStats, err := c.Lloyd(initCenters, maxIter)
+	merged := initStats
+	merged.RPCRounds += lloydStats.RPCRounds
+	merged.Calls += lloydStats.Calls
+	merged.Failovers += lloydStats.Failovers
+	return initCenters, res, merged, err
+}

@@ -1,0 +1,103 @@
+package distkm
+
+import (
+	"fmt"
+	"net"
+	"net/rpc"
+	"time"
+)
+
+// Client is the coordinator's view of one worker connection. *rpc.Client
+// satisfies it; tests wrap it to inject failures.
+type Client interface {
+	Call(serviceMethod string, args any, reply any) error
+	Close() error
+}
+
+// DefaultCallTimeout bounds one shard RPC issued through a dialed client.
+// Worker passes are linear scans of one shard, so minutes of silence means a
+// hung (not merely slow) worker; timing out surfaces a transport error and
+// lets the coordinator fail the shard over instead of wedging the fit — a
+// SIGSTOPped worker keeps its TCP connection alive, so without a deadline
+// nothing would ever unblock.
+const DefaultCallTimeout = 2 * time.Minute
+
+// Dial connects to a kmworker process over TCP. A zero timeout means 5s.
+// Calls through the returned client carry DefaultCallTimeout; wrap a raw
+// *rpc.Client with WithCallTimeout to choose a different bound.
+func Dial(addr string, timeout time.Duration) (Client, error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return WithCallTimeout(rpc.NewClient(conn), DefaultCallTimeout), nil
+}
+
+// WithCallTimeout bounds every Call on cl to d. A timed-out call reports a
+// transport-style error (not an rpc.ServerError), so the coordinator treats
+// the worker as failed and re-assigns its shards. d ≤ 0 returns cl as-is.
+func WithCallTimeout(cl Client, d time.Duration) Client {
+	if d <= 0 {
+		return cl
+	}
+	return &timeoutClient{inner: cl, d: d}
+}
+
+type timeoutClient struct {
+	inner Client
+	d     time.Duration
+}
+
+func (t *timeoutClient) Call(method string, args, reply any) error {
+	rc, ok := t.inner.(*rpc.Client)
+	if !ok {
+		// Non-rpc inner clients (test fakes) have no async API; call inline.
+		return t.inner.Call(method, args, reply)
+	}
+	timer := time.NewTimer(t.d)
+	defer timer.Stop()
+	call := rc.Go(method, args, reply, make(chan *rpc.Call, 1))
+	select {
+	case done := <-call.Done:
+		return done.Error
+	case <-timer.C:
+		// The pending call keeps the connection unusable for this fit;
+		// closing it makes every subsequent call fail fast, which the
+		// failover path already handles.
+		_ = rc.Close()
+		return fmt.Errorf("distkm: %s timed out after %s", method, t.d)
+	}
+}
+
+func (t *timeoutClient) Close() error { return t.inner.Close() }
+
+// NewLoopback serves w over an in-memory pipe through the full net/rpc + gob
+// stack and returns a connected client. Everything crosses the same encoder
+// a TCP deployment uses — float64s round-trip bit-exactly either way — so
+// loopback tests exercise the real wire path without sockets.
+func NewLoopback(w *Worker) Client {
+	cliConn, srvConn := net.Pipe()
+	go rpcServer(w).ServeConn(srvConn)
+	return rpc.NewClient(cliConn)
+}
+
+// LoopbackCluster spins up n independent in-process workers, each behind its
+// own loopback client — the "simulated cluster" the kmserved dist backend
+// and tests run on. The returned closer shuts every connection down.
+func LoopbackCluster(n int) ([]Client, func()) {
+	if n < 1 {
+		n = 1
+	}
+	clients := make([]Client, n)
+	for i := range clients {
+		clients[i] = NewLoopback(NewWorker())
+	}
+	return clients, func() {
+		for _, c := range clients {
+			_ = c.Close()
+		}
+	}
+}

@@ -1,0 +1,343 @@
+package distkm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"net/rpc"
+	"sync"
+	"time"
+
+	"kmeansll/internal/geom"
+	"kmeansll/internal/mrkm"
+	"kmeansll/internal/rng"
+)
+
+// shard is one contiguous span of the global dataset living on this worker,
+// together with the data-local D² cache the sampling rounds maintain — the
+// state a Hadoop implementation persists alongside its split between jobs.
+type shard struct {
+	lo int // global index of point 0
+	ds *geom.Dataset
+	d2 []float64 // w_i · d²(x_i, C), +Inf before the first update pass
+
+	// lastUsed (guarded by the worker mutex) feeds the janitor: a fit whose
+	// coordinator died without a clean Release would otherwise strand its
+	// dataset copy on a long-lived shared worker forever.
+	lastUsed time.Time
+}
+
+// Worker is the RPC service one kmworker process exposes. A worker starts
+// empty; coordinators push shards with Load and may push additional shards
+// later when they re-assign work from a failed peer. Shards are keyed by
+// (fit id, shard number), so concurrent fits from different coordinators can
+// share one worker without stepping on each other's data. All methods are
+// safe for concurrent use (net/rpc dispatches concurrently); calls for one
+// shard are serialized by its coordinator's round structure.
+type Worker struct {
+	mu     sync.Mutex
+	shards map[ShardRef]*shard
+}
+
+// NewWorker returns an empty worker ready to register with an RPC server.
+func NewWorker() *Worker {
+	return &Worker{shards: make(map[ShardRef]*shard)}
+}
+
+func (w *Worker) shardByRef(ref ShardRef) (*shard, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	s, ok := w.shards[ref]
+	if !ok {
+		return nil, fmt.Errorf("distkm: worker has no shard %d of fit %d", ref.Shard, ref.Fit)
+	}
+	s.lastUsed = time.Now()
+	return s, nil
+}
+
+// Load installs (or replaces) a shard. The D² cache starts at +Inf, i.e.
+// "no centers seen yet"; an Update with Reset rebuilds it after failover.
+func (w *Worker) Load(args LoadArgs, _ *Ack) error {
+	if args.Points.Rows*args.Points.Cols != len(args.Points.Data) {
+		return fmt.Errorf("distkm: Load shard %d: %d×%d points but %d values",
+			args.Ref.Shard, args.Points.Rows, args.Points.Cols, len(args.Points.Data))
+	}
+	if args.Weights != nil && len(args.Weights) != args.Points.Rows {
+		return fmt.Errorf("distkm: Load shard %d: %d weights for %d points",
+			args.Ref.Shard, len(args.Weights), args.Points.Rows)
+	}
+	x := &geom.Matrix{Rows: args.Points.Rows, Cols: args.Points.Cols, Data: args.Points.Data}
+	d2 := make([]float64, x.Rows)
+	for i := range d2 {
+		d2[i] = math.Inf(1)
+	}
+	w.mu.Lock()
+	w.shards[args.Ref] = &shard{
+		lo:       args.Lo,
+		ds:       &geom.Dataset{X: x, Weight: args.Weights},
+		d2:       d2,
+		lastUsed: time.Now(),
+	}
+	w.mu.Unlock()
+	return nil
+}
+
+// Update folds the broadcast centers into the shard's D² cache and returns
+// the shard's φ partial. The loop is mrkm.UpdateSpan — the literally shared
+// mapper body — so the partial is bit-identical to the in-process
+// realization.
+func (w *Worker) Update(args UpdateArgs, reply *CostReply) error {
+	s, err := w.shardByRef(args.Ref)
+	if err != nil {
+		return err
+	}
+	centers, err := args.New.checked(s.ds.Dim(), 0)
+	if err != nil {
+		return err
+	}
+	if args.Reset {
+		for i := range s.d2 {
+			s.d2[i] = math.Inf(1)
+		}
+	}
+	reply.Phi = mrkm.UpdateSpan(s.ds, s.d2, 0, s.ds.N(), centers, 0)
+	return nil
+}
+
+// Sample is the Bernoulli selection over the cached D² weights: point i is
+// chosen iff min(1, ℓ·d²/φ) exceeds rng.PointRand(seed, round, globalIndex).
+// No distance work happens — the cache is current after the last Update.
+func (w *Worker) Sample(args SampleArgs, reply *SampleReply) error {
+	s, err := w.shardByRef(args.Ref)
+	if err != nil {
+		return err
+	}
+	pts := geom.NewMatrix(0, s.ds.Dim())
+	pts.Cols = s.ds.Dim()
+	for i := range s.d2 {
+		if s.d2[i] <= 0 {
+			continue
+		}
+		p := args.Ell * s.d2[i] / args.Phi
+		if p >= 1 || rng.PointRand(args.Seed, args.Round, s.lo+i) < p {
+			reply.Indices = append(reply.Indices, s.lo+i)
+			pts.AppendRow(s.ds.Point(i))
+		}
+	}
+	reply.Points = matOf(pts.Rows, pts.Cols, pts.Data)
+	return nil
+}
+
+// Weights is the Step 7 partial: for each candidate, the total weight of the
+// shard's points whose nearest candidate it is. Accumulation order is point
+// order, matching the mrkm combiner.
+func (w *Worker) Weights(args CentersArgs, reply *WeightsReply) error {
+	s, err := w.shardByRef(args.Ref)
+	if err != nil {
+		return err
+	}
+	centers, err := args.Centers.checked(s.ds.Dim(), 1)
+	if err != nil {
+		return err
+	}
+	reply.W = make([]float64, centers.Rows)
+	for i := 0; i < s.ds.N(); i++ {
+		idx, _ := geom.Nearest(s.ds.Point(i), centers)
+		reply.W[idx] += s.ds.W(i)
+	}
+	return nil
+}
+
+// LloydStep is one Lloyd iteration's map side: per-center Σw·x and Σw over
+// the shard, plus the assignment-cost partial. Centers the shard never
+// assigns to keep all-zero rows; the coordinator's reduction skips them by
+// the zero total weight.
+func (w *Worker) LloydStep(args CentersArgs, reply *LloydReply) error {
+	s, err := w.shardByRef(args.Ref)
+	if err != nil {
+		return err
+	}
+	centers, err := args.Centers.checked(s.ds.Dim(), 1)
+	if err != nil {
+		return err
+	}
+	k, d := centers.Rows, centers.Cols
+	sums := geom.NewMatrix(k, d+1)
+	var phi float64
+	for i := 0; i < s.ds.N(); i++ {
+		p := s.ds.Point(i)
+		idx, dist := geom.Nearest(p, centers)
+		ww := s.ds.W(i)
+		row := sums.Row(idx)
+		for j, v := range p {
+			row[j] += ww * v
+		}
+		row[d] += ww
+		phi += ww * dist
+	}
+	reply.Sums = matOf(sums.Rows, sums.Cols, sums.Data)
+	reply.Phi = phi
+	return nil
+}
+
+// Cost returns the shard's φ partial against an arbitrary center set
+// (the final evaluation pass).
+func (w *Worker) Cost(args CentersArgs, reply *CostReply) error {
+	s, err := w.shardByRef(args.Ref)
+	if err != nil {
+		return err
+	}
+	centers, err := args.Centers.checked(s.ds.Dim(), 1)
+	if err != nil {
+		return err
+	}
+	var part float64
+	for i := 0; i < s.ds.N(); i++ {
+		_, dist := geom.Nearest(s.ds.Point(i), centers)
+		part += s.ds.W(i) * dist
+	}
+	reply.Phi = part
+	return nil
+}
+
+// Assign returns the shard's nearest-center assignment (shard order) and its
+// cost partial — the final pass a fit uses to report per-point clusters.
+func (w *Worker) Assign(args CentersArgs, reply *AssignReply) error {
+	s, err := w.shardByRef(args.Ref)
+	if err != nil {
+		return err
+	}
+	centers, err := args.Centers.checked(s.ds.Dim(), 1)
+	if err != nil {
+		return err
+	}
+	reply.Assign = make([]int32, s.ds.N())
+	for i := 0; i < s.ds.N(); i++ {
+		idx, dist := geom.Nearest(s.ds.Point(i), centers)
+		reply.Assign[i] = int32(idx)
+		reply.Phi += s.ds.W(i) * dist
+	}
+	return nil
+}
+
+// Fetch returns the point with the given global index (Step 1's first
+// center lives on whichever worker owns that span).
+func (w *Worker) Fetch(args FetchArgs, reply *FetchReply) error {
+	s, err := w.shardByRef(args.Ref)
+	if err != nil {
+		return err
+	}
+	i := args.Index - s.lo
+	if i < 0 || i >= s.ds.N() {
+		return fmt.Errorf("distkm: shard %d does not own global index %d", args.Ref.Shard, args.Index)
+	}
+	reply.Point = append([]float64(nil), s.ds.Point(i)...)
+	return nil
+}
+
+// Release drops every shard belonging to the given fit. Coordinators call
+// it on Close so shared long-lived workers do not accumulate dead datasets.
+func (w *Worker) Release(args ReleaseArgs, _ *Ack) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for ref := range w.shards {
+		if ref.Fit == args.Fit {
+			delete(w.shards, ref)
+		}
+	}
+	return nil
+}
+
+// StartJanitor expires shards that no RPC has touched for ttl, sweeping
+// every ttl/10. Coordinators normally Release their shards on Close, but a
+// coordinator that crashes (or a kmcoord that os.Exits on an error path)
+// never does; on a long-lived shared worker those dataset copies would
+// accumulate forever. Active fits touch every shard once per round, so any
+// ttl comfortably above a round interval is safe. The returned stop function
+// halts the sweeper; kmworker runs it for the process lifetime.
+func (w *Worker) StartJanitor(ttl time.Duration) (stop func()) {
+	if ttl <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	go func() {
+		ticker := time.NewTicker(ttl / 10)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case now := <-ticker.C:
+				w.mu.Lock()
+				for ref, s := range w.shards {
+					if now.Sub(s.lastUsed) > ttl {
+						delete(w.shards, ref)
+					}
+				}
+				w.mu.Unlock()
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// Status reports what the worker holds (health checks, kmworker logging).
+func (w *Worker) Status(_ Ack, reply *StatusReply) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	reply.Shards = len(w.shards)
+	for _, s := range w.shards {
+		reply.Points += s.ds.N()
+	}
+	return nil
+}
+
+func (m Mat) matrix() *geom.Matrix {
+	return &geom.Matrix{Rows: m.Rows, Cols: m.Cols, Data: m.Data}
+}
+
+// checked validates a matrix received off the wire before any kernel touches
+// it: consistent shape, the shard's dimensionality, and at least minRows
+// rows. Without this a malformed or version-skewed request would panic
+// inside the RPC goroutine and take down a shared worker process — along
+// with every other fit's shards it holds.
+func (m Mat) checked(dim, minRows int) (*geom.Matrix, error) {
+	if m.Rows < 0 || m.Cols < 0 || m.Rows*m.Cols != len(m.Data) {
+		return nil, fmt.Errorf("distkm: malformed matrix: %d×%d with %d values", m.Rows, m.Cols, len(m.Data))
+	}
+	if m.Rows < minRows {
+		return nil, fmt.Errorf("distkm: need at least %d center row(s), got %d", minRows, m.Rows)
+	}
+	if m.Rows > 0 && m.Cols != dim {
+		return nil, fmt.Errorf("distkm: centers have dim %d, shard has dim %d", m.Cols, dim)
+	}
+	return m.matrix(), nil
+}
+
+// rpcServer wraps w in a net/rpc server under the service name "Worker".
+func rpcServer(w *Worker) *rpc.Server {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Worker", w); err != nil {
+		panic(err) // method-set mismatch is a programming error
+	}
+	return srv
+}
+
+// Serve accepts connections on ln and serves w until the listener closes.
+// Each connection is served on its own goroutine; cmd/kmworker calls this as
+// its main loop.
+func (w *Worker) Serve(ln net.Listener) error {
+	srv := rpcServer(w)
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go srv.ServeConn(conn)
+	}
+}

@@ -1,0 +1,124 @@
+package mr
+
+import "testing"
+
+// TestCountersExactValues pins every counter for a fully determined job:
+// 12 inputs over 3 mappers, each record emitting 2 pairs onto 2 keys, one
+// reducer output per key.
+func TestCountersExactValues(t *testing.T) {
+	inputs := make([]int, 12)
+	for i := range inputs {
+		inputs[i] = i
+	}
+	mapper := func(x int, emit func(int, int)) {
+		emit(x%2, x)   // key 0 or 1
+		emit(2+x%2, 1) // key 2 or 3
+	}
+	reducer := func(k int, vs []int, emit func(int)) { emit(len(vs)) }
+
+	_, c := Run(inputs, mapper, nil, reducer, Config{Mappers: 3, Reducers: 2})
+	if c.InputRecords != 12 {
+		t.Fatalf("InputRecords = %d, want 12", c.InputRecords)
+	}
+	if c.MapOutputs != 24 {
+		t.Fatalf("MapOutputs = %d, want 24", c.MapOutputs)
+	}
+	// No combiner: every map output crosses the shuffle.
+	if c.ShufflePairs != 24 {
+		t.Fatalf("ShufflePairs = %d, want 24 without a combiner", c.ShufflePairs)
+	}
+	if c.ReduceGroups != 4 {
+		t.Fatalf("ReduceGroups = %d, want 4", c.ReduceGroups)
+	}
+	if c.OutputRecords != 4 {
+		t.Fatalf("OutputRecords = %d, want 4", c.OutputRecords)
+	}
+}
+
+// TestCountersWithCombiner: the combiner collapses each mapper's pairs to at
+// most one per (mapper, key), which is exactly what ShufflePairs reports —
+// the paper's shuffle-volume argument depends on this accounting.
+func TestCountersWithCombiner(t *testing.T) {
+	inputs := make([]int, 30)
+	mapper := func(_ int, emit func(int, int)) { emit(7, 1) } // all to one key
+	combiner := func(_ int, vs []int) int {
+		s := 0
+		for _, v := range vs {
+			s += v
+		}
+		return s
+	}
+	reducer := func(_ int, vs []int, emit func(int)) {
+		s := 0
+		for _, v := range vs {
+			s += v
+		}
+		emit(s)
+	}
+	out, c := Run(inputs, mapper, combiner, reducer, Config{Mappers: 5, Reducers: 3})
+	if len(out) != 1 || out[0] != 30 {
+		t.Fatalf("out = %v, want [30]", out)
+	}
+	if c.MapOutputs != 30 {
+		t.Fatalf("MapOutputs = %d, want 30", c.MapOutputs)
+	}
+	if c.ShufflePairs != 5 { // one combined pair per mapper
+		t.Fatalf("ShufflePairs = %d, want 5 (one per mapper)", c.ShufflePairs)
+	}
+	if c.ReduceGroups != 1 {
+		t.Fatalf("ReduceGroups = %d, want 1", c.ReduceGroups)
+	}
+}
+
+// TestCountersEmptyInput: a zero-record job runs and reports all-zero
+// counters rather than panicking on empty spans.
+func TestCountersEmptyInput(t *testing.T) {
+	mapper := func(x int, emit func(int, int)) { emit(x, x) }
+	reducer := func(_ int, vs []int, emit func(int)) { emit(len(vs)) }
+	out, c := Run(nil, mapper, nil, reducer, Config{Mappers: 4, Reducers: 4})
+	if len(out) != 0 {
+		t.Fatalf("out = %v, want empty", out)
+	}
+	if c != (Counters{}) {
+		t.Fatalf("counters = %+v, want all zero", c)
+	}
+}
+
+// TestCountersSilentMappers: mappers that emit nothing contribute inputs but
+// no shuffle traffic; ReduceGroups counts only keys that exist.
+func TestCountersSilentMappers(t *testing.T) {
+	inputs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	mapper := func(x int, emit func(int, int)) {
+		if x == 4 {
+			emit(0, x)
+		}
+	}
+	reducer := func(_ int, vs []int, emit func(int)) { emit(vs[0]) }
+	out, c := Run(inputs, mapper, nil, reducer, Config{Mappers: 8, Reducers: 2})
+	if len(out) != 1 || out[0] != 4 {
+		t.Fatalf("out = %v, want [4]", out)
+	}
+	if c.InputRecords != 8 || c.MapOutputs != 1 || c.ShufflePairs != 1 || c.ReduceGroups != 1 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+// TestCountersSingleReducer: funnelling every key through one reduce task
+// changes none of the totals, only the bucketing.
+func TestCountersSingleReducer(t *testing.T) {
+	inputs := make([]int, 20)
+	for i := range inputs {
+		inputs[i] = i
+	}
+	mapper := func(x int, emit func(int, int)) { emit(x%5, 1) }
+	reducer := func(_ int, vs []int, emit func(int)) { emit(len(vs)) }
+
+	_, many := Run(inputs, mapper, nil, reducer, Config{Mappers: 4, Reducers: 7})
+	_, one := Run(inputs, mapper, nil, reducer, Config{Mappers: 4, Reducers: 1})
+	if many != one {
+		t.Fatalf("counters depend on reducer count: %+v vs %+v", many, one)
+	}
+	if one.ReduceGroups != 5 {
+		t.Fatalf("ReduceGroups = %d, want 5", one.ReduceGroups)
+	}
+}

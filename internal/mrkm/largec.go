@@ -29,19 +29,19 @@ func CostLargeC(ds *geom.Dataset, centers *geom.Matrix, centerParts int, cluster
 	if centerParts > centers.Rows {
 		centerParts = centers.Rows
 	}
-	pointSpans := makeSpans(n, cluster.Mappers)
+	pointSpans := MakeSpans(n, cluster.Mappers)
 
 	// One input record per (point-span, center-span) block.
 	type block struct {
-		x span
-		c span
+		x Span
+		c Span
 	}
 	var blocks []block
 	for _, xs := range pointSpans {
 		for p := 0; p < centerParts; p++ {
 			blocks = append(blocks, block{
 				x: xs,
-				c: span{Lo: p * centers.Rows / centerParts, Hi: (p + 1) * centers.Rows / centerParts},
+				c: Span{Lo: p * centers.Rows / centerParts, Hi: (p + 1) * centers.Rows / centerParts},
 			})
 		}
 	}

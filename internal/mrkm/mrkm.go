@@ -29,10 +29,15 @@ import (
 	"kmeansll/internal/seed"
 )
 
-// span is one input partition: points [Lo, Hi) of the dataset.
-type span struct{ Lo, Hi int }
+// Span is one input partition: points [Lo, Hi) of the dataset. The
+// networked realization (internal/distkm) shards with the same function, so
+// its per-shard partial sums line up with the mapper partials here term for
+// term — the foundation of the bit-identical-parity guarantee.
+type Span struct{ Lo, Hi int }
 
-func makeSpans(n, mappers int) []span {
+// MakeSpans splits n points into min(mappers, n) contiguous spans
+// (mappers < 1 means all CPUs).
+func MakeSpans(n, mappers int) []Span {
 	m := geom.Workers(mappers)
 	if m > n {
 		m = n
@@ -40,11 +45,55 @@ func makeSpans(n, mappers int) []span {
 	if m < 1 {
 		m = 1
 	}
-	out := make([]span, m)
+	out := make([]Span, m)
 	for i := 0; i < m; i++ {
-		out[i] = span{Lo: i * n / m, Hi: (i + 1) * n / m}
+		out[i] = Span{Lo: i * n / m, Hi: (i + 1) * n / m}
 	}
 	return out
+}
+
+// Defaults resolves the oversampling factor ℓ and round count of Algorithm 2
+// exactly as Init does: ℓ = 2k when unset, rounds = max(5, ⌈k/ℓ⌉) when
+// unset. Shared with distkm so both drivers run identical schedules.
+func Defaults(cfg core.Config) (ell float64, rounds int) {
+	ell = cfg.L
+	if ell <= 0 {
+		ell = 2 * float64(cfg.K)
+	}
+	rounds = cfg.Rounds
+	if rounds <= 0 {
+		rounds = 5
+		if need := int(math.Ceil(float64(cfg.K) / ell)); need > rounds {
+			rounds = need
+		}
+	}
+	return ell, rounds
+}
+
+// UpdateSpan folds centers[from:] into the weighted D² cache of points
+// [lo, hi) and returns the span's φ partial — the cache-update mapper body
+// of Algorithm 2's per-round pass. Both the in-process mapper below and the
+// distkm worker run this exact loop, which keeps their partials bit-equal.
+func UpdateSpan(ds *geom.Dataset, d2 []float64, lo, hi int, centers *geom.Matrix, from int) float64 {
+	var part float64
+	for i := lo; i < hi; i++ {
+		if d2[i] > 0 {
+			w := ds.W(i)
+			p := ds.Point(i)
+			best := d2[i]
+			if !math.IsInf(best, 1) {
+				best /= w
+			}
+			for c := from; c < centers.Rows; c++ {
+				if nd := geom.SqDistBound(p, centers.Row(c), best); nd < best {
+					best = nd
+				}
+			}
+			d2[i] = w * best
+		}
+		part += d2[i]
+	}
+	return part
 }
 
 // Stats describes an MR-realized run.
@@ -88,22 +137,11 @@ func Init(ds *geom.Dataset, cfg core.Config, cluster Config) (*geom.Matrix, Stat
 	if n == 0 {
 		panic("mrkm: empty dataset")
 	}
-	spans := makeSpans(n, cluster.Mappers)
+	spans := MakeSpans(n, cluster.Mappers)
 	engine := cluster.engine()
 	r := rng.New(cfg.Seed)
 	stats := Stats{}
-
-	ell := cfg.L
-	if ell <= 0 {
-		ell = 2 * float64(cfg.K)
-	}
-	rounds := cfg.Rounds
-	if rounds <= 0 {
-		rounds = 5
-		if need := int(math.Ceil(float64(cfg.K) / ell)); need > rounds {
-			rounds = need
-		}
-	}
+	ell, rounds := Defaults(cfg)
 
 	// Step 1: first center, chosen by the driver.
 	var first int
@@ -128,26 +166,8 @@ func Init(ds *geom.Dataset, cfg core.Config, cluster Config) (*geom.Matrix, Stat
 	// ("each mapper ... can compute φ_{X'}(C) and the reducer can simply add
 	// these values").
 	updateAndCost := func(from int) float64 {
-		mapper := func(s span, emit func(int, float64)) {
-			var part float64
-			for i := s.Lo; i < s.Hi; i++ {
-				if d2[i] > 0 {
-					w := ds.W(i)
-					p := ds.Point(i)
-					best := d2[i]
-					if !math.IsInf(best, 1) {
-						best /= w
-					}
-					for c := from; c < centers.Rows; c++ {
-						if nd := geom.SqDistBound(p, centers.Row(c), best); nd < best {
-							best = nd
-						}
-					}
-					d2[i] = w * best
-				}
-				part += d2[i]
-			}
-			emit(0, part)
+		mapper := func(s Span, emit func(int, float64)) {
+			emit(0, UpdateSpan(ds, d2, s.Lo, s.Hi, centers, from))
 		}
 		reducer := func(_ int, vs []float64, emit func(float64)) { emit(sum(vs)) }
 		out, counters := mr.Run(spans, mapper, nil, reducer, engine)
@@ -183,7 +203,7 @@ func Init(ds *geom.Dataset, cfg core.Config, cluster Config) (*geom.Matrix, Stat
 	weights := weightJob(spans, ds, centers, engine, &stats)
 
 	// Step 8: sequential reclustering on the driver.
-	cds := weightedCandidates(centers, weights)
+	cds := WeightedCandidates(centers, weights)
 	final := seed.KMeansPP(cds, cfg.K, r, 1)
 
 	// Final cost pass (also an MR job, like the evaluation step in §3.5).
@@ -195,15 +215,15 @@ func Init(ds *geom.Dataset, cfg core.Config, cluster Config) (*geom.Matrix, Stat
 // caches but performs no distance work (the cache is current); it is merged
 // with the update pass in runRound when possible, but the very first sampling
 // of a round needs φ from the previous pass, hence this dedicated job.
-func sampleOnly(spans []span, d2 []float64, phi, ell float64, seedVal uint64, round int, engine mr.Config, stats *Stats) []int {
-	mapper := func(s span, emit func(int, []int)) {
+func sampleOnly(spans []Span, d2 []float64, phi, ell float64, seedVal uint64, round int, engine mr.Config, stats *Stats) []int {
+	mapper := func(s Span, emit func(int, []int)) {
 		var sel []int
 		for i := s.Lo; i < s.Hi; i++ {
 			if d2[i] <= 0 {
 				continue
 			}
 			p := ell * d2[i] / phi
-			if p >= 1 || pointRand(seedVal, round, i) < p {
+			if p >= 1 || rng.PointRand(seedVal, round, i) < p {
 				sel = append(sel, i)
 			}
 		}
@@ -225,20 +245,9 @@ func sampleOnly(spans []span, d2 []float64, phi, ell float64, seedVal uint64, ro
 	return out[0]
 }
 
-// pointRand matches core's counter-based per-point uniform variate so the MR
-// realization and the in-process implementation sample identically.
-func pointRand(seed uint64, round, i int) float64 {
-	x := seed ^ (uint64(round)+1)*0x9e3779b97f4a7c15 ^ (uint64(i)+1)*0xbf58476d1ce4e5b9
-	z := x
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	z ^= z >> 31
-	return float64(z>>11) / (1 << 53)
-}
-
 // weightJob is Step 7 as map + combine + reduce over (centerIdx, weight).
-func weightJob(spans []span, ds *geom.Dataset, centers *geom.Matrix, engine mr.Config, stats *Stats) []float64 {
-	mapper := func(s span, emit func(int, float64)) {
+func weightJob(spans []Span, ds *geom.Dataset, centers *geom.Matrix, engine mr.Config, stats *Stats) []float64 {
+	mapper := func(s Span, emit func(int, float64)) {
 		for i := s.Lo; i < s.Hi; i++ {
 			idx, _ := geom.Nearest(ds.Point(i), centers)
 			emit(idx, ds.W(i))
@@ -261,8 +270,8 @@ func weightJob(spans []span, ds *geom.Dataset, centers *geom.Matrix, engine mr.C
 }
 
 // costJob computes φ_X(C) as one MR job.
-func costJob(spans []span, ds *geom.Dataset, centers *geom.Matrix, engine mr.Config, stats *Stats) float64 {
-	mapper := func(s span, emit func(int, float64)) {
+func costJob(spans []Span, ds *geom.Dataset, centers *geom.Matrix, engine mr.Config, stats *Stats) float64 {
+	mapper := func(s Span, emit func(int, float64)) {
 		var part float64
 		for i := s.Lo; i < s.Hi; i++ {
 			_, d := geom.Nearest(ds.Point(i), centers)
@@ -280,7 +289,11 @@ func costJob(spans []span, ds *geom.Dataset, centers *geom.Matrix, engine mr.Con
 	return out[0]
 }
 
-func weightedCandidates(centers *geom.Matrix, weights []float64) *geom.Dataset {
+// WeightedCandidates packages the Step 7 output as the weighted dataset that
+// Step 8 reclusters: candidates with positive weight, in center order. The
+// networked realization (internal/distkm) shares it so both drivers hand
+// k-means++ the exact same input.
+func WeightedCandidates(centers *geom.Matrix, weights []float64) *geom.Dataset {
 	keep := make([]int, 0, centers.Rows)
 	for i, w := range weights {
 		if w > 0 {
@@ -308,7 +321,7 @@ func Lloyd(ds *geom.Dataset, init *geom.Matrix, maxIter int, cluster Config) (ll
 		maxIter = 20 // the paper bounds parallel Lloyd at 20 iterations (§4.2)
 	}
 	n := ds.N()
-	spans := makeSpans(n, cluster.Mappers)
+	spans := MakeSpans(n, cluster.Mappers)
 	engine := cluster.engine()
 	centers := init.Clone()
 	k, d := centers.Rows, centers.Cols
@@ -320,7 +333,7 @@ func Lloyd(ds *geom.Dataset, init *geom.Matrix, maxIter int, cluster Config) (ll
 		Phi float64
 	}
 	for it := 0; it < maxIter; it++ {
-		mapper := func(s span, emit func(int, acc)) {
+		mapper := func(s Span, emit func(int, acc)) {
 			local := make([]acc, k)
 			for i := s.Lo; i < s.Hi; i++ {
 				p := ds.Point(i)

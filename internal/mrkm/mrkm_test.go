@@ -133,7 +133,7 @@ func TestLloydConvergesAndStops(t *testing.T) {
 func TestWeightJobSumsToN(t *testing.T) {
 	ds := blobs(t, 4, 50, 3, 20, 15)
 	centers := seed.Random(ds, 6, rng.New(16))
-	spans := makeSpans(ds.N(), 4)
+	spans := MakeSpans(ds.N(), 4)
 	var stats Stats
 	w := weightJob(spans, ds, centers, Config{Mappers: 4}.engine(), &stats)
 	var total float64
@@ -146,7 +146,7 @@ func TestWeightJobSumsToN(t *testing.T) {
 }
 
 func TestMakeSpans(t *testing.T) {
-	spans := makeSpans(10, 3)
+	spans := MakeSpans(10, 3)
 	if len(spans) != 3 {
 		t.Fatalf("got %d spans", len(spans))
 	}
@@ -160,7 +160,7 @@ func TestMakeSpans(t *testing.T) {
 	if covered != 10 {
 		t.Fatalf("spans cover %d of 10", covered)
 	}
-	if got := makeSpans(2, 100); len(got) != 2 {
+	if got := MakeSpans(2, 100); len(got) != 2 {
 		t.Fatalf("mappers should clamp to n: %d", len(got))
 	}
 }

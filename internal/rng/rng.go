@@ -166,3 +166,19 @@ func (r *Rng) Shuffle(n int, swap func(i, j int)) {
 		swap(i, j)
 	}
 }
+
+// PointRand returns a uniform [0,1) variate that is a pure function of
+// (seed, round, i). The k-means|| Bernoulli sampling step uses it so that
+// whether point i is selected in a given round depends only on the run seed —
+// not on worker count, chunking, or which machine owns the point. The
+// in-process (core), MapReduce (mrkm) and networked (distkm) realizations all
+// share it, which is what makes their candidate sets identical for equal
+// seeds.
+func PointRand(seed uint64, round, i int) float64 {
+	x := seed ^ (uint64(round)+1)*0x9e3779b97f4a7c15 ^ (uint64(i)+1)*0xbf58476d1ce4e5b9
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}

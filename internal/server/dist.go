@@ -1,0 +1,107 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"kmeansll"
+	"kmeansll/internal/core"
+	"kmeansll/internal/distkm"
+	"kmeansll/internal/geom"
+)
+
+// DefaultDistShards is the worker count a "dist" fit uses when the request
+// does not pick one and no external workers are configured.
+const DefaultDistShards = 4
+
+// maxDistShards bounds per-request shard counts: each shard is a full worker
+// (loopback or remote), so an attacker-sized value must not fan out
+// unboundedly.
+const maxDistShards = 64
+
+// distFit runs one fit job through the distributed k-means|| tier
+// (internal/distkm). With configured worker addresses the shards go to those
+// processes; otherwise the job spins up an in-process loopback cluster — the
+// same protocol end to end, just without sockets. Restarts re-seed the
+// coordinator exactly like kmeansll.ClusterBest.
+func (m *JobManager) distFit(j *Job) (*kmeansll.Model, error) {
+	cfg := j.cfg
+	if cfg.Init != kmeansll.KMeansParallel {
+		return nil, errors.New(`backend "dist" supports only the kmeansll init`)
+	}
+	if cfg.Weights != nil {
+		return nil, errors.New(`backend "dist" does not take per-point weights`)
+	}
+
+	var clients []distkm.Client
+	var cleanup func()
+	if len(m.distAddrs) > 0 {
+		clients = make([]distkm.Client, 0, len(m.distAddrs))
+		cleanup = func() {
+			for _, cl := range clients {
+				_ = cl.Close()
+			}
+		}
+		for _, addr := range m.distAddrs {
+			cl, err := distkm.Dial(addr, 5*time.Second)
+			if err != nil {
+				cleanup()
+				return nil, fmt.Errorf("dialing dist worker %s: %w", addr, err)
+			}
+			clients = append(clients, cl)
+		}
+	} else {
+		shards := j.shards
+		if shards <= 0 {
+			shards = DefaultDistShards
+		}
+		clients, cleanup = distkm.LoopbackCluster(shards)
+	}
+	defer cleanup()
+
+	coord, err := distkm.NewCoordinator(clients)
+	if err != nil {
+		return nil, err
+	}
+	// Close releases this fit's shards on the workers (essential with shared
+	// external workers: they are long-lived, and every fit pushes a full
+	// dataset copy) before the deferred cleanup closes the connections again
+	// (a harmless no-op by then).
+	defer coord.Close()
+	ds := geom.NewDataset(geom.FromRows(j.points))
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	if err := coord.Distribute(ds); err != nil {
+		return nil, err
+	}
+
+	over := cfg.Oversampling
+	if over <= 0 {
+		over = 2
+	}
+	restarts := j.restarts
+	if restarts < 1 {
+		restarts = 1
+	}
+	var best *kmeansll.Model
+	for i := 0; i < restarts; i++ {
+		ccfg := core.Config{
+			K: cfg.K, L: over * float64(cfg.K), Rounds: cfg.Rounds,
+			Seed: cfg.Seed + uint64(i),
+		}
+		_, res, stats, err := coord.Fit(ccfg, cfg.MaxIter)
+		if err != nil {
+			return nil, err
+		}
+		model, err := distkm.Model(res, stats)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || model.Cost < best.Cost {
+			best = model
+		}
+	}
+	return best, nil
+}

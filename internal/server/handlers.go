@@ -32,6 +32,9 @@ type Config struct {
 	MaxBatchPoints int
 	// MaxHistory bounds per-model retained versions (0 = DefaultMaxHistory).
 	MaxHistory int
+	// DistWorkers lists external kmworker addresses for "dist"-backend fit
+	// jobs. Empty means each dist fit runs an in-process loopback cluster.
+	DistWorkers []string
 	// Logf, when non-nil, receives one line per notable server event.
 	Logf func(format string, args ...any)
 }
@@ -74,6 +77,7 @@ func New(cfg Config) *Server {
 		stats:    newStatsTable(),
 		mux:      http.NewServeMux(),
 	}
+	s.jobs.distAddrs = cfg.DistWorkers
 	s.routes()
 	return s
 }
@@ -459,6 +463,13 @@ type fitRequest struct {
 	Generate *GenerateSpec `json:"generate,omitempty"`
 	Config   fitConfig     `json:"config"`
 	Restarts int           `json:"restarts,omitempty"`
+	// Backend: "local" (default) fits in-process; "dist" shards the training
+	// set across distkm k-means|| workers (external kmworker processes when
+	// the server was started with -dist-workers, an in-process loopback
+	// cluster otherwise).
+	Backend string `json:"backend,omitempty"`
+	// Shards is the dist-backend loopback worker count (0 = server default).
+	Shards int `json:"shards,omitempty"`
 }
 
 func (c fitConfig) toLibrary(parallelism int) (kmeansll.Config, error) {
@@ -513,10 +524,32 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "restarts must be between 0 and %d", maxRestarts)
 		return
 	}
+	switch req.Backend {
+	case "", "local", "dist":
+	default:
+		writeError(w, http.StatusBadRequest, `unknown backend %q (want "local" or "dist")`, req.Backend)
+		return
+	}
+	if req.Shards < 0 || req.Shards > maxDistShards {
+		writeError(w, http.StatusBadRequest, "shards must be between 0 and %d", maxDistShards)
+		return
+	}
 	cfg, err := req.Config.toLibrary(s.cfg.Parallelism)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
+	}
+	if req.Backend == "dist" {
+		if cfg.Init != kmeansll.KMeansParallel {
+			writeError(w, http.StatusBadRequest, `backend "dist" supports only init "kmeansll"`)
+			return
+		}
+		// Distributed Lloyd is the plain MR assignment pass; silently
+		// downgrading a requested accelerated kernel would misreport what ran.
+		if cfg.Kernel != kmeansll.NaiveKernel {
+			writeError(w, http.StatusBadRequest, `backend "dist" supports only kernel "naive"`)
+			return
+		}
 	}
 
 	points := req.Points
@@ -540,12 +573,16 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	job, err := s.jobs.Submit(req.Model, points, cfg, req.Restarts)
+	job, err := s.jobs.SubmitSpec(FitSpec{
+		Model: req.Model, Points: points, Config: cfg,
+		Restarts: req.Restarts, Backend: req.Backend, Shards: req.Shards,
+	})
 	if err != nil {
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
-	s.cfg.Logf("fit %s enqueued: model=%q n=%d k=%d init=%s", job.ID, req.Model, len(points), cfg.K, cfg.Init)
+	s.cfg.Logf("fit %s enqueued: model=%q n=%d k=%d init=%s backend=%s",
+		job.ID, req.Model, len(points), cfg.K, cfg.Init, job.backend)
 	writeJSON(w, http.StatusAccepted, job.Status())
 }
 

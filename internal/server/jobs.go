@@ -29,6 +29,8 @@ type Job struct {
 	nPoints   int
 	cfg       kmeansll.Config
 	restarts  int
+	backend   string // "local" (default) or "dist"
+	shards    int    // dist backend: loopback worker count
 
 	mu       sync.Mutex
 	state    JobState
@@ -50,6 +52,7 @@ type JobStatus struct {
 	FinishedAt string   `json:"finished_at,omitempty"`
 	NumPoints  int      `json:"num_points"`
 	K          int      `json:"k"`
+	Backend    string   `json:"backend,omitempty"`
 	Version    int      `json:"version,omitempty"`
 	Cost       float64  `json:"cost,omitempty"`
 	Iters      int      `json:"iters,omitempty"`
@@ -63,7 +66,7 @@ func (j *Job) Status() JobStatus {
 	s := JobStatus{
 		ID: j.ID, Model: j.ModelName, State: j.state, Error: j.err,
 		QueuedAt:  j.queued.Format(time.RFC3339Nano),
-		NumPoints: j.nPoints, K: j.cfg.K,
+		NumPoints: j.nPoints, K: j.cfg.K, Backend: j.backend,
 	}
 	if !j.started.IsZero() {
 		s.StartedAt = j.started.Format(time.RFC3339Nano)
@@ -90,12 +93,22 @@ type JobManager struct {
 	stop     chan struct{}
 	wg       sync.WaitGroup
 
+	// distAddrs, when non-empty, lists external kmworker addresses that
+	// "dist"-backend fits shard across; empty means an in-process loopback
+	// cluster per job. Set once at server construction, before any traffic.
+	distAddrs []string
+
 	mu      sync.Mutex
 	jobs    map[string]*Job
 	order   []string // insertion order, for bounded retention
 	nextID  int
 	maxJobs int
 	stopped bool
+
+	// runJob executes one dequeued job; m.run outside of tests. The stop-
+	// priority regression test swaps it for a blocking stub so the
+	// worker/Stop interleaving can be driven deterministically.
+	runJob func(*Job)
 }
 
 // NewJobManager starts `workers` fit workers (≤ 0 means 2) consuming a queue
@@ -103,6 +116,13 @@ type JobManager struct {
 // own Lloyd iterations via kmeansll.Config.Parallelism, so a small worker
 // count saturates the machine.
 func NewJobManager(reg *Registry, workers, depth int) *JobManager {
+	return newJobManager(reg, workers, depth, nil)
+}
+
+// newJobManager is NewJobManager with an injectable job executor, installed
+// before the workers start so tests can drive the worker/Stop interleaving
+// without data races.
+func newJobManager(reg *Registry, workers, depth int, runJob func(*Job)) *JobManager {
 	if workers <= 0 {
 		workers = 2
 	}
@@ -116,6 +136,10 @@ func NewJobManager(reg *Registry, workers, depth int) *JobManager {
 		jobs:     make(map[string]*Job),
 		maxJobs:  1024,
 	}
+	m.runJob = m.run
+	if runJob != nil {
+		m.runJob = runJob
+	}
 	m.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go m.worker()
@@ -123,15 +147,41 @@ func NewJobManager(reg *Registry, workers, depth int) *JobManager {
 	return m
 }
 
+// FitSpec fully describes one fit submission.
+type FitSpec struct {
+	Model    string
+	Points   [][]float64
+	Config   kmeansll.Config
+	Restarts int
+	// Backend selects where the fit runs: "" or "local" is the in-process
+	// kmeansll.Cluster path, "dist" shards the points across distkm workers
+	// (external when the server was configured with worker addresses,
+	// an in-process loopback cluster otherwise).
+	Backend string
+	// Shards is the loopback worker count for "dist" (0 = DefaultDistShards);
+	// ignored when external workers are configured.
+	Shards int
+}
+
 // Submit enqueues a fit of cfg over points, publishing the result as
 // modelName. restarts ≤ 1 runs Cluster once; otherwise ClusterBest.
 func (m *JobManager) Submit(modelName string, points [][]float64, cfg kmeansll.Config, restarts int) (*Job, error) {
-	if restarts < 1 {
-		restarts = 1
+	return m.SubmitSpec(FitSpec{Model: modelName, Points: points, Config: cfg, Restarts: restarts})
+}
+
+// SubmitSpec enqueues the described fit.
+func (m *JobManager) SubmitSpec(spec FitSpec) (*Job, error) {
+	if spec.Restarts < 1 {
+		spec.Restarts = 1
+	}
+	backend := spec.Backend
+	if backend == "" {
+		backend = "local"
 	}
 	j := &Job{
-		ModelName: modelName, points: points, nPoints: len(points),
-		cfg: cfg, restarts: restarts,
+		ModelName: spec.Model, points: spec.Points, nPoints: len(spec.Points),
+		cfg: spec.Config, restarts: spec.Restarts,
+		backend: backend, shards: spec.Shards,
 		state: JobQueued, queued: time.Now().UTC(),
 	}
 
@@ -220,9 +270,33 @@ func (m *JobManager) worker() {
 		case <-m.stop:
 			return
 		case j := <-m.queue:
-			m.run(j)
+			// A closed stop channel and a non-empty queue are both ready, and
+			// select picks between them at random — so without this nested
+			// check a stopping pool could keep executing queued fits. Give
+			// stop priority: if it is already closed, cancel the job we just
+			// dequeued (Stop's drain loop can no longer see it) and exit.
+			select {
+			case <-m.stop:
+				m.cancel(j)
+				return
+			default:
+			}
+			m.runJob(j)
 		}
 	}
+}
+
+// cancel marks a queued job canceled-at-shutdown and releases its points.
+func (m *JobManager) cancel(j *Job) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != JobQueued {
+		return
+	}
+	j.state = JobCanceled
+	j.err = "server shutting down"
+	j.finished = time.Now().UTC()
+	j.points = nil
 }
 
 // run executes one job and publishes its model.
@@ -246,9 +320,12 @@ func (m *JobManager) run(j *Job) {
 				err = fmt.Errorf("fit panicked: %v", r)
 			}
 		}()
-		if j.restarts > 1 {
+		switch {
+		case j.backend == "dist":
+			model, err = m.distFit(j)
+		case j.restarts > 1:
 			model, err = kmeansll.ClusterBest(j.points, j.cfg, j.restarts)
-		} else {
+		default:
 			model, err = kmeansll.Cluster(j.points, j.cfg)
 		}
 	}()
@@ -287,14 +364,7 @@ func (m *JobManager) Stop() {
 	for {
 		select {
 		case j := <-m.queue:
-			j.mu.Lock()
-			if j.state == JobQueued {
-				j.state = JobCanceled
-				j.err = "server shutting down"
-				j.finished = time.Now().UTC()
-				j.points = nil
-			}
-			j.mu.Unlock()
+			m.cancel(j)
 		default:
 			return
 		}
