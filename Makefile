@@ -5,9 +5,10 @@ GO ?= go
 build:
 	$(GO) build ./...
 
-# bench regenerates BENCH_init.json / BENCH_predict.json: the hot-path perf
-# suite (Init, Lloyd iteration, steady-state PredictBatch) measured under the
-# naive-scan baseline and the blocked distance engine.
+# bench regenerates BENCH_init.json / BENCH_predict.json / BENCH_load.json:
+# the hot-path perf suite (Init, Lloyd iteration, steady-state PredictBatch)
+# measured under the naive-scan baseline and the blocked distance engine,
+# plus the dataset load paths (CSV parse vs mmap .kmd open).
 bench: build
 	$(GO) run ./cmd/kmbench -json
 

@@ -18,8 +18,11 @@ import (
 // then passes) or carry a `[bench-skip]` commit-message tag, which the
 // workflow honors by skipping the job.
 
-// benchFiles are the perf-suite outputs the gate tracks.
-var benchFiles = []string{"BENCH_init.json", "BENCH_predict.json"}
+// benchFiles are the perf-suite outputs the gate tracks. BENCH_load.json
+// guards the dataset entry points: its speedup metric is the enforced form
+// of ".kmd opens ≥10× faster than CSV parses" (a collapse below 1× fails
+// the gate on any machine).
+var benchFiles = []string{"BENCH_init.json", "BENCH_predict.json", "BENCH_load.json"}
 
 // compareFiles checks one regenerated perf file against its baseline and
 // returns human-readable regression findings (empty = gate passes).

@@ -109,11 +109,22 @@ func TestRunCompareRoundTrip(t *testing.T) {
 			{Name: "PredictBatch/kernel=naive", NsPerOp: 1_000_000, AllocsPerOp: 0},
 		},
 	}
+	load := perfFile{
+		Suite: "load",
+		Results: []perfResult{
+			{Name: "LoadCSV", NsPerOp: 400_000_000, AllocsPerOp: 300_000},
+			{Name: "OpenKMD", NsPerOp: 5_000, AllocsPerOp: 8},
+		},
+		Speedups: map[string]float64{"load": 80_000},
+	}
 	writeBoth := func(dir string, init, pred perfFile) {
 		if err := writePerfFile(filepath.Join(dir, "BENCH_init.json"), init); err != nil {
 			t.Fatal(err)
 		}
 		if err := writePerfFile(filepath.Join(dir, "BENCH_predict.json"), pred); err != nil {
+			t.Fatal(err)
+		}
+		if err := writePerfFile(filepath.Join(dir, "BENCH_load.json"), load); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -10,6 +10,8 @@ import (
 
 	"kmeansll"
 	"kmeansll/internal/core"
+	"kmeansll/internal/data"
+	"kmeansll/internal/dsio"
 	"kmeansll/internal/geom"
 	"kmeansll/internal/lloyd"
 	"kmeansll/internal/rng"
@@ -19,9 +21,10 @@ import (
 // The -json perf suite tracks the repo's hot-path trajectory: it measures
 // Init (k-means||), one Lloyd iteration, and steady-state PredictBatch with
 // the naive SqDistBound scan pinned (the pre-blocked-engine code path, i.e.
-// the baseline) and with the blocked pairwise-distance engine pinned, then
-// writes BENCH_init.json and BENCH_predict.json. CI and future PRs compare
-// against the committed files; `make bench` regenerates them.
+// the baseline) and with the blocked pairwise-distance engine pinned, plus
+// the dataset load paths (CSV parse vs mmap .kmd open), then writes
+// BENCH_init.json, BENCH_predict.json and BENCH_load.json. CI and future
+// PRs compare against the committed files; `make bench` regenerates them.
 
 // perfN/perfDim/perfK pin the workload to the serving-tier shape the
 // acceptance gate tracks (dim 58 = the paper's KDD dimensionality).
@@ -31,6 +34,13 @@ const (
 	perfK       = 32
 	perfBatch   = 512
 	perfRestart = 3 // distinct seeds averaged implicitly via b.N spread
+
+	// The load suite compares the two dataset entry points at the scale the
+	// acceptance gate names: parsing a 10⁵×32 CSV versus opening the same
+	// data as an mmap-backed .kmd (O(1) — header read + mmap, no per-row
+	// work).
+	loadN   = 100_000
+	loadDim = 32
 )
 
 type perfResult struct {
@@ -189,13 +199,21 @@ func runPerfSuite(outDir string) error {
 	}
 	predictFile.Speedups["predict_batch"] = byKernel["naive"]["predict_batch"] / byKernel["blocked"]["predict_batch"]
 
+	loadFile, err := runLoadSuite()
+	if err != nil {
+		return err
+	}
+
 	if err := writePerfFile(filepath.Join(outDir, "BENCH_init.json"), initFile); err != nil {
 		return err
 	}
 	if err := writePerfFile(filepath.Join(outDir, "BENCH_predict.json"), predictFile); err != nil {
 		return err
 	}
-	for _, f := range []perfFile{initFile, predictFile} {
+	if err := writePerfFile(filepath.Join(outDir, "BENCH_load.json"), loadFile); err != nil {
+		return err
+	}
+	for _, f := range []perfFile{initFile, predictFile, loadFile} {
 		for _, r := range f.Results {
 			fmt.Printf("%-28s %14.0f ns/op %6d B/op %4d allocs/op\n", r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
 		}
@@ -204,6 +222,68 @@ func runPerfSuite(outDir string) error {
 		}
 	}
 	return nil
+}
+
+// runLoadSuite measures the dataset load paths: CSV parse (one ParseFloat
+// per value) against .kmd open (header validation + mmap; the returned
+// dataset aliases the mapped pages, so no per-row work happens at all). The
+// gate tracks the ratio as speedup/load — machine-independent like the
+// kernel speedups, and the enforced form of the "≥10× over CSV at 10⁵×32"
+// acceptance criterion.
+func runLoadSuite() (perfFile, error) {
+	f := perfFile{
+		Suite: "load", GoOS: runtime.GOOS, GoArch: runtime.GOARCH,
+		MaxProcs: runtime.GOMAXPROCS(0),
+		Workload: workload{N: loadN, Dim: loadDim},
+		Speedups: map[string]float64{},
+	}
+	dir, err := os.MkdirTemp("", "kmbench-load")
+	if err != nil {
+		return f, err
+	}
+	defer os.RemoveAll(dir)
+	ds := geom.NewDataset(perfData(loadN, loadDim, perfK, 5))
+	csvPath := filepath.Join(dir, "pts.csv")
+	kmdPath := filepath.Join(dir, "pts.kmd")
+	if err := data.SaveCSV(csvPath, ds); err != nil {
+		return f, err
+	}
+	if err := dsio.Save(kmdPath, ds); err != nil {
+		return f, err
+	}
+
+	var loadErr error
+	csvRes := measure("LoadCSV", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := data.LoadCSV(csvPath); err != nil {
+				loadErr = err
+				b.FailNow()
+			}
+		}
+	})
+	if loadErr != nil {
+		return f, loadErr
+	}
+	kmdRes := measure("OpenKMD", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r, err := dsio.Open(kmdPath)
+			if err != nil {
+				loadErr = err
+				b.FailNow()
+			}
+			if r.Dataset().N() != loadN {
+				loadErr = fmt.Errorf("unexpected row count %d", r.Dataset().N())
+				b.FailNow()
+			}
+			_ = r.Close()
+		}
+	})
+	if loadErr != nil {
+		return f, loadErr
+	}
+	f.Results = append(f.Results, csvRes, kmdRes)
+	f.Speedups["load"] = csvRes.NsPerOp / kmdRes.NsPerOp
+	return f, nil
 }
 
 func writePerfFile(path string, f perfFile) error {

@@ -1,12 +1,14 @@
-// Command kmcluster clusters a CSV dataset with a chosen initialization
-// method followed by Lloyd's iteration, and writes the final centers (and
-// optionally the per-point assignment) as CSV.
+// Command kmcluster clusters a dataset with a chosen initialization method
+// followed by Lloyd's iteration, and writes the final centers (and
+// optionally the per-point assignment) as CSV. The input may be CSV, a
+// binary .kmd file (mmap'd — opening it does no per-row parsing) or a shard
+// manifest.
 //
 // Usage:
 //
 //	kmcluster -in points.csv -k 50 -init kmeansll -o centers.csv
-//	kmcluster -in points.csv -k 20 -init kmeans++ -assign assign.csv
-//	kmcluster -in points.csv -k 100 -init kmeansll -l 2 -rounds 5 -mr
+//	kmcluster -in points.kmd -k 20 -init kmeans++ -assign assign.csv
+//	kmcluster -in shards/manifest.json -k 100 -init kmeansll -l 2 -rounds 5 -mr
 //
 // -init is one of: random, kmeans++, kmeansll, partition.
 // -mr runs the MapReduce realization of k-means|| and Lloyd (engine in
@@ -32,7 +34,7 @@ import (
 
 func main() {
 	var (
-		in       = flag.String("in", "", "input CSV (required)")
+		in       = flag.String("in", "", "input dataset: CSV, .kmd or a shard manifest (required)")
 		out      = flag.String("o", "", "output CSV for centers (default stdout)")
 		assign   = flag.String("assign", "", "optional output CSV for per-point cluster index")
 		k        = flag.Int("k", 10, "number of clusters")
@@ -53,14 +55,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, "kmcluster: -in is required")
 		os.Exit(2)
 	}
-	ds, err := data.LoadCSV(*in)
+	ds, closer, err := data.Load(*in)
 	if err != nil {
 		fatal(err)
 	}
+	defer closer.Close()
 	if err := ds.Validate(); err != nil {
 		fatal(err)
 	}
 	if *norm {
+		// ZNormalize mutates in place; an mmap'd .kmd dataset is read-only,
+		// so normalize a private copy instead of faulting on the first write.
+		w := ds.Weight
+		if w != nil {
+			w = append([]float64(nil), w...)
+		}
+		ds = &geom.Dataset{X: ds.X.Clone(), Weight: w}
 		data.ZNormalize(ds)
 	}
 	logf := func(format string, args ...any) {

@@ -15,6 +15,12 @@
 //	kmcoord -workers localhost:9091,localhost:9092 \
 //	        -gen-n 100000 -gen-d 15 -gen-k 20 -k 20 -out model.kmm
 //
+// -data also accepts a .kmd binary dataset (mmap'd, no parse). With
+// -manifest the coordinator never loads the dataset at all: it sends each
+// worker the row ranges of the manifest's part files that make up its shard,
+// and workers started with -data-dir mmap them locally — a fit over
+// gigabytes moves only paths, centers and partial sums across the network.
+//
 // For equal seeds the resulting centers are bit-identical to a
 // single-process mrkm fit with Mappers set to the worker count; workers that
 // die mid-fit have their shards re-assigned to survivors.
@@ -30,30 +36,44 @@ import (
 	"kmeansll/internal/core"
 	"kmeansll/internal/data"
 	"kmeansll/internal/distkm"
+	"kmeansll/internal/dsio"
 	"kmeansll/internal/geom"
 )
 
 func main() {
 	var (
-		workers = flag.String("workers", "", "comma-separated kmworker addresses (required)")
-		dataCSV = flag.String("data", "", "CSV dataset to fit (mutually exclusive with -gen-*)")
-		genN    = flag.Int("gen-n", 0, "generate a Gaussian mixture with this many points")
-		genD    = flag.Int("gen-d", 15, "generated dimensionality")
-		genK    = flag.Int("gen-k", 20, "generated mixture components")
-		k       = flag.Int("k", 10, "clusters to fit")
-		ell     = flag.Float64("l", 0, "oversampling factor ℓ (0 = 2k)")
-		rounds  = flag.Int("rounds", 0, "sampling rounds (0 = auto)")
-		maxIter = flag.Int("max-iter", 20, "Lloyd iteration cap")
-		seedVal = flag.Uint64("seed", 1, "run seed")
-		out     = flag.String("out", "", "write the fitted model here (kmeansll text format)")
-		timeout = flag.Duration("dial-timeout", 5*time.Second, "per-worker dial timeout")
+		workers  = flag.String("workers", "", "comma-separated kmworker addresses (required)")
+		dataPath = flag.String("data", "", "dataset to fit: CSV, .kmd, or a shard manifest (mutually exclusive with -gen-*)")
+		manifest = flag.String("manifest", "", "shard manifest for the pull path: workers mmap their shards from their own -data-dir instead of receiving points")
+		genN     = flag.Int("gen-n", 0, "generate a Gaussian mixture with this many points")
+		genD     = flag.Int("gen-d", 15, "generated dimensionality")
+		genK     = flag.Int("gen-k", 20, "generated mixture components")
+		k        = flag.Int("k", 10, "clusters to fit")
+		ell      = flag.Float64("l", 0, "oversampling factor ℓ (0 = 2k)")
+		rounds   = flag.Int("rounds", 0, "sampling rounds (0 = auto)")
+		maxIter  = flag.Int("max-iter", 20, "Lloyd iteration cap")
+		seedVal  = flag.Uint64("seed", 1, "run seed")
+		out      = flag.String("out", "", "write the fitted model here (kmeansll text format)")
+		timeout  = flag.Duration("dial-timeout", 5*time.Second, "per-worker dial timeout")
 	)
 	flag.Parse()
 
 	if *workers == "" {
 		fail("kmcoord: -workers is required (comma-separated kmworker addresses)")
 	}
-	ds, err := loadDataset(*dataCSV, *genN, *genD, *genK, *seedVal)
+	if *manifest != "" && (*dataPath != "" || *genN > 0) {
+		fail("kmcoord: -manifest is mutually exclusive with -data and -gen-n")
+	}
+	var (
+		ds  *geom.Dataset
+		man *dsio.Manifest
+		err error
+	)
+	if *manifest != "" {
+		man, err = dsio.LoadManifest(*manifest)
+	} else {
+		ds, err = loadDataset(*dataPath, *genN, *genD, *genK, *seedVal)
+	}
 	if err != nil {
 		fail("kmcoord: %v", err)
 	}
@@ -78,11 +98,19 @@ func main() {
 	defer coord.Close()
 
 	start := time.Now()
-	if err := coord.Distribute(ds); err != nil {
-		fail("kmcoord: distributing %d points across %d workers: %v", ds.N(), len(clients), err)
+	if man != nil {
+		if err := coord.DistributeManifest(man); err != nil {
+			fail("kmcoord: distributing manifest %s across %d workers: %v", *manifest, len(clients), err)
+		}
+		fmt.Fprintf(os.Stderr, "kmcoord: %d points × %d dims pulled from %d part files over %d shards on %d workers (%s)\n",
+			man.Rows, man.Cols, len(man.Shards), coord.Shards(), coord.Workers(), time.Since(start).Round(time.Millisecond))
+	} else {
+		if err := coord.Distribute(ds); err != nil {
+			fail("kmcoord: distributing %d points across %d workers: %v", ds.N(), len(clients), err)
+		}
+		fmt.Fprintf(os.Stderr, "kmcoord: %d points × %d dims over %d shards on %d workers (%s)\n",
+			ds.N(), ds.Dim(), coord.Shards(), coord.Workers(), time.Since(start).Round(time.Millisecond))
 	}
-	fmt.Fprintf(os.Stderr, "kmcoord: %d points × %d dims over %d shards on %d workers (%s)\n",
-		ds.N(), ds.Dim(), coord.Shards(), coord.Workers(), time.Since(start).Round(time.Millisecond))
 
 	cfg := core.Config{K: *k, L: *ell, Rounds: *rounds, Seed: *seedVal}
 	_, res, stats, err := coord.Fit(cfg, *maxIter)
@@ -107,17 +135,20 @@ func main() {
 	}
 }
 
-func loadDataset(csvPath string, genN, genD, genK int, seed uint64) (*geom.Dataset, error) {
+func loadDataset(path string, genN, genD, genK int, seed uint64) (*geom.Dataset, error) {
 	switch {
-	case csvPath != "" && genN > 0:
+	case path != "" && genN > 0:
 		return nil, fmt.Errorf("give either -data or -gen-n, not both")
-	case csvPath != "":
-		return data.LoadCSV(csvPath)
+	case path != "":
+		// The closer is dropped deliberately: the mapping (if any) must live
+		// until the fit finishes, i.e. for the process lifetime.
+		ds, _, err := data.Load(path)
+		return ds, err
 	case genN > 0:
 		ds, _ := data.GaussMixture(data.GaussMixtureConfig{N: genN, D: genD, K: genK, R: 10, Seed: seed})
 		return ds, nil
 	default:
-		return nil, fmt.Errorf("need a dataset: -data points.csv or -gen-n N")
+		return nil, fmt.Errorf("need a dataset: -data points.csv, points.kmd or a manifest, or -gen-n N")
 	}
 }
 

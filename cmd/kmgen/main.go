@@ -1,34 +1,62 @@
-// Command kmgen generates the paper's evaluation datasets (§4.1) as CSV:
-// the GaussMixture synthetic mixture, and the SpamLike/KDDLike stand-ins for
-// the UCI datasets (see DESIGN.md §3 for the substitution rationale).
+// Command kmgen generates the paper's evaluation datasets (§4.1) — the
+// GaussMixture synthetic mixture and the SpamLike/KDDLike stand-ins for the
+// UCI datasets (see DESIGN.md §3) — and manages dataset files: it writes CSV
+// or the binary .kmd format, converts between them, and splits datasets into
+// sharded manifests for distributed pull fits.
 //
 // Usage:
 //
 //	kmgen -dataset gauss -n 10000 -k 50 -R 10 -o gauss.csv
-//	kmgen -dataset spam -o spam.csv
-//	kmgen -dataset kdd -n 200000 -o kdd.csv
+//	kmgen -dataset kdd -n 200000 -format kmd -o kdd.kmd
+//	kmgen convert -in points.csv -o points.kmd
+//	kmgen convert -in points.kmd -o points.csv
+//	kmgen split -in points.kmd -parts 8 -o shards/
+//
+// -format auto (the default) picks by the -o extension; .kmd output opens
+// O(1) via mmap everywhere a CSV is accepted. split writes part-NNNN.kmd
+// files plus a manifest.json that kmcoord -manifest and kmserved dataset
+// fits consume.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"kmeansll/internal/data"
+	"kmeansll/internal/dsio"
 	"kmeansll/internal/geom"
 )
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "convert":
+			runConvert(os.Args[2:])
+			return
+		case "split":
+			runSplit(os.Args[2:])
+			return
+		}
+	}
+	runGenerate(os.Args[1:])
+}
+
+func runGenerate(args []string) {
+	fs := flag.NewFlagSet("kmgen", flag.ExitOnError)
 	var (
-		dataset = flag.String("dataset", "", "gauss | spam | kdd")
-		n       = flag.Int("n", 0, "number of points (0 = dataset default)")
-		k       = flag.Int("k", 50, "mixture components (gauss only)")
-		d       = flag.Int("d", 15, "dimensions (gauss only)")
-		r       = flag.Float64("R", 10, "center-scale variance R (gauss only)")
-		seed    = flag.Uint64("seed", 1, "generator seed")
-		out     = flag.String("o", "", "output CSV path (default stdout)")
+		dataset = fs.String("dataset", "", "gauss | spam | kdd")
+		n       = fs.Int("n", 0, "number of points (0 = dataset default)")
+		k       = fs.Int("k", 50, "mixture components (gauss only)")
+		d       = fs.Int("d", 15, "dimensions (gauss only)")
+		r       = fs.Float64("R", 10, "center-scale variance R (gauss only)")
+		seed    = fs.Uint64("seed", 1, "generator seed")
+		out     = fs.String("o", "", "output path (default stdout, CSV)")
+		format  = fs.String("format", "auto", "output format: auto | csv | kmd (auto picks by the -o extension)")
 	)
-	flag.Parse()
+	_ = fs.Parse(args)
 
 	var ds *geom.Dataset
 	switch *dataset {
@@ -47,16 +75,90 @@ func main() {
 		os.Exit(2)
 	}
 
-	if *out == "" {
-		if err := data.WriteCSV(os.Stdout, ds); err != nil {
-			fmt.Fprintln(os.Stderr, "kmgen:", err)
-			os.Exit(1)
+	if err := writeDataset(ds, *out, *format); err != nil {
+		fatal(err)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "kmgen: wrote %d points x %d dims to %s\n", ds.N(), ds.Dim(), *out)
+	}
+}
+
+func runConvert(args []string) {
+	fs := flag.NewFlagSet("kmgen convert", flag.ExitOnError)
+	var (
+		in     = fs.String("in", "", "input dataset: CSV, .kmd or a shard manifest (required)")
+		out    = fs.String("o", "", "output path (required); format follows -format or the extension")
+		format = fs.String("format", "auto", "output format: auto | csv | kmd")
+	)
+	_ = fs.Parse(args)
+	if *in == "" || *out == "" {
+		fmt.Fprintln(os.Stderr, "kmgen convert: -in and -o are required")
+		os.Exit(2)
+	}
+	ds, closer, err := data.Load(*in)
+	if err != nil {
+		fatal(err)
+	}
+	defer closer.Close()
+	if err := writeDataset(ds, *out, *format); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "kmgen: converted %d points x %d dims: %s -> %s\n", ds.N(), ds.Dim(), *in, *out)
+}
+
+func runSplit(args []string) {
+	fs := flag.NewFlagSet("kmgen split", flag.ExitOnError)
+	var (
+		in    = fs.String("in", "", "input dataset: CSV, .kmd or a shard manifest (required)")
+		out   = fs.String("o", "", "output directory for part-NNNN.kmd + manifest.json (required)")
+		parts = fs.Int("parts", 4, "number of part files")
+	)
+	_ = fs.Parse(args)
+	if *in == "" || *out == "" {
+		fmt.Fprintln(os.Stderr, "kmgen split: -in and -o are required")
+		os.Exit(2)
+	}
+	ds, closer, err := data.Load(*in)
+	if err != nil {
+		fatal(err)
+	}
+	defer closer.Close()
+	m, err := dsio.Split(ds, *out, *parts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "kmgen: split %d points x %d dims into %d part(s) under %s\n",
+		m.Rows, m.Cols, len(m.Shards), *out)
+}
+
+// writeDataset writes ds to path in the requested (or inferred) format;
+// empty path means CSV on stdout.
+func writeDataset(ds *geom.Dataset, path, format string) error {
+	f := strings.ToLower(format)
+	if f == "auto" || f == "" {
+		if strings.EqualFold(filepath.Ext(path), dsio.Ext) {
+			f = "kmd"
+		} else {
+			f = "csv"
 		}
-		return
 	}
-	if err := data.SaveCSV(*out, ds); err != nil {
-		fmt.Fprintln(os.Stderr, "kmgen:", err)
-		os.Exit(1)
+	switch f {
+	case "csv":
+		if path == "" {
+			return data.WriteCSV(os.Stdout, ds)
+		}
+		return data.SaveCSV(path, ds)
+	case "kmd":
+		if path == "" {
+			return fmt.Errorf("kmd output needs -o (binary data does not go to a terminal)")
+		}
+		return dsio.Save(path, ds)
+	default:
+		return fmt.Errorf("unknown -format %q (want auto, csv or kmd)", format)
 	}
-	fmt.Fprintf(os.Stderr, "kmgen: wrote %d points x %d dims to %s\n", ds.N(), ds.Dim(), *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "kmgen:", err)
+	os.Exit(1)
 }

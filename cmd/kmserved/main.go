@@ -47,6 +47,7 @@ func main() {
 		history     = flag.Int("history", server.DefaultMaxHistory, "retained versions per model")
 		drainSecs   = flag.Int("drain", 30, "graceful shutdown timeout in seconds")
 		distWorkers = flag.String("dist-workers", "", "comma-separated kmworker addresses for backend=dist fit jobs (empty = in-process loopback cluster)")
+		dataDir     = flag.String("data-dir", "", "root for path-based fit jobs: requests may name .kmd datasets / shard manifests relative to this dir (empty disables dataset paths)")
 	)
 	flag.Parse()
 
@@ -66,6 +67,7 @@ func main() {
 		MaxBatchPoints:  *maxPoints,
 		MaxHistory:      *history,
 		DistWorkers:     distAddrs,
+		DataDir:         *dataDir,
 		Logf:            logger.Printf,
 	})
 

@@ -1,12 +1,17 @@
-// Command kmstream clusters a CSV stream in one pass and bounded memory
+// Command kmstream clusters a data stream in one pass and bounded memory
 // using the StreamKM++ merge-and-reduce coreset, then writes k centers.
 // Unlike kmcluster it never materializes the dataset: rows are consumed as
 // they are read, so arbitrarily large files (or pipes) work in O(m·log n)
-// memory.
+// memory. A .kmd input is mmap'd and its rows are fed straight off the
+// mapped pages — no parsing, and still O(m·log n) resident memory since the
+// kernel pages the file in and out behind the scan. A shard manifest
+// streams its part files one at a time.
 //
 // Usage:
 //
 //	kmstream -k 50 < huge.csv > centers.csv
+//	kmstream -in huge.kmd -k 50 -o centers.csv
+//	kmstream -in shards/manifest.json -k 50 -o centers.csv
 //	kmgen -dataset kdd -n 1000000 | kmstream -k 100 -m 4000 -o centers.csv
 package main
 
@@ -16,11 +21,12 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strconv"
+	"path/filepath"
 	"strings"
 
 	"kmeansll/internal/coreset"
 	"kmeansll/internal/data"
+	"kmeansll/internal/dsio"
 	"kmeansll/internal/geom"
 )
 
@@ -28,7 +34,7 @@ func main() {
 	var (
 		k    = flag.Int("k", 10, "number of clusters")
 		m    = flag.Int("m", 0, "coreset size (0 = 20*k)")
-		in   = flag.String("in", "", "input CSV (default stdin)")
+		in   = flag.String("in", "", "input dataset: CSV, .kmd or a shard manifest (default stdin, CSV)")
 		out  = flag.String("o", "", "output CSV for centers (default stdout)")
 		seed = flag.Uint64("seed", 1, "random seed")
 	)
@@ -45,47 +51,63 @@ func main() {
 		size = 2
 	}
 
-	var r io.Reader = os.Stdin
-	if *in != "" {
-		f, err := os.Open(*in)
+	var stream *coreset.Stream
+	rows, dim := 0, 0
+	switch strings.ToLower(filepath.Ext(*in)) {
+	case dsio.Ext:
+		// Binary input: rows come straight off the mapped pages.
+		stream, rows, dim = streamKMD(*in, stream, rows, dim, size, *seed)
+	case ".json":
+		// A shard manifest streams one part at a time — each part is mapped,
+		// consumed, and unmapped before the next opens, so even the resident
+		// set stays bounded by one part.
+		m, err := dsio.LoadManifest(*in)
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
-		r = f
-	}
-
-	var stream *coreset.Stream
-	rows, dim := 0, 0
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
-	line := 0
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" || strings.HasPrefix(text, "#") {
-			continue
+		for i := range m.Shards {
+			stream, rows, dim = streamKMD(m.ShardPath(i), stream, rows, dim, size, *seed)
 		}
-		fields := strings.Split(text, ",")
-		p := make([]float64, len(fields))
-		for j, f := range fields {
-			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+	default:
+		var r io.Reader = os.Stdin
+		if *in != "" {
+			f, err := os.Open(*in)
 			if err != nil {
-				fatal(fmt.Errorf("line %d col %d: %w", line, j+1, err))
+				fatal(err)
 			}
-			p[j] = v
+			defer f.Close()
+			r = f
 		}
-		if stream == nil {
-			dim = len(p)
-			stream = coreset.NewStream(size, dim, *seed)
-		} else if len(p) != dim {
-			fatal(fmt.Errorf("line %d has %d columns, want %d", line, len(p), dim))
+		sc := bufio.NewScanner(r)
+		sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+		line := 0
+		for sc.Scan() {
+			line++
+			text := strings.TrimSpace(sc.Text())
+			if text == "" || strings.HasPrefix(text, "#") {
+				continue
+			}
+			fields := strings.Split(text, ",")
+			p := make([]float64, len(fields))
+			for j, f := range fields {
+				v, err := data.ParseValue(f, line, j+1)
+				if err != nil {
+					fatal(err)
+				}
+				p[j] = v
+			}
+			if stream == nil {
+				dim = len(p)
+				stream = coreset.NewStream(size, dim, *seed)
+			} else if len(p) != dim {
+				fatal(fmt.Errorf("line %d has %d columns, want %d", line, len(p), dim))
+			}
+			stream.Add(p)
+			rows++
 		}
-		stream.Add(p)
-		rows++
-	}
-	if err := sc.Err(); err != nil {
-		fatal(err)
+		if err := sc.Err(); err != nil {
+			fatal(err)
+		}
 	}
 	if stream == nil || rows == 0 {
 		fatal(fmt.Errorf("no input rows"))
@@ -104,6 +126,35 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "kmstream: wrote %d centers to %s\n", centers.Rows, *out)
+}
+
+// streamKMD feeds one .kmd file's rows into the coreset stream, creating the
+// stream on the first row. The mapping is released before returning, so a
+// manifest's parts occupy address space one at a time.
+func streamKMD(path string, stream *coreset.Stream, rows, dim, size int, seed uint64) (*coreset.Stream, int, int) {
+	rd, err := dsio.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer rd.Close()
+	ds := rd.Dataset()
+	if ds.Weight != nil {
+		fatal(fmt.Errorf("%s is weighted; kmstream consumes unweighted points", path))
+	}
+	if ds.N() == 0 {
+		return stream, rows, dim
+	}
+	if stream == nil {
+		dim = ds.Dim()
+		stream = coreset.NewStream(size, dim, seed)
+	} else if ds.Dim() != dim {
+		fatal(fmt.Errorf("%s has %d dims, want %d", path, ds.Dim(), dim))
+	}
+	for i := 0; i < ds.N(); i++ {
+		stream.Add(ds.Point(i))
+		rows++
+	}
+	return stream, rows, dim
 }
 
 func fatal(err error) {

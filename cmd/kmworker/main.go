@@ -8,6 +8,12 @@
 //
 //	kmworker -addr :9090
 //	kmworker -addr 127.0.0.1:0        # pick a free port, printed on stdout
+//	kmworker -addr :9090 -data-dir /datasets
+//
+// With -data-dir the worker also answers path-based shard loads: instead of
+// pushing points over the wire, the coordinator names row ranges of .kmd
+// files (relative to that dir, typically a shared or rsynced dataset
+// directory) and the worker mmaps them locally — see kmcoord -manifest.
 //
 // The worker prints exactly one line "kmworker: listening on HOST:PORT" to
 // stdout once it is ready, which scripts (and the two-process integration
@@ -20,6 +26,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"os"
 	"time"
 
 	"kmeansll/internal/distkm"
@@ -27,6 +34,8 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":9090", "listen address (host:0 picks a free port)")
+	dataDir := flag.String("data-dir", "",
+		"root for path-based shard loads: the coordinator sends .kmd paths relative to this dir and the worker mmaps them locally (empty disables the pull path)")
 	shardTTL := flag.Duration("shard-ttl", time.Hour,
 		"drop shards untouched for this long (coordinator crashed without releasing them); 0 disables")
 	flag.Parse()
@@ -38,6 +47,10 @@ func main() {
 	fmt.Printf("kmworker: listening on %s\n", ln.Addr())
 
 	w := distkm.NewWorker()
+	if *dataDir != "" {
+		w.SetDataDir(*dataDir)
+		fmt.Fprintf(os.Stderr, "kmworker: serving path-based shards from %s\n", *dataDir)
+	}
 	stop := w.StartJanitor(*shardTTL)
 	defer stop()
 	if err := w.Serve(ln); err != nil {

@@ -8,6 +8,12 @@
 // same mapper count and verifies the centers agree bit for bit: the network
 // changed where the work ran, not a single float of the answer.
 //
+// It then reruns the fit over the out-of-core pull path: the dataset is
+// split into .kmd part files under a manifest, fresh workers are started
+// with a data dir (kmworker -data-dir), and the coordinator sends only file
+// row ranges — the points never cross the network — with the same
+// bit-identical result.
+//
 // Run with: go run ./examples/distributed
 package main
 
@@ -16,11 +22,14 @@ import (
 	"log"
 	"math"
 	"net"
+	"os"
 	"time"
 
 	"kmeansll/internal/core"
 	"kmeansll/internal/data"
 	"kmeansll/internal/distkm"
+	"kmeansll/internal/dsio"
+	"kmeansll/internal/geom"
 	"kmeansll/internal/mrkm"
 )
 
@@ -86,12 +95,60 @@ func main() {
 	// same mapper count: bit-identical centers.
 	wantInit, _ := mrkm.Init(ds, cfg, mrkm.Config{Mappers: workers})
 	wantRes, _ := mrkm.Lloyd(ds, wantInit, 20, mrkm.Config{Mappers: workers})
-	for i := range wantRes.Centers.Data {
-		if math.Float64bits(res.Centers.Data[i]) != math.Float64bits(wantRes.Centers.Data[i]) {
-			log.Fatalf("centers diverged at flat index %d: %v vs %v",
-				i, res.Centers.Data[i], wantRes.Centers.Data[i])
-		}
-	}
+	assertBitIdentical("distributed", res.Centers, wantRes.Centers)
 	fmt.Printf("verified: distributed centers are bit-identical to the single-process fit (k=%d, dim=%d)\n",
 		res.Centers.Rows, res.Centers.Cols)
+
+	// 5. The out-of-core pull path: split the dataset into .kmd part files
+	// under a manifest, start fresh workers that resolve paths under that
+	// directory (kmworker -data-dir), and distribute by path — only file
+	// names and row ranges go out; each worker mmaps its own shard.
+	dir, err := os.MkdirTemp("", "distributed-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	man, err := dsio.Split(ds, dir, workers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pullClients := make([]distkm.Client, workers)
+	for i := range pullClients {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		w := distkm.NewWorker()
+		w.SetDataDir(dir)
+		go func() { _ = w.Serve(ln) }()
+		if pullClients[i], err = distkm.Dial(ln.Addr().String(), 5*time.Second); err != nil {
+			log.Fatal(err)
+		}
+	}
+	pull, err := distkm.NewCoordinator(pullClients)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer pull.Close()
+	start = time.Now()
+	if err := pull.DistributeManifest(man); err != nil {
+		log.Fatal(err)
+	}
+	_, pullRes, pullStats, err := pull.Fit(cfg, 20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pull fit over %d part files: cost %.4g, %d RPC rounds (%s) — no points crossed the network\n",
+		len(man.Shards), pullRes.Cost, pullStats.RPCRounds, time.Since(start).Round(time.Millisecond))
+	assertBitIdentical("manifest-pull", pullRes.Centers, wantRes.Centers)
+	fmt.Println("verified: manifest-pull centers are bit-identical too")
+}
+
+func assertBitIdentical(what string, got, want *geom.Matrix) {
+	for i := range want.Data {
+		if math.Float64bits(got.Data[i]) != math.Float64bits(want.Data[i]) {
+			log.Fatalf("%s centers diverged at flat index %d: %v vs %v",
+				what, i, got.Data[i], want.Data[i])
+		}
+	}
 }

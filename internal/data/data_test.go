@@ -2,8 +2,10 @@ package data
 
 import (
 	"bytes"
+	"fmt"
 	"math"
 	"sort"
+	"strings"
 	"testing"
 
 	"kmeansll/internal/geom"
@@ -258,6 +260,32 @@ func TestReadCSVErrors(t *testing.T) {
 	}
 	if _, err := ReadCSV(bytes.NewBufferString("1,2\n3\n")); err == nil {
 		t.Fatal("accepted ragged rows")
+	}
+}
+
+func TestReadCSVRejectsNonFinite(t *testing.T) {
+	// ParseFloat happily parses these spellings; the loader must not.
+	for _, tc := range []struct {
+		input    string
+		wantLine int
+		wantCol  int
+	}{
+		{"1,2\n3,NaN\n", 2, 2},
+		{"1,2\nnan,4\n", 2, 1},
+		{"1,Inf\n", 1, 2},
+		{"-inf,2\n", 1, 1},
+		{"1,+Infinity\n", 1, 2},
+		{"1e309,2\n", 1, 1}, // overflows float64 to +Inf
+		{"# weighted\n1,2,inf\n", 2, 3},
+	} {
+		_, err := ReadCSV(bytes.NewBufferString(tc.input))
+		if err == nil {
+			t.Fatalf("%q: accepted a non-finite value", tc.input)
+		}
+		want := fmt.Sprintf("line %d col %d", tc.wantLine, tc.wantCol)
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("%q: error %q does not name %s", tc.input, err, want)
+		}
 	}
 }
 

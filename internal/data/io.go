@@ -4,10 +4,13 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
+	"kmeansll/internal/dsio"
 	"kmeansll/internal/geom"
 )
 
@@ -45,6 +48,9 @@ func WriteCSV(w io.Writer, ds *geom.Dataset) error {
 
 // ReadCSV parses a dataset written by WriteCSV (or any headerless numeric
 // CSV). Lines starting with '#' other than the weight marker are skipped.
+// Every value must be finite: strconv.ParseFloat happily parses "NaN" and
+// "Inf", but a single such value silently poisons every distance kernel
+// downstream, so the loader rejects them with the offending line and column.
 func ReadCSV(r io.Reader) (*geom.Dataset, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
@@ -67,9 +73,9 @@ func ReadCSV(r io.Reader) (*geom.Dataset, error) {
 		fields := strings.Split(text, ",")
 		vals := make([]float64, len(fields))
 		for j, f := range fields {
-			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			v, err := ParseValue(f, line, j+1)
 			if err != nil {
-				return nil, fmt.Errorf("data: line %d col %d: %w", line, j+1, err)
+				return nil, fmt.Errorf("data: %w", err)
 			}
 			vals[j] = v
 		}
@@ -95,6 +101,23 @@ func ReadCSV(r io.Reader) (*geom.Dataset, error) {
 	return ds, nil
 }
 
+// ParseValue parses one CSV field as a finite float64, naming the 1-based
+// line and column on failure. strconv.ParseFloat happily parses "NaN" and
+// "Inf", but one such value silently poisons every distance kernel
+// downstream, so every CSV consumer (ReadCSV here, kmstream's row scanner)
+// funnels through this single validation point.
+func ParseValue(field string, line, col int) (float64, error) {
+	field = strings.TrimSpace(field)
+	v, err := strconv.ParseFloat(field, 64)
+	if err != nil {
+		return 0, fmt.Errorf("line %d col %d: %w", line, col, err)
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("line %d col %d: non-finite value %q", line, col, field)
+	}
+	return v, nil
+}
+
 // SaveCSV writes the dataset to a file path.
 func SaveCSV(path string, ds *geom.Dataset) error {
 	f, err := os.Create(path)
@@ -116,4 +139,38 @@ func LoadCSV(path string) (*geom.Dataset, error) {
 	}
 	defer f.Close()
 	return ReadCSV(f)
+}
+
+// nopCloser is the closer returned for loads that hold no resources.
+type nopCloser struct{}
+
+func (nopCloser) Close() error { return nil }
+
+// Load opens a dataset of any supported kind, dispatching on the extension:
+// ".kmd" binary files are mmap'd (zero-copy where the platform allows),
+// ".json" files are treated as shard manifests and concatenated, everything
+// else is parsed as CSV. The returned closer releases any mapping; the
+// dataset must not be used after closing it. This is the single entry point
+// the CLI tools load through, so every tool accepts every format.
+func Load(path string) (*geom.Dataset, io.Closer, error) {
+	switch strings.ToLower(filepath.Ext(path)) {
+	case dsio.Ext:
+		return dsio.Load(path)
+	case ".json":
+		m, err := dsio.LoadManifest(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		ds, err := m.Load()
+		if err != nil {
+			return nil, nil, err
+		}
+		return ds, nopCloser{}, nil
+	default:
+		ds, err := LoadCSV(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		return ds, nopCloser{}, nil
+	}
 }

@@ -4,11 +4,13 @@ import (
 	"errors"
 	"fmt"
 	"net/rpc"
+	"path"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"kmeansll/internal/core"
+	"kmeansll/internal/dsio"
 	"kmeansll/internal/geom"
 	"kmeansll/internal/lloyd"
 	"kmeansll/internal/mrkm"
@@ -49,8 +51,18 @@ type Stats struct {
 type Coordinator struct {
 	fit     uint64 // unique id namespacing this coordinator's shards on shared workers
 	clients []Client
-	ds      *geom.Dataset
+	ds      *geom.Dataset // push mode only; nil when shards were loaded by path
 	spans   []mrkm.Span
+
+	// Dataset metadata shared by both load modes. In push mode it mirrors
+	// ds; in pull (manifest) mode it is all the coordinator ever holds — the
+	// points live exclusively on the workers.
+	n, dim   int
+	weighted bool
+	// segs, in pull mode, maps each shard to the file row ranges that
+	// compose it, so failover can re-issue the LoadPath instead of re-pushing
+	// data the coordinator never had.
+	segs [][]PathSeg
 
 	mu     sync.Mutex
 	assign []int  // shard -> worker index
@@ -121,7 +133,78 @@ func (c *Coordinator) Distribute(ds *geom.Dataset) error {
 		return errors.New("distkm: empty dataset")
 	}
 	c.ds = ds
+	c.n, c.dim, c.weighted = n, ds.Dim(), ds.Weight != nil
 	c.spans = mrkm.MakeSpans(n, len(c.clients))
+	c.segs = nil
+	return c.loadAll()
+}
+
+// DistributeManifest is the pull counterpart of Distribute: the dataset
+// lives as .kmd part files that every worker can reach under its own
+// -data-dir, and only file paths and row ranges cross the network. Shard
+// spans still come from mrkm.MakeSpans over the manifest's total row count,
+// so a pull fit is bit-identical to a push fit (and to mrkm) at the same
+// worker count — the part-file boundaries never influence the math.
+//
+// Part paths go out exactly as the manifest records them (manifest-dir-
+// relative), so each worker's -data-dir must be (a mirror of) the
+// manifest's directory. When workers instead root a larger dataset tree,
+// use DistributeManifestAt with the manifest's location inside that tree.
+func (c *Coordinator) DistributeManifest(m *dsio.Manifest) error {
+	return c.DistributeManifestAt(m, "")
+}
+
+// DistributeManifestAt is DistributeManifest with the manifest's directory
+// expressed relative to the workers' -data-dir roots: every part path is
+// prefixed with `prefix` before it crosses the wire. kmserved uses it so a
+// fit over "big/manifest.json" under -data-dir sends "big/part-NNNN.kmd",
+// which external workers rooted at the same tree resolve correctly.
+func (c *Coordinator) DistributeManifestAt(m *dsio.Manifest, prefix string) error {
+	if m.Rows == 0 {
+		return errors.New("distkm: empty dataset")
+	}
+	if m.Weighted {
+		// Step 1's weight-proportional first pick needs the global weight
+		// vector, which a path-only coordinator never sees.
+		return errors.New("distkm: manifest pull does not support weighted datasets")
+	}
+	c.ds = nil
+	c.n, c.dim, c.weighted = m.Rows, m.Cols, false
+	spans := mrkm.MakeSpans(m.Rows, len(c.clients))
+	c.segs = make([][]PathSeg, len(spans))
+	for s, sp := range spans {
+		c.segs[s] = manifestSegs(m, prefix, sp.Lo, sp.Hi)
+	}
+	c.spans = spans
+	return c.loadAll()
+}
+
+// manifestSegs maps global rows [lo, hi) onto the manifest's part files.
+// Zero-row parts (legal in externally produced manifests) are skipped — a
+// degenerate [0,0) segment would be rejected by the worker.
+func manifestSegs(m *dsio.Manifest, prefix string, lo, hi int) []PathSeg {
+	var segs []PathSeg
+	at := 0
+	for _, sh := range m.Shards {
+		next := at + sh.Rows
+		if sh.Rows > 0 && next > lo && at < hi {
+			p := sh.Path
+			if prefix != "" {
+				p = path.Join(prefix, p)
+			}
+			segs = append(segs, PathSeg{
+				Path: p,
+				Lo:   max(lo, at) - at,
+				Hi:   min(hi, next) - at,
+			})
+		}
+		at = next
+	}
+	return segs
+}
+
+// loadAll initializes the shard→worker assignment and loads every shard.
+func (c *Coordinator) loadAll() error {
 	c.assign = make([]int, len(c.spans))
 	for i := range c.assign {
 		c.assign[i] = i
@@ -136,9 +219,17 @@ func (c *Coordinator) Distribute(ds *geom.Dataset) error {
 	return nil
 }
 
-// loadShard pushes shard shardID's span of the retained dataset onto cl.
+// loadShard loads shard shardID onto cl: a path instruction in pull mode, a
+// push of the retained dataset's span otherwise.
 func (c *Coordinator) loadShard(cl Client, shardID int) error {
 	sp := c.spans[shardID]
+	if c.segs != nil {
+		return cl.Call("Worker.LoadPath", LoadPathArgs{
+			Ref:  c.ref(shardID),
+			Lo:   sp.Lo,
+			Segs: c.segs[shardID],
+		}, &Ack{})
+	}
 	view := c.ds.X.RowRange(sp.Lo, sp.Hi)
 	var w []float64
 	if c.ds.Weight != nil {
@@ -208,7 +299,7 @@ func (c *Coordinator) reassign(shardID int) error {
 	rebuild := c.rebuildCenters
 	c.mu.Unlock()
 
-	if c.ds == nil {
+	if c.ds == nil && c.segs == nil {
 		return errors.New("distkm: cannot re-assign a shard without the retained dataset")
 	}
 	c.failovers.Add(1)
@@ -272,18 +363,20 @@ func (c *Coordinator) Init(cfg core.Config) (*geom.Matrix, Stats, error) {
 	if cfg.K <= 0 {
 		return nil, stats, errors.New("distkm: Config.K must be positive")
 	}
-	if c.ds == nil || len(c.spans) == 0 {
+	if len(c.spans) == 0 {
 		return nil, stats, errors.New("distkm: call Distribute before Init")
 	}
 	rounds0, calls0, fail0 := c.rpcRounds.Load(), c.calls.Load(), c.failovers.Load()
-	n := c.ds.N()
+	n := c.n
 	r := rng.New(cfg.Seed)
 	ell, rounds := mrkm.Defaults(cfg)
 
 	// Step 1: the driver picks the first center uniformly (weight-
-	// proportionally when weighted) and fetches it from the owning shard.
+	// proportionally when weighted — push mode only, since a path-loaded
+	// coordinator never holds the weight vector) and fetches it from the
+	// owning shard.
 	var first int
-	if c.ds.Weight == nil {
+	if !c.weighted {
 		first = r.Intn(n)
 	} else {
 		first = r.WeightedIndex(c.ds.Weight)
@@ -292,8 +385,8 @@ func (c *Coordinator) Init(cfg core.Config) (*geom.Matrix, Stats, error) {
 	if err != nil {
 		return nil, stats, err
 	}
-	centers := geom.NewMatrix(0, c.ds.Dim())
-	centers.Cols = c.ds.Dim()
+	centers := geom.NewMatrix(0, c.dim)
+	centers.Cols = c.dim
 	centers.AppendRow(firstPoint)
 
 	c.mu.Lock()
@@ -445,7 +538,7 @@ func (c *Coordinator) costPass(centers *geom.Matrix) (float64, error) {
 func (c *Coordinator) Lloyd(init *geom.Matrix, maxIter int) (lloyd.Result, Stats, error) {
 	stats := Stats{}
 	res := lloyd.Result{}
-	if c.ds == nil || len(c.spans) == 0 {
+	if len(c.spans) == 0 {
 		return res, stats, errors.New("distkm: call Distribute before Lloyd")
 	}
 	if maxIter <= 0 {

@@ -58,6 +58,25 @@ type LoadArgs struct {
 // Ack is the empty reply for calls that only need an error channel.
 type Ack struct{}
 
+// PathSeg names one contiguous row range of one .kmd part file. Paths are
+// relative (manifest-relative); each worker resolves them under its own
+// -data-dir, so the coordinator never needs to know where workers keep data.
+type PathSeg struct {
+	Path   string
+	Lo, Hi int // row range within that file
+}
+
+// LoadPathArgs is the pull counterpart of LoadArgs: instead of shipping the
+// shard's points over the wire, the coordinator names which rows of which
+// dataset files make up the shard and the worker mmaps them locally — the
+// request is a few hundred bytes regardless of shard size. Lo is the global
+// index of the shard's first point, exactly as in LoadArgs.
+type LoadPathArgs struct {
+	Ref  ShardRef
+	Lo   int
+	Segs []PathSeg
+}
+
 // UpdateArgs is one D² cache-update pass: fold the new centers into the
 // shard's per-point cache and return the shard's φ partial. Reset
 // reinitializes the cache to +Inf first (first pass, or a failover rebuild

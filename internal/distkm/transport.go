@@ -88,12 +88,23 @@ func NewLoopback(w *Worker) Client {
 // own loopback client — the "simulated cluster" the kmserved dist backend
 // and tests run on. The returned closer shuts every connection down.
 func LoopbackCluster(n int) ([]Client, func()) {
+	return LoopbackClusterDir(n, "")
+}
+
+// LoopbackClusterDir is LoopbackCluster with every worker resolving
+// path-based shard loads under dir, so manifest-pull fits can run without
+// sockets. Empty dir leaves the pull path disabled.
+func LoopbackClusterDir(n int, dir string) ([]Client, func()) {
 	if n < 1 {
 		n = 1
 	}
 	clients := make([]Client, n)
 	for i := range clients {
-		clients[i] = NewLoopback(NewWorker())
+		w := NewWorker()
+		if dir != "" {
+			w.SetDataDir(dir)
+		}
+		clients[i] = NewLoopback(w)
 	}
 	return clients, func() {
 		for _, c := range clients {

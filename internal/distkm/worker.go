@@ -3,12 +3,15 @@ package distkm
 import (
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net"
 	"net/rpc"
+	"path/filepath"
 	"sync"
 	"time"
 
+	"kmeansll/internal/dsio"
 	"kmeansll/internal/geom"
 	"kmeansll/internal/mrkm"
 	"kmeansll/internal/rng"
@@ -26,6 +29,28 @@ type shard struct {
 	// coordinator died without a clean Release would otherwise strand its
 	// dataset copy on a long-lived shared worker forever.
 	lastUsed time.Time
+
+	// closers hold the mmap readers backing a path-loaded shard; dropping
+	// the shard must unmap them or a long-lived worker leaks address space.
+	closers []io.Closer
+
+	// refs counts in-flight RPCs reading this shard and dropped marks it
+	// removed from the worker's map (both guarded by the worker mutex).
+	// Push-mode shards are plain GC-managed memory, but a pull-mode shard
+	// aliases mmap'd pages: munmapping while a stale call still scans it
+	// would SIGSEGV the whole worker process, so the mapping is only closed
+	// once the shard is dropped AND the last reader has finished.
+	refs    int
+	dropped bool
+}
+
+// closeMaps unmaps the shard's backing files. Callers must guarantee no
+// reader is in flight (refs == 0 after drop).
+func (s *shard) closeMaps() {
+	for _, c := range s.closers {
+		_ = c.Close()
+	}
+	s.closers = nil
 }
 
 // Worker is the RPC service one kmworker process exposes. A worker starts
@@ -38,6 +63,10 @@ type shard struct {
 type Worker struct {
 	mu     sync.Mutex
 	shards map[ShardRef]*shard
+
+	// dataDir, when non-empty, is the root LoadPath resolves shard file
+	// paths under. Empty means the pull path is disabled (push-only worker).
+	dataDir string
 }
 
 // NewWorker returns an empty worker ready to register with an RPC server.
@@ -45,6 +74,13 @@ func NewWorker() *Worker {
 	return &Worker{shards: make(map[ShardRef]*shard)}
 }
 
+// SetDataDir enables the pull path: LoadPath requests resolve their relative
+// file paths under dir (kmworker -data-dir). Call before serving.
+func (w *Worker) SetDataDir(dir string) { w.dataDir = dir }
+
+// shardByRef pins the shard for one RPC: the caller must pair it with done,
+// which releases the pin and unmaps a dropped shard once the last reader is
+// out.
 func (w *Worker) shardByRef(ref ShardRef) (*shard, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -53,7 +89,26 @@ func (w *Worker) shardByRef(ref ShardRef) (*shard, error) {
 		return nil, fmt.Errorf("distkm: worker has no shard %d of fit %d", ref.Shard, ref.Fit)
 	}
 	s.lastUsed = time.Now()
+	s.refs++
 	return s, nil
+}
+
+// done releases a shardByRef pin.
+func (w *Worker) done(s *shard) {
+	w.mu.Lock()
+	s.refs--
+	drop := s.dropped && s.refs == 0
+	w.mu.Unlock()
+	if drop {
+		s.closeMaps()
+	}
+}
+
+// dropLocked marks s removed and reports whether the caller should close its
+// mappings now (no readers in flight). Callers hold w.mu.
+func dropLocked(s *shard) (closeNow bool) {
+	s.dropped = true
+	return s.refs == 0
 }
 
 // Load installs (or replaces) a shard. The D² cache starts at +Inf, i.e.
@@ -68,18 +123,102 @@ func (w *Worker) Load(args LoadArgs, _ *Ack) error {
 			args.Ref.Shard, len(args.Weights), args.Points.Rows)
 	}
 	x := &geom.Matrix{Rows: args.Points.Rows, Cols: args.Points.Cols, Data: args.Points.Data}
-	d2 := make([]float64, x.Rows)
+	w.install(args.Ref, args.Lo, &geom.Dataset{X: x, Weight: args.Weights}, nil)
+	return nil
+}
+
+// install records a shard under ref, releasing any mapping a replaced shard
+// held. The D² cache starts at +Inf ("no centers seen yet").
+func (w *Worker) install(ref ShardRef, lo int, ds *geom.Dataset, closers []io.Closer) {
+	d2 := make([]float64, ds.N())
 	for i := range d2 {
 		d2[i] = math.Inf(1)
 	}
+	s := &shard{lo: lo, ds: ds, d2: d2, lastUsed: time.Now(), closers: closers}
 	w.mu.Lock()
-	w.shards[args.Ref] = &shard{
-		lo:       args.Lo,
-		ds:       &geom.Dataset{X: x, Weight: args.Weights},
-		d2:       d2,
-		lastUsed: time.Now(),
-	}
+	old := w.shards[ref]
+	closeOld := old != nil && dropLocked(old)
+	w.shards[ref] = s
 	w.mu.Unlock()
+	if closeOld {
+		old.closeMaps()
+	}
+}
+
+// LoadPath installs a shard from local dataset files instead of wire-pushed
+// points: each segment names a row range of one .kmd file under the worker's
+// data dir. A single-segment shard aliases the mmap directly (zero copy);
+// multi-segment shards copy the rows into one contiguous matrix so the
+// kernels see the same layout either way.
+func (w *Worker) LoadPath(args LoadPathArgs, _ *Ack) error {
+	if w.dataDir == "" {
+		return fmt.Errorf("distkm: worker was not started with a data dir; path loads are disabled")
+	}
+	if len(args.Segs) == 0 {
+		return fmt.Errorf("distkm: LoadPath shard %d: no segments", args.Ref.Shard)
+	}
+	var (
+		readers []io.Closer
+		dim     = -1
+		total   int
+		weight  = false
+	)
+	fail := func(err error) error {
+		for _, r := range readers {
+			_ = r.Close()
+		}
+		return err
+	}
+	parts := make([]*geom.Dataset, len(args.Segs))
+	for i, seg := range args.Segs {
+		if seg.Path == "" || !filepath.IsLocal(seg.Path) {
+			return fail(fmt.Errorf("distkm: LoadPath shard %d: path %q escapes the data dir", args.Ref.Shard, seg.Path))
+		}
+		r, err := dsio.Open(filepath.Join(w.dataDir, seg.Path))
+		if err != nil {
+			return fail(fmt.Errorf("distkm: LoadPath shard %d: %v", args.Ref.Shard, err))
+		}
+		readers = append(readers, r)
+		ds := r.Dataset()
+		if seg.Lo < 0 || seg.Hi > ds.N() || seg.Lo >= seg.Hi {
+			return fail(fmt.Errorf("distkm: LoadPath shard %d: rows [%d,%d) outside %s's %d rows",
+				args.Ref.Shard, seg.Lo, seg.Hi, seg.Path, ds.N()))
+		}
+		if i == 0 {
+			dim, weight = ds.Dim(), ds.Weight != nil
+		} else if ds.Dim() != dim || (ds.Weight != nil) != weight {
+			return fail(fmt.Errorf("distkm: LoadPath shard %d: %s disagrees on dims/weighting", args.Ref.Shard, seg.Path))
+		}
+		view := ds.X.RowRange(seg.Lo, seg.Hi)
+		part := &geom.Dataset{X: &view}
+		if ds.Weight != nil {
+			part.Weight = ds.Weight[seg.Lo:seg.Hi]
+		}
+		parts[i] = part
+		total += seg.Hi - seg.Lo
+	}
+
+	if len(parts) == 1 {
+		w.install(args.Ref, args.Lo, parts[0], readers)
+		return nil
+	}
+	x := geom.NewMatrix(total, dim)
+	var ww []float64
+	if weight {
+		ww = make([]float64, 0, total)
+	}
+	at := 0
+	for _, part := range parts {
+		copy(x.Data[at*dim:], part.X.Data)
+		at += part.N()
+		if weight {
+			ww = append(ww, part.Weight...)
+		}
+	}
+	for _, r := range readers {
+		_ = r.Close() // rows are copied; the mappings can go
+	}
+	w.install(args.Ref, args.Lo, &geom.Dataset{X: x, Weight: ww}, nil)
 	return nil
 }
 
@@ -92,6 +231,7 @@ func (w *Worker) Update(args UpdateArgs, reply *CostReply) error {
 	if err != nil {
 		return err
 	}
+	defer w.done(s)
 	centers, err := args.New.checked(s.ds.Dim(), 0)
 	if err != nil {
 		return err
@@ -113,6 +253,7 @@ func (w *Worker) Sample(args SampleArgs, reply *SampleReply) error {
 	if err != nil {
 		return err
 	}
+	defer w.done(s)
 	pts := geom.NewMatrix(0, s.ds.Dim())
 	pts.Cols = s.ds.Dim()
 	for i := range s.d2 {
@@ -137,6 +278,7 @@ func (w *Worker) Weights(args CentersArgs, reply *WeightsReply) error {
 	if err != nil {
 		return err
 	}
+	defer w.done(s)
 	centers, err := args.Centers.checked(s.ds.Dim(), 1)
 	if err != nil {
 		return err
@@ -158,6 +300,7 @@ func (w *Worker) LloydStep(args CentersArgs, reply *LloydReply) error {
 	if err != nil {
 		return err
 	}
+	defer w.done(s)
 	centers, err := args.Centers.checked(s.ds.Dim(), 1)
 	if err != nil {
 		return err
@@ -188,6 +331,7 @@ func (w *Worker) Cost(args CentersArgs, reply *CostReply) error {
 	if err != nil {
 		return err
 	}
+	defer w.done(s)
 	centers, err := args.Centers.checked(s.ds.Dim(), 1)
 	if err != nil {
 		return err
@@ -208,6 +352,7 @@ func (w *Worker) Assign(args CentersArgs, reply *AssignReply) error {
 	if err != nil {
 		return err
 	}
+	defer w.done(s)
 	centers, err := args.Centers.checked(s.ds.Dim(), 1)
 	if err != nil {
 		return err
@@ -228,6 +373,7 @@ func (w *Worker) Fetch(args FetchArgs, reply *FetchReply) error {
 	if err != nil {
 		return err
 	}
+	defer w.done(s)
 	i := args.Index - s.lo
 	if i < 0 || i >= s.ds.N() {
 		return fmt.Errorf("distkm: shard %d does not own global index %d", args.Ref.Shard, args.Index)
@@ -240,11 +386,18 @@ func (w *Worker) Fetch(args FetchArgs, reply *FetchReply) error {
 // it on Close so shared long-lived workers do not accumulate dead datasets.
 func (w *Worker) Release(args ReleaseArgs, _ *Ack) error {
 	w.mu.Lock()
-	defer w.mu.Unlock()
-	for ref := range w.shards {
+	var closeNow []*shard
+	for ref, s := range w.shards {
 		if ref.Fit == args.Fit {
+			if dropLocked(s) {
+				closeNow = append(closeNow, s)
+			}
 			delete(w.shards, ref)
 		}
+	}
+	w.mu.Unlock()
+	for _, s := range closeNow {
+		s.closeMaps()
 	}
 	return nil
 }
@@ -270,12 +423,19 @@ func (w *Worker) StartJanitor(ttl time.Duration) (stop func()) {
 				return
 			case now := <-ticker.C:
 				w.mu.Lock()
+				var closeNow []*shard
 				for ref, s := range w.shards {
 					if now.Sub(s.lastUsed) > ttl {
+						if dropLocked(s) {
+							closeNow = append(closeNow, s)
+						}
 						delete(w.shards, ref)
 					}
 				}
 				w.mu.Unlock()
+				for _, s := range closeNow {
+					s.closeMaps()
+				}
 			}
 		}
 	}()

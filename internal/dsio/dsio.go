@@ -1,0 +1,197 @@
+// Package dsio is the out-of-core dataset layer: a binary on-disk format
+// (".kmd") that every data entry point of the repo can open instead of
+// receiving points, plus a sharded variant (part files under a JSON
+// manifest) for datasets that are fitted across distkm workers.
+//
+// The design follows the observation — made for k-means|| itself by the
+// source paper, and for storage engines by the MV-PBT and NVMe studies in
+// PAPERS.md — that at scale the load path dominates: a CSV loader pays one
+// strconv.ParseFloat per value, while a .kmd file is the in-memory matrix
+// layout verbatim, so opening one is a header read plus an mmap, O(1) in the
+// point count. On little-endian machines the returned geom.Dataset aliases
+// the mapped pages (zero copy); elsewhere, and for readers handed plain
+// bytes, a copying decode produces the same bits.
+//
+// # File format (version 1, all integers little-endian)
+//
+//	offset size
+//	0      4   magic "KMDF"
+//	4      2   version (1)
+//	6      2   flags (bit 0: weights section present)
+//	8      8   rows   (uint64)
+//	16     8   cols   (uint64)
+//	24     8   CRC-64/ECMA of payload ++ weights
+//	32     32  reserved, must be zero
+//	64     —   payload: rows×cols float64, row-major
+//	...    —   weights: rows float64 (iff flag bit 0)
+//
+// The payload begins at byte 64 so an mmap'd file (page-aligned base) keeps
+// it 8-byte aligned for the zero-copy view. The checksum covers the payload
+// and weights; Open does not verify it (that would be O(n), defeating the
+// point) — Reader.Verify and Decode do.
+package dsio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc64"
+	"math"
+
+	"kmeansll/internal/geom"
+)
+
+const (
+	magic      = "KMDF"
+	version    = 1
+	headerSize = 64
+
+	flagWeights = 1 << 0
+	knownFlags  = flagWeights
+
+	// maxCols bounds the dimensionality a header may claim. Real datasets in
+	// this repo top out at a few hundred dims; the bound exists so a fuzzed
+	// header cannot make size arithmetic overflow or force huge allocations.
+	maxCols = 1 << 24
+	// maxRows bounds the row count a header may claim, for the same reason.
+	maxRows = 1 << 48
+)
+
+// crcTable is the CRC-64/ECMA table shared by writer and readers.
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// Ext is the conventional file extension of the binary dataset format.
+const Ext = ".kmd"
+
+// Info is the O(1) metadata of a .kmd file: everything the header records.
+type Info struct {
+	Rows     int
+	Cols     int
+	Weighted bool
+	Checksum uint64
+}
+
+// payloadBytes returns the expected byte length of the data sections, or an
+// error when the claimed shape is implausible. Bounds are checked before any
+// multiplication, so fuzzed headers cannot overflow or demand allocations.
+func (in Info) payloadBytes() (int64, error) {
+	if in.Rows < 0 || int64(in.Rows) > maxRows {
+		return 0, fmt.Errorf("dsio: implausible row count %d", in.Rows)
+	}
+	if in.Cols < 1 || in.Cols > maxCols {
+		return 0, fmt.Errorf("dsio: column count %d outside [1, %d]", in.Cols, maxCols)
+	}
+	vals := int64(in.Rows) * int64(in.Cols)
+	if in.Weighted {
+		vals += int64(in.Rows)
+	}
+	if vals > math.MaxInt64/8 {
+		return 0, fmt.Errorf("dsio: %d×%d dataset does not fit a file", in.Rows, in.Cols)
+	}
+	return 8 * vals, nil
+}
+
+// encodeHeader renders the 64-byte header for the given metadata.
+func encodeHeader(in Info) [headerSize]byte {
+	var h [headerSize]byte
+	copy(h[0:4], magic)
+	binary.LittleEndian.PutUint16(h[4:6], version)
+	flags := uint16(0)
+	if in.Weighted {
+		flags |= flagWeights
+	}
+	binary.LittleEndian.PutUint16(h[6:8], flags)
+	binary.LittleEndian.PutUint64(h[8:16], uint64(in.Rows))
+	binary.LittleEndian.PutUint64(h[16:24], uint64(in.Cols))
+	binary.LittleEndian.PutUint64(h[24:32], in.Checksum)
+	return h
+}
+
+// decodeHeader parses and validates a header, without touching the payload.
+func decodeHeader(h []byte) (Info, error) {
+	var in Info
+	if len(h) < headerSize {
+		return in, fmt.Errorf("dsio: file too short for a header: %d bytes, need %d", len(h), headerSize)
+	}
+	if string(h[0:4]) != magic {
+		return in, fmt.Errorf("dsio: bad magic %q (not a .kmd file)", h[0:4])
+	}
+	if v := binary.LittleEndian.Uint16(h[4:6]); v != version {
+		return in, fmt.Errorf("dsio: unsupported format version %d (want %d)", v, version)
+	}
+	flags := binary.LittleEndian.Uint16(h[6:8])
+	if flags&^uint16(knownFlags) != 0 {
+		return in, fmt.Errorf("dsio: unknown flag bits %#x", flags&^uint16(knownFlags))
+	}
+	rows := binary.LittleEndian.Uint64(h[8:16])
+	cols := binary.LittleEndian.Uint64(h[16:24])
+	if rows > maxRows {
+		return in, fmt.Errorf("dsio: implausible row count %d", rows)
+	}
+	if cols == 0 || cols > maxCols {
+		return in, fmt.Errorf("dsio: column count %d outside [1, %d]", cols, maxCols)
+	}
+	for _, b := range h[32:headerSize] {
+		if b != 0 {
+			return in, fmt.Errorf("dsio: reserved header bytes are not zero")
+		}
+	}
+	in = Info{
+		Rows:     int(rows),
+		Cols:     int(cols),
+		Weighted: flags&flagWeights != 0,
+		Checksum: binary.LittleEndian.Uint64(h[24:32]),
+	}
+	if _, err := in.payloadBytes(); err != nil {
+		return Info{}, err
+	}
+	return in, nil
+}
+
+// Decode parses a complete .kmd byte slice into a freshly allocated dataset,
+// verifying the checksum. It never aliases data, so the input may be reused;
+// for file-backed zero-copy access use Open instead. Malformed input of any
+// kind — bad magic, truncated payload, trailing garbage, checksum mismatch —
+// returns an error; allocation is bounded by len(data).
+func Decode(data []byte) (*geom.Dataset, error) {
+	in, err := decodeHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	want, err := in.payloadBytes()
+	if err != nil {
+		return nil, err
+	}
+	body := data[headerSize:]
+	if int64(len(body)) != want {
+		return nil, fmt.Errorf("dsio: body is %d bytes, header claims %d", len(body), want)
+	}
+	if sum := crc64.Checksum(body, crcTable); sum != in.Checksum {
+		return nil, fmt.Errorf("dsio: checksum mismatch: file says %#x, payload hashes to %#x", in.Checksum, sum)
+	}
+	x := geom.NewMatrix(in.Rows, in.Cols)
+	decodeFloats(body[:8*in.Rows*in.Cols], x.Data)
+	ds := &geom.Dataset{X: x}
+	if in.Weighted {
+		ds.Weight = make([]float64, in.Rows)
+		decodeFloats(body[8*in.Rows*in.Cols:], ds.Weight)
+	}
+	return ds, nil
+}
+
+// decodeFloats copies little-endian float64s out of b into dst. It works at
+// any alignment, unlike the zero-copy view.
+func decodeFloats(b []byte, dst []float64) {
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+}
+
+// encodeFloats appends little-endian float64s to b.
+func encodeFloats(b []byte, src []float64) []byte {
+	for _, v := range src {
+		var tmp [8]byte
+		binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(v))
+		b = append(b, tmp[:]...)
+	}
+	return b
+}

@@ -1,0 +1,264 @@
+package dsio
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"kmeansll/internal/geom"
+	"kmeansll/internal/rng"
+)
+
+func testDataset(t *testing.T, n, dim int, weighted bool, seed uint64) *geom.Dataset {
+	t.Helper()
+	r := rng.New(seed)
+	x := geom.NewMatrix(n, dim)
+	for i := range x.Data {
+		x.Data[i] = r.NormFloat64()
+	}
+	ds := &geom.Dataset{X: x}
+	if weighted {
+		ds.Weight = make([]float64, n)
+		for i := range ds.Weight {
+			ds.Weight[i] = 0.5 + r.Float64()
+		}
+	}
+	return ds
+}
+
+func bitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		n, dim   int
+		weighted bool
+	}{
+		{"unweighted", 137, 7, false},
+		{"weighted", 64, 3, true},
+		{"single", 1, 1, false},
+		{"empty", 0, 4, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ds := testDataset(t, tc.n, tc.dim, tc.weighted, 1)
+			path := filepath.Join(t.TempDir(), "a.kmd")
+			if err := Save(path, ds); err != nil {
+				t.Fatalf("Save: %v", err)
+			}
+
+			in, err := Stat(path)
+			if err != nil {
+				t.Fatalf("Stat: %v", err)
+			}
+			if in.Rows != tc.n || in.Cols != tc.dim || in.Weighted != tc.weighted {
+				t.Fatalf("Stat = %+v, want %d×%d weighted=%v", in, tc.n, tc.dim, tc.weighted)
+			}
+
+			r, err := Open(path)
+			if err != nil {
+				t.Fatalf("Open: %v", err)
+			}
+			defer r.Close()
+			got := r.Dataset()
+			if got.N() != tc.n || got.Dim() != tc.dim {
+				t.Fatalf("shape %d×%d, want %d×%d", got.N(), got.Dim(), tc.n, tc.dim)
+			}
+			if !bitsEqual(got.X.Data, ds.X.Data) || !bitsEqual(got.Weight, ds.Weight) {
+				t.Fatal("round trip changed float bits")
+			}
+			if err := r.Verify(); err != nil {
+				t.Fatalf("Verify: %v", err)
+			}
+
+			// The copying decoder must agree with the mmap view.
+			buf, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dec, err := Decode(buf)
+			if err != nil {
+				t.Fatalf("Decode: %v", err)
+			}
+			if !bitsEqual(dec.X.Data, ds.X.Data) || !bitsEqual(dec.Weight, ds.Weight) {
+				t.Fatal("Decode disagrees with the written data")
+			}
+		})
+	}
+}
+
+func TestZeroCopyOnThisPlatform(t *testing.T) {
+	if !mmapSupported || !nativeLittle {
+		t.Skip("platform has no zero-copy path")
+	}
+	ds := testDataset(t, 50, 5, true, 2)
+	path := filepath.Join(t.TempDir(), "z.kmd")
+	if err := Save(path, ds); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if !r.ZeroCopy() {
+		t.Fatal("expected a zero-copy mapping on this platform")
+	}
+}
+
+func TestStreamingWriterMatchesSave(t *testing.T) {
+	ds := testDataset(t, 33, 4, false, 3)
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a.kmd"), filepath.Join(dir, "b.kmd")
+	if err := Save(a, ds); err != nil {
+		t.Fatal(err)
+	}
+	w, err := Create(b, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < ds.N(); i++ {
+		if err := w.WriteRow(ds.Point(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ab, _ := os.ReadFile(a)
+	bb, _ := os.ReadFile(b)
+	if string(ab) != string(bb) {
+		t.Fatal("streaming writer produced different bytes than Save")
+	}
+}
+
+func TestWriterRejectsMixedWeighting(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.kmd")
+	w, err := Create(path, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.WriteRow([]float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteWeightedRow([]float64{3, 4}, 1); err == nil {
+		t.Fatal("weighted row after unweighted rows must fail")
+	}
+}
+
+func TestOpenRejectsCorruption(t *testing.T) {
+	ds := testDataset(t, 20, 3, false, 4)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c.kmd")
+	if err := Save(path, ds); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corrupt := func(name string, mutate func([]byte) []byte) {
+		p := filepath.Join(dir, name+".kmd")
+		if err := os.WriteFile(p, mutate(append([]byte(nil), buf...)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Open(p); err == nil {
+			t.Fatalf("%s: Open accepted a corrupted file", name)
+		}
+	}
+	corrupt("magic", func(b []byte) []byte { b[0] = 'X'; return b })
+	corrupt("version", func(b []byte) []byte { b[4] = 99; return b })
+	corrupt("flags", func(b []byte) []byte { b[6] = 0x80; return b })
+	corrupt("reserved", func(b []byte) []byte { b[40] = 1; return b })
+	corrupt("truncated", func(b []byte) []byte { return b[:len(b)-5] })
+	corrupt("trailing", func(b []byte) []byte { return append(b, 0) })
+
+	// A flipped payload byte passes Open (no O(n) scan) but fails Verify.
+	flipped := append([]byte(nil), buf...)
+	flipped[headerSize+3] ^= 0xff
+	p := filepath.Join(dir, "flip.kmd")
+	if err := os.WriteFile(p, flipped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(p)
+	if err != nil {
+		t.Fatalf("Open should defer checksum verification: %v", err)
+	}
+	defer r.Close()
+	if err := r.Verify(); err == nil {
+		t.Fatal("Verify accepted a flipped payload byte")
+	}
+	if _, err := Decode(flipped); err == nil {
+		t.Fatal("Decode accepted a flipped payload byte")
+	}
+}
+
+func TestManifestSplitAndLoad(t *testing.T) {
+	for _, weighted := range []bool{false, true} {
+		ds := testDataset(t, 101, 6, weighted, 5)
+		dir := t.TempDir()
+		m, err := Split(ds, dir, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(m.Shards) != 4 || m.Rows != 101 || m.Cols != 6 || m.Weighted != weighted {
+			t.Fatalf("manifest %+v", m)
+		}
+
+		loaded, err := LoadManifest(filepath.Join(dir, ManifestName))
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := loaded.Load()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bitsEqual(back.X.Data, ds.X.Data) || !bitsEqual(back.Weight, ds.Weight) {
+			t.Fatal("manifest round trip changed float bits")
+		}
+	}
+}
+
+func TestManifestRejectsEscapingPaths(t *testing.T) {
+	dir := t.TempDir()
+	bad := `{"format":"kmd-manifest","version":1,"rows":1,"cols":1,"weighted":false,` +
+		`"shards":[{"path":"../../etc/passwd","rows":1}]}`
+	path := filepath.Join(dir, ManifestName)
+	if err := os.WriteFile(path, []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadManifest(path); err == nil {
+		t.Fatal("manifest with an escaping path must be rejected")
+	}
+}
+
+func TestManifestRowMismatch(t *testing.T) {
+	ds := testDataset(t, 10, 2, false, 6)
+	dir := t.TempDir()
+	if _, err := Split(ds, dir, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Lie about a shard's row count: validation must catch the sum, and a
+	// corrected sum must still fail at Load when the file disagrees.
+	m, err := LoadManifest(filepath.Join(dir, ManifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Shards[0].Rows++
+	m.Rows++
+	if _, err := m.Load(); err == nil {
+		t.Fatal("Load accepted a manifest whose shard rows disagree with the file")
+	}
+}

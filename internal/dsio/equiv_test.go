@@ -1,0 +1,69 @@
+// Package dsio_test holds the cross-package load-path equivalence test: it
+// needs internal/data (which itself imports dsio), so it lives in the
+// external test package to avoid the import cycle.
+package dsio_test
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"kmeansll/internal/core"
+	"kmeansll/internal/data"
+	"kmeansll/internal/dsio"
+	"kmeansll/internal/geom"
+	"kmeansll/internal/lloyd"
+	"kmeansll/internal/rng"
+)
+
+// The load-path equivalence guarantee: a seeded fit over an mmap-backed
+// .kmd dataset is bit-identical to the same fit over the CSV-loaded copy of
+// the same data. CSV round-trips float64 exactly (shortest-round-trip
+// formatting), the .kmd payload is the raw bits, so the only thing that
+// could differ is the loader — and it must not.
+func TestFitBitIdenticalAcrossLoaders(t *testing.T) {
+	r := rng.New(42)
+	x := geom.NewMatrix(2000, 12)
+	for i := range x.Data {
+		x.Data[i] = r.NormFloat64()
+	}
+	ds := geom.NewDataset(x)
+
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "pts.csv")
+	kmdPath := filepath.Join(dir, "pts.kmd")
+	if err := data.SaveCSV(csvPath, ds); err != nil {
+		t.Fatal(err)
+	}
+	if err := dsio.Save(kmdPath, ds); err != nil {
+		t.Fatal(err)
+	}
+
+	fit := func(ds *geom.Dataset) *geom.Matrix {
+		centers, _ := core.Init(ds, core.Config{K: 10, Seed: 7, Parallelism: 2})
+		res := lloyd.Run(ds, centers, lloyd.Config{MaxIter: 20, Parallelism: 2})
+		return res.Centers
+	}
+
+	fromCSV, err := data.LoadCSV(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := dsio.Open(kmdPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rd.Close()
+
+	wantCenters := fit(fromCSV)
+	gotCenters := fit(rd.Dataset())
+	if gotCenters.Rows != wantCenters.Rows || gotCenters.Cols != wantCenters.Cols {
+		t.Fatalf("shape %dx%d vs %dx%d", gotCenters.Rows, gotCenters.Cols, wantCenters.Rows, wantCenters.Cols)
+	}
+	for i := range wantCenters.Data {
+		if math.Float64bits(gotCenters.Data[i]) != math.Float64bits(wantCenters.Data[i]) {
+			t.Fatalf("centers diverge at flat index %d: %v (kmd) vs %v (csv)",
+				i, gotCenters.Data[i], wantCenters.Data[i])
+		}
+	}
+}

@@ -1,0 +1,18 @@
+//go:build !unix
+
+package dsio
+
+import (
+	"fmt"
+	"os"
+)
+
+// mmapFile is unavailable on this platform; Open falls back to a copying
+// read of the whole file.
+func mmapFile(_ *os.File, _ int64) ([]byte, error) {
+	return nil, fmt.Errorf("dsio: mmap unsupported on this platform")
+}
+
+func munmap(_ []byte) error { return nil }
+
+const mmapSupported = false

@@ -1,0 +1,18 @@
+//go:build unix
+
+package dsio
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps the whole file read-only and returns the mapping. The file
+// descriptor can be closed immediately after; the mapping survives it.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmap(b []byte) error { return syscall.Munmap(b) }
+
+const mmapSupported = true

@@ -1,0 +1,228 @@
+package dsio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc64"
+	"io"
+	"os"
+	"unsafe"
+
+	"kmeansll/internal/geom"
+)
+
+// nativeLittle reports whether this machine stores float64s in the file's
+// byte order, which is what makes the zero-copy view legal.
+var nativeLittle = func() bool {
+	var b [2]byte
+	binary.NativeEndian.PutUint16(b[:], 1)
+	return b[0] == 1
+}()
+
+// Reader is an open .kmd file. The Dataset it exposes may alias the mapped
+// pages (ZeroCopy reports which), so it is valid only until Close; callers
+// that outlive the Reader must copy.
+type Reader struct {
+	info     Info
+	ds       *geom.Dataset
+	mapped   []byte // non-nil ⇒ munmap on Close
+	zeroCopy bool
+	closed   bool
+}
+
+// Stat reads only the 64-byte header: the O(1) probe servers use to
+// validate a fit request against a dataset path without touching the
+// payload.
+func Stat(path string) (Info, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Info{}, err
+	}
+	defer f.Close()
+	var h [headerSize]byte
+	if _, err := io.ReadFull(f, h[:]); err != nil {
+		return Info{}, fmt.Errorf("dsio: %s: file too short for a header", path)
+	}
+	in, err := decodeHeader(h[:])
+	if err != nil {
+		return Info{}, fmt.Errorf("dsio: %s: %w", path, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return Info{}, err
+	}
+	want, _ := in.payloadBytes()
+	if st.Size() != headerSize+want {
+		return Info{}, fmt.Errorf("dsio: %s: file is %d bytes, header claims %d",
+			path, st.Size(), headerSize+want)
+	}
+	return in, nil
+}
+
+// Open maps path and returns a Reader whose Dataset aliases the mapped
+// payload when the platform allows (little-endian, mmap available); the
+// fallback reads and converts the file instead. Either way Open validates
+// the header and the file size but not the checksum — header validation is
+// O(1), and a checksum pass over gigabytes on every open would defeat the
+// format; call Verify when provenance is in doubt.
+func Open(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	var h [headerSize]byte
+	if _, err := io.ReadFull(f, h[:]); err != nil {
+		return nil, fmt.Errorf("dsio: %s: file too short for a header", path)
+	}
+	in, err := decodeHeader(h[:])
+	if err != nil {
+		return nil, fmt.Errorf("dsio: %s: %w", path, err)
+	}
+	want, _ := in.payloadBytes()
+	if st.Size() != headerSize+want {
+		return nil, fmt.Errorf("dsio: %s: file is %d bytes, header claims %d",
+			path, st.Size(), headerSize+want)
+	}
+
+	r := &Reader{info: in}
+	if in.Rows == 0 {
+		r.ds = &geom.Dataset{X: &geom.Matrix{Rows: 0, Cols: in.Cols}}
+		return r, nil
+	}
+	if mmapSupported && nativeLittle {
+		mapped, err := mmapFile(f, st.Size())
+		if err == nil {
+			body := mapped[headerSize:]
+			if uintptr(unsafe.Pointer(&body[0]))%8 == 0 {
+				vals := in.Rows * in.Cols
+				floats := unsafe.Slice((*float64)(unsafe.Pointer(&body[0])), vals+weightCount(in))
+				ds := &geom.Dataset{X: &geom.Matrix{Rows: in.Rows, Cols: in.Cols, Data: floats[:vals:vals]}}
+				if in.Weighted {
+					ds.Weight = floats[vals:]
+				}
+				r.ds, r.mapped, r.zeroCopy = ds, mapped, true
+				return r, nil
+			}
+			// A page-misaligned payload cannot happen with this header size,
+			// but fall through to the copying path rather than trust it.
+			_ = munmap(mapped)
+		}
+	}
+
+	// Copying fallback: big-endian hosts, platforms without mmap, or a
+	// failed map. Reads the body once and converts.
+	body := make([]byte, want)
+	if _, err := io.ReadFull(f, body); err != nil {
+		return nil, fmt.Errorf("dsio: %s: reading payload: %w", path, err)
+	}
+	x := geom.NewMatrix(in.Rows, in.Cols)
+	decodeFloats(body[:8*in.Rows*in.Cols], x.Data)
+	ds := &geom.Dataset{X: x}
+	if in.Weighted {
+		ds.Weight = make([]float64, in.Rows)
+		decodeFloats(body[8*in.Rows*in.Cols:], ds.Weight)
+	}
+	r.ds = ds
+	return r, nil
+}
+
+func weightCount(in Info) int {
+	if in.Weighted {
+		return in.Rows
+	}
+	return 0
+}
+
+// Info returns the header metadata.
+func (r *Reader) Info() Info { return r.info }
+
+// Dataset returns the decoded dataset. When ZeroCopy is true it aliases the
+// mapped file and is only valid until Close.
+func (r *Reader) Dataset() *geom.Dataset { return r.ds }
+
+// ZeroCopy reports whether Dataset aliases the mapped file rather than a
+// private copy.
+func (r *Reader) ZeroCopy() bool { return r.zeroCopy }
+
+// Verify recomputes the checksum over the payload (and weights) and compares
+// it with the header. O(file size).
+func (r *Reader) Verify() error {
+	if r.closed {
+		return fmt.Errorf("dsio: Verify on a closed reader")
+	}
+	var sum uint64
+	if r.mapped != nil {
+		sum = crc64.Checksum(r.mapped[headerSize:], crcTable)
+	} else {
+		// Copying-path fallback: re-encode and hash in bounded chunks, not
+		// one payload-sized buffer — Verify targets exactly the files too
+		// big to double up in memory.
+		crc := crc64.New(crcTable)
+		buf := make([]byte, 0, 1<<16)
+		for _, vals := range [][]float64{r.ds.X.Data, r.ds.Weight} {
+			for len(vals) > 0 {
+				n := min(len(vals), cap(buf)/8)
+				buf = encodeFloats(buf[:0], vals[:n])
+				crc.Write(buf)
+				vals = vals[n:]
+			}
+		}
+		sum = crc.Sum64()
+	}
+	if sum != r.info.Checksum {
+		return fmt.Errorf("dsio: checksum mismatch: file says %#x, payload hashes to %#x", r.info.Checksum, sum)
+	}
+	return nil
+}
+
+// Close unmaps the file. The Dataset of a zero-copy reader must not be used
+// afterwards.
+func (r *Reader) Close() error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	if r.mapped != nil {
+		m := r.mapped
+		r.mapped = nil
+		return munmap(m)
+	}
+	return nil
+}
+
+// Save writes ds to path in one call — the non-streaming convenience
+// counterpart of Create/WriteRow/Close.
+func Save(path string, ds *geom.Dataset) error {
+	w, err := Create(path, ds.Dim())
+	if err != nil {
+		return err
+	}
+	for i := 0; i < ds.N(); i++ {
+		if ds.Weight != nil {
+			err = w.WriteWeightedRow(ds.Point(i), ds.Weight[i])
+		} else {
+			err = w.WriteRow(ds.Point(i))
+		}
+		if err != nil {
+			w.f.Close()
+			return err
+		}
+	}
+	return w.Close()
+}
+
+// Load opens path and returns its dataset plus a closer that releases the
+// mapping. CLI tools use it as a drop-in next to data.LoadCSV; the dataset
+// must not outlive the closer's invocation.
+func Load(path string) (*geom.Dataset, io.Closer, error) {
+	r, err := Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return r.Dataset(), r, nil
+}

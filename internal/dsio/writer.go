@@ -1,0 +1,121 @@
+package dsio
+
+import (
+	"bufio"
+	"fmt"
+	"hash"
+	"hash/crc64"
+	"os"
+)
+
+// Writer streams a dataset into a .kmd file row by row, so converters never
+// hold more than one row (plus 8 bytes per row of buffered weights) in
+// memory. The header is finalized on Close, when the row count and checksum
+// are known.
+type Writer struct {
+	f       *os.File
+	bw      *bufio.Writer
+	crc     hash.Hash64
+	cols    int
+	rows    int
+	weights []float64 // non-nil once a weighted row was written
+	rowBuf  []byte
+	closed  bool
+}
+
+// Create opens path for writing a dataset with the given dimensionality.
+// Close finalizes the file; a Writer abandoned without Close leaves an
+// unreadable file (its header still holds the placeholder).
+func Create(path string, cols int) (*Writer, error) {
+	if cols < 1 || cols > maxCols {
+		return nil, fmt.Errorf("dsio: column count %d outside [1, %d]", cols, maxCols)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	w := &Writer{
+		f:      f,
+		bw:     bufio.NewWriterSize(f, 1<<16),
+		crc:    crc64.New(crcTable),
+		cols:   cols,
+		rowBuf: make([]byte, 0, 8*cols),
+	}
+	// Placeholder header: all zeros fails decodeHeader's magic check, so a
+	// half-written file is never mistaken for a valid dataset.
+	var zero [headerSize]byte
+	if _, err := w.bw.Write(zero[:]); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// WriteRow appends one unweighted point.
+func (w *Writer) WriteRow(p []float64) error {
+	if len(p) != w.cols {
+		return fmt.Errorf("dsio: row has %d values, want %d", len(p), w.cols)
+	}
+	if w.weights != nil {
+		return fmt.Errorf("dsio: cannot mix weighted and unweighted rows")
+	}
+	return w.writeRow(p)
+}
+
+// WriteWeightedRow appends one weighted point. All rows of a file must be
+// weighted or none; the weight section is buffered (8 bytes per row) and
+// flushed after the payload on Close.
+func (w *Writer) WriteWeightedRow(p []float64, weight float64) error {
+	if len(p) != w.cols {
+		return fmt.Errorf("dsio: row has %d values, want %d", len(p), w.cols)
+	}
+	if w.rows > 0 && w.weights == nil {
+		return fmt.Errorf("dsio: cannot mix weighted and unweighted rows")
+	}
+	if err := w.writeRow(p); err != nil {
+		return err
+	}
+	w.weights = append(w.weights, weight)
+	return nil
+}
+
+func (w *Writer) writeRow(p []float64) error {
+	w.rowBuf = encodeFloats(w.rowBuf[:0], p)
+	w.crc.Write(w.rowBuf) // hash.Hash.Write never errors
+	if _, err := w.bw.Write(w.rowBuf); err != nil {
+		return err
+	}
+	w.rows++
+	return nil
+}
+
+// Close flushes the weight section, rewrites the header with the final row
+// count and checksum, and closes the file.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if w.weights != nil {
+		w.rowBuf = encodeFloats(w.rowBuf[:0], w.weights)
+		w.crc.Write(w.rowBuf)
+		if _, err := w.bw.Write(w.rowBuf); err != nil {
+			w.f.Close()
+			return err
+		}
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	h := encodeHeader(Info{
+		Rows: w.rows, Cols: w.cols,
+		Weighted: w.weights != nil,
+		Checksum: w.crc.Sum64(),
+	})
+	if _, err := w.f.WriteAt(h[:], 0); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}

@@ -3,11 +3,15 @@ package server
 import (
 	"errors"
 	"fmt"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"kmeansll"
 	"kmeansll/internal/core"
+	"kmeansll/internal/data"
 	"kmeansll/internal/distkm"
+	"kmeansll/internal/dsio"
 	"kmeansll/internal/geom"
 )
 
@@ -25,6 +29,12 @@ const maxDistShards = 64
 // processes; otherwise the job spins up an in-process loopback cluster — the
 // same protocol end to end, just without sockets. Restarts re-seed the
 // coordinator exactly like kmeansll.ClusterBest.
+//
+// A job fitting an on-disk dataset distributes it without inline points: a
+// shard manifest goes through the pull path (the coordinator sends file row
+// ranges; external workers resolve them under their own -data-dir, loopback
+// workers under the manifest's directory), while a single .kmd is mmap'd
+// here and its shards pushed.
 func (m *JobManager) distFit(j *Job) (*kmeansll.Model, error) {
 	cfg := j.cfg
 	if cfg.Init != kmeansll.KMeansParallel {
@@ -32,6 +42,13 @@ func (m *JobManager) distFit(j *Job) (*kmeansll.Model, error) {
 	}
 	if cfg.Weights != nil {
 		return nil, errors.New(`backend "dist" does not take per-point weights`)
+	}
+	var man *dsio.Manifest
+	if j.dataPath != "" && strings.EqualFold(filepath.Ext(j.dataPath), ".json") {
+		var err error
+		if man, err = dsio.LoadManifest(j.dataPath); err != nil {
+			return nil, err
+		}
 	}
 
 	var clients []distkm.Client
@@ -56,7 +73,11 @@ func (m *JobManager) distFit(j *Job) (*kmeansll.Model, error) {
 		if shards <= 0 {
 			shards = DefaultDistShards
 		}
-		clients, cleanup = distkm.LoopbackCluster(shards)
+		dir := ""
+		if man != nil {
+			dir = m.dataDir
+		}
+		clients, cleanup = distkm.LoopbackClusterDir(shards, dir)
 	}
 	defer cleanup()
 
@@ -69,12 +90,38 @@ func (m *JobManager) distFit(j *Job) (*kmeansll.Model, error) {
 	// dataset copy) before the deferred cleanup closes the connections again
 	// (a harmless no-op by then).
 	defer coord.Close()
-	ds := geom.NewDataset(geom.FromRows(j.points))
-	if err := ds.Validate(); err != nil {
-		return nil, err
-	}
-	if err := coord.Distribute(ds); err != nil {
-		return nil, err
+	switch {
+	case man != nil:
+		// Ship paths relative to the data dir, not the manifest: loopback
+		// workers are rooted at the data dir, and external workers are
+		// expected to root a mirror of the same tree.
+		prefix := filepath.Dir(j.dataName)
+		if prefix == "." {
+			prefix = ""
+		}
+		if err := coord.DistributeManifestAt(man, prefix); err != nil {
+			return nil, err
+		}
+	case j.dataPath != "":
+		ds, closer, err := data.Load(j.dataPath)
+		if err != nil {
+			return nil, err
+		}
+		defer closer.Close()
+		if err := ds.Validate(); err != nil {
+			return nil, err
+		}
+		if err := coord.Distribute(ds); err != nil {
+			return nil, err
+		}
+	default:
+		ds := geom.NewDataset(geom.FromRows(j.points))
+		if err := ds.Validate(); err != nil {
+			return nil, err
+		}
+		if err := coord.Distribute(ds); err != nil {
+			return nil, err
+		}
 	}
 
 	over := cfg.Oversampling
@@ -96,6 +143,36 @@ func (m *JobManager) distFit(j *Job) (*kmeansll.Model, error) {
 			return nil, err
 		}
 		model, err := distkm.Model(res, stats)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || model.Cost < best.Cost {
+			best = model
+		}
+	}
+	return best, nil
+}
+
+// pathFit runs a local-backend fit over the job's on-disk dataset. The data
+// is opened (mmap'd for .kmd, concatenated for a manifest) only while the
+// job runs, so a queued fit over gigabytes holds no memory, and the mapping
+// is released as soon as the model is extracted. Restarts mirror
+// kmeansll.ClusterBest's seed schedule.
+func (m *JobManager) pathFit(j *Job) (*kmeansll.Model, error) {
+	ds, closer, err := data.Load(j.dataPath)
+	if err != nil {
+		return nil, err
+	}
+	defer closer.Close()
+	restarts := j.restarts
+	if restarts < 1 {
+		restarts = 1
+	}
+	var best *kmeansll.Model
+	for i := 0; i < restarts; i++ {
+		cfg := j.cfg
+		cfg.Seed = j.cfg.Seed + uint64(i)
+		model, err := kmeansll.ClusterDataset(ds, cfg)
 		if err != nil {
 			return nil, err
 		}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
@@ -14,6 +15,7 @@ import (
 
 	"kmeansll"
 	"kmeansll/internal/data"
+	"kmeansll/internal/dsio"
 )
 
 // Config sizes a Server. Zero values select the documented defaults.
@@ -35,6 +37,12 @@ type Config struct {
 	// DistWorkers lists external kmworker addresses for "dist"-backend fit
 	// jobs. Empty means each dist fit runs an in-process loopback cluster.
 	DistWorkers []string
+	// DataDir, when non-empty, enables path-based fit jobs: a request may
+	// name a .kmd dataset or shard manifest relative to this directory
+	// instead of carrying points inline, and the job mmaps it at run time.
+	// Empty (the default) rejects dataset paths — the server will not open
+	// arbitrary files on request.
+	DataDir string
 	// Logf, when non-nil, receives one line per notable server event.
 	Logf func(format string, args ...any)
 }
@@ -78,6 +86,7 @@ func New(cfg Config) *Server {
 		mux:      http.NewServeMux(),
 	}
 	s.jobs.distAddrs = cfg.DistWorkers
+	s.jobs.dataDir = cfg.DataDir
 	s.routes()
 	return s
 }
@@ -457,10 +466,19 @@ type fitConfig struct {
 	Seed         uint64  `json:"seed,omitempty"`
 }
 
+// DatasetSpec names an on-disk dataset for a fit job: a .kmd file or a
+// shard manifest, relative to the server's -data-dir. This is the
+// out-of-core fit path — the request stays ~100 bytes however large the
+// dataset is, and the job opens (mmaps) the data when it runs.
+type DatasetSpec struct {
+	Path string `json:"path"`
+}
+
 type fitRequest struct {
 	Model    string        `json:"model"`
 	Points   [][]float64   `json:"points,omitempty"`
 	Generate *GenerateSpec `json:"generate,omitempty"`
+	Dataset  *DatasetSpec  `json:"dataset,omitempty"`
 	Config   fitConfig     `json:"config"`
 	Restarts int           `json:"restarts,omitempty"`
 	// Backend: "local" (default) fits in-process; "dist" shards the training
@@ -552,38 +570,88 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	points := req.Points
-	switch {
-	case req.Generate != nil && len(points) > 0:
-		writeError(w, http.StatusBadRequest, "give either points or generate, not both")
+	sources := 0
+	for _, present := range []bool{len(req.Points) > 0, req.Generate != nil, req.Dataset != nil} {
+		if present {
+			sources++
+		}
+	}
+	if sources > 1 {
+		writeError(w, http.StatusBadRequest, "give exactly one of points, generate or dataset")
 		return
-	case req.Generate != nil:
-		points, err = s.generate(*req.Generate)
+	}
+
+	spec := FitSpec{
+		Model: req.Model, Config: cfg,
+		Restarts: req.Restarts, Backend: req.Backend, Shards: req.Shards,
+	}
+	switch {
+	case req.Dataset != nil:
+		full, info, err := s.resolveDataset(req.Dataset.Path)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
-	}
-	if err := s.checkBatch(points, 0); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	if req.Config.K > len(points) {
-		writeError(w, http.StatusBadRequest, "config.k (%d) exceeds the number of training points (%d)", req.Config.K, len(points))
-		return
+		if req.Config.K > info.Rows {
+			writeError(w, http.StatusBadRequest, "config.k (%d) exceeds the dataset's %d points", req.Config.K, info.Rows)
+			return
+		}
+		spec.DataPath, spec.DataName, spec.NumPoints = full, req.Dataset.Path, info.Rows
+	default:
+		points := req.Points
+		if req.Generate != nil {
+			points, err = s.generate(*req.Generate)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, "%v", err)
+				return
+			}
+		}
+		if err := s.checkBatch(points, 0); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		if req.Config.K > len(points) {
+			writeError(w, http.StatusBadRequest, "config.k (%d) exceeds the number of training points (%d)", req.Config.K, len(points))
+			return
+		}
+		spec.Points, spec.NumPoints = points, len(points)
 	}
 
-	job, err := s.jobs.SubmitSpec(FitSpec{
-		Model: req.Model, Points: points, Config: cfg,
-		Restarts: req.Restarts, Backend: req.Backend, Shards: req.Shards,
-	})
+	job, err := s.jobs.SubmitSpec(spec)
 	if err != nil {
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
-	s.cfg.Logf("fit %s enqueued: model=%q n=%d k=%d init=%s backend=%s",
-		job.ID, req.Model, len(points), cfg.K, cfg.Init, job.backend)
+	s.cfg.Logf("fit %s enqueued: model=%q n=%d k=%d init=%s backend=%s dataset=%q",
+		job.ID, req.Model, spec.NumPoints, cfg.K, cfg.Init, job.backend, spec.DataName)
 	writeJSON(w, http.StatusAccepted, job.Status())
+}
+
+// resolveDataset validates a fit request's dataset path against the
+// configured data dir and probes its header — an O(1) check that the file
+// exists, parses, and is internally consistent, without touching the
+// payload. It returns the absolute path the job will open.
+func (s *Server) resolveDataset(p string) (string, dsio.Info, error) {
+	if s.cfg.DataDir == "" {
+		return "", dsio.Info{}, errors.New("this server has no data directory (-data-dir); dataset paths are disabled")
+	}
+	if p == "" || !filepath.IsLocal(p) {
+		return "", dsio.Info{}, fmt.Errorf("dataset path %q must be relative to the data directory", p)
+	}
+	full := filepath.Join(s.cfg.DataDir, p)
+	switch strings.ToLower(filepath.Ext(p)) {
+	case dsio.Ext:
+		info, err := dsio.Stat(full)
+		return full, info, err
+	case ".json":
+		m, err := dsio.LoadManifest(full)
+		if err != nil {
+			return "", dsio.Info{}, err
+		}
+		return full, dsio.Info{Rows: m.Rows, Cols: m.Cols, Weighted: m.Weighted}, nil
+	default:
+		return "", dsio.Info{}, fmt.Errorf("dataset path %q must end in %s or .json (a shard manifest)", p, dsio.Ext)
+	}
 }
 
 // maxGenerateValues caps n·d of a server-side generated dataset (~512 MB of

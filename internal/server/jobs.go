@@ -26,6 +26,8 @@ type Job struct {
 	ID        string
 	ModelName string
 	points    [][]float64
+	dataPath  string // non-empty: fit an on-disk dataset instead of points
+	dataName  string // request-relative dataset path, for status display
 	nPoints   int
 	cfg       kmeansll.Config
 	restarts  int
@@ -53,6 +55,7 @@ type JobStatus struct {
 	NumPoints  int      `json:"num_points"`
 	K          int      `json:"k"`
 	Backend    string   `json:"backend,omitempty"`
+	Dataset    string   `json:"dataset,omitempty"`
 	Version    int      `json:"version,omitempty"`
 	Cost       float64  `json:"cost,omitempty"`
 	Iters      int      `json:"iters,omitempty"`
@@ -67,6 +70,7 @@ func (j *Job) Status() JobStatus {
 		ID: j.ID, Model: j.ModelName, State: j.state, Error: j.err,
 		QueuedAt:  j.queued.Format(time.RFC3339Nano),
 		NumPoints: j.nPoints, K: j.cfg.K, Backend: j.backend,
+		Dataset: j.dataName,
 	}
 	if !j.started.IsZero() {
 		s.StartedAt = j.started.Format(time.RFC3339Nano)
@@ -97,6 +101,12 @@ type JobManager struct {
 	// "dist"-backend fits shard across; empty means an in-process loopback
 	// cluster per job. Set once at server construction, before any traffic.
 	distAddrs []string
+	// dataDir mirrors Config.DataDir: the root dataset paths were resolved
+	// under. Manifest-pull dist fits use it as the loopback workers' data
+	// dir and to express the manifest's location relative to it, so
+	// loopback and external workers resolve identical paths. Set once at
+	// server construction.
+	dataDir string
 
 	mu      sync.Mutex
 	jobs    map[string]*Job
@@ -161,6 +171,13 @@ type FitSpec struct {
 	// Shards is the loopback worker count for "dist" (0 = DefaultDistShards);
 	// ignored when external workers are configured.
 	Shards int
+	// DataPath, when non-empty, names an on-disk dataset (.kmd or shard
+	// manifest, already resolved to an absolute path) the job opens at run
+	// time instead of holding Points. NumPoints carries the probed row count
+	// and DataName the request-relative path for status display.
+	DataPath  string
+	DataName  string
+	NumPoints int
 }
 
 // Submit enqueues a fit of cfg over points, publishing the result as
@@ -178,8 +195,13 @@ func (m *JobManager) SubmitSpec(spec FitSpec) (*Job, error) {
 	if backend == "" {
 		backend = "local"
 	}
+	nPoints := spec.NumPoints
+	if nPoints == 0 {
+		nPoints = len(spec.Points)
+	}
 	j := &Job{
-		ModelName: spec.Model, points: spec.Points, nPoints: len(spec.Points),
+		ModelName: spec.Model, points: spec.Points, nPoints: nPoints,
+		dataPath: spec.DataPath, dataName: spec.DataName,
 		cfg: spec.Config, restarts: spec.Restarts,
 		backend: backend, shards: spec.Shards,
 		state: JobQueued, queued: time.Now().UTC(),
@@ -323,6 +345,8 @@ func (m *JobManager) run(j *Job) {
 		switch {
 		case j.backend == "dist":
 			model, err = m.distFit(j)
+		case j.dataPath != "":
+			model, err = m.pathFit(j)
 		case j.restarts > 1:
 			model, err = kmeansll.ClusterBest(j.points, j.cfg, j.restarts)
 		default:

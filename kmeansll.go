@@ -197,7 +197,34 @@ func Cluster(points [][]float64, cfg Config) (*Model, error) {
 	if err := ds.Validate(); err != nil {
 		return nil, fmt.Errorf("kmeansll: %w", err)
 	}
+	return clusterDataset(ds, cfg)
+}
 
+// ClusterDataset is Cluster over an already-materialized geom.Dataset — the
+// out-of-core entry point: an mmap-backed dataset opened from a .kmd file
+// flows straight into the fit without ever being copied into [][]float64
+// rows. Config.Weights is ignored; weights come from the dataset. Intended
+// for in-repo consumers (kmserved path-based fit jobs, the CLI tools) —
+// external importers cannot construct a geom.Dataset and should use Cluster.
+func ClusterDataset(ds *geom.Dataset, cfg Config) (*Model, error) {
+	if cfg.K < 1 {
+		return nil, errors.New("kmeansll: Config.K must be ≥ 1")
+	}
+	if ds == nil || ds.N() == 0 {
+		return nil, errors.New("kmeansll: no points")
+	}
+	if ds.Dim() == 0 {
+		return nil, errors.New("kmeansll: zero-dimensional points")
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, fmt.Errorf("kmeansll: %w", err)
+	}
+	return clusterDataset(ds, cfg)
+}
+
+// clusterDataset runs the seeding + Lloyd pipeline over a validated dataset.
+func clusterDataset(ds *geom.Dataset, cfg Config) (*Model, error) {
+	dim := ds.Dim()
 	var centers *geom.Matrix
 	var seedCost float64
 	switch cfg.Init {
