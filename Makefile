@@ -5,10 +5,11 @@ GO ?= go
 build:
 	$(GO) build ./...
 
-# bench regenerates BENCH_init.json / BENCH_predict.json / BENCH_load.json:
-# the hot-path perf suite (Init, Lloyd iteration, steady-state PredictBatch)
-# measured under the naive-scan baseline and the blocked distance engine,
-# plus the dataset load paths (CSV parse vs mmap .kmd open).
+# bench regenerates BENCH_init.json / BENCH_predict.json / BENCH_load.json /
+# BENCH_optimizers.json: the hot-path perf suite (Init, Lloyd iteration,
+# steady-state PredictBatch) measured under the naive-scan baseline and the
+# blocked distance engine, plus the dataset load paths (CSV parse vs mmap
+# .kmd open) and the refinement variants (full Lloyd vs mini-batch).
 bench: build
 	$(GO) run ./cmd/kmbench -json
 

@@ -21,8 +21,10 @@ import (
 // benchFiles are the perf-suite outputs the gate tracks. BENCH_load.json
 // guards the dataset entry points: its speedup metric is the enforced form
 // of ".kmd opens ≥10× faster than CSV parses" (a collapse below 1× fails
-// the gate on any machine).
-var benchFiles = []string{"BENCH_init.json", "BENCH_predict.json", "BENCH_load.json"}
+// the gate on any machine). BENCH_optimizers.json guards the refinement
+// variants the same way: mini-batch must stay cheaper than a full Lloyd fit
+// at 10⁵×32.
+var benchFiles = []string{"BENCH_init.json", "BENCH_predict.json", "BENCH_load.json", "BENCH_optimizers.json"}
 
 // compareFiles checks one regenerated perf file against its baseline and
 // returns human-readable regression findings (empty = gate passes).

@@ -117,6 +117,14 @@ func TestRunCompareRoundTrip(t *testing.T) {
 		},
 		Speedups: map[string]float64{"load": 80_000},
 	}
+	optimizers := perfFile{
+		Suite: "optimizers",
+		Results: []perfResult{
+			{Name: "LloydFit", NsPerOp: 1_800_000_000, AllocsPerOp: 60},
+			{Name: "MiniBatchFit", NsPerOp: 60_000_000, AllocsPerOp: 400},
+		},
+		Speedups: map[string]float64{"minibatch_fit": 30},
+	}
 	writeBoth := func(dir string, init, pred perfFile) {
 		if err := writePerfFile(filepath.Join(dir, "BENCH_init.json"), init); err != nil {
 			t.Fatal(err)
@@ -125,6 +133,9 @@ func TestRunCompareRoundTrip(t *testing.T) {
 			t.Fatal(err)
 		}
 		if err := writePerfFile(filepath.Join(dir, "BENCH_load.json"), load); err != nil {
+			t.Fatal(err)
+		}
+		if err := writePerfFile(filepath.Join(dir, "BENCH_optimizers.json"), optimizers); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -22,9 +22,11 @@ import (
 // Init (k-means||), one Lloyd iteration, and steady-state PredictBatch with
 // the naive SqDistBound scan pinned (the pre-blocked-engine code path, i.e.
 // the baseline) and with the blocked pairwise-distance engine pinned, plus
-// the dataset load paths (CSV parse vs mmap .kmd open), then writes
-// BENCH_init.json, BENCH_predict.json and BENCH_load.json. CI and future
-// PRs compare against the committed files; `make bench` regenerates them.
+// the dataset load paths (CSV parse vs mmap .kmd open) and the refinement
+// variants (full Lloyd vs mini-batch from a shared seeding), then writes
+// BENCH_init.json, BENCH_predict.json, BENCH_load.json and
+// BENCH_optimizers.json. CI and future PRs compare against the committed
+// files; `make bench` regenerates them.
 
 // perfN/perfDim/perfK pin the workload to the serving-tier shape the
 // acceptance gate tracks (dim 58 = the paper's KDD dimensionality).
@@ -41,6 +43,12 @@ const (
 	// work).
 	loadN   = 100_000
 	loadDim = 32
+
+	// The optimizer suite compares refinement variants from a shared seeding
+	// at the same 10⁵×32 scale: full Lloyd run to convergence (capped) versus
+	// mini-batch's fixed step budget plus one exact assignment pass.
+	optK            = 32
+	optLloydMaxIter = 40
 )
 
 type perfResult struct {
@@ -203,6 +211,7 @@ func runPerfSuite(outDir string) error {
 	if err != nil {
 		return err
 	}
+	optFile := runOptimizerSuite()
 
 	if err := writePerfFile(filepath.Join(outDir, "BENCH_init.json"), initFile); err != nil {
 		return err
@@ -213,7 +222,10 @@ func runPerfSuite(outDir string) error {
 	if err := writePerfFile(filepath.Join(outDir, "BENCH_load.json"), loadFile); err != nil {
 		return err
 	}
-	for _, f := range []perfFile{initFile, predictFile, loadFile} {
+	if err := writePerfFile(filepath.Join(outDir, "BENCH_optimizers.json"), optFile); err != nil {
+		return err
+	}
+	for _, f := range []perfFile{initFile, predictFile, loadFile, optFile} {
 		for _, r := range f.Results {
 			fmt.Printf("%-28s %14.0f ns/op %6d B/op %4d allocs/op\n", r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
 		}
@@ -284,6 +296,39 @@ func runLoadSuite() (perfFile, error) {
 	f.Results = append(f.Results, csvRes, kmdRes)
 	f.Speedups["load"] = csvRes.NsPerOp / kmdRes.NsPerOp
 	return f, nil
+}
+
+// runOptimizerSuite measures the refinement stage of a fit — full Lloyd
+// versus mini-batch — from one shared deterministic seeding at 10⁵×32, and
+// tracks the ratio as speedup/minibatch_fit. Mini-batch's advertised value
+// is exactly this ratio (O(Iters·B·k·d) of sampled work plus one exact
+// assignment pass, against Lloyd's full pass per iteration), so the gate's
+// machine-independent collapse check keeps "mini-batch is the cheap
+// refinement" an enforced property. Both fits run serially: the comparison
+// is work done, not scheduling.
+func runOptimizerSuite() perfFile {
+	f := perfFile{
+		Suite: "optimizers", GoOS: runtime.GOOS, GoArch: runtime.GOARCH,
+		MaxProcs: runtime.GOMAXPROCS(0),
+		Workload: workload{N: loadN, Dim: loadDim, K: optK},
+		Speedups: map[string]float64{},
+	}
+	ds := geom.NewDataset(perfData(loadN, loadDim, optK, 7))
+	initCenters := seed.Random(ds, optK, rng.New(8))
+
+	lloydRes := measure("LloydFit", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			lloyd.Run(ds, initCenters, lloyd.Config{MaxIter: optLloydMaxIter, Parallelism: 1})
+		}
+	})
+	mbRes := measure("MiniBatchFit", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			lloyd.MiniBatch(ds, initCenters, lloyd.MiniBatchConfig{Seed: 9, Parallelism: 1})
+		}
+	})
+	f.Results = append(f.Results, lloydRes, mbRes)
+	f.Speedups["minibatch_fit"] = lloydRes.NsPerOp / mbRes.NsPerOp
+	return f
 }
 
 func writePerfFile(path string, f perfFile) error {

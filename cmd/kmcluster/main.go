@@ -1,6 +1,6 @@
 // Command kmcluster clusters a dataset with a chosen initialization method
-// followed by Lloyd's iteration, and writes the final centers (and
-// optionally the per-point assignment) as CSV. The input may be CSV, a
+// followed by a chosen refinement optimizer, and writes the final centers
+// (and optionally the per-point assignment) as CSV. The input may be CSV, a
 // binary .kmd file (mmap'd — opening it does no per-row parsing) or a shard
 // manifest.
 //
@@ -8,11 +8,19 @@
 //
 //	kmcluster -in points.csv -k 50 -init kmeansll -o centers.csv
 //	kmcluster -in points.kmd -k 20 -init kmeans++ -assign assign.csv
+//	kmcluster -in points.csv -k 20 -optimizer minibatch:b=512,iters=200
+//	kmcluster -in noisy.csv -k 10 -optimizer trimmed:0.05
 //	kmcluster -in shards/manifest.json -k 100 -init kmeansll -l 2 -rounds 5 -mr
 //
 // -init is one of: random, kmeans++, kmeansll, partition.
+// -optimizer is the shared refinement spec the kmeansll library and kmserved
+// accept: lloyd[:naive|elkan|hamerly] | minibatch[:b=N,iters=N] |
+// trimmed:FRACTION | spherical. Fits run through kmeansll.ClusterDataset, so
+// a given (-init, -optimizer, -seed) triple produces bit-identical centers
+// to the library and to a kmserved fit job with the same spec.
 // -mr runs the MapReduce realization of k-means|| and Lloyd (engine in
-// internal/mr) instead of the in-process implementation.
+// internal/mr) instead of the in-process implementation; it supports only
+// the default lloyd optimizer.
 package main
 
 import (
@@ -22,14 +30,11 @@ import (
 	"os"
 	"strconv"
 
+	"kmeansll"
 	"kmeansll/internal/core"
 	"kmeansll/internal/data"
 	"kmeansll/internal/geom"
-	"kmeansll/internal/lloyd"
 	"kmeansll/internal/mrkm"
-	"kmeansll/internal/rng"
-	"kmeansll/internal/seed"
-	"kmeansll/internal/stream"
 )
 
 func main() {
@@ -41,12 +46,11 @@ func main() {
 		initName = flag.String("init", "kmeansll", "random | kmeans++ | kmeansll | partition")
 		l        = flag.Float64("l", 2, "k-means|| oversampling factor as multiple of k")
 		rounds   = flag.Int("rounds", 0, "k-means|| rounds (0 = auto)")
-		maxIter  = flag.Int("max-iter", 0, "Lloyd iteration cap (0 = until convergence)")
+		maxIter  = flag.Int("max-iter", 0, "refinement iteration cap; doubles as the minibatch step budget when iters is unset (0 = variant default)")
 		seedVal  = flag.Uint64("seed", 1, "random seed")
-		useMR    = flag.Bool("mr", false, "use the MapReduce realization (kmeansll init only)")
+		useMR    = flag.Bool("mr", false, "use the MapReduce realization (kmeansll init, lloyd optimizer only)")
 		norm     = flag.Bool("normalize", false, "z-normalize columns before clustering")
-		kernel   = flag.String("kernel", "naive", "Lloyd kernel: naive | elkan | hamerly")
-		trim     = flag.Float64("trim", 0, "trimmed k-means: fraction of points excluded as outliers per iteration")
+		optSpec  = flag.String("optimizer", "lloyd", "refinement: lloyd[:kernel] | minibatch[:b=N,iters=N] | trimmed:F | spherical")
 		quiet    = flag.Bool("q", false, "suppress progress output")
 	)
 	flag.Parse()
@@ -55,6 +59,25 @@ func main() {
 		fmt.Fprintln(os.Stderr, "kmcluster: -in is required")
 		os.Exit(2)
 	}
+	optimizer, err := kmeansll.ParseOptimizer(*optSpec)
+	if err != nil {
+		fatal(err)
+	}
+	var initMethod kmeansll.InitMethod
+	switch *initName {
+	case "random":
+		initMethod = kmeansll.RandomInit
+	case "kmeans++":
+		initMethod = kmeansll.KMeansPlusPlus
+	case "kmeansll":
+		initMethod = kmeansll.KMeansParallel
+	case "partition":
+		initMethod = kmeansll.PartitionInit
+	default:
+		fmt.Fprintf(os.Stderr, "kmcluster: unknown -init %q\n", *initName)
+		os.Exit(2)
+	}
+
 	ds, closer, err := data.Load(*in)
 	if err != nil {
 		fatal(err)
@@ -78,73 +101,57 @@ func main() {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
 	}
-	logf("kmcluster: %d points x %d dims, k=%d, init=%s", ds.N(), ds.Dim(), *k, *initName)
+	logf("kmcluster: %d points x %d dims, k=%d, init=%s, optimizer=%s",
+		ds.N(), ds.Dim(), *k, *initName, optimizer)
 
 	var centers *geom.Matrix
-	switch *initName {
-	case "random":
-		centers = seed.Random(ds, *k, rng.New(*seedVal))
-	case "kmeans++":
-		centers = seed.KMeansPP(ds, *k, rng.New(*seedVal), 0)
-	case "partition":
-		var stats stream.Stats
-		centers, stats = stream.Partition(ds, stream.Config{K: *k, Seed: *seedVal})
-		logf("kmcluster: partition used %d groups, %d intermediate centers",
-			stats.Groups, stats.Intermediate)
-	case "kmeansll":
-		cfg := core.Config{K: *k, L: *l * float64(*k), Rounds: *rounds, Seed: *seedVal}
-		if *useMR {
-			var stats mrkm.Stats
-			centers, stats = mrkm.Init(ds, cfg, mrkm.Config{})
-			logf("kmcluster: mapreduce init: %d jobs, %d candidates, seed cost %.4g",
-				stats.MRRounds, stats.Candidates, stats.SeedCost)
-		} else {
-			var stats core.Stats
-			centers, stats = core.Init(ds, cfg)
-			logf("kmcluster: k-means|| init: %d rounds, %d candidates, seed cost %.4g",
-				stats.Rounds, stats.Candidates, stats.SeedCost)
+	var assignOut []int
+	if *useMR {
+		if optimizer != (kmeansll.Lloyd{}) {
+			fatal(fmt.Errorf("-mr supports only the default lloyd optimizer, not %s", optimizer))
 		}
-	default:
-		fmt.Fprintf(os.Stderr, "kmcluster: unknown -init %q\n", *initName)
-		os.Exit(2)
-	}
-
-	var method lloyd.Method
-	switch *kernel {
-	case "naive":
-		method = lloyd.Naive
-	case "elkan":
-		method = lloyd.Elkan
-	case "hamerly":
-		method = lloyd.Hamerly
-	default:
-		fmt.Fprintf(os.Stderr, "kmcluster: unknown -kernel %q\n", *kernel)
-		os.Exit(2)
-	}
-
-	var res lloyd.Result
-	switch {
-	case *trim > 0:
-		tres := lloyd.Trimmed(ds, centers, lloyd.TrimmedConfig{
-			TrimFraction: *trim, MaxIter: *maxIter,
-		})
-		res = tres.Result
-		logf("kmcluster: trimmed Lloyd flagged %d outliers (trimmed cost %.6g)",
-			len(tres.Outliers), tres.TrimmedCost)
-	case *useMR:
+		if initMethod != kmeansll.KMeansParallel {
+			fatal(fmt.Errorf("-mr supports only -init kmeansll"))
+		}
+		cfg := core.Config{K: *k, L: *l * float64(*k), Rounds: *rounds, Seed: *seedVal}
+		init, stats := mrkm.Init(ds, cfg, mrkm.Config{})
+		logf("kmcluster: mapreduce init: %d jobs, %d candidates, seed cost %.4g",
+			stats.MRRounds, stats.Candidates, stats.SeedCost)
 		iters := *maxIter
 		if iters == 0 {
 			iters = 100
 		}
-		res, _ = mrkm.Lloyd(ds, centers, iters, mrkm.Config{})
-	default:
-		res = lloyd.Run(ds, centers, lloyd.Config{MaxIter: *maxIter, Method: method})
+		res, _ := mrkm.Lloyd(ds, init, iters, mrkm.Config{})
+		logf("kmcluster: Lloyd converged=%v after %d iterations, final cost %.6g",
+			res.Converged, res.Iters, res.Cost)
+		centers = res.Centers
+		assignOut = make([]int, len(res.Assign))
+		for i, a := range res.Assign {
+			assignOut[i] = int(a)
+		}
+	} else {
+		// The shared pipeline: exactly kmeansll.ClusterDataset, so the same
+		// spec fits identically here, in the library, and in kmserved.
+		model, err := kmeansll.ClusterDataset(ds, kmeansll.Config{
+			K: *k, Init: initMethod, Oversampling: *l, Rounds: *rounds,
+			MaxIter: *maxIter, Seed: *seedVal, Optimizer: optimizer,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		logf("kmcluster: seeding cost %.6g", model.SeedCost)
+		logf("kmcluster: %s converged=%v after %d iterations, final cost %.6g",
+			optimizer, model.Converged, model.Iters, model.Cost)
+		if model.Outliers != nil {
+			logf("kmcluster: trimmed refinement flagged %d outliers (trimmed cost %.6g)",
+				len(model.Outliers), model.TrimmedCost)
+		}
+		centers = geom.FromRows(model.Centers)
+		assignOut = model.Assign
 	}
-	logf("kmcluster: Lloyd converged=%v after %d iterations, final cost %.6g",
-		res.Converged, res.Iters, res.Cost)
 
 	writeCenters := func(f *os.File) error {
-		return data.WriteCSV(f, geom.NewDataset(res.Centers))
+		return data.WriteCSV(f, geom.NewDataset(centers))
 	}
 	if *out == "" {
 		if err := writeCenters(os.Stdout); err != nil {
@@ -161,7 +168,7 @@ func main() {
 		if err := f.Close(); err != nil {
 			fatal(err)
 		}
-		logf("kmcluster: wrote %d centers to %s", res.Centers.Rows, *out)
+		logf("kmcluster: wrote %d centers to %s", centers.Rows, *out)
 	}
 
 	if *assign != "" {
@@ -170,8 +177,8 @@ func main() {
 			fatal(err)
 		}
 		w := bufio.NewWriter(f)
-		for _, a := range res.Assign {
-			if _, err := w.WriteString(strconv.Itoa(int(a)) + "\n"); err != nil {
+		for _, a := range assignOut {
+			if _, err := w.WriteString(strconv.Itoa(a) + "\n"); err != nil {
 				fatal(err)
 			}
 		}
@@ -181,7 +188,7 @@ func main() {
 		if err := f.Close(); err != nil {
 			fatal(err)
 		}
-		logf("kmcluster: wrote %d assignments to %s", len(res.Assign), *assign)
+		logf("kmcluster: wrote %d assignments to %s", len(assignOut), *assign)
 	}
 }
 

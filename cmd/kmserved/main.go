@@ -10,6 +10,7 @@
 //
 //	curl -s localhost:8080/healthz
 //	curl -s -X POST localhost:8080/v1/fit -d '{"model":"demo","generate":{"n":10000,"d":15,"k":20},"config":{"k":20}}'
+//	curl -s -X POST localhost:8080/v1/fit -d '{"model":"fast","generate":{"n":10000,"d":15,"k":20},"config":{"k":20,"optimizer":{"type":"minibatch"}}}'
 //	curl -s localhost:8080/v1/jobs/job-1
 //	curl -s -X POST localhost:8080/v1/models/demo/predict -d '{"points":[[0,0,0,0,0,0,0,0,0,0,0,0,0,0,0]]}'
 //	curl -s localhost:8080/v1/stats

@@ -7,11 +7,15 @@
 // kernel pages the file in and out behind the scan. A shard manifest
 // streams its part files one at a time.
 //
+// The refinement that turns the coreset into centers is selected by
+// -optimizer, the same spec the kmeansll library and kmserved accept
+// (lloyd[:kernel] | minibatch[:b=N,iters=N] | trimmed:F | spherical).
+//
 // Usage:
 //
 //	kmstream -k 50 < huge.csv > centers.csv
 //	kmstream -in huge.kmd -k 50 -o centers.csv
-//	kmstream -in shards/manifest.json -k 50 -o centers.csv
+//	kmstream -in shards/manifest.json -k 50 -optimizer minibatch -o centers.csv
 //	kmgen -dataset kdd -n 1000000 | kmstream -k 100 -m 4000 -o centers.csv
 package main
 
@@ -24,7 +28,7 @@ import (
 	"path/filepath"
 	"strings"
 
-	"kmeansll/internal/coreset"
+	"kmeansll"
 	"kmeansll/internal/data"
 	"kmeansll/internal/dsio"
 	"kmeansll/internal/geom"
@@ -32,41 +36,50 @@ import (
 
 func main() {
 	var (
-		k    = flag.Int("k", 10, "number of clusters")
-		m    = flag.Int("m", 0, "coreset size (0 = 20*k)")
-		in   = flag.String("in", "", "input dataset: CSV, .kmd or a shard manifest (default stdin, CSV)")
-		out  = flag.String("o", "", "output CSV for centers (default stdout)")
-		seed = flag.Uint64("seed", 1, "random seed")
+		k       = flag.Int("k", 10, "number of clusters")
+		m       = flag.Int("m", 0, "coreset size (0 = 20*k)")
+		in      = flag.String("in", "", "input dataset: CSV, .kmd or a shard manifest (default stdin, CSV)")
+		out     = flag.String("o", "", "output CSV for centers (default stdout)")
+		optSpec = flag.String("optimizer", "lloyd", "coreset refinement: lloyd[:kernel] | minibatch[:b=N,iters=N] | trimmed:F | spherical")
+		maxIter = flag.Int("max-iter", 0, "refinement iteration cap / minibatch step budget (0 = 100)")
+		seed    = flag.Uint64("seed", 1, "random seed")
 	)
 	flag.Parse()
 	if *k < 1 {
 		fmt.Fprintln(os.Stderr, "kmstream: -k must be ≥ 1")
 		os.Exit(2)
 	}
-	size := *m
-	if size <= 0 {
-		size = 20 * *k
+	optimizer, err := kmeansll.ParseOptimizer(*optSpec)
+	if err != nil {
+		fatal(err)
 	}
-	if size < 2 {
-		size = 2
+	newClusterer := func(dim int) *kmeansll.StreamingClusterer {
+		sc, err := kmeansll.NewStreamingClusterer(kmeansll.StreamingConfig{
+			K: *k, Dim: dim, CoresetSize: *m,
+			MaxIter: *maxIter, Optimizer: optimizer, Seed: *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		return sc
 	}
 
-	var stream *coreset.Stream
+	var sc *kmeansll.StreamingClusterer
 	rows, dim := 0, 0
 	switch strings.ToLower(filepath.Ext(*in)) {
 	case dsio.Ext:
 		// Binary input: rows come straight off the mapped pages.
-		stream, rows, dim = streamKMD(*in, stream, rows, dim, size, *seed)
+		sc, rows, dim = streamKMD(*in, sc, rows, dim, newClusterer)
 	case ".json":
 		// A shard manifest streams one part at a time — each part is mapped,
 		// consumed, and unmapped before the next opens, so even the resident
 		// set stays bounded by one part.
-		m, err := dsio.LoadManifest(*in)
+		man, err := dsio.LoadManifest(*in)
 		if err != nil {
 			fatal(err)
 		}
-		for i := range m.Shards {
-			stream, rows, dim = streamKMD(m.ShardPath(i), stream, rows, dim, size, *seed)
+		for i := range man.Shards {
+			sc, rows, dim = streamKMD(man.ShardPath(i), sc, rows, dim, newClusterer)
 		}
 	default:
 		var r io.Reader = os.Stdin
@@ -78,12 +91,12 @@ func main() {
 			defer f.Close()
 			r = f
 		}
-		sc := bufio.NewScanner(r)
-		sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+		scan := bufio.NewScanner(r)
+		scan.Buffer(make([]byte, 1024*1024), 16*1024*1024)
 		line := 0
-		for sc.Scan() {
+		for scan.Scan() {
 			line++
-			text := strings.TrimSpace(sc.Text())
+			text := strings.TrimSpace(scan.Text())
 			if text == "" || strings.HasPrefix(text, "#") {
 				continue
 			}
@@ -96,26 +109,34 @@ func main() {
 				}
 				p[j] = v
 			}
-			if stream == nil {
+			if sc == nil {
 				dim = len(p)
-				stream = coreset.NewStream(size, dim, *seed)
+				sc = newClusterer(dim)
 			} else if len(p) != dim {
 				fatal(fmt.Errorf("line %d has %d columns, want %d", line, len(p), dim))
 			}
-			stream.Add(p)
+			if err := sc.Add(p); err != nil {
+				fatal(err)
+			}
 			rows++
 		}
-		if err := sc.Err(); err != nil {
+		if err := scan.Err(); err != nil {
 			fatal(err)
 		}
 	}
-	if stream == nil || rows == 0 {
+	if sc == nil || rows == 0 {
 		fatal(fmt.Errorf("no input rows"))
 	}
-	fmt.Fprintf(os.Stderr, "kmstream: consumed %d rows x %d dims, coreset m=%d\n", rows, dim, size)
+	fmt.Fprintf(os.Stderr, "kmstream: consumed %d rows x %d dims, coreset clustered with %s\n",
+		rows, dim, optimizer)
 
-	centers := stream.Cluster(*k)
-	dsOut := geom.NewDataset(centers)
+	model, err := sc.Model()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "kmstream: refinement converged=%v after %d iterations, coreset cost %.6g\n",
+		model.Converged, model.Iters, model.Cost)
+	dsOut := geom.NewDataset(geom.FromRows(model.Centers))
 	if *out == "" {
 		if err := data.WriteCSV(os.Stdout, dsOut); err != nil {
 			fatal(err)
@@ -125,13 +146,13 @@ func main() {
 	if err := data.SaveCSV(*out, dsOut); err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "kmstream: wrote %d centers to %s\n", centers.Rows, *out)
+	fmt.Fprintf(os.Stderr, "kmstream: wrote %d centers to %s\n", len(model.Centers), *out)
 }
 
-// streamKMD feeds one .kmd file's rows into the coreset stream, creating the
-// stream on the first row. The mapping is released before returning, so a
-// manifest's parts occupy address space one at a time.
-func streamKMD(path string, stream *coreset.Stream, rows, dim, size int, seed uint64) (*coreset.Stream, int, int) {
+// streamKMD feeds one .kmd file's rows into the streaming clusterer,
+// creating it on the first row. The mapping is released before returning, so
+// a manifest's parts occupy address space one at a time.
+func streamKMD(path string, sc *kmeansll.StreamingClusterer, rows, dim int, newClusterer func(dim int) *kmeansll.StreamingClusterer) (*kmeansll.StreamingClusterer, int, int) {
 	rd, err := dsio.Open(path)
 	if err != nil {
 		fatal(err)
@@ -142,19 +163,21 @@ func streamKMD(path string, stream *coreset.Stream, rows, dim, size int, seed ui
 		fatal(fmt.Errorf("%s is weighted; kmstream consumes unweighted points", path))
 	}
 	if ds.N() == 0 {
-		return stream, rows, dim
+		return sc, rows, dim
 	}
-	if stream == nil {
+	if sc == nil {
 		dim = ds.Dim()
-		stream = coreset.NewStream(size, dim, seed)
+		sc = newClusterer(dim)
 	} else if ds.Dim() != dim {
 		fatal(fmt.Errorf("%s has %d dims, want %d", path, ds.Dim(), dim))
 	}
 	for i := 0; i < ds.N(); i++ {
-		stream.Add(ds.Point(i))
+		if err := sc.Add(ds.Point(i)); err != nil {
+			fatal(err)
+		}
 		rows++
 	}
-	return stream, rows, dim
+	return sc, rows, dim
 }
 
 func fatal(err error) {

@@ -25,7 +25,7 @@ func main() {
 	for i := 0; i < feed.N(); i++ {
 		s.Add(feed.Point(i))
 		if checkpoints[s.N()] {
-			centers := s.Cluster(k)
+			centers := s.Cluster(k).Centers
 			// Evaluate against everything seen so far.
 			seen := feed.Subset(irange(s.N()))
 			cost := lloyd.Cost(seen, centers, 0)
@@ -35,7 +35,7 @@ func main() {
 	}
 
 	// Final comparison: streaming vs batch clustering of the whole feed.
-	streamCenters := s.Cluster(k)
+	streamCenters := s.Cluster(k).Centers
 	streamCost := lloyd.Cost(feed, streamCenters, 0)
 	fmt.Printf("\nfinal streaming cost (1 pass, %d-point memory): %.4g\n",
 		20*k, streamCost)

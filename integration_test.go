@@ -118,7 +118,7 @@ func TestStreamingMatchesBatchOnKDD(t *testing.T) {
 	for i := 0; i < ds.N(); i++ {
 		s.Add(ds.Point(i))
 	}
-	streamCenters := s.Cluster(k)
+	streamCenters := s.Cluster(k).Centers
 	streamRes := lloyd.Run(ds, streamCenters, lloyd.Config{MaxIter: 20})
 
 	batchInit, _ := core.Init(ds, core.Config{K: k, Seed: 12})

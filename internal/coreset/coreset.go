@@ -31,8 +31,14 @@ import (
 type treeNode struct {
 	rep    int     // index of the representative point
 	points []int32 // indices owned by this node (leaves only keep these)
-	cost   float64 // Σ w_i·d²(x_i, rep) over owned points
+	// cost is Σ w_i·d²(x_i, rep) over owned points for a leaf; for an
+	// internal node it caches child[0].cost + child[1].cost, kept current
+	// by Reduce's root-path update after each split. The cached sum is the
+	// same tree-structured addition the old full recursion performed, so
+	// cost-proportional sampling draws bit-identical values.
+	cost   float64
 	child  [2]*treeNode
+	parent *treeNode
 	isLeaf bool
 }
 
@@ -80,8 +86,19 @@ func (t *Tree) Reduce(m int) *geom.Dataset {
 	root := &treeNode{rep: first, points: all, isLeaf: true}
 	root.cost = t.leafCost(root)
 
-	leaves := []*treeNode{root}
-	for len(leaves) < m {
+	// Two pieces of incremental bookkeeping keep reduction O(m·depth) in
+	// tree visits instead of the old O(m²): the leaf count is a counter and
+	// the leaf list is collected once at the end (not rebuilt via a full
+	// walk after every split), and every internal node caches its subtree
+	// cost (updated along the split leaf's root path, not recomputed by a
+	// whole-subtree recursion on every sampling descent). Both preserve the
+	// old behavior bit for bit: the final collectLeaves DFS yields exactly
+	// the order the per-split rebuild produced (a split leaf's children are
+	// DFS-contiguous at the parent's position), and the cached sums perform
+	// the same tree-structured additions the recursion did, so the sampled
+	// coreset — and everything drawn from it downstream — is unchanged.
+	nLeaves := 1
+	for nLeaves < m {
 		// Walk from the root by child-cost proportional choice — equivalent
 		// to picking a leaf with probability ∝ its cost.
 		leaf := t.pickLeaf(root)
@@ -96,9 +113,13 @@ func (t *Tree) Reduce(m int) *geom.Dataset {
 		leaf.isLeaf = false
 		leaf.points = nil
 		leaf.child[0], leaf.child[1] = l0, l1
-		// Re-aggregate internal costs up the tree lazily: recompute on walk.
-		leaves = append(leaves[:0], collectLeaves(root)...)
+		l0.parent, l1.parent = leaf, leaf
+		for n := leaf; n != nil; n = n.parent {
+			n.cost = n.child[0].cost + n.child[1].cost
+		}
+		nLeaves++
 	}
+	leaves := collectLeaves(root)
 
 	// Coreset: one representative per leaf, weighted by owned mass.
 	out := &geom.Dataset{X: geom.NewMatrix(len(leaves), t.ds.Dim()), Weight: make([]float64, len(leaves))}
@@ -114,29 +135,22 @@ func (t *Tree) Reduce(m int) *geom.Dataset {
 }
 
 // pickLeaf descends from root choosing children with probability
-// proportional to their subtree cost.
+// proportional to their (cached) subtree cost — O(depth) per pick.
 func (t *Tree) pickLeaf(root *treeNode) *treeNode {
 	node := root
 	for !node.isLeaf {
 		c0, c1 := node.child[0], node.child[1]
-		total := c0.subtreeCost() + c1.subtreeCost()
+		total := c0.cost + c1.cost
 		if !(total > 0) {
 			return nil
 		}
-		if t.r.Float64()*total < c0.subtreeCost() {
+		if t.r.Float64()*total < c0.cost {
 			node = c0
 		} else {
 			node = c1
 		}
 	}
 	return node
-}
-
-func (n *treeNode) subtreeCost() float64 {
-	if n.isLeaf {
-		return n.cost
-	}
-	return n.child[0].subtreeCost() + n.child[1].subtreeCost()
 }
 
 // samplePoint draws a point of the leaf with probability proportional to its
@@ -237,6 +251,7 @@ func ones(n int) []float64 {
 type Stream struct {
 	m      int
 	dim    int
+	seed   uint64 // construction seed; drives ClusterOpt's stochastic refiners
 	r      *rng.Rng
 	fill   *geom.Dataset   // bucket being filled (level 0, raw points)
 	levels []*geom.Dataset // levels[i] = coreset bucket at level i (nil = empty)
@@ -253,7 +268,7 @@ func NewStream(m, dim int, seedVal uint64) *Stream {
 	if dim < 1 {
 		panic("coreset: dimension must be ≥ 1")
 	}
-	s := &Stream{m: m, dim: dim, r: rng.New(seedVal)}
+	s := &Stream{m: m, dim: dim, seed: seedVal, r: rng.New(seedVal)}
 	s.resetFill()
 	return s
 }
@@ -322,16 +337,58 @@ func (s *Stream) Coreset() *geom.Dataset {
 	return NewTree(union, s.r.Split(uint64(s.n))).Reduce(s.m)
 }
 
+// DefaultClusterMaxIter caps the coreset refinement when the caller's
+// lloyd.Config.MaxIter is zero — the fixed cap Cluster always used.
+const DefaultClusterMaxIter = 100
+
+// ClusterResult is the outcome of clustering the current coreset: the full
+// refinement result (real Converged/Iters/Cost, not a bare center matrix —
+// callers surface these) plus the seeding cost on the coreset. Assign and
+// Outliers index coreset representatives, not stream points.
+type ClusterResult struct {
+	lloyd.RefineResult
+	// SeedCost is the weighted cost of the k-means++ seeding on the
+	// coreset, before refinement.
+	SeedCost float64
+}
+
 // Cluster extracts the coreset and clusters it into k centers with weighted
-// k-means++ followed by weighted Lloyd — the StreamKM++ endgame.
-func (s *Stream) Cluster(k int) *geom.Matrix {
+// k-means++ followed by weighted Lloyd — the StreamKM++ endgame. It panics
+// on an empty stream; ClusterOpt is the error-returning, optimizer-aware
+// form.
+func (s *Stream) Cluster(k int) lloyd.Result {
+	res, err := s.ClusterOpt(k, lloyd.Opt{}, lloyd.Config{})
+	if err != nil {
+		panic("coreset: " + err.Error())
+	}
+	return res.Result
+}
+
+// ClusterOpt clusters the current coreset with the given refinement variant:
+// weighted k-means++ seeds over the (optimizer-prepared) coreset, then opt
+// refines under cfg (cfg.MaxIter 0 = DefaultClusterMaxIter; cfg.Parallelism
+// 0 = serial, keeping refits deterministic and cheap). It errors on an empty
+// stream or when the optimizer rejects the coreset (e.g. Spherical over
+// zero rows).
+func (s *Stream) ClusterOpt(k int, opt lloyd.Opt, cfg lloyd.Config) (ClusterResult, error) {
 	cs := s.Coreset()
 	if cs.N() == 0 {
-		panic("coreset: Cluster on empty stream")
+		return ClusterResult{}, fmt.Errorf("Cluster on empty stream")
 	}
-	init := seed.KMeansPP(cs, k, s.r.Split(0xC0FFEE), 1)
-	res := lloyd.Run(cs, init, lloyd.Config{MaxIter: 100, Parallelism: 1})
-	return res.Centers
+	cs, err := opt.Prepare(cs)
+	if err != nil {
+		return ClusterResult{}, err
+	}
+	if cfg.MaxIter <= 0 {
+		cfg.MaxIter = DefaultClusterMaxIter
+	}
+	if cfg.Parallelism <= 0 {
+		cfg.Parallelism = 1
+	}
+	init := seed.KMeansPP(cs, k, s.r.Split(0xC0FFEE), cfg.Parallelism)
+	seedCost := lloyd.Cost(cs, init, cfg.Parallelism)
+	res := opt.Refine(cs, init, cfg, s.seed)
+	return ClusterResult{RefineResult: res, SeedCost: seedCost}, nil
 }
 
 // concat returns the weighted union of two datasets (copies).

@@ -136,7 +136,7 @@ func TestStreamClusterQuality(t *testing.T) {
 	for i := 0; i < ds.N(); i++ {
 		s.Add(ds.Point(i))
 	}
-	centers := s.Cluster(k)
+	centers := s.Cluster(k).Centers
 	streamCost := lloyd.Cost(ds, centers, 0)
 	direct := lloyd.Run(ds, seed.KMeansPP(ds, k, rng.New(16), 0), lloyd.Config{})
 	if streamCost > 1.5*direct.Cost {

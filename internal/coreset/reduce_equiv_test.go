@@ -1,0 +1,175 @@
+package coreset
+
+import (
+	"fmt"
+	"testing"
+
+	"kmeansll/internal/geom"
+	"kmeansll/internal/rng"
+)
+
+// refSubtreeCost is the original whole-subtree recursion, deliberately
+// ignoring the cached internal-node costs the production path maintains.
+func refSubtreeCost(n *treeNode) float64 {
+	if n.isLeaf {
+		return n.cost
+	}
+	return refSubtreeCost(n.child[0]) + refSubtreeCost(n.child[1])
+}
+
+// refPickLeaf is the original cost-proportional descent, recomputing every
+// subtree sum from scratch on each step.
+func refPickLeaf(t *Tree, root *treeNode) *treeNode {
+	node := root
+	for !node.isLeaf {
+		c0, c1 := node.child[0], node.child[1]
+		total := refSubtreeCost(c0) + refSubtreeCost(c1)
+		if !(total > 0) {
+			return nil
+		}
+		if t.r.Float64()*total < refSubtreeCost(c0) {
+			node = c0
+		} else {
+			node = c1
+		}
+	}
+	return node
+}
+
+// reduceReference reproduces the pre-incremental Reduce: recursive subtree
+// costs on every descent and the whole leaf list rebuilt via collectLeaves
+// after every split. It is the ground truth the incremental Reduce must
+// match bit-for-bit — same rng consumption, same sampled splits, same final
+// leaf (DFS) order, so the same coreset rows and weights.
+func reduceReference(t *Tree, m int) *geom.Dataset {
+	n := t.ds.N()
+	if n <= m {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		out := t.ds.Subset(idx)
+		if out.Weight == nil {
+			out.Weight = ones(n)
+		}
+		return out
+	}
+	all := make([]int32, n)
+	for i := range all {
+		all[i] = int32(i)
+	}
+	var first int
+	if t.ds.Weight == nil {
+		first = t.r.Intn(n)
+	} else {
+		first = t.r.WeightedIndex(t.ds.Weight)
+	}
+	root := &treeNode{rep: first, points: all, isLeaf: true}
+	root.cost = t.leafCost(root)
+
+	leaves := []*treeNode{root}
+	for len(leaves) < m {
+		leaf := refPickLeaf(t, root)
+		if leaf == nil || leaf.cost <= 0 {
+			break
+		}
+		q := t.samplePoint(leaf)
+		if q < 0 {
+			break
+		}
+		l0, l1 := t.split(leaf, q)
+		leaf.isLeaf = false
+		leaf.points = nil
+		leaf.child[0], leaf.child[1] = l0, l1
+		leaves = append(leaves[:0], collectLeaves(root)...)
+	}
+	out := &geom.Dataset{X: geom.NewMatrix(len(leaves), t.ds.Dim()), Weight: make([]float64, len(leaves))}
+	for j, leaf := range leaves {
+		copy(out.X.Row(j), t.ds.Point(leaf.rep))
+		var w float64
+		for _, i := range leaf.points {
+			w += t.ds.W(int(i))
+		}
+		out.Weight[j] = w
+	}
+	return out
+}
+
+func randomDataset(n, d int, weighted bool, seed uint64) *geom.Dataset {
+	r := rng.New(seed)
+	x := geom.NewMatrix(n, d)
+	for i := range x.Data {
+		x.Data[i] = r.NormFloat64()
+	}
+	ds := geom.NewDataset(x)
+	if weighted {
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = 0.25 + 2*r.Float64()
+		}
+		ds.Weight = w
+	}
+	return ds
+}
+
+// The incremental Reduce must be bit-identical to the per-split-rebuild
+// reference: same rows, same order, same weights. Everything sampled from a
+// coreset downstream (weighted k-means++, refits) depends on row order, so
+// order equality is part of the contract, not an implementation detail.
+func TestReduceMatchesPerSplitRebuildReference(t *testing.T) {
+	for _, tc := range []struct {
+		n, d, m  int
+		weighted bool
+	}{
+		{500, 4, 50, false},
+		{500, 4, 50, true},
+		{200, 2, 199, false},
+		{64, 3, 2, true},
+		{1000, 8, 333, false},
+	} {
+		t.Run(fmt.Sprintf("n%d_m%d_w%v", tc.n, tc.m, tc.weighted), func(t *testing.T) {
+			ds := randomDataset(tc.n, tc.d, tc.weighted, uint64(tc.n*tc.m))
+			got := NewTree(ds, rng.New(99)).Reduce(tc.m)
+			want := reduceReference(NewTree(ds, rng.New(99)), tc.m)
+			if got.N() != want.N() {
+				t.Fatalf("size %d != reference %d", got.N(), want.N())
+			}
+			for i := 0; i < got.N(); i++ {
+				if got.W(i) != want.W(i) {
+					t.Fatalf("weight[%d] = %v != reference %v", i, got.W(i), want.W(i))
+				}
+				gr, wr := got.Point(i), want.Point(i)
+				for j := range gr {
+					if gr[j] != wr[j] {
+						t.Fatalf("row %d col %d: %v != reference %v", i, j, gr[j], wr[j])
+					}
+				}
+			}
+		})
+	}
+}
+
+// The win the fix buys: reduction no longer walks the whole tree once per
+// split (neither to rebuild the leaf list nor to recompute subtree costs on
+// every sampling descent). n = 2m keeps per-leaf work trivial so those
+// walks dominate; compare against BenchmarkReduceLargeReference (the old
+// algorithm) on the same shape.
+func BenchmarkReduceLarge(b *testing.B) {
+	const m = 2000
+	ds := randomDataset(2*m, 4, false, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewTree(ds, rng.New(uint64(i))).Reduce(m)
+	}
+}
+
+func BenchmarkReduceLargeReference(b *testing.B) {
+	const m = 2000
+	ds := randomDataset(2*m, 4, false, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reduceReference(NewTree(ds, rng.New(uint64(i))), m)
+	}
+}

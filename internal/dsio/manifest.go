@@ -138,7 +138,7 @@ func Split(ds *geom.Dataset, dir string, parts int) (*Manifest, error) {
 				err = w.WriteRow(ds.Point(i))
 			}
 			if err != nil {
-				w.f.Close()
+				w.Abort()
 				return nil, err
 			}
 		}

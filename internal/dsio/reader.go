@@ -196,7 +196,8 @@ func (r *Reader) Close() error {
 }
 
 // Save writes ds to path in one call — the non-streaming convenience
-// counterpart of Create/WriteRow/Close.
+// counterpart of Create/WriteRow/Close. On any failure the half-written
+// file is removed, so a failed Save never leaves an unreadable .kmd behind.
 func Save(path string, ds *geom.Dataset) error {
 	w, err := Create(path, ds.Dim())
 	if err != nil {
@@ -209,7 +210,7 @@ func Save(path string, ds *geom.Dataset) error {
 			err = w.WriteRow(ds.Point(i))
 		}
 		if err != nil {
-			w.f.Close()
+			w.Abort()
 			return err
 		}
 	}

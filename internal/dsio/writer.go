@@ -11,9 +11,13 @@ import (
 // Writer streams a dataset into a .kmd file row by row, so converters never
 // hold more than one row (plus 8 bytes per row of buffered weights) in
 // memory. The header is finalized on Close, when the row count and checksum
-// are known.
+// are known. A failed Close (and Abort) removes the file: a Writer never
+// leaves a placeholder-headered corpse behind for a later Open to trip
+// over, so a converter that errors out cannot litter a data directory with
+// unreadable .kmd files.
 type Writer struct {
 	f       *os.File
+	path    string
 	bw      *bufio.Writer
 	crc     hash.Hash64
 	cols    int
@@ -24,8 +28,8 @@ type Writer struct {
 }
 
 // Create opens path for writing a dataset with the given dimensionality.
-// Close finalizes the file; a Writer abandoned without Close leaves an
-// unreadable file (its header still holds the placeholder).
+// Close finalizes the file; a Writer abandoned without Close or Abort leaves
+// an unreadable file (its header still holds the placeholder).
 func Create(path string, cols int) (*Writer, error) {
 	if cols < 1 || cols > maxCols {
 		return nil, fmt.Errorf("dsio: column count %d outside [1, %d]", cols, maxCols)
@@ -36,6 +40,7 @@ func Create(path string, cols int) (*Writer, error) {
 	}
 	w := &Writer{
 		f:      f,
+		path:   path,
 		bw:     bufio.NewWriterSize(f, 1<<16),
 		crc:    crc64.New(crcTable),
 		cols:   cols,
@@ -46,6 +51,7 @@ func Create(path string, cols int) (*Writer, error) {
 	var zero [headerSize]byte
 	if _, err := w.bw.Write(zero[:]); err != nil {
 		f.Close()
+		os.Remove(path)
 		return nil, err
 	}
 	return w, nil
@@ -90,7 +96,9 @@ func (w *Writer) writeRow(p []float64) error {
 }
 
 // Close flushes the weight section, rewrites the header with the final row
-// count and checksum, and closes the file.
+// count and checksum, and closes the file. On any failure — the weight
+// flush, the buffer flush, the header rewrite, or the close itself — the
+// half-written file is removed from disk before the error is returned.
 func (w *Writer) Close() error {
 	if w.closed {
 		return nil
@@ -100,13 +108,11 @@ func (w *Writer) Close() error {
 		w.rowBuf = encodeFloats(w.rowBuf[:0], w.weights)
 		w.crc.Write(w.rowBuf)
 		if _, err := w.bw.Write(w.rowBuf); err != nil {
-			w.f.Close()
-			return err
+			return w.discard(err)
 		}
 	}
 	if err := w.bw.Flush(); err != nil {
-		w.f.Close()
-		return err
+		return w.discard(err)
 	}
 	h := encodeHeader(Info{
 		Rows: w.rows, Cols: w.cols,
@@ -114,8 +120,33 @@ func (w *Writer) Close() error {
 		Checksum: w.crc.Sum64(),
 	})
 	if _, err := w.f.WriteAt(h[:], 0); err != nil {
-		w.f.Close()
+		return w.discard(err)
+	}
+	if err := w.f.Close(); err != nil {
+		os.Remove(w.path)
 		return err
 	}
-	return w.f.Close()
+	return nil
+}
+
+// Abort closes and removes the file without finalizing it — the error path
+// of any row-by-row conversion loop. Safe after Close (a no-op then).
+func (w *Writer) Abort() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	return w.discard(nil)
+}
+
+// discard closes and deletes the half-written file, preserving the first
+// error encountered (err when non-nil, otherwise the close/remove failure).
+func (w *Writer) discard(err error) error {
+	if closeErr := w.f.Close(); err == nil {
+		err = closeErr
+	}
+	if rmErr := os.Remove(w.path); err == nil {
+		err = rmErr
+	}
+	return err
 }

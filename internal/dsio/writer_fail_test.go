@@ -1,0 +1,98 @@
+package dsio
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// A Writer whose finalization fails must remove the half-written file: the
+// header still holds the placeholder, so the corpse could never be opened,
+// and leaving it around litters data directories with unreadable .kmd files
+// (which a directory-scanning converter or server would then trip over).
+// The write failure is injected by closing the underlying fd out from under
+// the Writer, so the buffered payload flush inside Close fails
+// deterministically.
+func TestFailedCloseRemovesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "corpse.kmd")
+	w, err := Create(path, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		if err := w.WriteRow([]float64{1, 2, 3, float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.f.Close() // inject: every further write hits a closed fd
+	if err := w.Close(); err == nil {
+		t.Fatal("Close succeeded despite the injected write failure")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("failed Close left %s on disk (stat err: %v)", path, err)
+	}
+}
+
+// The weighted variant exercises the weight-section flush inside Close.
+func TestFailedWeightFlushRemovesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "weighted-corpse.kmd")
+	w, err := Create(path, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enough rows that the 64 KiB bufio buffer has already cycled to disk…
+	for i := 0; i < 5000; i++ {
+		if err := w.WriteWeightedRow([]float64{float64(i), 0}, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// …then fail the fd before Close appends the weight section.
+	w.f.Close()
+	if err := w.Close(); err == nil {
+		t.Fatal("Close succeeded despite the injected write failure")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("failed Close left %s on disk (stat err: %v)", path, err)
+	}
+}
+
+// Abort is the converter error path: discard the half-written file entirely.
+func TestAbortRemovesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "aborted.kmd")
+	w, err := Create(path, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteRow([]float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Abort(); err != nil {
+		t.Fatalf("Abort: %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("Abort left %s on disk (stat err: %v)", path, err)
+	}
+	// Abort after a successful Close is a no-op and must not delete the
+	// finalized file.
+	w2, err := Create(path, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.WriteRow([]float64{4, 5, 6}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Abort(); err != nil {
+		t.Fatalf("Abort after Close: %v", err)
+	}
+	ds, closer, err := Load(path)
+	if err != nil {
+		t.Fatalf("finalized file unreadable after post-Close Abort: %v", err)
+	}
+	defer closer.Close()
+	if ds.N() != 1 || ds.Point(0)[0] != 4 {
+		t.Fatalf("unexpected dataset after reopen: n=%d", ds.N())
+	}
+}

@@ -5,20 +5,33 @@ import (
 	"kmeansll/internal/rng"
 )
 
+// DefaultMiniBatchIters is the mini-batch step count when Iters is zero.
+const DefaultMiniBatchIters = 100
+
 // MiniBatchConfig controls MiniBatch (Sculley, WWW 2010 — cited as [31] in
 // the paper's related work). Mini-batch k-means trades per-iteration exactness
 // for throughput: each iteration samples B points and moves only their
 // assigned centers with a per-center learning rate 1/count.
 type MiniBatchConfig struct {
 	BatchSize int // B; 0 means 10·k
-	Iters     int // number of mini-batch steps; 0 means 100
+	Iters     int // number of mini-batch steps; 0 means DefaultMiniBatchIters
 	Seed      uint64
+	// Parallelism bounds the workers of the final exact assignment pass
+	// (the batch steps themselves are sequential); <1 = all CPUs.
+	Parallelism int
 }
 
 // MiniBatch runs mini-batch k-means from the given initial centers and
-// returns the refined centers along with the exact final cost.
+// returns the refined centers along with the exact final cost and
+// assignment. Each step draws B distinct points uniformly (Floyd sampling
+// via rng.SampleWithoutReplacement) and assigns the whole batch through the
+// blocked pairwise-distance engine with cached center norms, so batch
+// assignment runs at the same throughput as a Lloyd iteration over B points;
+// workloads below the engine's measured crossover (or under a naive-kernel
+// pin) keep the early-exit scan. Result.Converged is always false: the
+// variant runs a fixed step budget and tests no fixed point.
 func MiniBatch(ds *geom.Dataset, init *geom.Matrix, cfg MiniBatchConfig) Result {
-	k := init.Rows
+	k, d := init.Rows, init.Cols
 	centers := init.Clone()
 	b := cfg.BatchSize
 	if b <= 0 {
@@ -29,32 +42,50 @@ func MiniBatch(ds *geom.Dataset, init *geom.Matrix, cfg MiniBatchConfig) Result 
 	}
 	iters := cfg.Iters
 	if iters <= 0 {
-		iters = 100
+		iters = DefaultMiniBatchIters
 	}
 	r := rng.New(cfg.Seed)
 	counts := make([]float64, k)
-	batchAssign := make([]int32, b)
-	batch := make([]int, b)
+	batchIdx := make([]int, b)
+	batchRows := make([][]float64, b)
+
+	// The batch-assignment kernel is chosen once: center count and dimension
+	// do not change across steps, and the rng draws happen before assignment
+	// either way, so the blocked and naive paths sample identical batches.
+	blocked := geom.UseBlocked(k, d)
+	var cNorms []float64
+	var sc *geom.Scratch
+	if blocked {
+		sc = geom.GetScratch()
+		defer sc.Release()
+	}
+
 	for it := 0; it < iters; it++ {
-		for j := range batch {
-			batch[j] = r.Intn(ds.N())
+		batch := r.SampleWithoutReplacement(ds.N(), b)
+		for j, i := range batch {
+			batchRows[j] = ds.Point(i)
+		}
+		if blocked {
+			cNorms = geom.RowSqNorms(centers, cNorms)
+			geom.NearestBlockedRows(batchRows, centers, cNorms, batchIdx, sc)
+		} else {
+			for j, p := range batchRows {
+				idx, _ := geom.Nearest(p, centers)
+				batchIdx[j] = idx
+			}
 		}
 		for j, i := range batch {
-			idx, _ := geom.Nearest(ds.Point(i), centers)
-			batchAssign[j] = int32(idx)
-		}
-		for j, i := range batch {
-			c := int(batchAssign[j])
+			c := batchIdx[j]
 			w := ds.W(i)
 			counts[c] += w
 			eta := w / counts[c]
 			row := centers.Row(c)
-			p := ds.Point(i)
+			p := batchRows[j]
 			for t := range row {
 				row[t] = (1-eta)*row[t] + eta*p[t]
 			}
 		}
 	}
-	assign, cost := Assign(ds, centers, 0)
-	return Result{Centers: centers, Assign: assign, Cost: cost, Iters: iters, Converged: true}
+	assign, cost := Assign(ds, centers, cfg.Parallelism)
+	return Result{Centers: centers, Assign: assign, Cost: cost, Iters: iters, Converged: false}
 }

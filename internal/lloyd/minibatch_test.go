@@ -1,0 +1,169 @@
+package lloyd
+
+import (
+	"testing"
+
+	"kmeansll/internal/geom"
+	"kmeansll/internal/rng"
+)
+
+// mbData builds a deterministic k-cluster Gaussian mixture plus matching
+// random initial centers.
+func mbData(n, d, k int, seed uint64) (*geom.Dataset, *geom.Matrix) {
+	r := rng.New(seed)
+	truth := geom.NewMatrix(k, d)
+	for i := range truth.Data {
+		truth.Data[i] = 8 * r.NormFloat64()
+	}
+	x := geom.NewMatrix(n, d)
+	for i := 0; i < n; i++ {
+		row := x.Row(i)
+		c := truth.Row(i % k)
+		for j := 0; j < d; j++ {
+			row[j] = c[j] + r.NormFloat64()
+		}
+	}
+	init := geom.NewMatrix(k, d)
+	for i := range init.Data {
+		init.Data[i] = 8 * r.NormFloat64()
+	}
+	return geom.NewDataset(x), init
+}
+
+func equalMatrices(a, b *geom.Matrix) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i, v := range a.Data {
+		if v != b.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal seeds must yield bit-identical mini-batch fits; a different seed
+// samples different batches and must move the centers differently.
+func TestMiniBatchSeededDeterminism(t *testing.T) {
+	ds, init := mbData(3000, 6, 8, 41)
+	cfg := MiniBatchConfig{BatchSize: 64, Iters: 30, Seed: 7}
+	a := MiniBatch(ds, init, cfg)
+	b := MiniBatch(ds, init, cfg)
+	if !equalMatrices(a.Centers, b.Centers) {
+		t.Fatal("same seed produced different centers")
+	}
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatalf("same seed produced different assignment at %d", i)
+		}
+	}
+	if a.Cost != b.Cost {
+		t.Fatalf("same seed produced different costs: %v vs %v", a.Cost, b.Cost)
+	}
+	cfg.Seed = 8
+	c := MiniBatch(ds, init, cfg)
+	if equalMatrices(a.Centers, c.Centers) {
+		t.Fatal("different seeds produced identical centers")
+	}
+}
+
+// Uniform weights w=c must reproduce the unweighted fit bit-for-bit: the
+// learning rate is w/Σw over the batch history, and equal real quotients
+// round identically, so any deviation means weights leak into the update
+// somewhere other than eta.
+func TestMiniBatchUniformWeightsMatchUnweighted(t *testing.T) {
+	ds, init := mbData(2000, 5, 6, 42)
+	weights := make([]float64, ds.N())
+	for i := range weights {
+		weights[i] = 3
+	}
+	wds := &geom.Dataset{X: ds.X, Weight: weights}
+	cfg := MiniBatchConfig{BatchSize: 50, Iters: 40, Seed: 11}
+	plain := MiniBatch(ds, init, cfg)
+	weighted := MiniBatch(wds, init, cfg)
+	if !equalMatrices(plain.Centers, weighted.Centers) {
+		t.Fatal("uniform weights changed the mini-batch trajectory")
+	}
+	// The cost triples too, up to summation rounding (w·d² accumulates in a
+	// different order than 3·Σd²).
+	if diff := weighted.Cost - 3*plain.Cost; diff > 1e-9*plain.Cost || diff < -1e-9*plain.Cost {
+		t.Fatalf("weighted cost %v != 3× unweighted %v", weighted.Cost, 3*plain.Cost)
+	}
+}
+
+// A point with overwhelming weight must dominate its cluster's learning
+// rate: after the fit, some center sits essentially on top of it.
+func TestMiniBatchHeavyPointAttractsCenter(t *testing.T) {
+	const n = 400
+	x := geom.NewMatrix(n, 2)
+	r := rng.New(13)
+	for i := 0; i < n-1; i++ {
+		x.Row(i)[0] = r.NormFloat64()
+		x.Row(i)[1] = r.NormFloat64()
+	}
+	heavy := []float64{40, 40}
+	copy(x.Row(n-1), heavy)
+	weights := make([]float64, n)
+	for i := range weights {
+		weights[i] = 1
+	}
+	weights[n-1] = 1e6
+	ds := &geom.Dataset{X: x, Weight: weights}
+	init := geom.NewMatrix(2, 2)
+	copy(init.Row(0), []float64{0, 0})
+	copy(init.Row(1), []float64{20, 20}) // nearer the heavy point
+	// Every point appears in every batch, so the heavy point hits its
+	// center each step with eta ≈ 1.
+	res := MiniBatch(ds, init, MiniBatchConfig{BatchSize: n, Iters: 25, Seed: 3})
+	if d := geom.SqDist(res.Centers.Row(1), heavy); d > 1e-3 {
+		t.Fatalf("heavy point did not capture its center: d² = %v", d)
+	}
+}
+
+// The blocked rewire must be assignment-identical to the naive batch scan:
+// with the same seed the sampled batches match, so pinning the kernels is a
+// pure assignment-path comparison, and identical assignments force
+// bit-identical center updates.
+func TestMiniBatchBlockedMatchesNaive(t *testing.T) {
+	defer geom.SetKernel(geom.KernelAuto)
+	for _, weighted := range []bool{false, true} {
+		ds, init := mbData(4000, 24, 32, 43)
+		if weighted {
+			w := make([]float64, ds.N())
+			r := rng.New(5)
+			for i := range w {
+				w[i] = 0.5 + r.Float64()
+			}
+			ds.Weight = w
+		}
+		cfg := MiniBatchConfig{BatchSize: 128, Iters: 25, Seed: 17}
+		geom.SetKernel(geom.KernelNaive)
+		naive := MiniBatch(ds, init, cfg)
+		geom.SetKernel(geom.KernelBlocked)
+		blocked := MiniBatch(ds, init, cfg)
+		geom.SetKernel(geom.KernelAuto)
+		if !equalMatrices(naive.Centers, blocked.Centers) {
+			t.Fatalf("weighted=%v: blocked and naive mini-batch centers differ", weighted)
+		}
+		for i := range naive.Assign {
+			if naive.Assign[i] != blocked.Assign[i] {
+				t.Fatalf("weighted=%v: final assignment differs at %d: %d vs %d",
+					weighted, i, naive.Assign[i], blocked.Assign[i])
+			}
+		}
+	}
+}
+
+// Converged must be false: the variant runs a fixed budget and never tests a
+// fixed point (the old hard-coded true was exactly the class of lie the
+// streaming refit path had).
+func TestMiniBatchReportsNotConverged(t *testing.T) {
+	ds, init := mbData(500, 3, 4, 44)
+	res := MiniBatch(ds, init, MiniBatchConfig{Iters: 5, Seed: 1})
+	if res.Converged {
+		t.Fatal("mini-batch reported Converged=true for a fixed-budget run")
+	}
+	if res.Iters != 5 {
+		t.Fatalf("Iters = %d, want 5", res.Iters)
+	}
+}

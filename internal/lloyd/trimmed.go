@@ -37,7 +37,7 @@ type TrimmedResult struct {
 // Result.Cost is the cost over ALL points (comparable to plain Lloyd);
 // TrimmedCost excludes the outliers.
 func Trimmed(ds *geom.Dataset, init *geom.Matrix, cfg TrimmedConfig) TrimmedResult {
-	if cfg.TrimFraction < 0 || cfg.TrimFraction >= 1 {
+	if !(cfg.TrimFraction >= 0 && cfg.TrimFraction < 1) { // negated: NaN too
 		panic("lloyd: TrimFraction must be in [0, 1)")
 	}
 	k, d, n := init.Rows, init.Cols, ds.N()

@@ -236,6 +236,7 @@ type modelSummary struct {
 	Cost      float64     `json:"cost"`
 	Iters     int         `json:"iters"`
 	Converged bool        `json:"converged"`
+	Optimizer string      `json:"optimizer,omitempty"`
 	Source    string      `json:"source"`
 	CreatedAt string      `json:"created_at"`
 	Centers   [][]float64 `json:"centers,omitempty"`
@@ -246,7 +247,8 @@ func summarize(mv *ModelVersion, withCenters bool) modelSummary {
 		Name: mv.Name, Version: mv.Version,
 		K: mv.Model.K(), Dim: mv.Model.Dim(),
 		Cost: mv.Model.Cost, Iters: mv.Model.Iters, Converged: mv.Model.Converged,
-		Source: mv.Source, CreatedAt: mv.CreatedAt.Format(time.RFC3339Nano),
+		Optimizer: mv.Optimizer,
+		Source:    mv.Source, CreatedAt: mv.CreatedAt.Format(time.RFC3339Nano),
 	}
 	if withCenters {
 		out.Centers = mv.Model.Centers
@@ -457,13 +459,19 @@ type GenerateSpec struct {
 }
 
 type fitConfig struct {
-	K            int     `json:"k"`
-	Init         string  `json:"init,omitempty"`   // kmeansll | kmeans++ | random | partition
-	Kernel       string  `json:"kernel,omitempty"` // naive | elkan | hamerly
-	Oversampling float64 `json:"oversampling,omitempty"`
-	Rounds       int     `json:"rounds,omitempty"`
-	MaxIter      int     `json:"max_iter,omitempty"`
-	Seed         uint64  `json:"seed,omitempty"`
+	K    int    `json:"k"`
+	Init string `json:"init,omitempty"` // kmeansll | kmeans++ | random | partition
+	// Kernel is the legacy shorthand for {"optimizer":{"type":"lloyd",
+	// "kernel":...}}; it conflicts with an explicit optimizer spec.
+	Kernel string `json:"kernel,omitempty"` // naive | elkan | hamerly
+	// Optimizer selects the refinement variant — the same spec the library
+	// and CLIs accept. Validated at submit, recorded in job status and
+	// model metadata. Absent means lloyd:naive.
+	Optimizer    *kmeansll.OptimizerSpec `json:"optimizer,omitempty"`
+	Oversampling float64                 `json:"oversampling,omitempty"`
+	Rounds       int                     `json:"rounds,omitempty"`
+	MaxIter      int                     `json:"max_iter,omitempty"`
+	Seed         uint64                  `json:"seed,omitempty"`
 }
 
 // DatasetSpec names an on-disk dataset for a fit job: a .kmd file or a
@@ -517,6 +525,16 @@ func (c fitConfig) toLibrary(parallelism int) (kmeansll.Config, error) {
 	default:
 		return out, fmt.Errorf("unknown kernel %q (want naive, elkan or hamerly)", c.Kernel)
 	}
+	if c.Optimizer != nil {
+		if c.Kernel != "" {
+			return out, errors.New(`config.kernel conflicts with config.optimizer; put the kernel inside the optimizer spec`)
+		}
+		opt, err := c.Optimizer.Optimizer()
+		if err != nil {
+			return out, err
+		}
+		out.Optimizer = opt
+	}
 	return out, nil
 }
 
@@ -563,9 +581,10 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		// Distributed Lloyd is the plain MR assignment pass; silently
-		// downgrading a requested accelerated kernel would misreport what ran.
-		if cfg.Kernel != kmeansll.NaiveKernel {
-			writeError(w, http.StatusBadRequest, `backend "dist" supports only kernel "naive"`)
+		// downgrading a requested variant or accelerated kernel would
+		// misreport what ran.
+		if opt := cfg.OptimizerOrDefault(); opt != (kmeansll.Lloyd{Kernel: kmeansll.NaiveKernel}) {
+			writeError(w, http.StatusBadRequest, `backend "dist" supports only optimizer "lloyd:naive"`)
 			return
 		}
 	}
@@ -622,8 +641,8 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
-	s.cfg.Logf("fit %s enqueued: model=%q n=%d k=%d init=%s backend=%s dataset=%q",
-		job.ID, req.Model, spec.NumPoints, cfg.K, cfg.Init, job.backend, spec.DataName)
+	s.cfg.Logf("fit %s enqueued: model=%q n=%d k=%d init=%s optimizer=%s backend=%s dataset=%q",
+		job.ID, req.Model, spec.NumPoints, cfg.K, cfg.Init, job.optimizer, job.backend, spec.DataName)
 	writeJSON(w, http.StatusAccepted, job.Status())
 }
 
@@ -774,7 +793,11 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	total, refits, err := s.streams.Ingest(e, req.Points)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		status := http.StatusInternalServerError
+		if errors.Is(err, ErrStreamDeleted) {
+			status = http.StatusConflict
+		}
+		writeError(w, status, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, ingestResponse{

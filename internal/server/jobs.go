@@ -30,6 +30,7 @@ type Job struct {
 	dataName  string // request-relative dataset path, for status display
 	nPoints   int
 	cfg       kmeansll.Config
+	optimizer string // canonical spec of cfg's effective optimizer
 	restarts  int
 	backend   string // "local" (default) or "dist"
 	shards    int    // dist backend: loopback worker count
@@ -54,6 +55,7 @@ type JobStatus struct {
 	FinishedAt string   `json:"finished_at,omitempty"`
 	NumPoints  int      `json:"num_points"`
 	K          int      `json:"k"`
+	Optimizer  string   `json:"optimizer,omitempty"`
 	Backend    string   `json:"backend,omitempty"`
 	Dataset    string   `json:"dataset,omitempty"`
 	Version    int      `json:"version,omitempty"`
@@ -69,8 +71,8 @@ func (j *Job) Status() JobStatus {
 	s := JobStatus{
 		ID: j.ID, Model: j.ModelName, State: j.state, Error: j.err,
 		QueuedAt:  j.queued.Format(time.RFC3339Nano),
-		NumPoints: j.nPoints, K: j.cfg.K, Backend: j.backend,
-		Dataset: j.dataName,
+		NumPoints: j.nPoints, K: j.cfg.K, Optimizer: j.optimizer,
+		Backend: j.backend, Dataset: j.dataName,
 	}
 	if !j.started.IsZero() {
 		s.StartedAt = j.started.Format(time.RFC3339Nano)
@@ -195,6 +197,14 @@ func (m *JobManager) SubmitSpec(spec FitSpec) (*Job, error) {
 	if backend == "" {
 		backend = "local"
 	}
+	// Enforced here, not only in the HTTP handler, so a programmatic submit
+	// cannot record an optimizer the dist path would never run (distributed
+	// Lloyd is the plain MR assignment pass).
+	if backend == "dist" {
+		if opt := spec.Config.OptimizerOrDefault(); opt != (kmeansll.Lloyd{}) {
+			return nil, fmt.Errorf(`backend "dist" supports only optimizer "lloyd:naive", not %q`, opt)
+		}
+	}
 	nPoints := spec.NumPoints
 	if nPoints == 0 {
 		nPoints = len(spec.Points)
@@ -202,8 +212,9 @@ func (m *JobManager) SubmitSpec(spec FitSpec) (*Job, error) {
 	j := &Job{
 		ModelName: spec.Model, points: spec.Points, nPoints: nPoints,
 		dataPath: spec.DataPath, dataName: spec.DataName,
-		cfg: spec.Config, restarts: spec.Restarts,
-		backend: backend, shards: spec.Shards,
+		cfg: spec.Config, optimizer: spec.Config.OptimizerOrDefault().String(),
+		restarts: spec.Restarts,
+		backend:  backend, shards: spec.Shards,
 		state: JobQueued, queued: time.Now().UTC(),
 	}
 
@@ -356,7 +367,7 @@ func (m *JobManager) run(j *Job) {
 
 	var mv *ModelVersion
 	if err == nil {
-		mv, err = m.registry.Publish(j.ModelName, model, "fit-job:"+j.ID)
+		mv, err = m.registry.PublishMeta(j.ModelName, model, "fit-job:"+j.ID, j.optimizer)
 	}
 
 	j.mu.Lock()

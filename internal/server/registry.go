@@ -33,6 +33,7 @@ type ModelVersion struct {
 	Version   int
 	Model     *kmeansll.Model
 	Source    string // e.g. "fit-job:job-3", "stream:clicks", "upload", "file"
+	Optimizer string // canonical optimizer spec of the fit (e.g. "minibatch:iters=100"); "" for uploads
 	CreatedAt time.Time
 }
 
@@ -87,6 +88,13 @@ func (r *Registry) entry(name string, create bool) *regEntry {
 
 // Publish stores model as the next version of name and makes it current.
 func (r *Registry) Publish(name string, model *kmeansll.Model, source string) (*ModelVersion, error) {
+	return r.PublishMeta(name, model, source, "")
+}
+
+// PublishMeta is Publish carrying fit provenance: optimizer is the canonical
+// spec string of the refinement that produced the model, surfaced in
+// /v1/models metadata ("" when unknown, e.g. uploads).
+func (r *Registry) PublishMeta(name string, model *kmeansll.Model, source, optimizer string) (*ModelVersion, error) {
 	if !ValidModelName(name) {
 		return nil, fmt.Errorf("invalid model name %q", name)
 	}
@@ -109,7 +117,7 @@ func (r *Registry) Publish(name string, model *kmeansll.Model, source string) (*
 		e.nextVer++
 		mv := &ModelVersion{
 			Name: name, Version: e.nextVer, Model: model,
-			Source: source, CreatedAt: time.Now().UTC(),
+			Source: source, Optimizer: optimizer, CreatedAt: time.Now().UTC(),
 		}
 		e.history = append(e.history, mv)
 		if len(e.history) > r.maxHistory {
@@ -165,7 +173,7 @@ func (r *Registry) Rollback(name string, version int) (*ModelVersion, error) {
 	if !ok {
 		return nil, fmt.Errorf("model %q has no retained version %d", name, version)
 	}
-	return r.Publish(name, old.Model, fmt.Sprintf("rollback:v%d", version))
+	return r.PublishMeta(name, old.Model, fmt.Sprintf("rollback:v%d", version), old.Optimizer)
 }
 
 // Delete removes name and its whole history. It reports whether the name

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -10,6 +11,10 @@ import (
 	"kmeansll"
 )
 
+// ErrStreamDeleted reports an ingest or refit that raced a Delete: the
+// caller's stream handle is stale and nothing was published.
+var ErrStreamDeleted = errors.New("stream deleted")
+
 // DefaultRefitEvery is the ingest count between automatic refits of a
 // stream's registry model.
 const DefaultRefitEvery = 256
@@ -17,11 +22,16 @@ const DefaultRefitEvery = 256
 // StreamSpec configures one online ingest stream (the JSON body of
 // POST /v1/streams/{name}).
 type StreamSpec struct {
-	K           int    `json:"k"`
-	Dim         int    `json:"dim"`
-	CoresetSize int    `json:"coreset_size,omitempty"`
-	RefitEvery  int    `json:"refit_every,omitempty"`
-	Seed        uint64 `json:"seed,omitempty"`
+	K           int `json:"k"`
+	Dim         int `json:"dim"`
+	CoresetSize int `json:"coreset_size,omitempty"`
+	RefitEvery  int `json:"refit_every,omitempty"`
+	// Optimizer selects the refinement each refit runs over the coreset —
+	// the same spec fit jobs accept. Absent means lloyd:naive.
+	Optimizer *kmeansll.OptimizerSpec `json:"optimizer,omitempty"`
+	// MaxIter caps each refit's refinement iterations (0 = 100).
+	MaxIter int    `json:"max_iter,omitempty"`
+	Seed    uint64 `json:"seed,omitempty"`
 }
 
 // streamEntry is one live stream. The coreset update is inherently
@@ -78,8 +88,16 @@ func (m *StreamManager) Create(name string, spec StreamSpec) (*streamEntry, erro
 	if spec.RefitEvery <= 0 {
 		spec.RefitEvery = DefaultRefitEvery
 	}
+	var optimizer kmeansll.Optimizer
+	if spec.Optimizer != nil {
+		var err error
+		if optimizer, err = spec.Optimizer.Optimizer(); err != nil {
+			return nil, err
+		}
+	}
 	sc, err := kmeansll.NewStreamingClusterer(kmeansll.StreamingConfig{
-		K: spec.K, Dim: spec.Dim, CoresetSize: spec.CoresetSize, Seed: spec.Seed,
+		K: spec.K, Dim: spec.Dim, CoresetSize: spec.CoresetSize,
+		MaxIter: spec.MaxIter, Optimizer: optimizer, Seed: spec.Seed,
 	})
 	if err != nil {
 		return nil, err
@@ -184,7 +202,18 @@ func (m *StreamManager) refitLocked(e *streamEntry) error {
 	if err != nil {
 		return err
 	}
-	if _, err := m.registry.Publish(e.name, model, "stream:"+e.name); err != nil {
+	// Publish under m.mu with a membership recheck: the caller resolved e
+	// via Get before taking e.mu, so a concurrent Delete may have removed
+	// the stream in between — publishing then would silently resurrect the
+	// deleted name in the registry. Holding m.mu across the Publish closes
+	// the window entirely (Delete serializes behind it). Lock order is
+	// always e.mu → m.mu, never the reverse, so this cannot deadlock.
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.streams[e.name] != e {
+		return fmt.Errorf("stream %q: %w", e.name, ErrStreamDeleted)
+	}
+	if _, err := m.registry.PublishMeta(e.name, model, "stream:"+e.name, e.sc.Optimizer()); err != nil {
 		return err
 	}
 	e.refitCount.Add(1)

@@ -1,0 +1,73 @@
+package server
+
+import (
+	"errors"
+	"testing"
+)
+
+// A handler resolves its stream entry via Get before taking the stream lock,
+// so a Delete can land in between; the refit must then refuse to publish
+// instead of silently republishing models under the deleted stream's name.
+// The interleaving is driven deterministically: Get → Delete → Ingest.
+func TestIngestAfterDeleteDoesNotPublish(t *testing.T) {
+	reg := NewRegistry(0)
+	m := NewStreamManager(reg)
+	e, err := m.Create("clicks", StreamSpec{K: 1, Dim: 2, RefitEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := m.Get("clicks")
+	if !ok || got != e {
+		t.Fatal("Get did not return the created stream")
+	}
+	if !m.Delete("clicks") {
+		t.Fatal("Delete reported the stream missing")
+	}
+	// RefitEvery=1 means the first ingested point triggers a refit, which
+	// must now fail instead of publishing.
+	_, _, err = m.Ingest(got, [][]float64{{1, 2}})
+	if !errors.Is(err, ErrStreamDeleted) {
+		t.Fatalf("Ingest after Delete: err=%v, want ErrStreamDeleted", err)
+	}
+	if _, ok := reg.Get("clicks"); ok {
+		t.Fatal("ingest on a deleted stream republished a model")
+	}
+}
+
+// The explicit-refit path races Delete the same way.
+func TestRefitAfterDeleteDoesNotPublish(t *testing.T) {
+	reg := NewRegistry(0)
+	m := NewStreamManager(reg)
+	e, err := m.Create("orders", StreamSpec{K: 1, Dim: 2, RefitEvery: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feed some points first (RefitEvery is high, so no auto-refit yet).
+	if _, _, err := m.Ingest(e, [][]float64{{0, 0}, {1, 1}, {2, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Delete("orders") {
+		t.Fatal("Delete reported the stream missing")
+	}
+	if _, err := m.Refit(e); !errors.Is(err, ErrStreamDeleted) {
+		t.Fatalf("Refit after Delete: err=%v, want ErrStreamDeleted", err)
+	}
+	if _, ok := reg.Get("orders"); ok {
+		t.Fatal("refit on a deleted stream republished a model")
+	}
+	// A same-named stream created afterwards is a distinct entry and must
+	// refit normally — the stale handle stays dead, the new one works.
+	e2, err := m.Create("orders", StreamSpec{K: 1, Dim: 2, RefitEvery: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.Ingest(e2, [][]float64{{5, 5}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Refit(e2); err != nil {
+		t.Fatalf("refit on the recreated stream: %v", err)
+	}
+	if _, err := m.Refit(e); !errors.Is(err, ErrStreamDeleted) {
+		t.Fatalf("stale handle refit after recreate: err=%v, want ErrStreamDeleted", err)
+	}
+}

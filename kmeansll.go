@@ -4,11 +4,17 @@
 //
 // The package front door is Cluster, which seeds centers with the paper's
 // k-means|| initialization (or one of the baselines) and refines them with
-// Lloyd's iteration:
+// the configured Optimizer — exact Lloyd iteration by default, or
+// mini-batch, trimmed and spherical k-means; any seeding composes with any
+// optimizer over any data source:
 //
 //	model, err := kmeansll.Cluster(points, kmeansll.Config{K: 20})
 //	if err != nil { ... }
 //	cluster := model.Predict(point)
+//
+//	fast, err := kmeansll.Cluster(points, kmeansll.Config{
+//		K: 20, Optimizer: kmeansll.MiniBatch{BatchSize: 512, Iters: 200},
+//	})
 //
 // k-means|| replaces the k sequential passes of k-means++ with ~5 passes
 // that each sample O(k) candidate centers in parallel, then reclusters the
@@ -99,6 +105,19 @@ const (
 	HamerlyKernel
 )
 
+func (k Kernel) String() string {
+	switch k {
+	case NaiveKernel:
+		return "naive"
+	case ElkanKernel:
+		return "elkan"
+	case HamerlyKernel:
+		return "hamerly"
+	default:
+		return fmt.Sprintf("Kernel(%d)", int(k))
+	}
+}
+
 // Config controls Cluster. The zero value of every field except K selects a
 // sensible default.
 type Config struct {
@@ -118,8 +137,13 @@ type Config struct {
 	// exact (same fixed point); they differ only in speed/memory:
 	// NaiveKernel (default) scans all centers, ElkanKernel keeps n×k bounds
 	// (fastest for moderate k), HamerlyKernel keeps 2n bounds (best for
-	// large k).
+	// large k). Kernel is honored only when Optimizer is nil (it is
+	// shorthand for Optimizer: Lloyd{Kernel: ...}).
 	Kernel Kernel
+	// Optimizer selects the refinement stage run after seeding: Lloyd
+	// (default), MiniBatch, Trimmed or Spherical. Any Optimizer composes
+	// with any Init and any data source; nil means Lloyd{Kernel: c.Kernel}.
+	Optimizer Optimizer
 	// Weights, when non-nil, gives each point a positive weight (must match
 	// len(points)).
 	Weights []float64
@@ -140,10 +164,21 @@ type Model struct {
 	Cost float64
 	// SeedCost is the cost right after initialization, before Lloyd.
 	SeedCost float64
-	// Iters is the number of Lloyd iterations run.
+	// Iters is the number of refinement iterations run.
 	Iters int
-	// Converged reports whether Lloyd reached a fixed point before MaxIter.
+	// Converged reports whether the refinement reached a fixed point before
+	// MaxIter. Always false for MiniBatch, which runs a fixed step budget.
 	Converged bool
+	// Outliers holds the point indices the Trimmed optimizer excluded in
+	// its final iteration, sorted ascending; nil for every other optimizer.
+	Outliers []int
+	// TrimmedCost is the Trimmed optimizer's final cost over the kept
+	// points only (Cost stays the all-points cost); 0 otherwise.
+	TrimmedCost float64
+	// Cohesion is the Spherical optimizer's objective Σ wᵢ·cos(xᵢ, c) —
+	// the quantity it maximizes, where Cost is only the derived Euclidean
+	// view; 0 for every other optimizer.
+	Cohesion float64
 
 	dim int
 
@@ -222,8 +257,19 @@ func ClusterDataset(ds *geom.Dataset, cfg Config) (*Model, error) {
 	return clusterDataset(ds, cfg)
 }
 
-// clusterDataset runs the seeding + Lloyd pipeline over a validated dataset.
+// clusterDataset runs the seeding + refinement pipeline over a validated
+// dataset: lower the optimizer, let it prepare the dataset (Spherical
+// normalizes a private copy — seeding must see the same geometry the
+// refinement optimizes), seed, refine.
 func clusterDataset(ds *geom.Dataset, cfg Config) (*Model, error) {
+	opt, err := cfg.OptimizerOrDefault().lower()
+	if err != nil {
+		return nil, err
+	}
+	ds, err = opt.Prepare(ds)
+	if err != nil {
+		return nil, fmt.Errorf("kmeansll: %w", err)
+	}
 	dim := ds.Dim()
 	var centers *geom.Matrix
 	var seedCost float64
@@ -255,27 +301,19 @@ func clusterDataset(ds *geom.Dataset, cfg Config) (*Model, error) {
 		return nil, fmt.Errorf("kmeansll: unknown InitMethod %d", cfg.Init)
 	}
 
-	var kernel lloyd.Method
-	switch cfg.Kernel {
-	case NaiveKernel:
-		kernel = lloyd.Naive
-	case ElkanKernel:
-		kernel = lloyd.Elkan
-	case HamerlyKernel:
-		kernel = lloyd.Hamerly
-	default:
-		return nil, fmt.Errorf("kmeansll: unknown Kernel %d", cfg.Kernel)
-	}
-	res := lloyd.Run(ds, centers, lloyd.Config{
-		MaxIter: cfg.MaxIter, Parallelism: cfg.Parallelism, Method: kernel,
-	})
+	res := opt.Refine(ds, centers, lloyd.Config{
+		MaxIter: cfg.MaxIter, Parallelism: cfg.Parallelism,
+	}, cfg.Seed)
 
 	out := &Model{
-		Cost:      res.Cost,
-		SeedCost:  seedCost,
-		Iters:     res.Iters,
-		Converged: res.Converged,
-		dim:       dim,
+		Cost:        res.Cost,
+		SeedCost:    seedCost,
+		Iters:       res.Iters,
+		Converged:   res.Converged,
+		Outliers:    res.Outliers,
+		TrimmedCost: res.TrimmedCost,
+		Cohesion:    res.Cohesion,
+		dim:         dim,
 	}
 	out.Centers = make([][]float64, res.Centers.Rows)
 	for c := range out.Centers {

@@ -19,8 +19,11 @@ import (
 //	for p := range feed { sc.Add(p) }
 //	model, _ := sc.Model()
 type StreamingClusterer struct {
-	k      int
-	stream *coreset.Stream
+	k       int
+	maxIter int
+	opt     lloyd.Opt
+	optName string
+	stream  *coreset.Stream
 }
 
 // StreamingConfig sizes a StreamingClusterer.
@@ -32,6 +35,13 @@ type StreamingConfig struct {
 	// CoresetSize is the summary size m; 0 means 20·K (a good default per
 	// the StreamKM++ paper).
 	CoresetSize int
+	// MaxIter caps the refinement iterations of each Model() call;
+	// 0 means 100 (the StreamKM++ endgame's usual budget).
+	MaxIter int
+	// Optimizer selects the refinement variant clustering the coreset;
+	// nil means Lloyd{}. Same composability as Config.Optimizer — the
+	// coreset is just another data source.
+	Optimizer Optimizer
 	// Seed makes the run deterministic.
 	Seed uint64
 }
@@ -44,6 +54,9 @@ func NewStreamingClusterer(cfg StreamingConfig) (*StreamingClusterer, error) {
 	if cfg.Dim < 1 {
 		return nil, errors.New("kmeansll: StreamingConfig.Dim must be ≥ 1")
 	}
+	if cfg.MaxIter < 0 {
+		return nil, errors.New("kmeansll: StreamingConfig.MaxIter must be ≥ 0")
+	}
 	m := cfg.CoresetSize
 	if m <= 0 {
 		m = 20 * cfg.K
@@ -51,9 +64,20 @@ func NewStreamingClusterer(cfg StreamingConfig) (*StreamingClusterer, error) {
 	if m < 2 {
 		m = 2
 	}
+	optimizer := cfg.Optimizer
+	if optimizer == nil {
+		optimizer = Lloyd{}
+	}
+	opt, err := optimizer.lower()
+	if err != nil {
+		return nil, err
+	}
 	return &StreamingClusterer{
-		k:      cfg.K,
-		stream: coreset.NewStream(m, cfg.Dim, cfg.Seed),
+		k:       cfg.K,
+		maxIter: cfg.MaxIter,
+		opt:     opt,
+		optName: optimizer.String(),
+		stream:  coreset.NewStream(m, cfg.Dim, cfg.Seed),
 	}, nil
 }
 
@@ -70,21 +94,38 @@ func (s *StreamingClusterer) Add(p []float64) error {
 // N returns the number of points consumed so far.
 func (s *StreamingClusterer) N() int { return s.stream.N() }
 
-// Model clusters the current coreset into k centers. The returned Model has
-// no Assign (the stream is not retained); Predict works as usual. Cost is
-// the weighted cost on the coreset — an estimate of the cost on the full
-// history.
+// Model clusters the current coreset into k centers with the configured
+// optimizer. The returned Model has no Assign and no Outliers (the stream is
+// not retained, and coreset-representative indices would be meaningless to
+// the caller); Predict works as usual. Cost is the weighted cost on the
+// coreset — an estimate of the cost on the full history — SeedCost the
+// coreset cost right after seeding, and Iters/Converged report what the
+// refinement actually did (a MaxIter too small for the coreset really does
+// surface as Converged=false).
 func (s *StreamingClusterer) Model() (*Model, error) {
 	if s.stream.N() == 0 {
 		return nil, errors.New("kmeansll: no points consumed")
 	}
-	centers := s.stream.Cluster(s.k)
-	cs := s.stream.Coreset()
-	cost := lloyd.Cost(cs, centers, 0)
-	m := &Model{Cost: cost, SeedCost: cost, Converged: true, dim: centers.Cols}
-	m.Centers = matrixRows(centers)
+	res, err := s.stream.ClusterOpt(s.k, s.opt, lloyd.Config{MaxIter: s.maxIter})
+	if err != nil {
+		return nil, fmt.Errorf("kmeansll: %w", err)
+	}
+	m := &Model{
+		Cost:      res.Cost,
+		SeedCost:  res.SeedCost,
+		Iters:     res.Iters,
+		Converged: res.Converged,
+		Cohesion:  res.Cohesion,
+		dim:       res.Centers.Cols,
+	}
+	m.Centers = matrixRows(res.Centers)
 	return m, nil
 }
+
+// Optimizer returns the canonical spec string of the configured refinement
+// variant (e.g. "lloyd:naive"), for serving layers that record model
+// provenance.
+func (s *StreamingClusterer) Optimizer() string { return s.optName }
 
 func matrixRows(x *geom.Matrix) [][]float64 {
 	out := make([][]float64, x.Rows)

@@ -51,6 +51,93 @@ func TestStreamingClustererBasic(t *testing.T) {
 	}
 }
 
+// Model must report what the refinement actually did, not hard-code
+// success: with MaxIter=1 on a coreset that cannot possibly stabilize in
+// one Lloyd iteration, Converged must come back false (and flip to true
+// once the budget is generous), SeedCost must exceed the refined Cost, and
+// Iters must reflect the budget. This is the regression test for the old
+// Stream.Cluster path that discarded the lloyd.Result and published
+// Converged: true / SeedCost == Cost unconditionally.
+func TestStreamingModelReportsRealConvergence(t *testing.T) {
+	points := makeBlobs(t, 3000, 6, 12, 30, 7)
+	build := func(maxIter int) *Model {
+		sc, err := NewStreamingClusterer(StreamingConfig{K: 12, Dim: 6, MaxIter: maxIter, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range points {
+			if err := sc.Add(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		m, err := sc.Model()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	hard := build(1)
+	if hard.Converged {
+		t.Fatal("MaxIter=1 on a hard coreset reported Converged=true")
+	}
+	if hard.Iters != 1 {
+		t.Fatalf("MaxIter=1 ran %d iterations", hard.Iters)
+	}
+	easy := build(0) // default budget: plenty for a 240-point coreset
+	if !easy.Converged {
+		t.Fatal("default budget did not converge on the coreset")
+	}
+	if easy.Iters <= 1 {
+		t.Fatalf("default budget converged suspiciously fast: %d iterations", easy.Iters)
+	}
+	if !(easy.SeedCost > easy.Cost) {
+		t.Fatalf("SeedCost %v not above refined Cost %v — still hard-coded?", easy.SeedCost, easy.Cost)
+	}
+}
+
+// The streaming entry point composes with optimizers like every other data
+// source: a mini-batch refit must report its fixed budget (Converged=false)
+// and a trimmed refit must converge like Lloyd.
+func TestStreamingClustererOptimizers(t *testing.T) {
+	points := makeBlobs(t, 1500, 4, 6, 30, 9)
+	fit := func(opt Optimizer) *Model {
+		sc, err := NewStreamingClusterer(StreamingConfig{K: 6, Dim: 4, Optimizer: opt, Seed: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range points {
+			if err := sc.Add(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		m, err := sc.Model()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	lloydM := fit(nil)
+	mb := fit(MiniBatch{BatchSize: 32, Iters: 40})
+	if mb.Converged {
+		t.Fatal("mini-batch refit reported Converged=true")
+	}
+	if mb.Iters != 40 {
+		t.Fatalf("mini-batch refit ran %d iterations, want 40", mb.Iters)
+	}
+	// Both refine the same coreset; mini-batch should land in the same cost
+	// regime as full Lloyd on well-separated blobs.
+	if mb.Cost > 3*lloydM.Cost {
+		t.Fatalf("mini-batch coreset cost %v ≫ lloyd %v", mb.Cost, lloydM.Cost)
+	}
+	tr := fit(Trimmed{Fraction: 0.05})
+	if tr.K() != 6 {
+		t.Fatalf("trimmed refit K = %d", tr.K())
+	}
+	if tr.Outliers != nil {
+		t.Fatal("streaming model leaked coreset-indexed Outliers")
+	}
+}
+
 func TestStreamingClustererErrors(t *testing.T) {
 	if _, err := NewStreamingClusterer(StreamingConfig{K: 0, Dim: 2}); err == nil {
 		t.Fatal("K=0 accepted")
