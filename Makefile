@@ -6,18 +6,23 @@ build:
 	$(GO) build ./...
 
 # bench regenerates BENCH_init.json / BENCH_predict.json / BENCH_load.json /
-# BENCH_optimizers.json: the hot-path perf suite (Init, Lloyd iteration,
-# steady-state PredictBatch) measured under the naive-scan baseline and the
-# blocked distance engine, plus the dataset load paths (CSV parse vs mmap
-# .kmd open) and the refinement variants (full Lloyd vs mini-batch).
+# BENCH_optimizers.json / BENCH_serve.json: the hot-path perf suite (Init,
+# Lloyd iteration, steady-state PredictBatch) measured under the naive-scan
+# baseline and the blocked distance engine, plus the dataset load paths (CSV
+# parse vs mmap .kmd open), the refinement variants (full Lloyd vs
+# mini-batch), and the serving ceiling (an in-process kmserved swept to
+# saturation; see cmd/kmbench/serve.go).
 bench: build
 	$(GO) run ./cmd/kmbench -json
+	$(GO) run ./cmd/kmbench -serve
 
 # bench-check is the CI bench-regression gate, runnable locally: regenerate
 # the suite into a scratch dir and compare against the committed baselines
-# (fails on >25% ns/op regressions or new allocations on zero-alloc paths).
+# (fails on >25% ns/op regressions, new allocations on zero-alloc paths, or
+# a serving-ceiling max-QPS collapse).
 bench-check: build
 	$(GO) run ./cmd/kmbench -json -out /tmp/kmeansll-bench
+	$(GO) run ./cmd/kmbench -serve -quick -out /tmp/kmeansll-bench
 	$(GO) run ./cmd/kmbench -compare -baseline . -current /tmp/kmeansll-bench
 
 vet:

@@ -24,7 +24,10 @@ import (
 // the gate on any machine). BENCH_optimizers.json guards the refinement
 // variants the same way: mini-batch must stay cheaper than a full Lloyd fit
 // at 10⁵×32.
-var benchFiles = []string{"BENCH_init.json", "BENCH_predict.json", "BENCH_load.json", "BENCH_optimizers.json"}
+// BENCH_serve.json guards the serving tier end to end: its Serve/p50 and
+// Serve/p99 rows ride the ns/op rule below, and its max_qps summary is gated
+// in the opposite direction — a throughput collapse past the threshold fails.
+var benchFiles = []string{"BENCH_init.json", "BENCH_predict.json", "BENCH_load.json", "BENCH_optimizers.json", "BENCH_serve.json"}
 
 // compareFiles checks one regenerated perf file against its baseline and
 // returns human-readable regression findings (empty = gate passes).
@@ -71,6 +74,19 @@ func compareFiles(baseline, current perfFile, threshold float64) []string {
 			findings = append(findings, fmt.Sprintf(
 				"%s: blocked engine no longer beats naive on %s: speedup %.2fx → %.2fx",
 				baseline.Suite, metric, baseRatio, gotRatio))
+		}
+	}
+	// Serving ceiling (suite=serve): throughput is gated downward — ns/op
+	// growing is bad, QPS shrinking is bad. Same threshold, inverted sense.
+	if baseline.MaxQPS > 0 {
+		if current.MaxQPS <= 0 {
+			findings = append(findings,
+				fmt.Sprintf("%s: max_qps missing from the regenerated suite", baseline.Suite))
+		} else if current.MaxQPS < baseline.MaxQPS*(1-threshold/100) {
+			findings = append(findings, fmt.Sprintf(
+				"%s: serving ceiling dropped %.1f%%: %.0f qps → %.0f qps (threshold %.0f%%)",
+				baseline.Suite, (1-current.MaxQPS/baseline.MaxQPS)*100,
+				baseline.MaxQPS, current.MaxQPS, threshold))
 		}
 	}
 	return findings

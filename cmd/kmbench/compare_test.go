@@ -86,6 +86,33 @@ func TestCompareFiresOnSpeedupCollapse(t *testing.T) {
 	}
 }
 
+// The serving-ceiling rule runs in the opposite direction from ns/op: a QPS
+// drop past the threshold fires, a gain never does, and a vanished max_qps
+// summary is treated like a vanished benchmark.
+func TestCompareFiresOnServingCeilingDrop(t *testing.T) {
+	mk := func(qps float64) perfFile {
+		return perfFile{Suite: "serve", MaxQPS: qps}
+	}
+	findings := compareFiles(mk(150), mk(100), 25) // -33% < -25%: fires
+	if len(findings) != 1 || !strings.Contains(findings[0], "serving ceiling dropped") {
+		t.Fatalf("qps collapse not caught: %v", findings)
+	}
+	if findings := compareFiles(mk(150), mk(130), 25); len(findings) != 0 {
+		t.Fatalf("gate fired on a within-threshold dip: %v", findings)
+	}
+	if findings := compareFiles(mk(150), mk(400), 25); len(findings) != 0 {
+		t.Fatalf("gate fired on a throughput gain: %v", findings)
+	}
+	if findings := compareFiles(mk(150), mk(0), 25); len(findings) != 1 ||
+		!strings.Contains(findings[0], "max_qps missing") {
+		t.Fatalf("vanished max_qps not caught: %v", findings)
+	}
+	// Files without a serve summary (the kernel suites) never trip the rule.
+	if findings := compareFiles(mk(0), mk(0), 25); len(findings) != 0 {
+		t.Fatalf("qps rule fired on a non-serve suite: %v", findings)
+	}
+}
+
 // A benchmark that silently disappears from the suite must fail the gate —
 // otherwise deleting a slow benchmark "fixes" its regression.
 func TestCompareFiresOnMissingBenchmark(t *testing.T) {
@@ -125,6 +152,16 @@ func TestRunCompareRoundTrip(t *testing.T) {
 		},
 		Speedups: map[string]float64{"minibatch_fit": 30},
 	}
+	serve := perfFile{
+		Suite: "serve",
+		Results: []perfResult{
+			{Name: "Serve/p50", NsPerOp: 45_000_000},
+			{Name: "Serve/p99", NsPerOp: 120_000_000},
+		},
+		MaxQPS:       150,
+		MaxInflight:  32,
+		SheddingFrom: 64,
+	}
 	writeBoth := func(dir string, init, pred perfFile) {
 		if err := writePerfFile(filepath.Join(dir, "BENCH_init.json"), init); err != nil {
 			t.Fatal(err)
@@ -136,6 +173,9 @@ func TestRunCompareRoundTrip(t *testing.T) {
 			t.Fatal(err)
 		}
 		if err := writePerfFile(filepath.Join(dir, "BENCH_optimizers.json"), optimizers); err != nil {
+			t.Fatal(err)
+		}
+		if err := writePerfFile(filepath.Join(dir, "BENCH_serve.json"), serve); err != nil {
 			t.Fatal(err)
 		}
 	}

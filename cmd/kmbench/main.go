@@ -15,6 +15,9 @@
 // (Init, one Lloyd iteration, steady-state PredictBatch — each under the
 // naive-scan baseline and the blocked distance engine) and writes
 // BENCH_init.json / BENCH_predict.json for regression tracking; see perf.go.
+// `kmbench -serve` measures the serving ceiling: it boots an in-process
+// kmserved, sweeps predict concurrency past the admission bound and writes
+// max-QPS / latency / shed-knee into BENCH_serve.json; see serve.go.
 // `kmbench -compare -baseline . -current DIR` is the CI bench gate: it fails
 // when any tracked hot path regressed more than -threshold percent ns/op
 // against the committed baselines, or started allocating where the baseline
@@ -40,6 +43,7 @@ func main() {
 		seed     = flag.Uint64("seed", 0, "base seed offset for all trials")
 		format   = flag.String("format", "table", "output format: table | csv")
 		jsonPerf = flag.Bool("json", false, "run the hot-path perf suite and write BENCH_init.json / BENCH_predict.json")
+		serve    = flag.Bool("serve", false, "boot an in-process kmserved, sweep predict concurrency to saturation and write BENCH_serve.json (-quick shortens each step)")
 		outDir   = flag.String("out", ".", "directory for the -json benchmark files")
 		compare  = flag.Bool("compare", false, "compare the BENCH files in -current against the -baseline dir and fail on regressions")
 		baseline = flag.String("baseline", ".", "directory holding the committed BENCH_*.json baselines (-compare)")
@@ -62,6 +66,14 @@ func main() {
 
 	if *jsonPerf {
 		if err := runPerfSuite(*outDir); err != nil {
+			fmt.Fprintln(os.Stderr, "kmbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *serve {
+		if err := runServeSuite(*outDir, *quick); err != nil {
 			fmt.Fprintln(os.Stderr, "kmbench:", err)
 			os.Exit(1)
 		}

@@ -69,6 +69,14 @@ type perfFile struct {
 	// norm-cached tiled engine.
 	Results  []perfResult       `json:"results"`
 	Speedups map[string]float64 `json:"speedup_blocked_vs_naive"`
+
+	// Serve-suite summary (suite=serve only): the measured serving ceiling
+	// and the admission-control knee behind it. MaxQPS is gated by -compare
+	// like ns/op, in the other direction — a drop beyond the threshold fails.
+	MaxQPS       float64     `json:"max_qps,omitempty"`
+	MaxInflight  int         `json:"max_inflight,omitempty"`
+	SheddingFrom int         `json:"shedding_from_concurrency,omitempty"`
+	ServeSteps   []serveStep `json:"serve_steps,omitempty"`
 }
 
 type workload struct {

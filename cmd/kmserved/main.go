@@ -46,6 +46,7 @@ func main() {
 		maxBody     = flag.Int64("max-body", 32<<20, "request body cap in bytes")
 		maxPoints   = flag.Int("max-points", 1_000_000, "points per request cap")
 		history     = flag.Int("history", server.DefaultMaxHistory, "retained versions per model")
+		maxInflight = flag.Int("max-inflight", server.DefaultMaxInflight, "concurrent predict/transform requests before shedding with 503 + Retry-After (-1 = unlimited)")
 		drainSecs   = flag.Int("drain", 30, "graceful shutdown timeout in seconds")
 		distWorkers = flag.String("dist-workers", "", "comma-separated kmworker addresses for backend=dist fit jobs (empty = in-process loopback cluster)")
 		dataDir     = flag.String("data-dir", "", "root for path-based fit jobs: requests may name .kmd datasets / shard manifests relative to this dir (empty disables dataset paths)")
@@ -67,6 +68,7 @@ func main() {
 		MaxRequestBytes: *maxBody,
 		MaxBatchPoints:  *maxPoints,
 		MaxHistory:      *history,
+		MaxInflight:     *maxInflight,
 		DistWorkers:     distAddrs,
 		DataDir:         *dataDir,
 		Logf:            logger.Printf,

@@ -280,6 +280,20 @@ func (s *Stream) resetFill() {
 // N returns how many points have been consumed.
 func (s *Stream) N() int { return s.n }
 
+// Buffered returns how many (weighted) points the stream currently holds in
+// memory across the fill buffer and the merge levels — the O(m·log(n/m))
+// footprint the bucket scheme guarantees, as opposed to N, the lifetime
+// total. Serving layers surface it as coreset occupancy.
+func (s *Stream) Buffered() int {
+	n := s.fill.N()
+	for _, l := range s.levels {
+		if l != nil {
+			n += l.N()
+		}
+	}
+	return n
+}
+
 // Dim returns the point dimensionality the stream was created with.
 func (s *Stream) Dim() int { return s.dim }
 

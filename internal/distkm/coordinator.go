@@ -108,6 +108,57 @@ func (c *Coordinator) Workers() int { return len(c.clients) }
 // Shards returns how many shards the dataset was split into.
 func (c *Coordinator) Shards() int { return len(c.spans) }
 
+// WorkerState is one worker's row in a coordinator Snapshot: whether the
+// coordinator still considers it reachable, and which shards (hence how many
+// rows) it currently owns. After a failover a dead worker's shards appear
+// under the worker that adopted them.
+type WorkerState struct {
+	Worker int   `json:"worker"`
+	Alive  bool  `json:"alive"`
+	Shards []int `json:"shards,omitempty"`
+	Rows   int   `json:"rows"`
+}
+
+// Snapshot is a point-in-time view of a coordinator mid-fit, for serving
+// tiers that expose distributed-fit state (kmserved's /v1/sys/dist).
+type Snapshot struct {
+	Fit       uint64        `json:"fit"`
+	N         int           `json:"n"`
+	Dim       int           `json:"dim"`
+	Shards    int           `json:"shards"`
+	RPCRounds int64         `json:"rpc_rounds"`
+	Calls     int64         `json:"calls"`
+	Failovers int64         `json:"failovers"`
+	Workers   []WorkerState `json:"workers"`
+}
+
+// Snapshot captures the coordinator's current shard assignment and RPC
+// lifetime totals. Safe to call concurrently with a running fit; before
+// Distribute the worker list is present but owns nothing.
+func (c *Coordinator) Snapshot() Snapshot {
+	s := Snapshot{
+		Fit: c.fit, N: c.n, Dim: c.dim, Shards: len(c.spans),
+		RPCRounds: c.rpcRounds.Load(),
+		Calls:     c.calls.Load(),
+		Failovers: c.failovers.Load(),
+		Workers:   make([]WorkerState, len(c.clients)),
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for w := range s.Workers {
+		s.Workers[w] = WorkerState{Worker: w, Alive: w < len(c.alive) && c.alive[w]}
+	}
+	for shard, w := range c.assign {
+		if w < 0 || w >= len(s.Workers) {
+			continue
+		}
+		ws := &s.Workers[w]
+		ws.Shards = append(ws.Shards, shard)
+		ws.Rows += c.spans[shard].Hi - c.spans[shard].Lo
+	}
+	return s
+}
+
 // Close releases this fit's shards on every live worker (best effort, so
 // shared long-lived workers drop the datasets) and closes the connections.
 func (c *Coordinator) Close() {

@@ -6,6 +6,7 @@ import (
 	"hash/crc64"
 	"io"
 	"os"
+	"time"
 	"unsafe"
 
 	"kmeansll/internal/geom"
@@ -28,6 +29,20 @@ type Reader struct {
 	mapped   []byte // non-nil ⇒ munmap on Close
 	zeroCopy bool
 	closed   bool
+	trackID  uint64 // key in the process-wide mapping tracker (track.go)
+}
+
+// register enters the reader into the process-wide mapping tracker so
+// Mappings (and serving tiers built on it) can report open residency.
+func (r *Reader) register(path string) {
+	bytes := int64(8 * (r.info.Rows*r.info.Cols + weightCount(r.info)))
+	if r.mapped != nil {
+		bytes = int64(len(r.mapped))
+	}
+	r.trackID = track(MappingInfo{
+		Path: path, Rows: r.info.Rows, Cols: r.info.Cols, Weighted: r.info.Weighted,
+		Bytes: bytes, ZeroCopy: r.zeroCopy, OpenedAt: time.Now().UTC(),
+	})
 }
 
 // Stat reads only the 64-byte header: the O(1) probe servers use to
@@ -92,6 +107,7 @@ func Open(path string) (*Reader, error) {
 	r := &Reader{info: in}
 	if in.Rows == 0 {
 		r.ds = &geom.Dataset{X: &geom.Matrix{Rows: 0, Cols: in.Cols}}
+		r.register(path)
 		return r, nil
 	}
 	if mmapSupported && nativeLittle {
@@ -106,6 +122,7 @@ func Open(path string) (*Reader, error) {
 					ds.Weight = floats[vals:]
 				}
 				r.ds, r.mapped, r.zeroCopy = ds, mapped, true
+				r.register(path)
 				return r, nil
 			}
 			// A page-misaligned payload cannot happen with this header size,
@@ -128,6 +145,7 @@ func Open(path string) (*Reader, error) {
 		decodeFloats(body[8*in.Rows*in.Cols:], ds.Weight)
 	}
 	r.ds = ds
+	r.register(path)
 	return r, nil
 }
 
@@ -187,6 +205,7 @@ func (r *Reader) Close() error {
 		return nil
 	}
 	r.closed = true
+	untrack(r.trackID)
 	if r.mapped != nil {
 		m := r.mapped
 		r.mapped = nil

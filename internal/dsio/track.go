@@ -1,0 +1,71 @@
+package dsio
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// The mapping tracker: a process-wide table of every open Reader, so serving
+// tiers can render mmap residency as a virtual table (kmserved's
+// /v1/sys/datasets) instead of guessing from RSS. Registration happens in
+// Open and removal in Close; the bookkeeping is a mutex-guarded map write
+// per open/close, nothing on any data path.
+
+// MappingInfo describes one currently-open .kmd reader. Bytes is the payload
+// held: the length of the mapped region when ZeroCopy, the heap copy's size
+// under the copying fallback (big-endian hosts, platforms without mmap, or a
+// failed map).
+type MappingInfo struct {
+	Path     string    `json:"path"`
+	Rows     int       `json:"rows"`
+	Cols     int       `json:"cols"`
+	Weighted bool      `json:"weighted,omitempty"`
+	Bytes    int64     `json:"bytes"`
+	ZeroCopy bool      `json:"zero_copy"`
+	OpenedAt time.Time `json:"opened_at"`
+
+	id uint64 // tracker key, for stable ordering among same-path mappings
+}
+
+var (
+	trackMu     sync.Mutex
+	trackNextID uint64
+	trackOpen   = make(map[uint64]MappingInfo)
+)
+
+// track registers an open reader and returns its tracker id.
+func track(info MappingInfo) uint64 {
+	trackMu.Lock()
+	defer trackMu.Unlock()
+	trackNextID++
+	info.id = trackNextID
+	trackOpen[trackNextID] = info
+	return trackNextID
+}
+
+// untrack removes a reader on Close. id 0 (never issued) is a no-op.
+func untrack(id uint64) {
+	trackMu.Lock()
+	defer trackMu.Unlock()
+	delete(trackOpen, id)
+}
+
+// Mappings snapshots every open reader in the process, sorted by path then
+// open order. The same file opened twice yields two entries — each holds its
+// own mapping.
+func Mappings() []MappingInfo {
+	trackMu.Lock()
+	out := make([]MappingInfo, 0, len(trackOpen))
+	for _, info := range trackOpen {
+		out = append(out, info)
+	}
+	trackMu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Path != out[j].Path {
+			return out[i].Path < out[j].Path
+		}
+		return out[i].id < out[j].id
+	})
+	return out
+}

@@ -1,0 +1,81 @@
+package dsio
+
+import (
+	"path/filepath"
+	"testing"
+
+	"kmeansll/internal/geom"
+)
+
+// TestMappingTracker verifies the process-wide open-mapping table behind
+// /v1/sys/datasets: Open registers, Close (even doubled) unregisters, and the
+// listing is sorted with sane geometry.
+func TestMappingTracker(t *testing.T) {
+	dir := t.TempDir()
+	ds := &geom.Dataset{X: geom.NewMatrix(7, 3)}
+	for i := range ds.X.Data {
+		ds.X.Data[i] = float64(i)
+	}
+	pathA := filepath.Join(dir, "a.kmd")
+	pathB := filepath.Join(dir, "b.kmd")
+	for _, p := range []string{pathA, pathB} {
+		if err := Save(p, ds); err != nil {
+			t.Fatalf("save %s: %v", p, err)
+		}
+	}
+
+	before := len(Mappings())
+
+	ra, err := Open(pathA)
+	if err != nil {
+		t.Fatalf("open a: %v", err)
+	}
+	rb, err := Open(pathB)
+	if err != nil {
+		t.Fatalf("open b: %v", err)
+	}
+
+	maps := Mappings()
+	if len(maps) != before+2 {
+		t.Fatalf("open mappings = %d, want %d", len(maps), before+2)
+	}
+	var seenA bool
+	for i, m := range maps {
+		if i > 0 && (maps[i-1].Path > m.Path) {
+			t.Errorf("mappings not sorted by path: %q after %q", m.Path, maps[i-1].Path)
+		}
+		if m.Path == pathA {
+			seenA = true
+			if m.Rows != 7 || m.Cols != 3 {
+				t.Errorf("mapping a is %dx%d, want 7x3", m.Rows, m.Cols)
+			}
+			if m.Bytes <= 0 {
+				t.Errorf("mapping a reports %d bytes", m.Bytes)
+			}
+			if m.OpenedAt.IsZero() {
+				t.Errorf("mapping a has no open timestamp")
+			}
+		}
+	}
+	if !seenA {
+		t.Fatalf("open reader for %s not listed in Mappings", pathA)
+	}
+
+	if err := ra.Close(); err != nil {
+		t.Fatalf("close a: %v", err)
+	}
+	if err := ra.Close(); err != nil { // double Close must stay a no-op
+		t.Fatalf("second close a: %v", err)
+	}
+	for _, m := range Mappings() {
+		if m.Path == pathA {
+			t.Errorf("closed mapping %s still listed", pathA)
+		}
+	}
+	if err := rb.Close(); err != nil {
+		t.Fatalf("close b: %v", err)
+	}
+	if len(Mappings()) != before {
+		t.Errorf("mappings after closing all = %d, want %d", len(Mappings()), before)
+	}
+}

@@ -1,0 +1,81 @@
+package server
+
+import (
+	"net/http"
+)
+
+// DefaultMaxInflight is the in-flight predict/transform bound when
+// Config.MaxInflight is zero. Requests beyond it are shed immediately with
+// 503 + Retry-After instead of queuing unboundedly inside the HTTP server.
+const DefaultMaxInflight = 256
+
+// inflightGate is the admission controller for the prediction hot path: a
+// semaphore sized to the configured in-flight bound. Acquisition is
+// non-blocking — under overload the server's job is to answer "come back
+// later" in microseconds, not to build an invisible queue whose latency the
+// client cannot see. Shed responses carry Retry-After so well-behaved
+// clients back off.
+type inflightGate struct {
+	slots chan struct{}
+}
+
+// newInflightGate builds a gate admitting up to max concurrent requests.
+// max == 0 selects DefaultMaxInflight; max < 0 disables admission control
+// entirely (returns nil, and a nil gate admits everything).
+func newInflightGate(max int) *inflightGate {
+	if max < 0 {
+		return nil
+	}
+	if max == 0 {
+		max = DefaultMaxInflight
+	}
+	return &inflightGate{slots: make(chan struct{}, max)}
+}
+
+func (g *inflightGate) tryAcquire() bool {
+	select {
+	case g.slots <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (g *inflightGate) release() { <-g.slots }
+
+// capacity returns the configured bound; inflight the current occupancy.
+// Both tolerate a nil (disabled) gate for the sys table.
+func (g *inflightGate) capacity() int {
+	if g == nil {
+		return 0
+	}
+	return cap(g.slots)
+}
+
+func (g *inflightGate) inflight() int {
+	if g == nil {
+		return 0
+	}
+	return len(g.slots)
+}
+
+// gated wraps a handler in the admission gate, counting sheds on the
+// endpoint's stats row. The wrapper runs inside the stats middleware, so a
+// shed is also visible as a (sub-millisecond) request and an error there.
+func (s *Server) gated(pattern string, h http.HandlerFunc) http.HandlerFunc {
+	if s.gate == nil {
+		return h
+	}
+	row := s.stats.row(pattern)
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !s.gate.tryAcquire() {
+			row.sheds.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable,
+				"server at its in-flight request bound (%d); retry shortly", s.gate.capacity())
+			return
+		}
+		defer s.gate.release()
+		h(w, r)
+	}
+}

@@ -124,6 +124,13 @@ func (m *JobManager) distFit(j *Job) (*kmeansll.Model, error) {
 		}
 	}
 
+	// Expose this fit's per-worker shard state on /v1/sys/dist for as long
+	// as the rounds run. Registered only after distribution: the coordinator
+	// writes its span/shard metadata lock-free during setup, so a snapshot
+	// may only race the (mutex-guarded) assignment state, not the layout.
+	m.trackDist(j.ID, coord)
+	defer m.untrackDist(j.ID)
+
 	over := cfg.Oversampling
 	if over <= 0 {
 		over = 2

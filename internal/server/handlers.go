@@ -34,6 +34,11 @@ type Config struct {
 	MaxBatchPoints int
 	// MaxHistory bounds per-model retained versions (0 = DefaultMaxHistory).
 	MaxHistory int
+	// MaxInflight bounds concurrently-executing predict/transform requests;
+	// requests beyond it are shed immediately with 503 + Retry-After instead
+	// of queuing unboundedly (0 = DefaultMaxInflight, < 0 disables admission
+	// control).
+	MaxInflight int
 	// DistWorkers lists external kmworker addresses for "dist"-backend fit
 	// jobs. Empty means each dist fit runs an in-process loopback cluster.
 	DistWorkers []string
@@ -57,6 +62,7 @@ type Server struct {
 	jobs     *JobManager
 	streams  *StreamManager
 	stats    *statsTable
+	gate     *inflightGate // admission control on predict/transform; nil = unlimited
 	mux      *http.ServeMux
 
 	httpMu   sync.Mutex // guards http and shutdown (ListenAndServe vs Shutdown)
@@ -83,6 +89,7 @@ func New(cfg Config) *Server {
 		jobs:     NewJobManager(reg, cfg.FitWorkers, cfg.FitQueueDepth),
 		streams:  NewStreamManager(reg),
 		stats:    newStatsTable(),
+		gate:     newInflightGate(cfg.MaxInflight),
 		mux:      http.NewServeMux(),
 	}
 	s.jobs.distAddrs = cfg.DistWorkers
@@ -109,8 +116,26 @@ func (s *Server) routes() {
 	handle := func(pattern string, h http.HandlerFunc) {
 		s.mux.HandleFunc(pattern, s.stats.instrument(pattern, s.limitBody(h)))
 	}
+	// gatedHandle additionally runs the handler through the admission gate:
+	// the shed check fires before the body is read, so rejecting an overload
+	// costs microseconds, and the shed is still counted on the pattern's
+	// stats row by the instrument wrapper outside it.
+	gatedHandle := func(pattern string, h http.HandlerFunc) {
+		s.mux.HandleFunc(pattern, s.stats.instrument(pattern, s.gated(pattern, s.limitBody(h))))
+	}
 	handle("GET /healthz", s.handleHealth)
 	handle("GET /v1/stats", s.handleStats)
+
+	// The V$-style virtual tables (read-only, one GET per subsystem).
+	handle("GET /v1/sys", s.handleSysIndex)
+	handle("GET /v1/sys/endpoints", s.handleSysEndpoints)
+	handle("GET /v1/sys/registry", s.handleSysRegistry)
+	handle("GET /v1/sys/jobs", s.handleSysJobs)
+	handle("GET /v1/sys/streams", s.handleSysStreams)
+	handle("GET /v1/sys/datasets", s.handleSysDatasets)
+	handle("GET /v1/sys/runtime", s.handleSysRuntime)
+	handle("GET /v1/sys/dist", s.handleSysDist)
+	handle("GET /v1/sys/admission", s.handleSysAdmission)
 
 	handle("GET /v1/models", s.handleListModels)
 	handle("GET /v1/models/{name}", s.handleGetModel)
@@ -118,8 +143,8 @@ func (s *Server) routes() {
 	handle("DELETE /v1/models/{name}", s.handleDeleteModel)
 	handle("GET /v1/models/{name}/versions", s.handleVersions)
 	handle("POST /v1/models/{name}/rollback", s.handleRollback)
-	handle("POST /v1/models/{name}/predict", s.handlePredict)
-	handle("POST /v1/models/{name}/transform", s.handleTransform)
+	gatedHandle("POST /v1/models/{name}/predict", s.handlePredict)
+	gatedHandle("POST /v1/models/{name}/transform", s.handleTransform)
 
 	handle("POST /v1/fit", s.handleFit)
 	handle("GET /v1/jobs", s.handleListJobs)

@@ -3,10 +3,13 @@ package server
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"kmeansll"
+	"kmeansll/internal/distkm"
 )
 
 // JobState is the lifecycle of an async fit job.
@@ -110,12 +113,26 @@ type JobManager struct {
 	// server construction.
 	dataDir string
 
+	workers int          // pool size, for the sys table
+	busy    atomic.Int64 // workers currently executing a job
+
 	mu      sync.Mutex
 	jobs    map[string]*Job
 	order   []string // insertion order, for bounded retention
 	nextID  int
 	maxJobs int
 	stopped bool
+
+	// lastErr* record the most recent job failure for /v1/sys/jobs, so "what
+	// broke last" is one GET away instead of a scan over retained jobs.
+	lastErrJob string
+	lastErrMsg string
+	lastErrAt  time.Time
+
+	// distLive tracks the coordinator of every currently-running dist fit,
+	// keyed by job ID, so /v1/sys/dist can render per-worker shard state
+	// while a distributed fit is in flight.
+	distLive map[string]*distkm.Coordinator
 
 	// runJob executes one dequeued job; m.run outside of tests. The stop-
 	// priority regression test swaps it for a blocking stub so the
@@ -147,6 +164,8 @@ func newJobManager(reg *Registry, workers, depth int, runJob func(*Job)) *JobMan
 		stop:     make(chan struct{}),
 		jobs:     make(map[string]*Job),
 		maxJobs:  1024,
+		workers:  workers,
+		distLive: make(map[string]*distkm.Coordinator),
 	}
 	m.runJob = m.run
 	if runJob != nil {
@@ -239,6 +258,7 @@ func (m *JobManager) SubmitSpec(spec FitSpec) (*Job, error) {
 		j.err = "fit queue full"
 		j.finished = time.Now().UTC()
 		j.mu.Unlock()
+		m.noteErrorLocked(j.ID, "fit queue full")
 		return nil, errors.New("fit queue full")
 	}
 }
@@ -296,6 +316,83 @@ func (m *JobManager) Counts() map[JobState]int {
 	return out
 }
 
+// JobsSysStatus is the /v1/sys/jobs virtual table: the fit subsystem's
+// occupancy — how deep the queue is versus its bound, how many workers are
+// busy, what states the retained jobs are in, and the last failure.
+type JobsSysStatus struct {
+	QueueDepth    int              `json:"queue_depth"`
+	QueueCapacity int              `json:"queue_capacity"`
+	Workers       int              `json:"workers"`
+	WorkersBusy   int              `json:"workers_busy"`
+	Retained      int              `json:"retained_jobs"`
+	States        map[JobState]int `json:"states"`
+	LastErrorJob  string           `json:"last_error_job,omitempty"`
+	LastError     string           `json:"last_error,omitempty"`
+	LastErrorAt   string           `json:"last_error_at,omitempty"`
+}
+
+// SysStatus snapshots the job subsystem for /v1/sys/jobs.
+func (m *JobManager) SysStatus() JobsSysStatus {
+	s := JobsSysStatus{
+		QueueDepth:    len(m.queue),
+		QueueCapacity: cap(m.queue),
+		Workers:       m.workers,
+		WorkersBusy:   int(m.busy.Load()),
+		States:        m.Counts(),
+	}
+	m.mu.Lock()
+	s.Retained = len(m.jobs)
+	s.LastErrorJob, s.LastError = m.lastErrJob, m.lastErrMsg
+	if !m.lastErrAt.IsZero() {
+		s.LastErrorAt = m.lastErrAt.Format(time.RFC3339Nano)
+	}
+	m.mu.Unlock()
+	return s
+}
+
+// trackDist registers the coordinator of a running dist fit so /v1/sys/dist
+// can snapshot its per-worker shard state; untrackDist removes it when the
+// fit settles.
+func (m *JobManager) trackDist(jobID string, c *distkm.Coordinator) {
+	m.mu.Lock()
+	m.distLive[jobID] = c
+	m.mu.Unlock()
+}
+
+func (m *JobManager) untrackDist(jobID string) {
+	m.mu.Lock()
+	delete(m.distLive, jobID)
+	m.mu.Unlock()
+}
+
+// DistFitSnapshot is one active distributed fit in /v1/sys/dist.
+type DistFitSnapshot struct {
+	Job string `json:"job"`
+	distkm.Snapshot
+}
+
+// DistSnapshots renders per-worker shard state for every dist fit currently
+// in flight, sorted by job ID. Coordinator snapshots are taken outside m.mu
+// (they briefly lock the coordinator itself).
+func (m *JobManager) DistSnapshots() []DistFitSnapshot {
+	m.mu.Lock()
+	ids := make([]string, 0, len(m.distLive))
+	coords := make([]*distkm.Coordinator, 0, len(m.distLive))
+	for id := range m.distLive {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		coords = append(coords, m.distLive[id])
+	}
+	m.mu.Unlock()
+	out := make([]DistFitSnapshot, len(ids))
+	for i := range ids {
+		out[i] = DistFitSnapshot{Job: ids[i], Snapshot: coords[i].Snapshot()}
+	}
+	return out
+}
+
 func (m *JobManager) worker() {
 	defer m.wg.Done()
 	for {
@@ -314,9 +411,22 @@ func (m *JobManager) worker() {
 				return
 			default:
 			}
+			m.busy.Add(1)
 			m.runJob(j)
+			m.busy.Add(-1)
 		}
 	}
+}
+
+// noteErrorLocked records a job failure for the sys table. Callers hold m.mu.
+func (m *JobManager) noteErrorLocked(jobID, msg string) {
+	m.lastErrJob, m.lastErrMsg, m.lastErrAt = jobID, msg, time.Now().UTC()
+}
+
+func (m *JobManager) noteError(jobID, msg string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.noteErrorLocked(jobID, msg)
 }
 
 // cancel marks a queued job canceled-at-shutdown and releases its points.
@@ -368,6 +478,9 @@ func (m *JobManager) run(j *Job) {
 	var mv *ModelVersion
 	if err == nil {
 		mv, err = m.registry.PublishMeta(j.ModelName, model, "fit-job:"+j.ID, j.optimizer)
+	}
+	if err != nil {
+		m.noteError(j.ID, err.Error())
 	}
 
 	j.mu.Lock()

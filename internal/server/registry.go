@@ -254,6 +254,61 @@ func (r *Registry) LoadDir(dir string) (int, error) {
 	return n, nil
 }
 
+// RegistrySysRow is one row of the /v1/sys/registry virtual table: the
+// occupancy of one model name — how much of the LRU history is in use and
+// how many bytes of centers it pins.
+type RegistrySysRow struct {
+	Model          string `json:"model"`
+	CurrentVersion int    `json:"current_version"`
+	K              int    `json:"k"`
+	Dim            int    `json:"dim"`
+	Versions       int    `json:"versions_retained"`
+	MaxHistory     int    `json:"max_history"`
+	CenterBytes    int64  `json:"center_bytes"`
+	Source         string `json:"source"`
+	Optimizer      string `json:"optimizer,omitempty"`
+	CreatedAt      string `json:"created_at"`
+}
+
+// sysRows renders the registry occupancy table, sorted by model name.
+// CenterBytes sums k·dim float64s over every retained version (rollbacks
+// share the underlying Model, so this is an upper bound on unique bytes).
+func (r *Registry) sysRows() []RegistrySysRow {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.entries))
+	for name := range r.entries {
+		names = append(names, name)
+	}
+	r.mu.RUnlock()
+	sort.Strings(names)
+	out := make([]RegistrySysRow, 0, len(names))
+	for _, name := range names {
+		e := r.entry(name, false)
+		if e == nil {
+			continue
+		}
+		e.mu.Lock()
+		cur := e.current.Load()
+		row := RegistrySysRow{
+			Model:      name,
+			Versions:   len(e.history),
+			MaxHistory: r.maxHistory,
+		}
+		for _, mv := range e.history {
+			row.CenterBytes += int64(mv.Model.K()) * int64(mv.Model.Dim()) * 8
+		}
+		if cur != nil {
+			row.CurrentVersion = cur.Version
+			row.K, row.Dim = cur.Model.K(), cur.Model.Dim()
+			row.Source, row.Optimizer = cur.Source, cur.Optimizer
+			row.CreatedAt = cur.CreatedAt.Format(time.RFC3339Nano)
+		}
+		e.mu.Unlock()
+		out = append(out, row)
+	}
+	return out
+}
+
 // Counts returns (models, retained versions) for the stats endpoint.
 func (r *Registry) Counts() (models, versions int) {
 	r.mu.RLock()

@@ -1,25 +1,181 @@
 package server
 
 import (
+	"math"
+	"math/bits"
 	"net/http"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 )
 
+// ---- log-bucketed latency histogram --------------------------------------
+//
+// Latencies are recorded into a fixed array of atomic counters whose bucket
+// boundaries grow log-linearly (HDR-histogram style): each power-of-two
+// octave of nanoseconds is split into histSub equal sub-buckets, so the
+// relative width of any bucket is at most 1/histSub of its value (25% at
+// histSub=4, i.e. quantile estimates carry ≤ ~12.5% error from the bucket
+// midpoint). Recording is one array index plus one atomic add: no locks, no
+// allocation, safe from any number of goroutines. 248 buckets cover the full
+// int64 nanosecond range.
+
+const (
+	histSubBits = 2 // log2 of sub-buckets per octave
+	histSub     = 1 << histSubBits
+	histBuckets = (64 - histSubBits) * histSub
+)
+
+// histBucket maps a latency in nanoseconds to its bucket index. Values below
+// 2·histSub map exactly (index = value); above, the index is log-linear with
+// worst-case relative bucket width 1/histSub.
+func histBucket(n int64) int {
+	if n < 0 {
+		n = 0
+	}
+	v := uint64(n)
+	if v < histSub {
+		return int(v)
+	}
+	o := bits.Len64(v) // v ∈ [2^(o-1), 2^o)
+	shift := uint(o - 1 - histSubBits)
+	return int(o-histSubBits)<<histSubBits | int((v>>shift)&(histSub-1))
+}
+
+// histBucketLow is histBucket's inverse: the smallest nanosecond value that
+// lands in bucket i (and therefore the exclusive upper bound of bucket i-1).
+func histBucketLow(i int) int64 {
+	if i >= histBuckets {
+		return math.MaxInt64
+	}
+	if i < histSub*2 {
+		return int64(i)
+	}
+	o := i>>histSubBits + histSubBits
+	sub := int64(i & (histSub - 1))
+	shift := uint(o - 1 - histSubBits)
+	return (histSub + sub) << shift
+}
+
+// latencyHist is the lock-free histogram itself.
+type latencyHist struct {
+	counts [histBuckets]atomic.Int64
+}
+
+func (h *latencyHist) observe(nanos int64) {
+	h.counts[histBucket(nanos)].Add(1)
+}
+
+// quantiles estimates the given ascending quantiles in one pass over the
+// buckets. Each estimate is the midpoint of the bucket holding that rank,
+// clamped to maxNanos (the exact observed maximum), so p99 can never exceed
+// max. With no observations all estimates are 0.
+func (h *latencyHist) quantiles(maxNanos int64, qs ...float64) []float64 {
+	var counts [histBuckets]int64
+	var total int64
+	for i := range counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	out := make([]float64, len(qs))
+	if total == 0 {
+		return out
+	}
+	var cum int64
+	qi := 0
+	for i := 0; i < histBuckets && qi < len(qs); i++ {
+		if counts[i] == 0 {
+			continue
+		}
+		cum += counts[i]
+		for qi < len(qs) && float64(cum) >= qs[qi]*float64(total) {
+			mid := (histBucketLow(i) + histBucketLow(i+1)) / 2
+			if mid > maxNanos && maxNanos > 0 {
+				mid = maxNanos
+			}
+			out[qi] = float64(mid)
+			qi++
+		}
+	}
+	return out
+}
+
+// ---- windowed QPS ring ---------------------------------------------------
+//
+// Lifetime-average QPS is misleading after hours of uptime, so throughput is
+// tracked in a ring of per-second counters: slot (second mod qpsSlots) holds
+// the count for that second, lazily reset when the ring wraps onto a stale
+// second. Readers sum the slots stamped within the last qpsWindow seconds.
+// The reset races by design (two writers crossing a second boundary can drop
+// a handful of events); the table is diagnostic, not billing.
+
+const (
+	qpsSlots  = 64 // ring capacity; must exceed qpsWindow
+	qpsWindow = 60 // seconds a snapshot sums over
+)
+
+type qpsRing struct {
+	sec [qpsSlots]atomic.Int64 // unix second each slot currently holds
+	cnt [qpsSlots]atomic.Int64
+}
+
+func (r *qpsRing) observe(now int64) {
+	i := int(now % qpsSlots)
+	if s := r.sec[i].Load(); s != now {
+		if r.sec[i].CompareAndSwap(s, now) {
+			r.cnt[i].Store(0)
+		}
+	}
+	r.cnt[i].Add(1)
+}
+
+// sum returns the number of events stamped within (now-qpsWindow, now].
+func (r *qpsRing) sum(now int64) int64 {
+	var total int64
+	for i := 0; i < qpsSlots; i++ {
+		if s := r.sec[i].Load(); s > now-qpsWindow && s <= now {
+			total += r.cnt[i].Load()
+		}
+	}
+	return total
+}
+
+// ---- per-endpoint counters ----------------------------------------------
+
 // endpointCounters is one row of the stats table, updated lock-free on the
 // request path.
 type endpointCounters struct {
-	requests   atomic.Int64
-	errors     atomic.Int64 // responses with status ≥ 400
-	totalNanos atomic.Int64
-	maxNanos   atomic.Int64
+	requests atomic.Int64
+	errors   atomic.Int64 // responses with status ≥ 400 (sheds included)
+	sheds    atomic.Int64 // 503s from the admission gate, a subset of errors
+	maxNanos atomic.Int64
+	hist     latencyHist
+	ring     qpsRing
+}
+
+// observe records one finished request.
+func (c *endpointCounters) observe(d time.Duration, status int) {
+	c.requests.Add(1)
+	if status >= 400 {
+		c.errors.Add(1)
+	}
+	n := d.Nanoseconds()
+	c.hist.observe(n)
+	c.ring.observe(time.Now().Unix())
+	for {
+		cur := c.maxNanos.Load()
+		if n <= cur || c.maxNanos.CompareAndSwap(cur, n) {
+			break
+		}
+	}
 }
 
 // statsTable aggregates per-endpoint request counters, in the spirit of the
 // V$ virtual tables of production data servers: every registered route gets
-// a row, GET /v1/stats renders the table. Rows are created at route
-// registration time, so the request path is a map read plus atomic adds.
+// a row, GET /v1/stats and GET /v1/sys/endpoints render the table. Rows are
+// created at route registration time, so the request path is a map read plus
+// atomic updates.
 type statsTable struct {
 	start time.Time
 	mu    sync.RWMutex
@@ -47,59 +203,71 @@ func (t *statsTable) row(endpoint string) *endpointCounters {
 	return c
 }
 
-// observe records one finished request.
-func (c *endpointCounters) observe(d time.Duration, status int) {
-	c.requests.Add(1)
-	if status >= 400 {
-		c.errors.Add(1)
-	}
-	n := d.Nanoseconds()
-	c.totalNanos.Add(n)
-	for {
-		cur := c.maxNanos.Load()
-		if n <= cur || c.maxNanos.CompareAndSwap(cur, n) {
-			break
-		}
-	}
-}
-
-// EndpointStats is one rendered row of the stats table.
+// EndpointStats is one rendered row of the stats table. QPS is windowed over
+// the last qpsWindow seconds (not lifetime-averaged); the latency quantiles
+// come from the log-bucketed histogram, max is exact.
 type EndpointStats struct {
 	Endpoint  string  `json:"endpoint"`
 	Requests  int64   `json:"requests"`
 	Errors    int64   `json:"errors"`
+	Sheds     int64   `json:"sheds,omitempty"`
 	QPS       float64 `json:"qps"`
-	AvgMillis float64 `json:"avg_ms"`
+	P50Millis float64 `json:"p50_ms"`
+	P90Millis float64 `json:"p90_ms"`
+	P99Millis float64 `json:"p99_ms"`
 	MaxMillis float64 `json:"max_ms"`
 }
 
-// snapshot renders the table. QPS is averaged over server uptime.
+// snapshot renders the table, rows sorted by endpoint key so the JSON output
+// is deterministic per request.
 func (t *statsTable) snapshot() []EndpointStats {
-	uptime := time.Since(t.start).Seconds()
-	if uptime <= 0 {
-		uptime = 1e-9
+	now := time.Now()
+	// Early in the process's life the 60s window has not filled yet; divide
+	// by the elapsed uptime instead so QPS is meaningful from the first
+	// request.
+	window := now.Sub(t.start).Seconds()
+	if window > qpsWindow {
+		window = qpsWindow
 	}
+	if window < 1 {
+		window = 1
+	}
+
 	t.mu.RLock()
-	defer t.mu.RUnlock()
-	out := make([]EndpointStats, 0, len(t.rows))
-	for name, c := range t.rows {
-		reqs := c.requests.Load()
-		row := EndpointStats{
-			Endpoint:  name,
-			Requests:  reqs,
+	names := make([]string, 0, len(t.rows))
+	for name := range t.rows {
+		names = append(names, name)
+	}
+	rows := make([]*endpointCounters, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		rows = append(rows, t.rows[name])
+	}
+	t.mu.RUnlock()
+
+	out := make([]EndpointStats, len(names))
+	for i, c := range rows {
+		maxN := c.maxNanos.Load()
+		q := c.hist.quantiles(maxN, 0.50, 0.90, 0.99)
+		out[i] = EndpointStats{
+			Endpoint:  names[i],
+			Requests:  c.requests.Load(),
 			Errors:    c.errors.Load(),
-			QPS:       float64(reqs) / uptime,
-			MaxMillis: float64(c.maxNanos.Load()) / 1e6,
+			Sheds:     c.sheds.Load(),
+			QPS:       float64(c.ring.sum(now.Unix())) / window,
+			P50Millis: q[0] / 1e6,
+			P90Millis: q[1] / 1e6,
+			P99Millis: q[2] / 1e6,
+			MaxMillis: float64(maxN) / 1e6,
 		}
-		if reqs > 0 {
-			row.AvgMillis = float64(c.totalNanos.Load()) / float64(reqs) / 1e6
-		}
-		out = append(out, row)
 	}
 	return out
 }
 
-// statusRecorder captures the response status for the stats middleware.
+// statusRecorder captures the response status for the stats middleware while
+// staying transparent to the wrapped handler: Flush is forwarded so
+// instrumented handlers can stream, and Unwrap lets http.ResponseController
+// reach every other optional interface of the underlying writer.
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
@@ -116,6 +284,16 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 	}
 	return r.ResponseWriter.Write(b)
 }
+
+// Flush implements http.Flusher when the underlying writer does.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap supports http.ResponseController's interface discovery.
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
 
 // instrument wraps a handler with latency/QPS accounting under the given
 // endpoint key (normally the mux pattern, so path parameters collapse into

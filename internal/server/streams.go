@@ -47,6 +47,9 @@ type streamEntry struct {
 	points         atomic.Int64
 	refitCount     atomic.Int64
 	lastIngestNano atomic.Int64 // 0 until the first ingest
+	pending        atomic.Int64 // points consumed since the last refit (refit lag)
+	lastRefitNano  atomic.Int64 // 0 until the first refit
+	lastRefitDur   atomic.Int64 // duration of the last refit, nanoseconds
 
 	mu         sync.Mutex
 	sc         *kmeansll.StreamingClusterer
@@ -174,6 +177,7 @@ func (m *StreamManager) Ingest(e *streamEntry, points [][]float64) (total, refit
 			return e.sc.N(), refits, fmt.Errorf("point %d: %w", i, err)
 		}
 		e.sinceRefit++
+		e.pending.Store(int64(e.sinceRefit))
 		if e.sinceRefit >= e.spec.RefitEvery {
 			if err := m.refitLocked(e); err != nil {
 				return e.sc.N(), refits, err
@@ -198,6 +202,7 @@ func (m *StreamManager) Refit(e *streamEntry) (*ModelVersion, error) {
 // refitLocked clusters the current coreset and publishes the model. Callers
 // hold e.mu.
 func (m *StreamManager) refitLocked(e *streamEntry) error {
+	begin := time.Now()
 	model, err := e.sc.Model()
 	if err != nil {
 		return err
@@ -218,5 +223,66 @@ func (m *StreamManager) refitLocked(e *streamEntry) error {
 	}
 	e.refitCount.Add(1)
 	e.sinceRefit = 0
+	e.pending.Store(0)
+	e.lastRefitNano.Store(time.Now().UTC().UnixNano())
+	e.lastRefitDur.Store(time.Since(begin).Nanoseconds())
 	return nil
+}
+
+// StreamSysRow is one row of the /v1/sys/streams virtual table: the memory
+// and refit posture of one live stream. CoresetPoints is the number of
+// points the bounded StreamKM++ summary currently buffers (the stream's
+// actual memory footprint, as opposed to Points, the lifetime total); it is
+// -1 with Busy=true when the stream's mutex was held (an ingest or refit in
+// progress) — the table never blocks behind a refit.
+type StreamSysRow struct {
+	Name            string  `json:"name"`
+	Points          int64   `json:"points"`
+	CoresetPoints   int     `json:"coreset_points"`
+	Busy            bool    `json:"busy,omitempty"`
+	Refits          int64   `json:"refits"`
+	RefitEvery      int     `json:"refit_every"`
+	SinceRefit      int64   `json:"points_since_refit"`
+	LastRefitAt     string  `json:"last_refit_at,omitempty"`
+	LastRefitMillis float64 `json:"last_refit_ms,omitempty"`
+	LastIngestAt    string  `json:"last_ingest_at,omitempty"`
+	CreatedAt       string  `json:"created_at"`
+}
+
+// sysRows renders the stream occupancy table, sorted by name.
+func (m *StreamManager) sysRows() []StreamSysRow {
+	m.mu.Lock()
+	entries := make([]*streamEntry, 0, len(m.streams))
+	for _, e := range m.streams {
+		entries = append(entries, e)
+	}
+	m.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+	out := make([]StreamSysRow, len(entries))
+	for i, e := range entries {
+		row := StreamSysRow{
+			Name:          e.name,
+			Points:        e.points.Load(),
+			CoresetPoints: -1,
+			Refits:        e.refitCount.Load(),
+			RefitEvery:    e.spec.RefitEvery,
+			SinceRefit:    e.pending.Load(),
+			CreatedAt:     e.created.Format(time.RFC3339Nano),
+		}
+		if e.mu.TryLock() {
+			row.CoresetPoints = e.sc.Buffered()
+			e.mu.Unlock()
+		} else {
+			row.Busy = true
+		}
+		if n := e.lastRefitNano.Load(); n != 0 {
+			row.LastRefitAt = time.Unix(0, n).UTC().Format(time.RFC3339Nano)
+			row.LastRefitMillis = float64(e.lastRefitDur.Load()) / 1e6
+		}
+		if n := e.lastIngestNano.Load(); n != 0 {
+			row.LastIngestAt = time.Unix(0, n).UTC().Format(time.RFC3339Nano)
+		}
+		out[i] = row
+	}
+	return out
 }

@@ -1,0 +1,198 @@
+package server
+
+import (
+	"math"
+	"net/http"
+	"runtime"
+	"runtime/metrics"
+	"time"
+
+	"kmeansll/internal/dsio"
+)
+
+// The /v1/sys/* route family: read-only virtual tables over every internal
+// subsystem, in the V$SESSION / V$SYSMEM tradition of production data
+// servers. Each table is a plain GET returning JSON rows assembled from
+// lock-free counters (or at worst a briefly-held mutex), so scraping them
+// under full load is safe and cheap. GET /v1/sys is the index.
+
+// sysTables is the index served at /v1/sys, one line per table.
+var sysTables = []struct {
+	Table, Describe string
+}{
+	{"/v1/sys/endpoints", "per-endpoint latency histograms: windowed QPS, p50/p90/p99/max, errors, sheds"},
+	{"/v1/sys/registry", "per-model version counts, history occupancy vs max_history, bytes of centers held"},
+	{"/v1/sys/jobs", "fit queue depth vs capacity, per-state counts, worker busy/idle, last error"},
+	{"/v1/sys/streams", "per-stream coreset occupancy, refit cadence and lag"},
+	{"/v1/sys/datasets", "open .kmd mappings: path, rows×cols, bytes, mmap vs copy fallback"},
+	{"/v1/sys/runtime", "Go runtime: heap, GC cycles and pauses, goroutines"},
+	{"/v1/sys/dist", "per-worker shard state of in-flight distributed fits"},
+	{"/v1/sys/admission", "in-flight gate occupancy vs the -max-inflight bound"},
+}
+
+func (s *Server) handleSysIndex(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"tables": sysTables})
+}
+
+// ---- /v1/sys/endpoints ---------------------------------------------------
+
+type sysEndpointsResponse struct {
+	UptimeSeconds float64         `json:"uptime_seconds"`
+	WindowSeconds int             `json:"window_seconds"`
+	Endpoints     []EndpointStats `json:"endpoints"`
+}
+
+func (s *Server) handleSysEndpoints(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, sysEndpointsResponse{
+		UptimeSeconds: time.Since(s.stats.start).Seconds(),
+		WindowSeconds: qpsWindow,
+		Endpoints:     s.stats.snapshot(),
+	})
+}
+
+// ---- /v1/sys/registry ----------------------------------------------------
+
+func (s *Server) handleSysRegistry(w http.ResponseWriter, _ *http.Request) {
+	rows := s.registry.sysRows()
+	var bytes int64
+	for _, r := range rows {
+		bytes += r.CenterBytes
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"models":             rows,
+		"total_center_bytes": bytes,
+	})
+}
+
+// ---- /v1/sys/jobs --------------------------------------------------------
+
+func (s *Server) handleSysJobs(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.jobs.SysStatus())
+}
+
+// ---- /v1/sys/streams -----------------------------------------------------
+
+func (s *Server) handleSysStreams(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"streams": s.streams.sysRows()})
+}
+
+// ---- /v1/sys/datasets ----------------------------------------------------
+
+func (s *Server) handleSysDatasets(w http.ResponseWriter, _ *http.Request) {
+	maps := dsio.Mappings()
+	var bytes int64
+	for _, m := range maps {
+		bytes += m.Bytes
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"open":        len(maps),
+		"total_bytes": bytes,
+		"mappings":    maps,
+	})
+}
+
+// ---- /v1/sys/runtime -----------------------------------------------------
+
+// runtimeSysResponse is the Go-runtime table, read from runtime/metrics.
+type runtimeSysResponse struct {
+	UptimeSeconds    float64 `json:"uptime_seconds"`
+	Goroutines       int     `json:"goroutines"`
+	GOMAXPROCS       int     `json:"gomaxprocs"`
+	GCCycles         uint64  `json:"gc_cycles"`
+	HeapObjectsBytes uint64  `json:"heap_objects_bytes"`
+	TotalBytes       uint64  `json:"total_bytes"`
+	AllocBytesTotal  uint64  `json:"alloc_bytes_total"`
+	GCPauseP50Micros float64 `json:"gc_pause_p50_us"`
+	GCPauseP99Micros float64 `json:"gc_pause_p99_us"`
+}
+
+func (s *Server) handleSysRuntime(w http.ResponseWriter, _ *http.Request) {
+	samples := []metrics.Sample{
+		{Name: "/gc/cycles/total:gc-cycles"},
+		{Name: "/memory/classes/heap/objects:bytes"},
+		{Name: "/memory/classes/total:bytes"},
+		{Name: "/gc/heap/allocs:bytes"},
+		{Name: "/gc/pauses:seconds"},
+	}
+	metrics.Read(samples)
+	resp := runtimeSysResponse{
+		UptimeSeconds: time.Since(s.stats.start).Seconds(),
+		Goroutines:    runtime.NumGoroutine(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+	}
+	for _, sm := range samples {
+		switch sm.Name {
+		case "/gc/cycles/total:gc-cycles":
+			resp.GCCycles = sm.Value.Uint64()
+		case "/memory/classes/heap/objects:bytes":
+			resp.HeapObjectsBytes = sm.Value.Uint64()
+		case "/memory/classes/total:bytes":
+			resp.TotalBytes = sm.Value.Uint64()
+		case "/gc/heap/allocs:bytes":
+			resp.AllocBytesTotal = sm.Value.Uint64()
+		case "/gc/pauses:seconds":
+			h := sm.Value.Float64Histogram()
+			resp.GCPauseP50Micros = histogramQuantile(h, 0.50) * 1e6
+			resp.GCPauseP99Micros = histogramQuantile(h, 0.99) * 1e6
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// histogramQuantile estimates a quantile of a runtime/metrics histogram as
+// the midpoint of the bucket holding that rank (finite buckets only; an
+// all-in-overflow histogram returns the last finite boundary).
+func histogramQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	if h == nil || len(h.Counts) == 0 {
+		return 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if float64(cum) >= rank && c > 0 {
+			lo, hi := h.Buckets[i], h.Buckets[i+1]
+			switch {
+			case math.IsInf(lo, -1):
+				return hi
+			case math.IsInf(hi, 1):
+				return lo
+			default:
+				return (lo + hi) / 2
+			}
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}
+
+// ---- /v1/sys/dist --------------------------------------------------------
+
+func (s *Server) handleSysDist(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"configured_workers": s.cfg.DistWorkers,
+		"active_fits":        s.jobs.DistSnapshots(),
+	})
+}
+
+// ---- /v1/sys/admission ---------------------------------------------------
+
+type admissionSysResponse struct {
+	Enabled     bool `json:"enabled"`
+	MaxInflight int  `json:"max_inflight"`
+	Inflight    int  `json:"inflight"`
+}
+
+func (s *Server) handleSysAdmission(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, admissionSysResponse{
+		Enabled:     s.gate != nil,
+		MaxInflight: s.gate.capacity(),
+		Inflight:    s.gate.inflight(),
+	})
+}

@@ -1,0 +1,210 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+)
+
+// TestSysTables exercises every /v1/sys/* virtual table against a server with
+// real state in each subsystem — a published model, a finished fit job, a
+// live stream — and asserts the invariants a scraper can rely on, not just
+// HTTP 200: quantiles monotone, occupancies within capacities, counters
+// non-negative.
+func TestSysTables(t *testing.T) {
+	s := newTestServer(t, Config{FitWorkers: 1, FitQueueDepth: 4, MaxInflight: 8})
+	publishTestModel(t, s, "m")
+
+	// Traffic so the endpoints table has non-trivial rows.
+	body := map[string][][]float64{"points": {{1, 1}}}
+	for i := 0; i < 5; i++ {
+		if code := do(t, s, "POST", "/v1/models/m/predict", body, nil); code != http.StatusOK {
+			t.Fatalf("predict %d: status %d", i, code)
+		}
+	}
+
+	// A fit job, run to completion, so the jobs table has history.
+	var job JobStatus
+	fit := map[string]any{
+		"model":  "fitted",
+		"points": blobPoints(60, 2, 3, 1),
+		"config": map[string]any{"k": 3},
+	}
+	if code := do(t, s, "POST", "/v1/fit", fit, &job); code != http.StatusAccepted {
+		t.Fatalf("fit: status %d", code)
+	}
+	waitForJob(t, s, job.ID)
+
+	// A stream with a few ingested points.
+	if code := do(t, s, "POST", "/v1/streams/st", map[string]any{"k": 2, "dim": 2}, nil); code != http.StatusCreated {
+		t.Fatalf("create stream: status %d", code)
+	}
+	if code := do(t, s, "POST", "/v1/streams/st/ingest", map[string]any{"points": blobPoints(20, 2, 2, 2)}, nil); code != http.StatusOK {
+		t.Fatalf("ingest: status %d", code)
+	}
+
+	t.Run("index", func(t *testing.T) {
+		var idx struct {
+			Tables []struct{ Table, Describe string } `json:"tables"`
+		}
+		if code := do(t, s, "GET", "/v1/sys", nil, &idx); code != http.StatusOK {
+			t.Fatalf("status %d", code)
+		}
+		if len(idx.Tables) != len(sysTables) {
+			t.Fatalf("index lists %d tables, want %d", len(idx.Tables), len(sysTables))
+		}
+		// Every listed table must actually answer 200.
+		for _, tab := range idx.Tables {
+			if code := do(t, s, "GET", tab.Table, nil, nil); code != http.StatusOK {
+				t.Errorf("%s: status %d", tab.Table, code)
+			}
+		}
+	})
+
+	t.Run("endpoints", func(t *testing.T) {
+		var resp sysEndpointsResponse
+		if code := do(t, s, "GET", "/v1/sys/endpoints", nil, &resp); code != http.StatusOK {
+			t.Fatalf("status %d", code)
+		}
+		if resp.UptimeSeconds < 0 || resp.WindowSeconds != qpsWindow {
+			t.Errorf("uptime %v window %d", resp.UptimeSeconds, resp.WindowSeconds)
+		}
+		var found bool
+		for _, e := range resp.Endpoints {
+			if !(e.P50Millis <= e.P90Millis && e.P90Millis <= e.P99Millis && e.P99Millis <= e.MaxMillis) {
+				t.Errorf("%s: quantiles not monotone: %+v", e.Endpoint, e)
+			}
+			if e.Endpoint == "POST /v1/models/{name}/predict" {
+				found = true
+				if e.Requests < 5 {
+					t.Errorf("predict requests = %d, want ≥ 5", e.Requests)
+				}
+				if e.P50Millis <= 0 || e.QPS <= 0 {
+					t.Errorf("predict row has empty histogram: %+v", e)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("no predict row in /v1/sys/endpoints")
+		}
+	})
+
+	t.Run("registry", func(t *testing.T) {
+		var resp struct {
+			Models           []RegistrySysRow `json:"models"`
+			TotalCenterBytes int64            `json:"total_center_bytes"`
+		}
+		if code := do(t, s, "GET", "/v1/sys/registry", nil, &resp); code != http.StatusOK {
+			t.Fatalf("status %d", code)
+		}
+		if len(resp.Models) != 2 { // "m" and "fitted"
+			t.Fatalf("models = %d, want 2", len(resp.Models))
+		}
+		for _, m := range resp.Models {
+			if m.Versions < 1 || m.Versions > m.MaxHistory {
+				t.Errorf("%s: versions %d outside [1, %d]", m.Model, m.Versions, m.MaxHistory)
+			}
+			if m.CenterBytes <= 0 {
+				t.Errorf("%s: center bytes %d", m.Model, m.CenterBytes)
+			}
+		}
+		if resp.TotalCenterBytes <= 0 {
+			t.Errorf("total_center_bytes = %d", resp.TotalCenterBytes)
+		}
+	})
+
+	t.Run("jobs", func(t *testing.T) {
+		var resp JobsSysStatus
+		if code := do(t, s, "GET", "/v1/sys/jobs", nil, &resp); code != http.StatusOK {
+			t.Fatalf("status %d", code)
+		}
+		if resp.QueueDepth < 0 || resp.QueueDepth > resp.QueueCapacity {
+			t.Errorf("queue depth %d outside [0, %d]", resp.QueueDepth, resp.QueueCapacity)
+		}
+		if resp.QueueCapacity != 4 || resp.Workers != 1 {
+			t.Errorf("capacity %d workers %d, want 4 and 1", resp.QueueCapacity, resp.Workers)
+		}
+		if resp.WorkersBusy < 0 || resp.WorkersBusy > resp.Workers {
+			t.Errorf("busy workers %d outside [0, %d]", resp.WorkersBusy, resp.Workers)
+		}
+		if resp.States[JobDone] < 1 {
+			t.Errorf("states = %v, want ≥1 succeeded", resp.States)
+		}
+	})
+
+	t.Run("streams", func(t *testing.T) {
+		var resp struct {
+			Streams []StreamSysRow `json:"streams"`
+		}
+		if code := do(t, s, "GET", "/v1/sys/streams", nil, &resp); code != http.StatusOK {
+			t.Fatalf("status %d", code)
+		}
+		if len(resp.Streams) != 1 {
+			t.Fatalf("streams = %d, want 1", len(resp.Streams))
+		}
+		st := resp.Streams[0]
+		if st.Name != "st" || st.Points != 20 {
+			t.Errorf("stream row %+v, want name=st points=20", st)
+		}
+		if !st.Busy && st.CoresetPoints < 0 {
+			t.Errorf("idle stream reports negative coreset occupancy: %+v", st)
+		}
+		if st.SinceRefit < 0 || st.SinceRefit > st.Points {
+			t.Errorf("points_since_refit %d outside [0, %d]", st.SinceRefit, st.Points)
+		}
+	})
+
+	t.Run("datasets", func(t *testing.T) {
+		var resp struct {
+			Open       int   `json:"open"`
+			TotalBytes int64 `json:"total_bytes"`
+		}
+		if code := do(t, s, "GET", "/v1/sys/datasets", nil, &resp); code != http.StatusOK {
+			t.Fatalf("status %d", code)
+		}
+		if resp.Open < 0 || resp.TotalBytes < 0 {
+			t.Errorf("open %d bytes %d", resp.Open, resp.TotalBytes)
+		}
+	})
+
+	t.Run("runtime", func(t *testing.T) {
+		var resp runtimeSysResponse
+		if code := do(t, s, "GET", "/v1/sys/runtime", nil, &resp); code != http.StatusOK {
+			t.Fatalf("status %d", code)
+		}
+		if resp.Goroutines <= 0 || resp.GOMAXPROCS <= 0 {
+			t.Errorf("goroutines %d gomaxprocs %d", resp.Goroutines, resp.GOMAXPROCS)
+		}
+		if resp.TotalBytes == 0 || resp.HeapObjectsBytes == 0 {
+			t.Errorf("memory classes empty: %+v", resp)
+		}
+		if resp.GCPauseP99Micros < resp.GCPauseP50Micros {
+			t.Errorf("gc pause p99 %v < p50 %v", resp.GCPauseP99Micros, resp.GCPauseP50Micros)
+		}
+	})
+
+	t.Run("dist", func(t *testing.T) {
+		var resp struct {
+			ConfiguredWorkers []string          `json:"configured_workers"`
+			ActiveFits        []DistFitSnapshot `json:"active_fits"`
+		}
+		if code := do(t, s, "GET", "/v1/sys/dist", nil, &resp); code != http.StatusOK {
+			t.Fatalf("status %d", code)
+		}
+		if len(resp.ActiveFits) != 0 {
+			t.Errorf("active fits on an idle server: %+v", resp.ActiveFits)
+		}
+	})
+
+	t.Run("admission", func(t *testing.T) {
+		var resp admissionSysResponse
+		if code := do(t, s, "GET", "/v1/sys/admission", nil, &resp); code != http.StatusOK {
+			t.Fatalf("status %d", code)
+		}
+		if !resp.Enabled || resp.MaxInflight != 8 {
+			t.Errorf("gate %+v, want enabled with max_inflight=8", resp)
+		}
+		if resp.Inflight < 0 || resp.Inflight > resp.MaxInflight {
+			t.Errorf("inflight %d outside [0, %d]", resp.Inflight, resp.MaxInflight)
+		}
+	})
+}

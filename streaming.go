@@ -94,6 +94,11 @@ func (s *StreamingClusterer) Add(p []float64) error {
 // N returns the number of points consumed so far.
 func (s *StreamingClusterer) N() int { return s.stream.N() }
 
+// Buffered returns the number of weighted points the bounded coreset summary
+// currently holds in memory — the clusterer's actual footprint, which stays
+// O(CoresetSize·log(N/CoresetSize)) however large N grows.
+func (s *StreamingClusterer) Buffered() int { return s.stream.Buffered() }
+
 // Model clusters the current coreset into k centers with the configured
 // optimizer. The returned Model has no Assign and no Outliers (the stream is
 // not retained, and coreset-representative indices would be meaningless to
