@@ -24,6 +24,21 @@
 // For equal seeds the resulting centers are bit-identical to a
 // single-process mrkm fit with Mappers set to the worker count; workers that
 // die mid-fit have their shards re-assigned to survivors.
+//
+// Elasticity and crash tolerance:
+//
+//	kmcoord -listen :9090 -min-workers 2 -manifest shards/manifest.json \
+//	        -checkpoint ckpt/ -k 20 -out model.kmm
+//	kmworker -join coordhost:9090 -data-dir shards   # any number, any time
+//
+// -listen accepts kmworker -join connections before and during the fit:
+// joiners are admitted at the next round barrier and steal shards from the
+// most loaded owner. -checkpoint persists the coordinator's state after
+// every sampling round and periodically between Lloyd iterations; if the
+// coordinator is killed, rerunning the same command with -resume continues
+// from the last checkpoint and produces the same bits an uninterrupted run
+// would have. Transient RPC faults are absorbed by -retries attempts with
+// jittered exponential backoff before a worker is declared dead.
 package main
 
 import (
@@ -38,6 +53,7 @@ import (
 	"kmeansll/internal/distkm"
 	"kmeansll/internal/dsio"
 	"kmeansll/internal/geom"
+	"kmeansll/internal/lloyd"
 )
 
 func main() {
@@ -55,11 +71,21 @@ func main() {
 		seedVal  = flag.Uint64("seed", 1, "run seed")
 		out      = flag.String("out", "", "write the fitted model here (kmeansll text format)")
 		timeout  = flag.Duration("dial-timeout", 5*time.Second, "per-worker dial timeout")
+
+		listen     = flag.String("listen", "", "accept kmworker -join connections on this address, before and during the fit")
+		minWorkers = flag.Int("min-workers", 0, "with -listen: wait for this many workers (dialed + joined) before fitting")
+		joinWait   = flag.Duration("join-wait", 5*time.Minute, "with -min-workers: how long to wait for the cluster to assemble")
+		ckptDir    = flag.String("checkpoint", "", "persist coordinator state to this directory after each sampling round and every few Lloyd iterations")
+		resume     = flag.Bool("resume", false, "continue from the checkpoint in -checkpoint if one exists (fresh fit otherwise)")
+		retries    = flag.Int("retries", 0, "attempts per shard RPC before declaring a worker dead and failing over (0 = 3)")
 	)
 	flag.Parse()
 
-	if *workers == "" {
-		fail("kmcoord: -workers is required (comma-separated kmworker addresses)")
+	if *workers == "" && *listen == "" {
+		fail("kmcoord: need workers: -workers addr,... and/or -listen :port for kmworker -join")
+	}
+	if *resume && *ckptDir == "" {
+		fail("kmcoord: -resume requires -checkpoint")
 	}
 	if *manifest != "" && (*dataPath != "" || *genN > 0) {
 		fail("kmcoord: -manifest is mutually exclusive with -data and -gen-n")
@@ -78,9 +104,8 @@ func main() {
 		fail("kmcoord: %v", err)
 	}
 
-	addrs := strings.Split(*workers, ",")
-	clients := make([]distkm.Client, 0, len(addrs))
-	for _, addr := range addrs {
+	var clients []distkm.Client
+	for _, addr := range strings.Split(*workers, ",") {
 		addr = strings.TrimSpace(addr)
 		if addr == "" {
 			continue
@@ -91,11 +116,40 @@ func main() {
 		}
 		clients = append(clients, cl)
 	}
+
+	var acceptor *distkm.JoinAcceptor
+	if *listen != "" {
+		acceptor, err = distkm.ListenJoins(*listen, 0)
+		if err != nil {
+			fail("kmcoord: %v", err)
+		}
+		defer acceptor.Close()
+		fmt.Fprintf(os.Stderr, "kmcoord: accepting worker joins on %s\n", acceptor.Addr())
+		assembleBy := time.Now().Add(*joinWait)
+		for len(clients) < *minWorkers {
+			cl, err := acceptor.Next(time.Until(assembleBy))
+			if err != nil {
+				fail("kmcoord: %d of %d workers after %s: %v", len(clients), *minWorkers, *joinWait, err)
+			}
+			clients = append(clients, cl)
+			fmt.Fprintf(os.Stderr, "kmcoord: worker joined (%d/%d)\n", len(clients), *minWorkers)
+		}
+	}
+
 	coord, err := distkm.NewCoordinator(clients)
 	if err != nil {
 		fail("kmcoord: %v", err)
 	}
 	defer coord.Close()
+	if acceptor != nil {
+		// Workers joining from here on enter the running fit at the next
+		// round barrier and steal shards from the most loaded owner.
+		acceptor.Feed(coord)
+	}
+	coord.SetRetryPolicy(distkm.RetryPolicy{Attempts: *retries})
+	if *ckptDir != "" {
+		coord.SetCheckpointer(&distkm.Checkpointer{Dir: *ckptDir})
+	}
 
 	start := time.Now()
 	if man != nil {
@@ -113,15 +167,28 @@ func main() {
 	}
 
 	cfg := core.Config{K: *k, L: *ell, Rounds: *rounds, Seed: *seedVal}
-	_, res, stats, err := coord.Fit(cfg, *maxIter)
+	var (
+		res   lloyd.Result
+		stats distkm.Stats
+	)
+	if *resume && distkm.HasCheckpoint(*ckptDir) {
+		fmt.Fprintf(os.Stderr, "kmcoord: resuming from checkpoint in %s\n", *ckptDir)
+		_, res, stats, err = coord.ResumeFit(cfg, *maxIter)
+	} else {
+		if *resume {
+			fmt.Fprintf(os.Stderr, "kmcoord: no checkpoint in %s; starting fresh\n", *ckptDir)
+		}
+		_, res, stats, err = coord.Fit(cfg, *maxIter)
+	}
 	if err != nil {
 		fail("kmcoord: fit: %v", err)
 	}
 	fmt.Fprintf(os.Stderr,
 		"kmcoord: k-means|| sampled %d candidates, seed cost %.6g; Lloyd ran %d iters to cost %.6g (converged=%v)\n",
 		stats.Candidates, stats.SeedCost, res.Iters, res.Cost, res.Converged)
-	fmt.Fprintf(os.Stderr, "kmcoord: %d RPC rounds, %d shard calls, %d failovers, total %s\n",
-		stats.RPCRounds, stats.Calls, stats.Failovers, time.Since(start).Round(time.Millisecond))
+	snap := coord.Snapshot()
+	fmt.Fprintf(os.Stderr, "kmcoord: %d RPC rounds, %d shard calls, %d retries, %d failovers, %d joins, total %s\n",
+		stats.RPCRounds, stats.Calls, stats.Retries, stats.Failovers, snap.Joins, time.Since(start).Round(time.Millisecond))
 
 	if *out != "" {
 		model, err := distkm.Model(res, stats)
@@ -132,6 +199,13 @@ func main() {
 			fail("kmcoord: saving model: %v", err)
 		}
 		fmt.Fprintf(os.Stderr, "kmcoord: wrote %s\n", *out)
+	}
+	if *ckptDir != "" {
+		// The fit is done and its model written; a stale checkpoint would
+		// make a future -resume continue a finished run.
+		if err := distkm.RemoveCheckpoint(*ckptDir); err != nil {
+			fmt.Fprintf(os.Stderr, "kmcoord: removing checkpoint: %v\n", err)
+		}
 	}
 }
 

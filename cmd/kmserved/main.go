@@ -29,6 +29,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -61,6 +62,10 @@ func main() {
 	}
 
 	logger := log.New(os.Stderr, "kmserved: ", log.LstdFlags)
+	jobsDir := ""
+	if *modelDir != "" {
+		jobsDir = filepath.Join(*modelDir, "jobs")
+	}
 	srv := server.New(server.Config{
 		Parallelism:     *parallelism,
 		FitWorkers:      *fitWorkers,
@@ -71,6 +76,7 @@ func main() {
 		MaxInflight:     *maxInflight,
 		DistWorkers:     distAddrs,
 		DataDir:         *dataDir,
+		JobsDir:         jobsDir,
 		Logf:            logger.Printf,
 	})
 
@@ -80,6 +86,12 @@ func main() {
 			logger.Fatalf("loading models from %s: %v", *modelDir, err)
 		}
 		logger.Printf("loaded %d model(s) from %s", n, *modelDir)
+		requeued, failed, err := srv.RecoverJobs()
+		if err != nil {
+			logger.Printf("recovering jobs from %s: %v", jobsDir, err)
+		} else if requeued+failed > 0 {
+			logger.Printf("recovered jobs from %s: %d requeued, %d failed as interrupted", jobsDir, requeued, failed)
+		}
 	}
 
 	errCh := make(chan error, 1)

@@ -19,6 +19,13 @@
 // stdout once it is ready, which scripts (and the two-process integration
 // test) parse to discover the port. It runs until killed; losing a worker
 // mid-fit is fine — the coordinator re-assigns its shard to a survivor.
+//
+// With -join the worker inverts the connection: instead of listening it
+// dials a kmcoord -listen address and serves its RPCs over that connection,
+// redialing with backoff whenever it drops. That is how a replacement worker
+// enters a fit already in flight (the coordinator admits it at the next
+// round barrier and rebalances shards onto it), and how workers re-attach to
+// a coordinator restarted with -resume.
 package main
 
 import (
@@ -34,17 +41,13 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":9090", "listen address (host:0 picks a free port)")
+	join := flag.String("join", "",
+		"instead of listening, dial this kmcoord -listen address and serve over the dialed connection, redialing forever (replacement workers, NAT'd workers)")
 	dataDir := flag.String("data-dir", "",
 		"root for path-based shard loads: the coordinator sends .kmd paths relative to this dir and the worker mmaps them locally (empty disables the pull path)")
 	shardTTL := flag.Duration("shard-ttl", time.Hour,
 		"drop shards untouched for this long (coordinator crashed without releasing them); 0 disables")
 	flag.Parse()
-
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		log.Fatalf("kmworker: %v", err)
-	}
-	fmt.Printf("kmworker: listening on %s\n", ln.Addr())
 
 	w := distkm.NewWorker()
 	if *dataDir != "" {
@@ -53,6 +56,33 @@ func main() {
 	}
 	stop := w.StartJanitor(*shardTTL)
 	defer stop()
+
+	if *join != "" {
+		fmt.Printf("kmworker: joining %s\n", *join)
+		backoff := time.Second
+		for {
+			err := w.JoinAndServe(*join, 5*time.Second)
+			if err == nil {
+				// The served connection closed: the coordinator finished or
+				// died. Reset the backoff and redial — a kmcoord -resume (or
+				// the next fit) will accept us again.
+				backoff = time.Second
+				fmt.Fprintf(os.Stderr, "kmworker: connection to %s closed; redialing\n", *join)
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "kmworker: join %s: %v (retrying in %s)\n", *join, err, backoff)
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > 30*time.Second {
+				backoff = 30 * time.Second
+			}
+		}
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("kmworker: %v", err)
+	}
+	fmt.Printf("kmworker: listening on %s\n", ln.Addr())
 	if err := w.Serve(ln); err != nil {
 		log.Fatalf("kmworker: %v", err)
 	}

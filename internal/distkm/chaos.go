@@ -1,0 +1,105 @@
+package distkm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"kmeansll/internal/rng"
+)
+
+// ChaosConfig tunes a ChaosTransport. All probabilities are per Call; the
+// zero value injects nothing.
+type ChaosConfig struct {
+	// Seed keys the fault stream, so a chaotic test run is reproducible.
+	Seed uint64
+	// DropProb is the probability a call errors without reaching the worker.
+	DropProb float64
+	// DelayProb is the probability a call sleeps up to MaxDelay first.
+	DelayProb float64
+	// MaxDelay bounds injected delays (0 = 10ms).
+	MaxDelay time.Duration
+	// DupProb is the probability a call is issued twice (exercises the
+	// idempotence every worker RPC must have).
+	DupProb float64
+	// KillAfter, when positive, permanently fails every call after the
+	// KillAfter-th — a worker crash, as the coordinator sees it.
+	KillAfter int
+}
+
+// ErrChaosKilled is what a killed ChaosTransport returns forever after.
+var ErrChaosKilled = errors.New("chaos: worker killed")
+
+// ChaosTransport wraps a Client and injects seeded faults: dropped calls,
+// delays, duplicated (idempotence-probing) calls, and a permanent kill after
+// N calls. Dropped and delayed calls are transient — the wrapped client stays
+// healthy — so a correct retry policy absorbs them without failover; the
+// kill is terminal and must trigger failover. Safe for the concurrent use
+// fanOut makes of a client.
+type ChaosTransport struct {
+	inner Client
+	cfg   ChaosConfig
+
+	mu    sync.Mutex
+	rng   *rng.Rng
+	calls int
+	dead  bool
+}
+
+// NewChaosTransport wraps inner with fault injection per cfg.
+func NewChaosTransport(inner Client, cfg ChaosConfig) *ChaosTransport {
+	return &ChaosTransport{inner: inner, cfg: cfg, rng: rng.New(cfg.Seed)}
+}
+
+// Calls reports how many calls were attempted through this transport.
+func (t *ChaosTransport) Calls() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.calls
+}
+
+// Kill makes every subsequent call fail, as if the worker process died.
+func (t *ChaosTransport) Kill() {
+	t.mu.Lock()
+	t.dead = true
+	t.mu.Unlock()
+}
+
+func (t *ChaosTransport) Call(method string, args, reply any) error {
+	t.mu.Lock()
+	t.calls++
+	if t.cfg.KillAfter > 0 && t.calls > t.cfg.KillAfter {
+		t.dead = true
+	}
+	if t.dead {
+		t.mu.Unlock()
+		return fmt.Errorf("%w (call %s)", ErrChaosKilled, method)
+	}
+	drop := t.cfg.DropProb > 0 && t.rng.Float64() < t.cfg.DropProb
+	var delay time.Duration
+	if t.cfg.DelayProb > 0 && t.rng.Float64() < t.cfg.DelayProb {
+		maxDelay := t.cfg.MaxDelay
+		if maxDelay <= 0 {
+			maxDelay = 10 * time.Millisecond
+		}
+		delay = time.Duration(t.rng.Float64() * float64(maxDelay))
+	}
+	dup := t.cfg.DupProb > 0 && t.rng.Float64() < t.cfg.DupProb
+	t.mu.Unlock()
+
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if drop {
+		return fmt.Errorf("chaos: dropped call %s", method)
+	}
+	if dup {
+		// Issue the call an extra time; the repeat's reply wins, and must
+		// equal the first or the worker RPC is not idempotent.
+		_ = t.inner.Call(method, args, reply)
+	}
+	return t.inner.Call(method, args, reply)
+}
+
+func (t *ChaosTransport) Close() error { return t.inner.Close() }

@@ -1,0 +1,149 @@
+package distkm
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"kmeansll/internal/core"
+	"kmeansll/internal/mrkm"
+)
+
+// okClient always succeeds; it exists so chaos decisions can be observed in
+// isolation from any real worker.
+type okClient struct{ calls atomic.Int64 }
+
+func (c *okClient) Call(string, any, any) error { c.calls.Add(1); return nil }
+func (c *okClient) Close() error                { return nil }
+
+// The fault stream is a pure function of the seed: two transports with the
+// same config produce the same error sequence.
+func TestChaosTransportDeterministic(t *testing.T) {
+	cfg := ChaosConfig{Seed: 99, DropProb: 0.3, DupProb: 0.2, KillAfter: 40}
+	run := func() []bool {
+		tr := NewChaosTransport(&okClient{}, cfg)
+		outcomes := make([]bool, 50)
+		for i := range outcomes {
+			outcomes[i] = tr.Call("Worker.Update", nil, nil) == nil
+		}
+		return outcomes
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("call %d: outcomes diverge for equal seeds", i)
+		}
+	}
+	tr := NewChaosTransport(&okClient{}, ChaosConfig{KillAfter: 3})
+	for i := 0; i < 3; i++ {
+		if err := tr.Call("Worker.Cost", nil, nil); err != nil {
+			t.Fatalf("call %d failed before KillAfter: %v", i+1, err)
+		}
+	}
+	if err := tr.Call("Worker.Cost", nil, nil); !errors.Is(err, ErrChaosKilled) {
+		t.Fatalf("call past KillAfter: %v, want ErrChaosKilled", err)
+	}
+}
+
+// A fit under seeded drop/delay/duplicate faults completes bit-identically:
+// drops are absorbed as retries, duplicated calls exercise the idempotence
+// every worker RPC claims, and delays only cost wall clock.
+func TestChaosFitBitIdentical(t *testing.T) {
+	const workers = 3
+	ds := blobs(t, 5, 100, 6, 25, 17)
+	cfg := core.Config{K: 5, L: 10, Rounds: 5, Seed: 3}
+	wantCenters, _ := mrkm.Init(ds, cfg, mrkm.Config{Mappers: workers})
+	wantRes, _ := mrkm.Lloyd(ds, wantCenters, 20, mrkm.Config{Mappers: workers})
+
+	clients, closeAll := LoopbackCluster(workers)
+	t.Cleanup(closeAll)
+	for i, cl := range clients {
+		clients[i] = NewChaosTransport(cl, ChaosConfig{
+			Seed:      uint64(i) + 1,
+			DropProb:  0.05,
+			DelayProb: 0.1,
+			MaxDelay:  time.Millisecond,
+			DupProb:   0.05,
+		})
+	}
+	c, err := NewCoordinator(clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetRetryPolicy(RetryPolicy{Attempts: 8, BaseDelay: 100 * time.Microsecond, MaxDelay: time.Millisecond})
+	if err := c.Distribute(ds); err != nil {
+		t.Fatal(err)
+	}
+	gotCenters, res, stats, err := c.Fit(cfg, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBitIdentical(t, "chaotic Init centers", gotCenters, wantCenters)
+	requireBitIdentical(t, "chaotic Lloyd centers", res.Centers, wantRes.Centers)
+	if stats.Failovers != 0 {
+		t.Fatalf("drop/delay/dup faults must not evict workers, got %d failovers", stats.Failovers)
+	}
+	if stats.Retries == 0 {
+		t.Fatal("expected dropped calls to surface as retries")
+	}
+}
+
+// The full elasticity story in-process: a worker is killed mid-fit (failover
+// onto a survivor), a replacement joins mid-fit and steals the piled-up
+// shard back — and none of it moves a single bit of the result.
+func TestChaosKillAndRejoinBitIdentical(t *testing.T) {
+	const workers = 3
+	ds := blobs(t, 5, 120, 6, 25, 23)
+	cfg := core.Config{K: 5, L: 10, Rounds: 5, Seed: 13}
+	wantCenters, _ := mrkm.Init(ds, cfg, mrkm.Config{Mappers: workers})
+	wantRes, _ := mrkm.Lloyd(ds, wantCenters, 20, mrkm.Config{Mappers: workers})
+
+	clients, closeAll := LoopbackCluster(workers)
+	t.Cleanup(closeAll)
+	clients[1] = NewChaosTransport(clients[1], ChaosConfig{KillAfter: 6})
+	c, err := NewCoordinator(clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetRetryPolicy(fastRetry)
+	if err := c.Distribute(ds); err != nil {
+		t.Fatal(err)
+	}
+	gotCenters, initStats, err := c.Init(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if initStats.Failovers == 0 {
+		t.Fatal("the killed worker should have forced a failover")
+	}
+	requireBitIdentical(t, "post-kill Init centers", gotCenters, wantCenters)
+
+	// A replacement joins before the Lloyd phase; it is admitted at the next
+	// fan-out barrier and steals the dead worker's piled-up shard.
+	replacement := NewLoopback(NewWorker())
+	t.Cleanup(func() { _ = replacement.Close() })
+	c.AddWorker(replacement)
+
+	gotRes, _, err := c.Lloyd(gotCenters, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBitIdentical(t, "post-rejoin Lloyd centers", gotRes.Centers, wantRes.Centers)
+
+	snap := c.Snapshot()
+	if snap.Joins != 1 {
+		t.Fatalf("snapshot joins = %d, want 1", snap.Joins)
+	}
+	joiner := snap.Workers[len(snap.Workers)-1]
+	if !joiner.Alive || joiner.Rows == 0 {
+		t.Fatalf("joiner never took over work: %+v", joiner)
+	}
+	var total int
+	for _, w := range snap.Workers {
+		total += w.Rows
+	}
+	if total != ds.N() {
+		t.Fatalf("assigned rows %d, want %d", total, ds.N())
+	}
+}

@@ -3,6 +3,7 @@ package distkm
 import (
 	"errors"
 	"fmt"
+	"math"
 	"net/rpc"
 	"path"
 	"sync"
@@ -28,6 +29,9 @@ type Stats struct {
 	Calls int64
 	// Failovers counts shard re-assignments after a worker failure.
 	Failovers int
+	// Retries counts shard RPC attempts repeated after a transient fault —
+	// faults absorbed by backoff without costing a failover.
+	Retries int64
 	// Candidates is |C| before reclustering (Init only).
 	Candidates int
 	// Psi is φ after the first center (Init only).
@@ -64,18 +68,39 @@ type Coordinator struct {
 	// data the coordinator never had.
 	segs [][]PathSeg
 
-	mu     sync.Mutex
-	assign []int  // shard -> worker index
-	alive  []bool // worker index -> reachable
+	// man/manPrefix are retained in pull mode so a resume can re-shard the
+	// manifest to the checkpoint's span count (segs depend on the spans).
+	man       *dsio.Manifest
+	manPrefix string
+
+	mu       sync.Mutex
+	assign   []int  // shard -> worker index
+	alive    []bool // worker index -> reachable
+	lastCkpt *CheckpointInfo
 
 	// rebuildCenters, when non-nil, is the center set whose distances are
 	// folded into the shards' D² caches right now; a failover re-load rebuilds
 	// the cache from it before the failed call is retried.
 	rebuildCenters *geom.Matrix
 
+	// pending holds workers handed to AddWorker but not yet admitted; they
+	// enter the live set at the next fan-out barrier (membership.go).
+	pendMu  sync.Mutex
+	pending []Client
+
+	// retry bounds per-worker attempts before failover (retry.go); jrng
+	// drives backoff jitter only — never the fit's arithmetic.
+	retry RetryPolicy
+	jmu   sync.Mutex
+	jrng  *rng.Rng
+
+	ckpt *Checkpointer
+
 	rpcRounds atomic.Int64
 	calls     atomic.Int64
 	failovers atomic.Int64
+	retries   atomic.Int64
+	joins     atomic.Int64
 }
 
 // NewCoordinator wraps the given worker connections. Call Distribute before
@@ -88,7 +113,9 @@ func NewCoordinator(clients []Client) (*Coordinator, error) {
 	for i := range alive {
 		alive[i] = true
 	}
-	return &Coordinator{fit: newFitID(), clients: clients, alive: alive}, nil
+	c := &Coordinator{fit: newFitID(), clients: clients, alive: alive}
+	c.jrng = rng.New(c.fit) // backoff jitter only; independent of fit seeds
+	return c, nil
 }
 
 // fitSeq disambiguates coordinators created in the same nanosecond within
@@ -102,8 +129,13 @@ func newFitID() uint64 {
 // ref names one of this coordinator's shards on the wire.
 func (c *Coordinator) ref(shardID int) ShardRef { return ShardRef{Fit: c.fit, Shard: shardID} }
 
-// Workers returns how many worker connections the coordinator holds.
-func (c *Coordinator) Workers() int { return len(c.clients) }
+// Workers returns how many worker connections the coordinator holds,
+// including joiners admitted mid-fit.
+func (c *Coordinator) Workers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.clients)
+}
 
 // Shards returns how many shards the dataset was split into.
 func (c *Coordinator) Shards() int { return len(c.spans) }
@@ -122,14 +154,17 @@ type WorkerState struct {
 // Snapshot is a point-in-time view of a coordinator mid-fit, for serving
 // tiers that expose distributed-fit state (kmserved's /v1/sys/dist).
 type Snapshot struct {
-	Fit       uint64        `json:"fit"`
-	N         int           `json:"n"`
-	Dim       int           `json:"dim"`
-	Shards    int           `json:"shards"`
-	RPCRounds int64         `json:"rpc_rounds"`
-	Calls     int64         `json:"calls"`
-	Failovers int64         `json:"failovers"`
-	Workers   []WorkerState `json:"workers"`
+	Fit        uint64          `json:"fit"`
+	N          int             `json:"n"`
+	Dim        int             `json:"dim"`
+	Shards     int             `json:"shards"`
+	RPCRounds  int64           `json:"rpc_rounds"`
+	Calls      int64           `json:"calls"`
+	Failovers  int64           `json:"failovers"`
+	Retries    int64           `json:"retries"`
+	Joins      int64           `json:"joins"`
+	Checkpoint *CheckpointInfo `json:"checkpoint,omitempty"`
+	Workers    []WorkerState   `json:"workers"`
 }
 
 // Snapshot captures the coordinator's current shard assignment and RPC
@@ -141,10 +176,13 @@ func (c *Coordinator) Snapshot() Snapshot {
 		RPCRounds: c.rpcRounds.Load(),
 		Calls:     c.calls.Load(),
 		Failovers: c.failovers.Load(),
-		Workers:   make([]WorkerState, len(c.clients)),
+		Retries:   c.retries.Load(),
+		Joins:     c.joins.Load(),
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	s.Checkpoint = c.lastCkpt
+	s.Workers = make([]WorkerState, len(c.clients))
 	for w := range s.Workers {
 		s.Workers[w] = WorkerState{Worker: w, Alive: w < len(c.alive) && c.alive[w]}
 	}
@@ -164,11 +202,19 @@ func (c *Coordinator) Snapshot() Snapshot {
 func (c *Coordinator) Close() {
 	c.mu.Lock()
 	alive := append([]bool(nil), c.alive...)
+	clients := append([]Client(nil), c.clients...)
 	c.mu.Unlock()
-	for i, cl := range c.clients {
+	for i, cl := range clients {
 		if alive[i] && len(c.spans) > 0 {
 			_ = cl.Call("Worker.Release", ReleaseArgs{Fit: c.fit}, &Ack{})
 		}
+		_ = cl.Close()
+	}
+	c.pendMu.Lock()
+	pending := c.pending
+	c.pending = nil
+	c.pendMu.Unlock()
+	for _, cl := range pending {
 		_ = cl.Close()
 	}
 }
@@ -184,8 +230,9 @@ func (c *Coordinator) Distribute(ds *geom.Dataset) error {
 		return errors.New("distkm: empty dataset")
 	}
 	c.ds = ds
+	c.man, c.manPrefix = nil, ""
 	c.n, c.dim, c.weighted = n, ds.Dim(), ds.Weight != nil
-	c.spans = mrkm.MakeSpans(n, len(c.clients))
+	c.spans = mrkm.MakeSpans(n, c.Workers())
 	c.segs = nil
 	return c.loadAll()
 }
@@ -220,13 +267,9 @@ func (c *Coordinator) DistributeManifestAt(m *dsio.Manifest, prefix string) erro
 		return errors.New("distkm: manifest pull does not support weighted datasets")
 	}
 	c.ds = nil
+	c.man, c.manPrefix = m, prefix
 	c.n, c.dim, c.weighted = m.Rows, m.Cols, false
-	spans := mrkm.MakeSpans(m.Rows, len(c.clients))
-	c.segs = make([][]PathSeg, len(spans))
-	for s, sp := range spans {
-		c.segs[s] = manifestSegs(m, prefix, sp.Lo, sp.Hi)
-	}
-	c.spans = spans
+	c.reshard(c.Workers())
 	return c.loadAll()
 }
 
@@ -254,12 +297,28 @@ func manifestSegs(m *dsio.Manifest, prefix string, lo, hi int) []PathSeg {
 	return segs
 }
 
+// reshard splits the retained pull-mode manifest into `shards` spans and
+// recomputes each shard's file segments. Distribute uses it with the worker
+// count; ResumeFit with the checkpoint's shard count, which may differ.
+func (c *Coordinator) reshard(shards int) {
+	spans := mrkm.MakeSpans(c.n, shards)
+	c.segs = make([][]PathSeg, len(spans))
+	for s, sp := range spans {
+		c.segs[s] = manifestSegs(c.man, c.manPrefix, sp.Lo, sp.Hi)
+	}
+	c.spans = spans
+}
+
 // loadAll initializes the shard→worker assignment and loads every shard.
+// Shards are dealt round-robin: normally one per worker, wrapping when a
+// resume re-sharded to more spans than there are connected workers.
 func (c *Coordinator) loadAll() error {
+	c.mu.Lock()
 	c.assign = make([]int, len(c.spans))
 	for i := range c.assign {
-		c.assign[i] = i
+		c.assign[i] = i % len(c.clients)
 	}
+	c.mu.Unlock()
 	for s := range c.spans {
 		if err := c.withFailover(s, func(shardID int, cl Client) error {
 			return c.loadShard(cl, shardID)
@@ -294,13 +353,16 @@ func (c *Coordinator) loadShard(cl Client, shardID int) error {
 	}, &Ack{})
 }
 
-// withFailover runs call against the shard's current worker, re-assigning
-// the shard to a surviving worker (re-pushing its data and rebuilding its D²
-// cache) on transport failure, then retrying. Application-level errors from
-// the worker (rpc.ServerError) are returned as-is: they are deterministic
-// and re-assignment cannot fix them. Sampling is counter-based, so a retried
-// call returns exactly what the first attempt would have.
+// withFailover runs call against the shard's current worker with bounded
+// retries (callRetry), re-assigning the shard onto the least-loaded live
+// worker (re-pushing its data and rebuilding its D² cache) once the retry
+// budget is exhausted, then trying again there. Application-level errors
+// from the worker (rpc.ServerError) are returned as-is: they are
+// deterministic and neither retry nor re-assignment can fix them. Sampling
+// is counter-based, so a retried call returns exactly what the first attempt
+// would have.
 func (c *Coordinator) withFailover(shardID int, call func(int, Client) error) error {
+	var tried []int
 	for {
 		c.mu.Lock()
 		w := c.assign[shardID]
@@ -309,8 +371,7 @@ func (c *Coordinator) withFailover(shardID int, call func(int, Client) error) er
 		c.mu.Unlock()
 
 		if ok {
-			c.calls.Add(1)
-			err := call(shardID, cl)
+			err := c.callRetry(shardID, cl, call)
 			if err == nil {
 				return nil
 			}
@@ -322,28 +383,49 @@ func (c *Coordinator) withFailover(shardID int, call func(int, Client) error) er
 			c.alive[w] = false
 			c.mu.Unlock()
 		}
-		if err := c.reassign(shardID); err != nil {
+		if len(tried) == 0 || tried[len(tried)-1] != w {
+			tried = append(tried, w)
+		}
+		if err := c.reassign(shardID, tried); err != nil {
 			return err
 		}
 	}
 }
 
-// reassign moves shardID to the next live worker, re-pushes its data, and
-// rebuilds its distance cache against the currently-broadcast center set.
-func (c *Coordinator) reassign(shardID int) error {
-	c.mu.Lock()
-	prev := c.assign[shardID]
-	next := -1
-	for off := 1; off <= len(c.clients); off++ {
-		cand := (prev + off) % len(c.clients)
-		if c.alive[cand] {
-			next = cand
-			break
+// callRetry attempts call up to the retry policy's budget against one
+// worker, sleeping a jittered exponential backoff between attempts. A
+// worker-side rpc.ServerError aborts immediately (retrying a deterministic
+// error is pointless); only transport faults burn retry budget.
+func (c *Coordinator) callRetry(shardID int, cl Client, call func(int, Client) error) error {
+	attempts := c.retry.attempts()
+	var err error
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			c.retries.Add(1)
+			time.Sleep(c.retry.backoff(a, c.jitter()))
+		}
+		c.calls.Add(1)
+		err = call(shardID, cl)
+		if err == nil {
+			return nil
+		}
+		var appErr rpc.ServerError
+		if errors.As(err, &appErr) {
+			return err
 		}
 	}
+	return err
+}
+
+// reassign moves shardID to the least-loaded live worker — original or
+// joined mid-fit alike — re-pushes its data, and rebuilds its distance cache
+// against the currently-broadcast center set.
+func (c *Coordinator) reassign(shardID int, tried []int) error {
+	c.mu.Lock()
+	next := c.leastLoadedLocked()
 	if next < 0 {
 		c.mu.Unlock()
-		return errors.New("distkm: no live workers left")
+		return &NoWorkersError{Shard: shardID, Tried: append([]int(nil), tried...)}
 	}
 	c.assign[shardID] = next
 	cl := c.clients[next]
@@ -377,12 +459,15 @@ func (c *Coordinator) reassign(shardID int) error {
 }
 
 // fanOut runs one barrier-synchronized pass: call for every shard
-// concurrently, with per-shard failover. It is the network analogue of one
-// MapReduce job.
+// concurrently, with per-shard retry and failover. It is the network
+// analogue of one MapReduce job. Between fan-outs no shard RPC is in flight,
+// which makes the top of this function the safe admission point for workers
+// that joined since the last pass.
 func (c *Coordinator) fanOut(call func(shardID int, cl Client) error) error {
 	if len(c.spans) == 0 {
 		return errors.New("distkm: no shards distributed; call Distribute first")
 	}
+	c.admitJoiners()
 	c.rpcRounds.Add(1)
 	errs := make([]error, len(c.spans))
 	var wg sync.WaitGroup
@@ -399,10 +484,21 @@ func (c *Coordinator) fanOut(call func(shardID int, cl Client) error) error {
 
 // snapshot copies the network counters accumulated since the given baseline
 // into st.
-func (c *Coordinator) snapshot(st *Stats, rounds0, calls0, fail0 int64) {
+func (c *Coordinator) snapshot(st *Stats, rounds0, calls0, fail0, retry0 int64) {
 	st.RPCRounds = int(c.rpcRounds.Load() - rounds0)
 	st.Calls = c.calls.Load() - calls0
 	st.Failovers = int(c.failovers.Load() - fail0)
+	st.Retries = c.retries.Load() - retry0
+}
+
+// initResume carries the state a PhaseInit checkpoint restored: the fit
+// continues from completed round `round` with the driver RNG mid-stream.
+type initResume struct {
+	round    int
+	centers  *geom.Matrix
+	phi, psi float64
+	phiTrace []float64
+	r        *rng.Rng
 }
 
 // Init runs Algorithm 2 with every per-round primitive answered by the
@@ -410,6 +506,14 @@ func (c *Coordinator) snapshot(st *Stats, rounds0, calls0, fail0 int64) {
 // one cost/cache job, one Sample fan-out is one sampling job, Step 7 is a
 // Weights fan-out, and Step 8 (tiny) runs on the coordinator.
 func (c *Coordinator) Init(cfg core.Config) (*geom.Matrix, Stats, error) {
+	return c.initFrom(cfg, nil)
+}
+
+// initFrom is Init, optionally continuing from a checkpointed round instead
+// of Step 1. Either way the result is bit-identical to an uninterrupted run:
+// on resume the D² caches rebuild exactly from the checkpointed candidate
+// set (min-folds are idempotent) and the driver RNG continues mid-stream.
+func (c *Coordinator) initFrom(cfg core.Config, res *initResume) (*geom.Matrix, Stats, error) {
 	stats := Stats{}
 	if cfg.K <= 0 {
 		return nil, stats, errors.New("distkm: Config.K must be positive")
@@ -417,28 +521,39 @@ func (c *Coordinator) Init(cfg core.Config) (*geom.Matrix, Stats, error) {
 	if len(c.spans) == 0 {
 		return nil, stats, errors.New("distkm: call Distribute before Init")
 	}
-	rounds0, calls0, fail0 := c.rpcRounds.Load(), c.calls.Load(), c.failovers.Load()
+	rounds0, calls0, fail0, retry0 := c.rpcRounds.Load(), c.calls.Load(), c.failovers.Load(), c.retries.Load()
 	n := c.n
-	r := rng.New(cfg.Seed)
 	ell, rounds := mrkm.Defaults(cfg)
 
-	// Step 1: the driver picks the first center uniformly (weight-
-	// proportionally when weighted — push mode only, since a path-loaded
-	// coordinator never holds the weight vector) and fetches it from the
-	// owning shard.
-	var first int
-	if !c.weighted {
-		first = r.Intn(n)
+	var r *rng.Rng
+	var centers *geom.Matrix
+	startRound := 0
+	if res == nil {
+		r = rng.New(cfg.Seed)
+		// Step 1: the driver picks the first center uniformly (weight-
+		// proportionally when weighted — push mode only, since a path-loaded
+		// coordinator never holds the weight vector) and fetches it from the
+		// owning shard.
+		var first int
+		if !c.weighted {
+			first = r.Intn(n)
+		} else {
+			first = r.WeightedIndex(c.ds.Weight)
+		}
+		firstPoint, err := c.fetch(first)
+		if err != nil {
+			return nil, stats, err
+		}
+		centers = geom.NewMatrix(0, c.dim)
+		centers.Cols = c.dim
+		centers.AppendRow(firstPoint)
 	} else {
-		first = r.WeightedIndex(c.ds.Weight)
+		r = res.r
+		centers = res.centers
+		startRound = res.round
+		stats.Psi = res.psi
+		stats.PhiTrace = append(stats.PhiTrace, res.phiTrace...)
 	}
-	firstPoint, err := c.fetch(first)
-	if err != nil {
-		return nil, stats, err
-	}
-	centers := geom.NewMatrix(0, c.dim)
-	centers.Cols = c.dim
-	centers.AppendRow(firstPoint)
 
 	c.mu.Lock()
 	c.rebuildCenters = centers
@@ -473,17 +588,34 @@ func (c *Coordinator) Init(cfg core.Config) (*geom.Matrix, Stats, error) {
 		return phi, nil
 	}
 
-	// Step 2: ψ.
-	phi, err := updateAndCost(0)
-	if err != nil {
-		return nil, stats, err
+	var phi float64
+	var err error
+	if res == nil {
+		// Step 2: ψ.
+		if phi, err = updateAndCost(0); err != nil {
+			return nil, stats, err
+		}
+		stats.Psi = phi
+		stats.PhiTrace = append(stats.PhiTrace, phi)
+		if err := c.saveInit(cfg, 0, centers, r, phi, stats.Psi, stats.PhiTrace); err != nil {
+			return nil, stats, err
+		}
+	} else {
+		// Rebuild every shard's D² cache from the checkpointed candidate set.
+		// The reduced φ must land bit-exactly on the checkpointed value —
+		// anything else means the distributed dataset is not the one the
+		// checkpoint was taken against.
+		if phi, err = updateAndCost(0); err != nil {
+			return nil, stats, err
+		}
+		if math.Float64bits(phi) != math.Float64bits(res.phi) {
+			return nil, stats, fmt.Errorf("distkm: checkpoint does not match the distributed dataset (phi %v, checkpointed %v)", phi, res.phi)
+		}
 	}
-	stats.Psi = phi
-	stats.PhiTrace = append(stats.PhiTrace, phi)
 
 	// Steps 3–6: sample (needs last job's φ), then update+cost against the
 	// new centers — two fan-outs per round, like the Hadoop driver.
-	for round := 0; round < rounds && phi > 0; round++ {
+	for round := startRound; round < rounds && phi > 0; round++ {
 		from := centers.Rows
 		replies := make([]SampleReply, len(c.spans))
 		err := c.fanOut(func(s int, cl Client) error {
@@ -503,6 +635,9 @@ func (c *Coordinator) Init(cfg core.Config) (*geom.Matrix, Stats, error) {
 			return nil, stats, err
 		}
 		stats.PhiTrace = append(stats.PhiTrace, phi)
+		if err := c.saveInit(cfg, round+1, centers, r, phi, stats.Psi, stats.PhiTrace); err != nil {
+			return nil, stats, err
+		}
 	}
 	stats.Candidates = centers.Rows
 
@@ -521,7 +656,7 @@ func (c *Coordinator) Init(cfg core.Config) (*geom.Matrix, Stats, error) {
 	if err != nil {
 		return nil, stats, err
 	}
-	c.snapshot(&stats, rounds0, calls0, fail0)
+	c.snapshot(&stats, rounds0, calls0, fail0, retry0)
 	return final, stats, nil
 }
 
@@ -587,6 +722,14 @@ func (c *Coordinator) costPass(centers *geom.Matrix) (float64, error) {
 // in shard order, then the updated centers are re-broadcast. Empty clusters
 // keep their previous position, as in mrkm.Lloyd.
 func (c *Coordinator) Lloyd(init *geom.Matrix, maxIter int) (lloyd.Result, Stats, error) {
+	return c.lloydFrom(init, maxIter, 0, nil, nil)
+}
+
+// lloydFrom is Lloyd starting from completed iteration startIter with the
+// given cost trace so far (both zero/nil for a fresh run). save, when
+// non-nil, is called after each completed iteration with the iteration
+// count, current centers, and cumulative trace — the checkpoint hook.
+func (c *Coordinator) lloydFrom(cur *geom.Matrix, maxIter, startIter int, costTrace []float64, save func(iter int, centers *geom.Matrix, trace []float64) error) (lloyd.Result, Stats, error) {
 	stats := Stats{}
 	res := lloyd.Result{}
 	if len(c.spans) == 0 {
@@ -595,14 +738,19 @@ func (c *Coordinator) Lloyd(init *geom.Matrix, maxIter int) (lloyd.Result, Stats
 	if maxIter <= 0 {
 		maxIter = 20 // the paper bounds parallel Lloyd at 20 iterations (§4.2)
 	}
-	rounds0, calls0, fail0 := c.rpcRounds.Load(), c.calls.Load(), c.failovers.Load()
-	centers := init.Clone()
+	rounds0, calls0, fail0, retry0 := c.rpcRounds.Load(), c.calls.Load(), c.failovers.Load(), c.retries.Load()
+	centers := cur.Clone()
 	k, d := centers.Rows, centers.Cols
 	res.Centers = centers
+	res.Iters = startIter
+	res.CostTrace = append(res.CostTrace, costTrace...)
+	if len(res.CostTrace) > 0 {
+		res.Cost = res.CostTrace[len(res.CostTrace)-1]
+	}
 
 	total := make([]float64, d+1)
 	row := make([]float64, d)
-	for it := 0; it < maxIter; it++ {
+	for it := startIter; it < maxIter; it++ {
 		args := matOf(centers.Rows, centers.Cols, centers.Data)
 		replies := make([]LloydReply, len(c.spans))
 		err := c.fanOut(func(s int, cl Client) error {
@@ -641,6 +789,11 @@ func (c *Coordinator) Lloyd(init *geom.Matrix, maxIter int) (lloyd.Result, Stats
 		res.Iters = it + 1
 		res.Cost = phi
 		res.CostTrace = append(res.CostTrace, phi)
+		if save != nil {
+			if err := save(it+1, centers, res.CostTrace); err != nil {
+				return res, stats, err
+			}
+		}
 		if maxMove == 0 {
 			res.Converged = true
 			break
@@ -666,8 +819,41 @@ func (c *Coordinator) Lloyd(init *geom.Matrix, maxIter int) (lloyd.Result, Stats
 	}
 	res.Cost = phi
 	stats.SeedCost = phi
-	c.snapshot(&stats, rounds0, calls0, fail0)
+	c.snapshot(&stats, rounds0, calls0, fail0, retry0)
 	return res, stats, nil
+}
+
+// runLloydPhase wraps lloydFrom with the checkpoint hook: an immediate
+// checkpoint marking the init phase complete (so a crash inside the first
+// iteration resumes as Lloyd, not by re-seeding), then one every EveryLloyd
+// completed iterations.
+func (c *Coordinator) runLloydPhase(cfg core.Config, seedC, cur *geom.Matrix, maxIter, startIter int, costTrace []float64, initStats Stats) (lloyd.Result, Stats, error) {
+	if maxIter <= 0 {
+		maxIter = 20
+	}
+	var save func(int, *geom.Matrix, []float64) error
+	if c.ckpt != nil {
+		if err := c.saveLloyd(cfg, maxIter, seedC, cur, startIter, costTrace, initStats); err != nil {
+			return lloyd.Result{}, Stats{}, err
+		}
+		every := c.ckpt.every()
+		save = func(iter int, centers *geom.Matrix, trace []float64) error {
+			if iter%every != 0 && iter != maxIter {
+				return nil
+			}
+			return c.saveLloyd(cfg, maxIter, seedC, centers, iter, trace, initStats)
+		}
+	}
+	return c.lloydFrom(cur, maxIter, startIter, costTrace, save)
+}
+
+func mergeStats(initStats, lloydStats Stats) Stats {
+	merged := initStats
+	merged.RPCRounds += lloydStats.RPCRounds
+	merged.Calls += lloydStats.Calls
+	merged.Failovers += lloydStats.Failovers
+	merged.Retries += lloydStats.Retries
+	return merged
 }
 
 // Fit is the full pipeline: k-means|| seeding then Lloyd refinement, both
@@ -677,10 +863,77 @@ func (c *Coordinator) Fit(cfg core.Config, maxIter int) (*geom.Matrix, lloyd.Res
 	if err != nil {
 		return nil, lloyd.Result{}, initStats, err
 	}
-	res, lloydStats, err := c.Lloyd(initCenters, maxIter)
-	merged := initStats
-	merged.RPCRounds += lloydStats.RPCRounds
-	merged.Calls += lloydStats.Calls
-	merged.Failovers += lloydStats.Failovers
-	return initCenters, res, merged, err
+	res, lloydStats, err := c.runLloydPhase(cfg, initCenters, initCenters, maxIter, 0, nil, initStats)
+	return initCenters, res, mergeStats(initStats, lloydStats), err
+}
+
+// ResumeFit continues a fit from the checkpoint in the configured
+// checkpointer's directory, bit-identically to the uninterrupted run: the
+// checkpointed shard count is restored first (span boundaries, not worker
+// count, enter the arithmetic), then the interrupted phase picks up from its
+// last completed round or iteration. Stats count only the work done after
+// the resume.
+func (c *Coordinator) ResumeFit(cfg core.Config, maxIter int) (*geom.Matrix, lloyd.Result, Stats, error) {
+	if c.ckpt == nil {
+		return nil, lloyd.Result{}, Stats{}, errors.New("distkm: ResumeFit requires SetCheckpointer")
+	}
+	if len(c.spans) == 0 {
+		return nil, lloyd.Result{}, Stats{}, errors.New("distkm: call Distribute before ResumeFit")
+	}
+	cp, centers, seedC, err := LoadCheckpoint(c.ckpt.Dir)
+	if err != nil {
+		return nil, lloyd.Result{}, Stats{}, err
+	}
+	if err := cp.validate(cfg, maxIter, c.n, c.dim); err != nil {
+		return nil, lloyd.Result{}, Stats{}, err
+	}
+	if cp.Shards != len(c.spans) {
+		if err := c.redistribute(cp.Shards); err != nil {
+			return nil, lloyd.Result{}, Stats{}, err
+		}
+	}
+	switch cp.Phase {
+	case PhaseInit:
+		initCenters, initStats, err := c.initFrom(cfg, &initResume{
+			round:    cp.Round,
+			centers:  centers,
+			phi:      cp.Phi,
+			psi:      cp.Psi,
+			phiTrace: cp.PhiTrace,
+			r:        rng.FromState(cp.Rng),
+		})
+		if err != nil {
+			return nil, lloyd.Result{}, initStats, err
+		}
+		res, lloydStats, err := c.runLloydPhase(cfg, initCenters, initCenters, maxIter, 0, nil, initStats)
+		return initCenters, res, mergeStats(initStats, lloydStats), err
+	default: // PhaseLloyd; LoadCheckpoint rejected anything else
+		initStats := Stats{
+			Candidates: cp.Candidates,
+			Psi:        cp.Psi,
+			PhiTrace:   append([]float64(nil), cp.PhiTrace...),
+			SeedCost:   cp.SeedCost,
+		}
+		if seedC == nil {
+			seedC = centers // pre-first-iteration checkpoint: centers are the seeds
+		}
+		res, lloydStats, err := c.runLloydPhase(cfg, seedC, centers, maxIter, cp.Iter, cp.CostTrace, initStats)
+		return seedC, res, mergeStats(initStats, lloydStats), err
+	}
+}
+
+// redistribute re-shards the retained dataset into the given span count and
+// reloads every shard over the connected workers — ResumeFit's path to the
+// checkpoint's shard geometry when the worker set changed across the crash.
+func (c *Coordinator) redistribute(shards int) error {
+	switch {
+	case c.man != nil:
+		c.reshard(shards)
+	case c.ds != nil:
+		c.spans = mrkm.MakeSpans(c.n, shards)
+		c.segs = nil
+	default:
+		return errors.New("distkm: cannot re-shard without the retained dataset")
+	}
+	return c.loadAll()
 }

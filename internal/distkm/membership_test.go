@@ -1,0 +1,260 @@
+package distkm
+
+import (
+	"testing"
+	"time"
+
+	"kmeansll/internal/core"
+	"kmeansll/internal/mrkm"
+)
+
+// A worker that joins over real TCP (the kmworker -join path) is a
+// first-class cluster member: the fit over [dialed-style client, joiner] is
+// bit-identical to the two-mapper in-process run.
+func TestJoinAndServeOverTCP(t *testing.T) {
+	acc, err := ListenJoins("127.0.0.1:0", time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = acc.Close() })
+
+	for i := 0; i < 2; i++ {
+		go func() { _ = NewWorker().JoinAndServe(acc.Addr(), 0) }()
+	}
+	var clients []Client
+	for i := 0; i < 2; i++ {
+		cl, err := acc.Next(5 * time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients = append(clients, cl)
+	}
+
+	ds := blobs(t, 4, 60, 5, 25, 61)
+	cfg := core.Config{K: 4, L: 8, Rounds: 4, Seed: 2}
+	wantCenters, _ := mrkm.Init(ds, cfg, mrkm.Config{Mappers: 2})
+
+	c, err := NewCoordinator(clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	if err := c.Distribute(ds); err != nil {
+		t.Fatal(err)
+	}
+	gotCenters, _, err := c.Init(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBitIdentical(t, "joined-worker Init centers", gotCenters, wantCenters)
+}
+
+func TestJoinAcceptorTimeout(t *testing.T) {
+	acc, err := ListenJoins("127.0.0.1:0", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = acc.Close() })
+	if _, err := acc.Next(30 * time.Millisecond); err == nil {
+		t.Fatal("Next returned a client although nobody joined")
+	}
+}
+
+// A joiner steals the piled-up shard from the most loaded owner — and the
+// donor actually drops its copy instead of serving dead weight.
+func TestStealRebalancesAndDonorDrops(t *testing.T) {
+	workers := make([]*Worker, 3)
+	clients := make([]Client, 3)
+	for i := range workers {
+		workers[i] = NewWorker()
+		clients[i] = NewLoopback(workers[i])
+		t.Cleanup(func() { _ = clients[i].Close() })
+	}
+	c, err := NewCoordinator(clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := blobs(t, 3, 60, 4, 20, 67)
+	if err := c.Distribute(ds); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate worker 2 dying: its shard fails over onto a survivor, which
+	// then owns two shards.
+	c.mu.Lock()
+	c.alive[2] = false
+	c.mu.Unlock()
+	if err := c.reassign(2, []int{2}); err != nil {
+		t.Fatal(err)
+	}
+
+	joinerW := NewWorker()
+	joiner := NewLoopback(joinerW)
+	t.Cleanup(func() { _ = joiner.Close() })
+	c.AddWorker(joiner)
+	c.admitJoiners()
+
+	snap := c.Snapshot()
+	j := snap.Workers[3]
+	if len(j.Shards) != 1 {
+		t.Fatalf("joiner owns %v, want exactly one stolen shard", j.Shards)
+	}
+	for w := 0; w < 2; w++ {
+		if got := len(snap.Workers[w].Shards); got != 1 {
+			t.Fatalf("worker %d owns %d shards after rebalancing, want 1", w, got)
+		}
+	}
+	var total int
+	for _, w := range snap.Workers {
+		total += w.Rows
+	}
+	if total != ds.N() {
+		t.Fatalf("assigned rows %d, want %d", total, ds.N())
+	}
+	// The donor was told to drop the stolen shard.
+	var st StatusReply
+	var donorShards int
+	for w := 0; w < 2; w++ {
+		var rep StatusReply
+		if err := workers[w].Status(Ack{}, &rep); err != nil {
+			t.Fatal(err)
+		}
+		donorShards += rep.Shards
+	}
+	if donorShards != 2 {
+		t.Fatalf("surviving original workers hold %d shards, want 2 (donor dropped its copy)", donorShards)
+	}
+	if err := joinerW.Status(Ack{}, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Shards != 1 {
+		t.Fatalf("joiner holds %d shards, want 1", st.Shards)
+	}
+
+	// With balance restored, admitting another joiner must steal nothing:
+	// every owner holds a single shard already.
+	idle := NewLoopback(NewWorker())
+	t.Cleanup(func() { _ = idle.Close() })
+	c.AddWorker(idle)
+	c.admitJoiners()
+	if got := c.Snapshot().Workers[4].Rows; got != 0 {
+		t.Fatalf("second joiner stole %d rows from a balanced cluster", got)
+	}
+}
+
+// Close releases shards from the workers that are still alive even when
+// others already died — the dead ones cannot be asked, the live ones must
+// not be skipped.
+func TestCloseReleasesFromLiveWorkersWithDeadPeers(t *testing.T) {
+	workers := make([]*Worker, 2)
+	clients := make([]Client, 2)
+	for i := range workers {
+		workers[i] = NewWorker()
+		clients[i] = NewLoopback(workers[i])
+	}
+	c, err := NewCoordinator(clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := blobs(t, 2, 40, 3, 20, 71)
+	if err := c.Distribute(ds); err != nil {
+		t.Fatal(err)
+	}
+	c.mu.Lock()
+	c.alive[0] = false
+	c.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() { c.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung with a dead worker in the set")
+	}
+
+	var st StatusReply
+	if err := workers[1].Status(Ack{}, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Shards != 0 {
+		t.Fatalf("live worker still holds %d shards after Close", st.Shards)
+	}
+}
+
+// The janitor reclaims only abandoned shards: one fit keeps touching its
+// shard past several TTLs and survives; an abandoned fit's shard on the same
+// worker is swept.
+func TestJanitorSparesActiveFits(t *testing.T) {
+	w := NewWorker()
+	active := ShardRef{Fit: 1, Shard: 0}
+	abandoned := ShardRef{Fit: 2, Shard: 0}
+	pts := blobs(t, 2, 20, 3, 15, 73)
+	load := func(ref ShardRef) {
+		if err := w.Load(LoadArgs{Ref: ref, Lo: 0, Points: matOf(pts.X.Rows, pts.X.Cols, pts.X.Data)}, &Ack{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	load(active)
+	load(abandoned)
+
+	stop := w.StartJanitor(80 * time.Millisecond)
+	defer stop()
+	centers := matOf(1, 3, []float64{0, 0, 0})
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		// An active fit touches its shard every round; Cost stands in for
+		// any per-round RPC.
+		var rep CostReply
+		if err := w.Cost(CentersArgs{Ref: active, Centers: centers}, &rep); err != nil {
+			t.Fatalf("active shard was reclaimed: %v", err)
+		}
+		var st StatusReply
+		if err := w.Status(Ack{}, &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.Shards == 1 {
+			break // abandoned shard swept, active one spared
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("janitor never swept the abandoned shard (%d shards left)", st.Shards)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	// Outlive a few more TTLs to prove continued activity keeps sparing it.
+	for end := time.Now().Add(200 * time.Millisecond); time.Now().Before(end); {
+		var rep CostReply
+		if err := w.Cost(CentersArgs{Ref: active, Centers: centers}, &rep); err != nil {
+			t.Fatalf("active shard reclaimed despite activity: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// Workers handed to AddWorker before Distribute simply enlarge the initial
+// cluster: spans are cut over the full client set at Distribute time.
+func TestAddWorkerBeforeDistribute(t *testing.T) {
+	clients, closeAll := LoopbackCluster(1)
+	t.Cleanup(closeAll)
+	c, err := NewCoordinator(clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	late := NewLoopback(NewWorker())
+	t.Cleanup(func() { _ = late.Close() })
+	c.AddWorker(late)
+	c.admitJoiners()
+
+	ds := blobs(t, 3, 40, 4, 20, 79)
+	if err := c.Distribute(ds); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Shards(); got != 2 {
+		t.Fatalf("distributed %d shards over 2 workers, want 2", got)
+	}
+	wantCenters, _ := mrkm.Init(ds, core.Config{K: 3, Seed: 4}, mrkm.Config{Mappers: 2})
+	gotCenters, _, err := c.Init(core.Config{K: 3, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBitIdentical(t, "pre-Distribute joiner Init centers", gotCenters, wantCenters)
+}

@@ -150,6 +150,12 @@ type ReleaseArgs struct {
 	Fit uint64
 }
 
+// DropArgs drops a single shard from a worker — issued to the donor after a
+// rebalancing steal moved the shard to a newly joined worker.
+type DropArgs struct {
+	Ref ShardRef
+}
+
 // FetchReply carries one point row.
 type FetchReply struct {
 	Point []float64

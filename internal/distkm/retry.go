@@ -1,0 +1,99 @@
+package distkm
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// RetryPolicy bounds how hard the coordinator tries one worker before
+// declaring it dead and failing the shard over. A transient fault — one
+// dropped packet, one brief GC pause on the worker, one connection blip —
+// costs a retry, not a shard re-load and cache rebuild; only a worker that
+// fails Attempts calls in a row is evicted from the live set. Retries are
+// safe because every worker RPC is idempotent: sampling is counter-based,
+// cache updates are min-folds, and all other passes are stateless.
+//
+// The zero value selects the defaults (3 attempts, 25ms base backoff capped
+// at 1s); Attempts == 1 disables retries entirely.
+type RetryPolicy struct {
+	// Attempts is the total tries per worker per RPC (0 = 3).
+	Attempts int
+	// BaseDelay is the backoff before the first retry; each further retry
+	// doubles it (0 = 25ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential backoff (0 = 1s).
+	MaxDelay time.Duration
+}
+
+func (p RetryPolicy) attempts() int {
+	if p.Attempts > 0 {
+		return p.Attempts
+	}
+	return 3
+}
+
+func (p RetryPolicy) base() time.Duration {
+	if p.BaseDelay > 0 {
+		return p.BaseDelay
+	}
+	return 25 * time.Millisecond
+}
+
+func (p RetryPolicy) cap() time.Duration {
+	if p.MaxDelay > 0 {
+		return p.MaxDelay
+	}
+	return time.Second
+}
+
+// backoff returns the sleep before retry number `retry` (1-based), scaled by
+// jitter ∈ [0.5, 1): exponential growth from BaseDelay, capped at MaxDelay.
+// The jitter decorrelates the per-shard goroutines of one fan-out so a
+// recovering worker is not hit by every shard in the same instant.
+func (p RetryPolicy) backoff(retry int, jitter float64) time.Duration {
+	d := p.base()
+	for i := 1; i < retry && d < p.cap(); i++ {
+		d *= 2
+	}
+	if d > p.cap() {
+		d = p.cap()
+	}
+	return time.Duration(jitter * float64(d))
+}
+
+// SetRetryPolicy configures per-RPC retry/backoff. Call before fitting.
+func (c *Coordinator) SetRetryPolicy(p RetryPolicy) { c.retry = p }
+
+// jitter draws a uniform value in [0.5, 1) from the coordinator's backoff
+// RNG. Backoff timing never influences the fit's arithmetic, so this stream
+// is independent of the seeded fit determinism.
+func (c *Coordinator) jitter() float64 {
+	c.jmu.Lock()
+	defer c.jmu.Unlock()
+	if c.jrng == nil {
+		return 1
+	}
+	return 0.5 + 0.5*c.jrng.Float64()
+}
+
+// ErrNoWorkers is the sentinel for "every worker is dead": a shard had to be
+// rescheduled and no live worker remained. Returned wrapped in a
+// *NoWorkersError carrying the shard and its failover history; callers match
+// with errors.Is(err, ErrNoWorkers).
+var ErrNoWorkers = errors.New("distkm: no live workers left")
+
+// NoWorkersError reports which shard exhausted the worker set and which
+// workers it burned through on the way — the difference between "worker 3
+// was down" and "the whole cluster is gone" when a fit fails.
+type NoWorkersError struct {
+	Shard int   // the shard that could not be rescheduled
+	Tried []int // worker indices this shard was assigned to and lost, in order
+}
+
+func (e *NoWorkersError) Error() string {
+	return fmt.Sprintf("distkm: no live workers left (shard %d failed over through workers %v)", e.Shard, e.Tried)
+}
+
+// Is makes errors.Is(err, ErrNoWorkers) match.
+func (e *NoWorkersError) Is(target error) bool { return target == ErrNoWorkers }

@@ -1,0 +1,131 @@
+package distkm
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"kmeansll/internal/core"
+	"kmeansll/internal/mrkm"
+)
+
+// fastRetry keeps test backoffs in the microsecond range.
+var fastRetry = RetryPolicy{Attempts: 3, BaseDelay: 100 * time.Microsecond, MaxDelay: time.Millisecond}
+
+// blipClient injects a transport error on every nth call without touching
+// the inner client — a network blip, not a worker death, so the retried
+// attempt succeeds.
+type blipClient struct {
+	inner Client
+	mu    sync.Mutex
+	n     int
+	calls int
+}
+
+func (b *blipClient) Call(method string, args, reply any) error {
+	b.mu.Lock()
+	b.calls++
+	fail := b.calls%b.n == 0
+	b.mu.Unlock()
+	if fail {
+		return errors.New("injected: i/o timeout")
+	}
+	return b.inner.Call(method, args, reply)
+}
+
+func (b *blipClient) Close() error { return b.inner.Close() }
+
+// Transient single-call faults must be absorbed by the retry budget: the fit
+// completes bit-identically, counts retries, and never fails a worker over.
+func TestTransientFaultsAbsorbedByRetry(t *testing.T) {
+	const workers = 3
+	ds := blobs(t, 5, 100, 6, 25, 31)
+	cfg := core.Config{K: 5, L: 10, Rounds: 5, Seed: 9}
+	wantCenters, _ := mrkm.Init(ds, cfg, mrkm.Config{Mappers: workers})
+	wantRes, _ := mrkm.Lloyd(ds, wantCenters, 20, mrkm.Config{Mappers: workers})
+
+	clients, closeAll := LoopbackCluster(workers)
+	t.Cleanup(closeAll)
+	for i, cl := range clients {
+		clients[i] = &blipClient{inner: cl, n: 5}
+	}
+	c, err := NewCoordinator(clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetRetryPolicy(fastRetry)
+	if err := c.Distribute(ds); err != nil {
+		t.Fatal(err)
+	}
+	gotCenters, res, stats, err := c.Fit(cfg, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Retries == 0 {
+		t.Fatal("expected retries to absorb the injected blips")
+	}
+	if stats.Failovers != 0 {
+		t.Fatalf("transient faults triggered %d failovers", stats.Failovers)
+	}
+	requireBitIdentical(t, "retried Init centers", gotCenters, wantCenters)
+	requireBitIdentical(t, "retried Lloyd centers", res.Centers, wantRes.Centers)
+
+	snap := c.Snapshot()
+	if snap.Retries == 0 || snap.Failovers != 0 {
+		t.Fatalf("snapshot retries=%d failovers=%d, want >0 and 0", snap.Retries, snap.Failovers)
+	}
+}
+
+// Exhausting every worker surfaces the typed error with the failover
+// history, not a bare transport string.
+func TestNoWorkersErrorCarriesHistory(t *testing.T) {
+	clients, closeAll := LoopbackCluster(2)
+	t.Cleanup(closeAll)
+	wrapped := make([]Client, len(clients))
+	for i, cl := range clients {
+		wrapped[i] = &flakyClient{inner: cl, healthy: 2} // survive Distribute only
+	}
+	c, err := NewCoordinator(wrapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetRetryPolicy(fastRetry)
+	ds := blobs(t, 3, 40, 4, 20, 6)
+	if err := c.Distribute(ds); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = c.Init(core.Config{K: 3, Seed: 1})
+	if err == nil {
+		t.Fatal("Init succeeded with all workers dead")
+	}
+	if !errors.Is(err, ErrNoWorkers) {
+		t.Fatalf("error does not match ErrNoWorkers: %v", err)
+	}
+	var nw *NoWorkersError
+	if !errors.As(err, &nw) {
+		t.Fatalf("error is not a *NoWorkersError: %v", err)
+	}
+	if len(nw.Tried) == 0 {
+		t.Fatalf("failover history empty: %+v", nw)
+	}
+}
+
+func TestBackoffGrowsAndCaps(t *testing.T) {
+	p := RetryPolicy{} // defaults: 25ms base, 1s cap
+	if got := p.backoff(1, 1); got != 25*time.Millisecond {
+		t.Fatalf("first backoff %v, want 25ms", got)
+	}
+	if got := p.backoff(2, 1); got != 50*time.Millisecond {
+		t.Fatalf("second backoff %v, want 50ms", got)
+	}
+	if got := p.backoff(20, 1); got != time.Second {
+		t.Fatalf("late backoff %v, want the 1s cap", got)
+	}
+	if got := p.backoff(1, 0.5); got != 12500*time.Microsecond {
+		t.Fatalf("jittered backoff %v, want 12.5ms", got)
+	}
+	if got := (RetryPolicy{}).attempts(); got != 3 {
+		t.Fatalf("default attempts %d, want 3", got)
+	}
+}

@@ -402,6 +402,23 @@ func (w *Worker) Release(args ReleaseArgs, _ *Ack) error {
 	return nil
 }
 
+// Drop removes one shard, if present (a no-op otherwise — the coordinator's
+// rebalancing treats it as best effort). Used after a steal so the donor does
+// not keep serving memory for a shard it no longer owns.
+func (w *Worker) Drop(args DropArgs, _ *Ack) error {
+	w.mu.Lock()
+	s, ok := w.shards[args.Ref]
+	closeNow := ok && dropLocked(s)
+	if ok {
+		delete(w.shards, args.Ref)
+	}
+	w.mu.Unlock()
+	if closeNow {
+		s.closeMaps()
+	}
+	return nil
+}
+
 // StartJanitor expires shards that no RPC has touched for ttl, sweeping
 // every ttl/10. Coordinators normally Release their shards on Close, but a
 // coordinator that crashes (or a kmcoord that os.Exits on an error path)

@@ -167,6 +167,34 @@ func (r *Rng) Shuffle(n int, swap func(i, j int)) {
 	}
 }
 
+// State is the serializable form of an Rng, for checkpointing a computation
+// mid-stream (distkm's coordinator persists its driver RNG after every
+// sampling round). Go's encoding/json round-trips uint64 and finite float64
+// values exactly, so a State that travels through JSON restores the stream
+// bit for bit.
+type State struct {
+	S        [4]uint64 `json:"s"`
+	Spare    float64   `json:"spare,omitempty"`
+	HasSpare bool      `json:"has_spare,omitempty"`
+}
+
+// State captures the generator's full state, including the cached spare
+// normal (NormFloat64 generates pairs; dropping the spare would shift every
+// subsequent draw).
+func (r *Rng) State() State {
+	return State{S: r.s, Spare: r.spare, HasSpare: r.hasSpare}
+}
+
+// FromState reconstructs the generator a State captured: it continues the
+// stream exactly where State() left off.
+func FromState(st State) *Rng {
+	r := &Rng{s: st.S, spare: st.Spare, hasSpare: st.HasSpare}
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[3] = 1 // xoshiro must not run from the all-zero state
+	}
+	return r
+}
+
 // PointRand returns a uniform [0,1) variate that is a pure function of
 // (seed, round, i). The k-means|| Bernoulli sampling step uses it so that
 // whether point i is selected in a given round depends only on the run seed —

@@ -2,6 +2,7 @@ package server
 
 import (
 	"net/http"
+	"strconv"
 )
 
 // DefaultMaxInflight is the in-flight predict/transform bound when
@@ -70,7 +71,11 @@ func (s *Server) gated(pattern string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if !s.gate.tryAcquire() {
 			row.sheds.Add(1)
-			w.Header().Set("Retry-After", "1")
+			// Advise a backoff matched to what this endpoint currently costs:
+			// a slot frees when an in-flight request completes, so the recent
+			// p90 latency (clamped to [1, 30]s) estimates when a retry can
+			// succeed — a hardcoded "1" thundering-herds slow endpoints.
+			w.Header().Set("Retry-After", strconv.Itoa(row.retryAfterSeconds()))
 			writeError(w, http.StatusServiceUnavailable,
 				"server at its in-flight request bound (%d); retry shortly", s.gate.capacity())
 			return

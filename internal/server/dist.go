@@ -13,6 +13,7 @@ import (
 	"kmeansll/internal/distkm"
 	"kmeansll/internal/dsio"
 	"kmeansll/internal/geom"
+	"kmeansll/internal/lloyd"
 )
 
 // DefaultDistShards is the worker count a "dist" fit uses when the request
@@ -23,6 +24,63 @@ const DefaultDistShards = 4
 // (loopback or remote), so an attacker-sized value must not fan out
 // unboundedly.
 const maxDistShards = 64
+
+// distUnavailableCooldown is how long dist submissions are rejected outright
+// after a fit died with every external worker unreachable. Long enough that a
+// dead pool is not re-probed by every incoming request, short enough that a
+// recovered pool is picked up promptly.
+const distUnavailableCooldown = 15 * time.Second
+
+// DistUnavailableError rejects a dist-backend submission while the external
+// worker pool is known-unreachable. The HTTP layer maps it to 503 with a
+// Retry-After of the remaining cooldown.
+type DistUnavailableError struct {
+	Until time.Time
+	Cause string
+}
+
+func (e *DistUnavailableError) Error() string {
+	return fmt.Sprintf("distributed workers unavailable (%s); retry after %s",
+		e.Cause, time.Until(e.Until).Round(time.Second))
+}
+
+// distAvailable returns nil when dist submissions may proceed, or the typed
+// breaker error while the cooldown from the last total-worker-loss runs.
+func (m *JobManager) distAvailable() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if time.Now().Before(m.noWorkersUntil) {
+		return &DistUnavailableError{Until: m.noWorkersUntil, Cause: m.noWorkersErr}
+	}
+	return nil
+}
+
+// noteDistResult opens (or closes) the breaker from a dist fit's outcome.
+// Only a total loss of *external* workers trips it: loopback clusters die
+// with the process, and partial failures already failed over.
+func (m *JobManager) noteDistResult(err error) {
+	if len(m.distAddrs) == 0 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err == nil {
+		m.noWorkersUntil, m.noWorkersErr = time.Time{}, ""
+		return
+	}
+	if errors.Is(err, distkm.ErrNoWorkers) {
+		m.noWorkersUntil = time.Now().Add(distUnavailableCooldown)
+		m.noWorkersErr = err.Error()
+	}
+}
+
+// distDownUntil exposes the breaker deadline for /v1/sys/dist (zero when
+// closed).
+func (m *JobManager) distDownUntil() time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.noWorkersUntil
+}
 
 // distFit runs one fit job through the distributed k-means|| tier
 // (internal/distkm). With configured worker addresses the shards go to those
@@ -60,13 +118,24 @@ func (m *JobManager) distFit(j *Job) (*kmeansll.Model, error) {
 				_ = cl.Close()
 			}
 		}
+		// Dial whatever subset of the configured pool answers: a worker that
+		// is down should shrink the fit, not brick it. Zero reachable workers
+		// is the typed ErrNoWorkers, which also opens the submission breaker.
+		var unreachable []string
 		for _, addr := range m.distAddrs {
 			cl, err := distkm.Dial(addr, 5*time.Second)
 			if err != nil {
-				cleanup()
-				return nil, fmt.Errorf("dialing dist worker %s: %w", addr, err)
+				m.logf("job %s: dist worker %s unreachable: %v", j.ID, addr, err)
+				unreachable = append(unreachable, addr)
+				continue
 			}
 			clients = append(clients, cl)
+		}
+		if len(clients) == 0 {
+			err := fmt.Errorf("%w: no configured dist worker reachable (%s)",
+				distkm.ErrNoWorkers, strings.Join(unreachable, ", "))
+			m.noteDistResult(err)
+			return nil, err
 		}
 	} else {
 		shards := j.shards
@@ -139,14 +208,45 @@ func (m *JobManager) distFit(j *Job) (*kmeansll.Model, error) {
 	if restarts < 1 {
 		restarts = 1
 	}
+	// Single-restart fits on a persistent server checkpoint under the jobs
+	// dir so a killed server resumes the fit on restart (RecoverJobs requeues
+	// the job; HasCheckpoint routes it here again). Multi-restart fits are a
+	// sequence of independent seeds and are simply refit.
+	ckptDir := ""
+	if m.jobsDir != "" && restarts == 1 {
+		ckptDir = m.ckptDir(j.ID)
+		coord.SetCheckpointer(&distkm.Checkpointer{Dir: ckptDir})
+	}
 	var best *kmeansll.Model
 	for i := 0; i < restarts; i++ {
 		ccfg := core.Config{
 			K: cfg.K, L: over * float64(cfg.K), Rounds: cfg.Rounds,
 			Seed: cfg.Seed + uint64(i),
 		}
-		_, res, stats, err := coord.Fit(ccfg, cfg.MaxIter)
+		var (
+			res   lloyd.Result
+			stats distkm.Stats
+			err   error
+		)
+		if ckptDir != "" && distkm.HasCheckpoint(ckptDir) {
+			m.logf("job %s: resuming dist fit from checkpoint", j.ID)
+			if _, res, stats, err = coord.ResumeFit(ccfg, cfg.MaxIter); err != nil {
+				// A stale or mismatched checkpoint must not wedge the job: drop
+				// it and refit from scratch.
+				m.logf("job %s: resume failed (%v); refitting from scratch", j.ID, err)
+				_ = distkm.RemoveCheckpoint(ckptDir)
+				_, res, stats, err = coord.Fit(ccfg, cfg.MaxIter)
+			}
+		} else {
+			_, res, stats, err = coord.Fit(ccfg, cfg.MaxIter)
+		}
 		if err != nil {
+			// The job settles as failed, so its checkpoint can never be
+			// resumed under this ID again — clean it up with the spec file.
+			m.noteDistResult(err)
+			if ckptDir != "" {
+				_ = distkm.RemoveCheckpoint(ckptDir)
+			}
 			return nil, err
 		}
 		model, err := distkm.Model(res, stats)
@@ -157,6 +257,10 @@ func (m *JobManager) distFit(j *Job) (*kmeansll.Model, error) {
 			best = model
 		}
 	}
+	if ckptDir != "" {
+		_ = distkm.RemoveCheckpoint(ckptDir)
+	}
+	m.noteDistResult(nil)
 	return best, nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"path/filepath"
 	"runtime"
@@ -48,6 +49,11 @@ type Config struct {
 	// Empty (the default) rejects dataset paths — the server will not open
 	// arbitrary files on request.
 	DataDir string
+	// JobsDir, when non-empty, persists pending fit-job specs (and dist-fit
+	// coordinator checkpoints) so RecoverJobs can requeue queued jobs — and
+	// resume checkpointed dist fits — after a restart instead of silently
+	// losing them. cmd/kmserved sets it to <model-dir>/jobs.
+	JobsDir string
 	// Logf, when non-nil, receives one line per notable server event.
 	Logf func(format string, args ...any)
 }
@@ -94,6 +100,8 @@ func New(cfg Config) *Server {
 	}
 	s.jobs.distAddrs = cfg.DistWorkers
 	s.jobs.dataDir = cfg.DataDir
+	s.jobs.jobsDir = cfg.JobsDir
+	s.jobs.logf = cfg.Logf
 	s.routes()
 	return s
 }
@@ -663,6 +671,14 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 
 	job, err := s.jobs.SubmitSpec(spec)
 	if err != nil {
+		// The dist breaker knows when the worker pool is worth re-probing;
+		// plain queue-full keeps the header-less 503.
+		var down *DistUnavailableError
+		if errors.As(err, &down) {
+			if secs := int(math.Ceil(time.Until(down.Until).Seconds())); secs > 0 {
+				w.Header().Set("Retry-After", strconv.Itoa(secs))
+			}
+		}
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}

@@ -112,6 +112,12 @@ type JobManager struct {
 	// loopback and external workers resolve identical paths. Set once at
 	// server construction.
 	dataDir string
+	// jobsDir, when non-empty, persists pending job specs (and dist-fit
+	// coordinator checkpoints) so RecoverJobs can replay them after a
+	// restart. Set once at server construction.
+	jobsDir string
+	// logf receives one line per notable job event; never nil.
+	logf func(format string, args ...any)
 
 	workers int          // pool size, for the sys table
 	busy    atomic.Int64 // workers currently executing a job
@@ -128,6 +134,14 @@ type JobManager struct {
 	lastErrJob string
 	lastErrMsg string
 	lastErrAt  time.Time
+
+	// noWorkersUntil, when in the future, short-circuits dist submissions:
+	// a dist fit just died with every external worker unreachable, so new
+	// dist jobs are rejected with Retry-After until the cooldown passes
+	// instead of being accepted and failing the same way. noWorkersErr is
+	// the failure that opened the breaker.
+	noWorkersUntil time.Time
+	noWorkersErr   string
 
 	// distLive tracks the coordinator of every currently-running dist fit,
 	// keyed by job ID, so /v1/sys/dist can render per-worker shard state
@@ -166,6 +180,7 @@ func newJobManager(reg *Registry, workers, depth int, runJob func(*Job)) *JobMan
 		maxJobs:  1024,
 		workers:  workers,
 		distLive: make(map[string]*distkm.Coordinator),
+		logf:     func(string, ...any) {},
 	}
 	m.runJob = m.run
 	if runJob != nil {
@@ -223,6 +238,9 @@ func (m *JobManager) SubmitSpec(spec FitSpec) (*Job, error) {
 		if opt := spec.Config.OptimizerOrDefault(); opt != (kmeansll.Lloyd{}) {
 			return nil, fmt.Errorf(`backend "dist" supports only optimizer "lloyd:naive", not %q`, opt)
 		}
+		if err := m.distAvailable(); err != nil {
+			return nil, err
+		}
 	}
 	nPoints := spec.NumPoints
 	if nPoints == 0 {
@@ -251,6 +269,7 @@ func (m *JobManager) SubmitSpec(spec FitSpec) (*Job, error) {
 	// can slip a job into the dead channel.
 	select {
 	case m.queue <- j:
+		m.persistJob(j, JobQueued)
 		return j, nil
 	default:
 		j.mu.Lock()
@@ -452,6 +471,7 @@ func (m *JobManager) run(j *Job) {
 	j.state = JobRunning
 	j.started = time.Now().UTC()
 	j.mu.Unlock()
+	m.persistJob(j, JobRunning)
 
 	var (
 		model *kmeansll.Model
@@ -483,6 +503,9 @@ func (m *JobManager) run(j *Job) {
 		m.noteError(j.ID, err.Error())
 	}
 
+	// The spec file only covers pending work; once the job settles the
+	// registry (or the recorded error) is the durable record.
+	defer m.unpersistJob(j.ID)
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.finished = time.Now().UTC()

@@ -152,6 +152,14 @@ type endpointCounters struct {
 	maxNanos atomic.Int64
 	hist     latencyHist
 	ring     qpsRing
+
+	// recent is a tumbling per-minute histogram feeding retryAfterSeconds:
+	// the admission gate's Retry-After should track what the endpoint costs
+	// *now*, not its lifetime average. 503s are excluded — under overload
+	// they are the bulk of the traffic and their microsecond latencies would
+	// drag the quantile (and thus the advised backoff) to nothing.
+	recentMin atomic.Int64 // unix minute `recent` currently covers
+	recent    latencyHist
 }
 
 // observe records one finished request.
@@ -162,6 +170,9 @@ func (c *endpointCounters) observe(d time.Duration, status int) {
 	}
 	n := d.Nanoseconds()
 	c.hist.observe(n)
+	if status != http.StatusServiceUnavailable {
+		c.observeRecent(n, time.Now().Unix()/60)
+	}
 	c.ring.observe(time.Now().Unix())
 	for {
 		cur := c.maxNanos.Load()
@@ -169,6 +180,45 @@ func (c *endpointCounters) observe(d time.Duration, status int) {
 			break
 		}
 	}
+}
+
+// observeRecent rotates the tumbling window onto the current minute, then
+// records. The reset races with concurrent writers by design (a handful of
+// observations may land in a freshly-zeroed window or be lost); the window
+// feeds an advisory backoff hint, not accounting.
+func (c *endpointCounters) observeRecent(nanos, minute int64) {
+	if m := c.recentMin.Load(); m != minute {
+		if c.recentMin.CompareAndSwap(m, minute) {
+			for i := range c.recent.counts {
+				c.recent.counts[i].Store(0)
+			}
+		}
+	}
+	c.recent.observe(nanos)
+}
+
+// retryAfterSeconds derives the Retry-After an admission shed should carry:
+// the endpoint's recent p90 latency rounded up to whole seconds, clamped to
+// [1, 30]. A slot opens when an in-flight request finishes, so its p90 is a
+// defensible estimate of when retrying becomes worthwhile; the clamp keeps
+// the hint sane when the window is empty (1) or the endpoint is pathological
+// (30).
+func (c *endpointCounters) retryAfterSeconds() int {
+	maxN := c.maxNanos.Load()
+	p90 := c.recent.quantiles(maxN, 0.90)[0]
+	if p90 == 0 {
+		// Nothing served this minute (e.g. right after a rotation): fall back
+		// to the lifetime histogram.
+		p90 = c.hist.quantiles(maxN, 0.90)[0]
+	}
+	secs := int(math.Ceil(p90 / 1e9))
+	if secs < 1 {
+		return 1
+	}
+	if secs > 30 {
+		return 30
+	}
+	return secs
 }
 
 // statsTable aggregates per-endpoint request counters, in the spirit of the

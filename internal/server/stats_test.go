@@ -199,3 +199,45 @@ func TestStatusRecorderTransparency(t *testing.T) {
 	plain := &statusRecorder{ResponseWriter: httptest.NewRecorder()}
 	plain.Flush()
 }
+
+// TestRetryAfterSeconds pins the admission gate's backoff hint: the recent
+// p90 rounded up to whole seconds and clamped to [1, 30], with shed responses
+// excluded so overload cannot talk the hint down to nothing.
+func TestRetryAfterSeconds(t *testing.T) {
+	var c endpointCounters
+	if got := c.retryAfterSeconds(); got != 1 {
+		t.Fatalf("empty row advises %d, want the 1s floor", got)
+	}
+
+	for i := 0; i < 20; i++ {
+		c.observe(100*time.Millisecond, http.StatusOK)
+	}
+	if got := c.retryAfterSeconds(); got != 1 {
+		t.Fatalf("100ms p90 advises %d, want 1 (clamped up)", got)
+	}
+
+	// Shift the p90 to ~5s. Histogram buckets are ≤25% wide, so the midpoint
+	// estimate stays within [5, 6] after ceil.
+	for i := 0; i < 200; i++ {
+		c.observe(5*time.Second, http.StatusOK)
+	}
+	if got := c.retryAfterSeconds(); got < 5 || got > 6 {
+		t.Fatalf("5s p90 advises %d, want 5..6", got)
+	}
+
+	// A flood of (sub-millisecond) sheds must not dilute the estimate.
+	for i := 0; i < 10_000; i++ {
+		c.observe(50*time.Microsecond, http.StatusServiceUnavailable)
+	}
+	if got := c.retryAfterSeconds(); got < 5 || got > 6 {
+		t.Fatalf("p90 after a shed flood advises %d, want 5..6", got)
+	}
+
+	var slow endpointCounters
+	for i := 0; i < 10; i++ {
+		slow.observe(100*time.Second, http.StatusOK)
+	}
+	if got := slow.retryAfterSeconds(); got != 30 {
+		t.Fatalf("pathological endpoint advises %d, want the 30s cap", got)
+	}
+}

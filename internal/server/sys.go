@@ -26,7 +26,7 @@ var sysTables = []struct {
 	{"/v1/sys/streams", "per-stream coreset occupancy, refit cadence and lag"},
 	{"/v1/sys/datasets", "open .kmd mappings: path, rows×cols, bytes, mmap vs copy fallback"},
 	{"/v1/sys/runtime", "Go runtime: heap, GC cycles and pauses, goroutines"},
-	{"/v1/sys/dist", "per-worker shard state of in-flight distributed fits"},
+	{"/v1/sys/dist", "per-worker shard state, retry/failover/join counts and checkpoint phase of in-flight distributed fits"},
 	{"/v1/sys/admission", "in-flight gate occupancy vs the -max-inflight bound"},
 }
 
@@ -175,10 +175,16 @@ func histogramQuantile(h *metrics.Float64Histogram, q float64) float64 {
 // ---- /v1/sys/dist --------------------------------------------------------
 
 func (s *Server) handleSysDist(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	out := map[string]any{
 		"configured_workers": s.cfg.DistWorkers,
 		"active_fits":        s.jobs.DistSnapshots(),
-	})
+	}
+	// Surface the submission breaker while it is open: "why are my dist fits
+	// being 503'd" should be answerable from this table.
+	if until := s.jobs.distDownUntil(); time.Now().Before(until) {
+		out["workers_unavailable_until"] = until.Format(time.RFC3339Nano)
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // ---- /v1/sys/admission ---------------------------------------------------
