@@ -1,17 +1,18 @@
 GO ?= go
 
-.PHONY: build test vet race serve bench bench-check clean
+.PHONY: build test vet race serve bench bench-check doclint clean
 
 build:
 	$(GO) build ./...
 
 # bench regenerates BENCH_init.json / BENCH_predict.json / BENCH_load.json /
-# BENCH_optimizers.json / BENCH_serve.json: the hot-path perf suite (Init,
-# Lloyd iteration, steady-state PredictBatch) measured under the naive-scan
-# baseline and the blocked distance engine, plus the dataset load paths (CSV
-# parse vs mmap .kmd open), the refinement variants (full Lloyd vs
-# mini-batch), and the serving ceiling (an in-process kmserved swept to
-# saturation; see cmd/kmbench/serve.go).
+# BENCH_optimizers.json / BENCH_f32.json / BENCH_serve.json: the hot-path
+# perf suite (Init, Lloyd iteration, steady-state PredictBatch) measured
+# under the naive-scan baseline and the blocked distance engine, the same
+# three paths under the float32 engine (cmd/kmbench/perf32.go), plus the
+# dataset load paths (CSV parse vs mmap .kmd open), the refinement variants
+# (full Lloyd vs mini-batch), and the serving ceiling (an in-process
+# kmserved swept to saturation; see cmd/kmbench/serve.go).
 bench: build
 	$(GO) run ./cmd/kmbench -json
 	$(GO) run ./cmd/kmbench -serve
@@ -28,7 +29,13 @@ bench-check: build
 vet:
 	$(GO) vet ./...
 
-test: vet
+# doclint enforces the documentation contract on the kernel/format packages:
+# every exported identifier in internal/geom, internal/dsio and internal/lloyd
+# must carry a doc comment (see docs/kernels.md and docs/kmd-format.md).
+doclint:
+	$(GO) run ./cmd/doclint ./internal/geom ./internal/dsio ./internal/lloyd
+
+test: vet doclint
 	$(GO) test -race ./...
 
 race: test

@@ -1,0 +1,157 @@
+// Command doclint fails when an exported identifier in the named packages
+// lacks a doc comment. It is the enforcement half of the documentation
+// contract: the kernel/format packages (internal/geom, internal/dsio,
+// internal/lloyd) promise that every exported symbol explains itself, so the
+// selection matrix in docs/kernels.md and the byte layout in
+// docs/kmd-format.md stay discoverable from godoc alone. CI runs it via
+// `make doclint`; see .github/workflows/ci.yml.
+//
+// Usage:
+//
+//	doclint ./internal/geom ./internal/dsio ./internal/lloyd
+//
+// Each argument is a package directory. Exit status 1 and one line per
+// finding ("file:line: exported X is missing a doc comment") when anything
+// exported is undocumented; test files are skipped.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: doclint PKGDIR...")
+		os.Exit(2)
+	}
+	findings := 0
+	for _, dir := range os.Args[1:] {
+		f, err := lintDir(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doclint:", err)
+			os.Exit(2)
+		}
+		findings += f
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "doclint: %d exported identifier(s) missing doc comments\n", findings)
+		os.Exit(1)
+	}
+}
+
+// lintDir parses every non-test .go file in dir and reports exported
+// declarations without doc comments.
+func lintDir(dir string) (int, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return 0, err
+	}
+	findings := 0
+	report := func(pos token.Pos, what, name string) {
+		p := fset.Position(pos)
+		rel := p.Filename
+		if r, err := filepath.Rel(".", p.Filename); err == nil {
+			rel = r
+		}
+		fmt.Printf("%s:%d: exported %s %s is missing a doc comment\n", rel, p.Line, what, name)
+		findings++
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if d.Name.IsExported() && d.Doc == nil && !isExportedMethodOfUnexported(d) {
+						what := "function"
+						if d.Recv != nil {
+							what = "method"
+						}
+						report(d.Pos(), what, funcName(d))
+					}
+				case *ast.GenDecl:
+					findings += lintGenDecl(d, report)
+				}
+			}
+		}
+	}
+	return findings, nil
+}
+
+// lintGenDecl checks type/const/var declarations and returns the number of
+// findings it reported. A doc comment on the grouped declaration covers its
+// members, and a spec's own doc or trailing line comment also counts —
+// matching what godoc renders.
+func lintGenDecl(d *ast.GenDecl, report func(pos token.Pos, what, name string)) int {
+	if d.Tok == token.IMPORT || d.Doc != nil {
+		return 0
+	}
+	findings := 0
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && s.Doc == nil && s.Comment == nil {
+				report(s.Pos(), "type", s.Name.Name)
+				findings++
+			}
+		case *ast.ValueSpec:
+			if s.Doc != nil || s.Comment != nil {
+				continue
+			}
+			for _, n := range s.Names {
+				if n.IsExported() {
+					report(n.Pos(), valueKind(d.Tok), n.Name)
+					findings++
+					break
+				}
+			}
+		}
+	}
+	return findings
+}
+
+func valueKind(tok token.Token) string {
+	if tok == token.CONST {
+		return "const"
+	}
+	return "var"
+}
+
+// isExportedMethodOfUnexported reports whether d is a method on an
+// unexported receiver type — invisible in godoc, so not held to the rule.
+func isExportedMethodOfUnexported(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return false
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver T[P]
+		t = idx.X
+	}
+	id, ok := t.(*ast.Ident)
+	return ok && !id.IsExported()
+}
+
+func funcName(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return d.Name.Name
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + d.Name.Name
+	}
+	return d.Name.Name
+}

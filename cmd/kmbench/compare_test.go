@@ -113,6 +113,39 @@ func TestCompareFiresOnServingCeilingDrop(t *testing.T) {
 	}
 }
 
+// The float32 suite's 1.3x floor: a metric whose committed baseline met the
+// acceptance bar must keep meeting it, while metrics that never reached it
+// (init) ride only the generic collapse rule.
+func TestCompareFiresOnF32FloorBreach(t *testing.T) {
+	mk := func(lloyd, init float64) perfFile {
+		return perfFile{
+			Suite:    "f32",
+			Speedups: map[string]float64{"lloyd_iter_f32": lloyd, "init_f32": init},
+		}
+	}
+	findings := compareFiles(mk(2.0, 1.2), mk(1.25, 1.2), 25)
+	if len(findings) != 1 || !strings.Contains(findings[0], "1.3x floor") {
+		t.Fatalf("floor breach not caught: %v", findings)
+	}
+	// Above the floor: fine, even if down from the baseline.
+	if findings := compareFiles(mk(2.0, 1.2), mk(1.4, 1.2), 25); len(findings) != 0 {
+		t.Fatalf("gate fired above the floor: %v", findings)
+	}
+	// init never met the bar in the baseline, so only a sub-1x collapse fires.
+	if findings := compareFiles(mk(2.0, 1.2), mk(2.0, 1.05), 25); len(findings) != 0 {
+		t.Fatalf("gate fired on init above 1x: %v", findings)
+	}
+	if findings := compareFiles(mk(2.0, 1.2), mk(2.0, 0.9), 25); len(findings) != 1 {
+		t.Fatalf("init collapse below 1x not caught: %v", findings)
+	}
+	// The floor rule only applies to the f32 suite.
+	other := perfFile{Suite: "init", Speedups: map[string]float64{"init": 1.6}}
+	otherCur := perfFile{Suite: "init", Speedups: map[string]float64{"init": 1.25}}
+	if findings := compareFiles(other, otherCur, 25); len(findings) != 0 {
+		t.Fatalf("floor rule leaked into another suite: %v", findings)
+	}
+}
+
 // A benchmark that silently disappears from the suite must fail the gate —
 // otherwise deleting a slow benchmark "fixes" its regression.
 func TestCompareFiresOnMissingBenchmark(t *testing.T) {
@@ -162,6 +195,14 @@ func TestRunCompareRoundTrip(t *testing.T) {
 		MaxInflight:  32,
 		SheddingFrom: 64,
 	}
+	f32 := perfFile{
+		Suite: "f32",
+		Results: []perfResult{
+			{Name: "LloydIter/precision=f64", NsPerOp: 90_000_000},
+			{Name: "LloydIter/precision=f32asm", NsPerOp: 45_000_000},
+		},
+		Speedups: map[string]float64{"lloyd_iter_f32": 2.0, "predict_batch_f32": 2.1, "init_f32": 1.2},
+	}
 	writeBoth := func(dir string, init, pred perfFile) {
 		if err := writePerfFile(filepath.Join(dir, "BENCH_init.json"), init); err != nil {
 			t.Fatal(err)
@@ -176,6 +217,9 @@ func TestRunCompareRoundTrip(t *testing.T) {
 			t.Fatal(err)
 		}
 		if err := writePerfFile(filepath.Join(dir, "BENCH_serve.json"), serve); err != nil {
+			t.Fatal(err)
+		}
+		if err := writePerfFile(filepath.Join(dir, "BENCH_f32.json"), f32); err != nil {
 			t.Fatal(err)
 		}
 	}

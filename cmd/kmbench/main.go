@@ -13,8 +13,9 @@
 //
 // Beyond the paper experiments, `kmbench -json` runs the hot-path perf suite
 // (Init, one Lloyd iteration, steady-state PredictBatch — each under the
-// naive-scan baseline and the blocked distance engine) and writes
-// BENCH_init.json / BENCH_predict.json for regression tracking; see perf.go.
+// naive-scan baseline and the blocked distance engine, and again under the
+// float32 engine at 10⁵×32) and writes BENCH_init.json / BENCH_predict.json /
+// BENCH_f32.json for regression tracking; see perf.go and perf32.go.
 // `kmbench -serve` measures the serving ceiling: it boots an in-process
 // kmserved, sweeps predict concurrency past the admission bound and writes
 // max-QPS / latency / shed-knee into BENCH_serve.json; see serve.go.

@@ -220,6 +220,10 @@ func runPerfSuite(outDir string) error {
 		return err
 	}
 	optFile := runOptimizerSuite()
+	f32File, err := runF32Suite()
+	if err != nil {
+		return err
+	}
 
 	if err := writePerfFile(filepath.Join(outDir, "BENCH_init.json"), initFile); err != nil {
 		return err
@@ -233,7 +237,10 @@ func runPerfSuite(outDir string) error {
 	if err := writePerfFile(filepath.Join(outDir, "BENCH_optimizers.json"), optFile); err != nil {
 		return err
 	}
-	for _, f := range []perfFile{initFile, predictFile, loadFile, optFile} {
+	if err := writePerfFile(filepath.Join(outDir, "BENCH_f32.json"), f32File); err != nil {
+		return err
+	}
+	for _, f := range []perfFile{initFile, predictFile, loadFile, optFile, f32File} {
 		for _, r := range f.Results {
 			fmt.Printf("%-28s %14.0f ns/op %6d B/op %4d allocs/op\n", r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
 		}

@@ -21,18 +21,25 @@
 // -mr runs the MapReduce realization of k-means|| and Lloyd (engine in
 // internal/mr) instead of the in-process implementation; it supports only
 // the default lloyd optimizer.
+// -precision f32 runs the distance passes in single precision (see
+// docs/kernels.md for the tolerance contract); over a float32 .kmd file the
+// fit is zero-copy — the mmap'd payload is used directly.
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"strconv"
+	"strings"
 
 	"kmeansll"
 	"kmeansll/internal/core"
 	"kmeansll/internal/data"
+	"kmeansll/internal/dsio"
 	"kmeansll/internal/geom"
 	"kmeansll/internal/mrkm"
 )
@@ -51,6 +58,7 @@ func main() {
 		useMR    = flag.Bool("mr", false, "use the MapReduce realization (kmeansll init, lloyd optimizer only)")
 		norm     = flag.Bool("normalize", false, "z-normalize columns before clustering")
 		optSpec  = flag.String("optimizer", "lloyd", "refinement: lloyd[:kernel] | minibatch[:b=N,iters=N] | trimmed:F | spherical")
+		precName = flag.String("precision", "f64", "distance arithmetic: f64 | f32 (see docs/kernels.md)")
 		quiet    = flag.Bool("q", false, "suppress progress output")
 	)
 	flag.Parse()
@@ -60,6 +68,10 @@ func main() {
 		os.Exit(2)
 	}
 	optimizer, err := kmeansll.ParseOptimizer(*optSpec)
+	if err != nil {
+		fatal(err)
+	}
+	precision, err := kmeansll.ParsePrecision(*precName)
 	if err != nil {
 		fatal(err)
 	}
@@ -78,12 +90,38 @@ func main() {
 		os.Exit(2)
 	}
 
-	ds, closer, err := data.Load(*in)
-	if err != nil {
-		fatal(err)
+	// A float32 fit over a float32 .kmd file is zero-copy: the mmap'd payload
+	// is the fit's working set and no widened float64 copy is materialized.
+	// Every other combination loads through the usual float64 path.
+	var (
+		ds     *geom.Dataset
+		ds32   *geom.Dataset32
+		closer io.Closer
+	)
+	if precision == kmeansll.Float32 && !*useMR && !*norm &&
+		strings.EqualFold(filepath.Ext(*in), dsio.Ext) {
+		r, err := dsio.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		closer = r
+		if r.Info().Float32 {
+			ds32 = r.Dataset32()
+		} else {
+			ds = r.Dataset()
+		}
+	} else {
+		ds, closer, err = data.Load(*in)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	defer closer.Close()
-	if err := ds.Validate(); err != nil {
+	if ds32 != nil {
+		if err := ds32.Validate(); err != nil {
+			fatal(err)
+		}
+	} else if err := ds.Validate(); err != nil {
 		fatal(err)
 	}
 	if *norm {
@@ -101,8 +139,14 @@ func main() {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
 	}
-	logf("kmcluster: %d points x %d dims, k=%d, init=%s, optimizer=%s",
-		ds.N(), ds.Dim(), *k, *initName, optimizer)
+	n, dim := 0, 0
+	if ds32 != nil {
+		n, dim = ds32.N(), ds32.Dim()
+	} else {
+		n, dim = ds.N(), ds.Dim()
+	}
+	logf("kmcluster: %d points x %d dims, k=%d, init=%s, optimizer=%s, precision=%s",
+		n, dim, *k, *initName, optimizer, precision)
 
 	var centers *geom.Matrix
 	var assignOut []int
@@ -112,6 +156,9 @@ func main() {
 		}
 		if initMethod != kmeansll.KMeansParallel {
 			fatal(fmt.Errorf("-mr supports only -init kmeansll"))
+		}
+		if precision != kmeansll.Float64 {
+			fatal(fmt.Errorf("-mr supports only -precision f64"))
 		}
 		cfg := core.Config{K: *k, L: *l * float64(*k), Rounds: *rounds, Seed: *seedVal}
 		init, stats := mrkm.Init(ds, cfg, mrkm.Config{})
@@ -132,10 +179,17 @@ func main() {
 	} else {
 		// The shared pipeline: exactly kmeansll.ClusterDataset, so the same
 		// spec fits identically here, in the library, and in kmserved.
-		model, err := kmeansll.ClusterDataset(ds, kmeansll.Config{
+		cfg := kmeansll.Config{
 			K: *k, Init: initMethod, Oversampling: *l, Rounds: *rounds,
 			MaxIter: *maxIter, Seed: *seedVal, Optimizer: optimizer,
-		})
+			Precision: precision,
+		}
+		var model *kmeansll.Model
+		if ds32 != nil {
+			model, err = kmeansll.ClusterDataset32(ds32, cfg)
+		} else {
+			model, err = kmeansll.ClusterDataset(ds, cfg)
+		}
 		if err != nil {
 			fatal(err)
 		}

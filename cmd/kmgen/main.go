@@ -8,14 +8,17 @@
 //
 //	kmgen -dataset gauss -n 10000 -k 50 -R 10 -o gauss.csv
 //	kmgen -dataset kdd -n 200000 -format kmd -o kdd.kmd
+//	kmgen -dataset kdd -n 200000 -format kmd32 -o kdd32.kmd
 //	kmgen convert -in points.csv -o points.kmd
 //	kmgen convert -in points.kmd -o points.csv
 //	kmgen split -in points.kmd -parts 8 -o shards/
 //
 // -format auto (the default) picks by the -o extension; .kmd output opens
-// O(1) via mmap everywhere a CSV is accepted. split writes part-NNNN.kmd
-// files plus a manifest.json that kmcoord -manifest and kmserved dataset
-// fits consume.
+// O(1) via mmap everywhere a CSV is accepted. -format kmd32 writes the
+// float32-payload variant (half the bytes; weights stay float64 — see
+// docs/kmd-format.md), which kmcluster -precision f32 fits zero-copy.
+// split writes part-NNNN.kmd files plus a manifest.json that kmcoord
+// -manifest and kmserved dataset fits consume.
 package main
 
 import (
@@ -54,7 +57,7 @@ func runGenerate(args []string) {
 		r       = fs.Float64("R", 10, "center-scale variance R (gauss only)")
 		seed    = fs.Uint64("seed", 1, "generator seed")
 		out     = fs.String("o", "", "output path (default stdout, CSV)")
-		format  = fs.String("format", "auto", "output format: auto | csv | kmd (auto picks by the -o extension)")
+		format  = fs.String("format", "auto", "output format: auto | csv | kmd | kmd32 (auto picks by the -o extension; kmd32 = float32 payload)")
 	)
 	_ = fs.Parse(args)
 
@@ -88,7 +91,7 @@ func runConvert(args []string) {
 	var (
 		in     = fs.String("in", "", "input dataset: CSV, .kmd or a shard manifest (required)")
 		out    = fs.String("o", "", "output path (required); format follows -format or the extension")
-		format = fs.String("format", "auto", "output format: auto | csv | kmd")
+		format = fs.String("format", "auto", "output format: auto | csv | kmd | kmd32")
 	)
 	_ = fs.Parse(args)
 	if *in == "" || *out == "" {
@@ -153,8 +156,30 @@ func writeDataset(ds *geom.Dataset, path, format string) error {
 			return fmt.Errorf("kmd output needs -o (binary data does not go to a terminal)")
 		}
 		return dsio.Save(path, ds)
+	case "kmd32":
+		if path == "" {
+			return fmt.Errorf("kmd output needs -o (binary data does not go to a terminal)")
+		}
+		// Float32 payload: half the bytes, narrowed points, float64 weights.
+		// See docs/kmd-format.md for the layout and compatibility rules.
+		w, err := dsio.CreateFloat32(path, ds.Dim())
+		if err != nil {
+			return err
+		}
+		for i := 0; i < ds.N(); i++ {
+			if ds.Weight != nil {
+				err = w.WriteWeightedRow(ds.Point(i), ds.Weight[i])
+			} else {
+				err = w.WriteRow(ds.Point(i))
+			}
+			if err != nil {
+				w.Abort()
+				return err
+			}
+		}
+		return w.Close()
 	default:
-		return fmt.Errorf("unknown -format %q (want auto, csv or kmd)", format)
+		return fmt.Errorf("unknown -format %q (want auto, csv, kmd or kmd32)", format)
 	}
 }
 

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"math"
+
+	"kmeansll/internal/geom"
+	"kmeansll/internal/lloyd"
+	"kmeansll/internal/rng"
+)
+
+// Init32 runs k-means|| over float32 points — the same Algorithm 2 structure
+// as Init, with every distance-heavy pass (the per-round D² cache update,
+// Step 7 weighting, the SeedCost pass) on the blocked float32 engine. The
+// sampling decisions (Bernoulli coin flips, ExactL draws, reclustering) are
+// the identical code operating on the float64 D² cache, so the run is
+// deterministic for a given seed and parallelism-independent exactly like
+// Init; only the cached distances carry float32 rounding, making the chosen
+// centers equivalent in distribution rather than bit-identical to Init on
+// the widened data (docs/kernels.md states the contract). Step 8 reclusters
+// the (tiny) weighted candidate set in float64, reusing Init's exact code.
+func Init32(ds *geom.Dataset32, cfg Config) (*geom.Matrix, Stats) {
+	if cfg.K <= 0 {
+		panic("core: Config.K must be positive")
+	}
+	n := ds.N()
+	if n == 0 {
+		panic("core: empty dataset")
+	}
+	if cfg.K >= n {
+		return ds.X.ToMatrix(), Stats{Candidates: n, Passes: 0}
+	}
+
+	r := rng.New(cfg.Seed)
+	ell := cfg.ell()
+	rounds := cfg.rounds()
+
+	// Step 1: first center, uniform (weight-proportional when weighted).
+	var first int
+	if ds.Weight == nil {
+		first = r.Intn(n)
+	} else {
+		first = r.WeightedIndex(ds.Weight)
+	}
+	centers := &geom.Matrix32{Cols: ds.Dim()}
+	est := 1 + rounds*int(math.Ceil(ell))
+	if est > n {
+		est = n
+	}
+	centers.Reserve(est)
+	centers.AppendRow(ds.Point(first))
+
+	// Step 2: ψ ← φ_X(C), cached per point in float64. Point norms are
+	// computed once and reused by every scalar-path round below.
+	pNorms := geom.RowSqNorms32(ds.X, nil)
+	d2 := make([]float64, n)
+	chunks := geom.ChunkCount(n, cfg.Parallelism)
+	partial := make([]float64, chunks)
+	geom.ParallelFor(n, cfg.Parallelism, func(chunk, lo, hi int) {
+		var s float64
+		c0 := centers.Row(0)
+		n0 := geom.SqNorm32(c0)
+		for i := lo; i < hi; i++ {
+			d2[i] = ds.W(i) * geom.SqDistNorm32(ds.Point(i), c0, pNorms[i], n0)
+			s += d2[i]
+		}
+		partial[chunk] = s
+	})
+	phi := sum(partial)
+	stats := Stats{Psi: phi, PhiTrace: []float64{phi}, Passes: 1}
+
+	// Steps 3–6: sampling rounds. The coin flips and draws reuse Init's
+	// samplers verbatim — they only see the float64 D² cache.
+	for round := 0; round < rounds; round++ {
+		if !(phi > 0) {
+			break // every point coincides with a center; nothing to sample
+		}
+		var chosen []int
+		switch cfg.Mode {
+		case ExactL:
+			chosen = sampleExactL(r, d2, int(math.Round(ell)))
+		default:
+			chosen = sampleBernoulli(cfg.Seed, round, d2, phi, ell, cfg.Parallelism)
+		}
+		stats.Rounds++
+		stats.RoundCandidates = append(stats.RoundCandidates, len(chosen))
+		if len(chosen) == 0 {
+			stats.PhiTrace = append(stats.PhiTrace, phi)
+			continue
+		}
+		from := centers.Rows
+		for _, i := range chosen {
+			centers.AppendRow(ds.Point(i))
+		}
+		// Update cached distances against only the new centers — one pass,
+		// blocked when the round is large enough, scalar norm-expansion
+		// otherwise.
+		newView := centers.RowRange(from, centers.Rows)
+		if kNew := centers.Rows - from; geom.UseBlocked(kNew, ds.Dim()) {
+			cNorms := geom.RowSqNorms32(&newView, nil)
+			geom.ParallelFor(n, cfg.Parallelism, func(chunk, lo, hi int) {
+				sc := geom.GetScratch32()
+				var s float64
+				geom.VisitNearest32(ds.X, &newView, cNorms, lo, hi, sc, false, func(i int, _ int32, dNew float64) {
+					if nd := ds.W(i) * dNew; nd < d2[i] {
+						d2[i] = nd
+					}
+					s += d2[i]
+				})
+				sc.Release()
+				partial[chunk] = s
+			})
+		} else {
+			cNorms := geom.RowSqNorms32(&newView, nil)
+			geom.ParallelFor(n, cfg.Parallelism, func(chunk, lo, hi int) {
+				var s float64
+				for i := lo; i < hi; i++ {
+					if d2[i] > 0 {
+						w := ds.W(i)
+						p := ds.Point(i)
+						best := d2[i] / w
+						for c := 0; c < newView.Rows; c++ {
+							if nd := geom.SqDistNorm32(p, newView.Row(c), pNorms[i], cNorms[c]); nd < best {
+								best = nd
+							}
+						}
+						d2[i] = w * best
+					}
+					s += d2[i]
+				}
+				partial[chunk] = s
+			})
+		}
+		phi = sum(partial)
+		stats.Passes++
+		stats.PhiTrace = append(stats.PhiTrace, phi)
+	}
+	stats.Candidates = centers.Rows
+
+	// Step 7: weight each candidate by the total weight of the points it
+	// serves.
+	weights := candidateWeights32(ds, centers, pNorms, cfg.Parallelism)
+	stats.Passes++
+
+	// Step 8: recluster the weighted candidates down to k. The candidate set
+	// is ~1 + r·ℓ rows, so widening it to float64 and running Init's exact
+	// reclustering costs nothing measurable.
+	final := recluster(centers.ToMatrix(), weights, cfg, r)
+
+	stats.SeedCost = lloyd.Cost32(ds, geom.ToMatrix32(final), cfg.Parallelism)
+	stats.Passes++
+	return final, stats
+}
+
+// candidateWeights32 performs Step 7 over float32 points: w_x = Σ of input
+// weights of the points whose nearest candidate is x.
+func candidateWeights32(ds *geom.Dataset32, centers *geom.Matrix32, pNorms []float32, parallelism int) []float64 {
+	n, k := ds.N(), centers.Rows
+	chunks := geom.ChunkCount(n, parallelism)
+	perChunk := make([][]float64, chunks)
+	cNorms := geom.RowSqNorms32(centers, nil)
+	blocked := geom.UseBlocked(k, centers.Cols)
+	geom.ParallelFor(n, parallelism, func(chunk, lo, hi int) {
+		w := make([]float64, k)
+		if blocked {
+			sc := geom.GetScratch32()
+			geom.VisitNearest32(ds.X, centers, cNorms, lo, hi, sc, true, func(i int, idx int32, _ float64) {
+				w[idx] += ds.W(i)
+			})
+			sc.Release()
+		} else {
+			for i := lo; i < hi; i++ {
+				p := ds.Point(i)
+				best, bestIdx := math.Inf(1), 0
+				for c := 0; c < k; c++ {
+					if d := geom.SqDistNorm32(p, centers.Row(c), pNorms[i], cNorms[c]); d < best {
+						best, bestIdx = d, c
+					}
+				}
+				w[bestIdx] += ds.W(i)
+			}
+		}
+		perChunk[chunk] = w
+	})
+	weights := make([]float64, k)
+	for _, w := range perChunk {
+		for c := range weights {
+			weights[c] += w[c]
+		}
+	}
+	return weights
+}

@@ -17,18 +17,23 @@
 //	offset size
 //	0      4   magic "KMDF"
 //	4      2   version (1)
-//	6      2   flags (bit 0: weights section present)
+//	6      2   flags (bit 0: weights section present; bit 1: float32 payload)
 //	8      8   rows   (uint64)
 //	16     8   cols   (uint64)
 //	24     8   CRC-64/ECMA of payload ++ weights
 //	32     32  reserved, must be zero
-//	64     —   payload: rows×cols float64, row-major
+//	64     —   payload: rows×cols float64 (float32 iff flag bit 1), row-major
 //	...    —   weights: rows float64 (iff flag bit 0)
 //
 // The payload begins at byte 64 so an mmap'd file (page-aligned base) keeps
-// it 8-byte aligned for the zero-copy view. The checksum covers the payload
-// and weights; Open does not verify it (that would be O(n), defeating the
-// point) — Reader.Verify and Decode do.
+// it aligned for the zero-copy view. Weights are float64 even in a float32
+// file — they are O(rows), not O(rows×cols), and narrowing them would lose
+// mass in the weighted-centroid sums; since an odd float32 payload leaves
+// the weight section only 4-byte aligned, readers always copy weights out of
+// float32 files rather than alias them. The checksum covers the payload and
+// weights; Open does not verify it (that would be O(n), defeating the
+// point) — Reader.Verify and Decode do. docs/kmd-format.md is the normative
+// byte-level spec, including the flags registry and compatibility rules.
 package dsio
 
 import (
@@ -46,7 +51,8 @@ const (
 	headerSize = 64
 
 	flagWeights = 1 << 0
-	knownFlags  = flagWeights
+	flagFloat32 = 1 << 1
+	knownFlags  = flagWeights | flagFloat32
 
 	// maxCols bounds the dimensionality a header may claim. Real datasets in
 	// this repo top out at a few hundred dims; the bound exists so a fuzzed
@@ -67,7 +73,16 @@ type Info struct {
 	Rows     int
 	Cols     int
 	Weighted bool
+	Float32  bool // payload is row-major float32 (weights stay float64)
 	Checksum uint64
+}
+
+// elemSize returns the byte width of one payload value.
+func (in Info) elemSize() int64 {
+	if in.Float32 {
+		return 4
+	}
+	return 8
 }
 
 // payloadBytes returns the expected byte length of the data sections, or an
@@ -81,13 +96,10 @@ func (in Info) payloadBytes() (int64, error) {
 		return 0, fmt.Errorf("dsio: column count %d outside [1, %d]", in.Cols, maxCols)
 	}
 	vals := int64(in.Rows) * int64(in.Cols)
-	if in.Weighted {
-		vals += int64(in.Rows)
-	}
-	if vals > math.MaxInt64/8 {
+	if vals > math.MaxInt64/16 {
 		return 0, fmt.Errorf("dsio: %d×%d dataset does not fit a file", in.Rows, in.Cols)
 	}
-	return 8 * vals, nil
+	return in.elemSize()*vals + 8*int64(weightCount(in)), nil
 }
 
 // encodeHeader renders the 64-byte header for the given metadata.
@@ -98,6 +110,9 @@ func encodeHeader(in Info) [headerSize]byte {
 	flags := uint16(0)
 	if in.Weighted {
 		flags |= flagWeights
+	}
+	if in.Float32 {
+		flags |= flagFloat32
 	}
 	binary.LittleEndian.PutUint16(h[6:8], flags)
 	binary.LittleEndian.PutUint64(h[8:16], uint64(in.Rows))
@@ -139,6 +154,7 @@ func decodeHeader(h []byte) (Info, error) {
 		Rows:     int(rows),
 		Cols:     int(cols),
 		Weighted: flags&flagWeights != 0,
+		Float32:  flags&flagFloat32 != 0,
 		Checksum: binary.LittleEndian.Uint64(h[24:32]),
 	}
 	if _, err := in.payloadBytes(); err != nil {
@@ -169,11 +185,16 @@ func Decode(data []byte) (*geom.Dataset, error) {
 		return nil, fmt.Errorf("dsio: checksum mismatch: file says %#x, payload hashes to %#x", in.Checksum, sum)
 	}
 	x := geom.NewMatrix(in.Rows, in.Cols)
-	decodeFloats(body[:8*in.Rows*in.Cols], x.Data)
+	ptsEnd := int(in.elemSize()) * in.Rows * in.Cols
+	if in.Float32 {
+		decodeFloats32To64(body[:ptsEnd], x.Data)
+	} else {
+		decodeFloats(body[:ptsEnd], x.Data)
+	}
 	ds := &geom.Dataset{X: x}
 	if in.Weighted {
 		ds.Weight = make([]float64, in.Rows)
-		decodeFloats(body[8*in.Rows*in.Cols:], ds.Weight)
+		decodeFloats(body[ptsEnd:], ds.Weight)
 	}
 	return ds, nil
 }
@@ -186,11 +207,48 @@ func decodeFloats(b []byte, dst []float64) {
 	}
 }
 
+// decodeFloats32 copies little-endian float32s out of b into dst.
+func decodeFloats32(b []byte, dst []float32) {
+	for i := range dst {
+		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+}
+
+// decodeFloats32To64 copies little-endian float32s out of b, widened to
+// float64 — the lossless direction, so Decode of a float32 file yields the
+// same values its float32 view holds.
+func decodeFloats32To64(b []byte, dst []float64) {
+	for i := range dst {
+		dst[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:])))
+	}
+}
+
 // encodeFloats appends little-endian float64s to b.
 func encodeFloats(b []byte, src []float64) []byte {
 	for _, v := range src {
 		var tmp [8]byte
 		binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(v))
+		b = append(b, tmp[:]...)
+	}
+	return b
+}
+
+// encodeFloats32Narrow appends src to b as little-endian float32s, narrowing
+// each value — the lossy step of writing a float32 file from float64 data.
+func encodeFloats32Narrow(b []byte, src []float64) []byte {
+	for _, v := range src {
+		var tmp [4]byte
+		binary.LittleEndian.PutUint32(tmp[:], math.Float32bits(float32(v)))
+		b = append(b, tmp[:]...)
+	}
+	return b
+}
+
+// encodeFloats32 appends little-endian float32s to b.
+func encodeFloats32(b []byte, src []float32) []byte {
+	for _, v := range src {
+		var tmp [4]byte
+		binary.LittleEndian.PutUint32(tmp[:], math.Float32bits(v))
 		b = append(b, tmp[:]...)
 	}
 	return b

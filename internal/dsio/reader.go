@@ -20,13 +20,17 @@ var nativeLittle = func() bool {
 	return b[0] == 1
 }()
 
-// Reader is an open .kmd file. The Dataset it exposes may alias the mapped
-// pages (ZeroCopy reports which), so it is valid only until Close; callers
-// that outlive the Reader must copy.
+// Reader is an open .kmd file. Dataset and Dataset32 expose its points in
+// either precision; the view matching the file's stored precision may alias
+// the mapped pages (ZeroCopy reports which), so it is valid only until
+// Close; callers that outlive the Reader must copy. The other view is a
+// lazily materialized private copy (widening for a float32 file — lossless;
+// narrowing for a float64 one — the same rounding CreateFloat32 applies).
 type Reader struct {
 	info     Info
-	ds       *geom.Dataset
-	mapped   []byte // non-nil ⇒ munmap on Close
+	ds       *geom.Dataset   // float64 view; lazy for float32 files
+	ds32     *geom.Dataset32 // float32 view; lazy for float64 files
+	mapped   []byte          // non-nil ⇒ munmap on Close
 	zeroCopy bool
 	closed   bool
 	trackID  uint64 // key in the process-wide mapping tracker (track.go)
@@ -35,12 +39,13 @@ type Reader struct {
 // register enters the reader into the process-wide mapping tracker so
 // Mappings (and serving tiers built on it) can report open residency.
 func (r *Reader) register(path string) {
-	bytes := int64(8 * (r.info.Rows*r.info.Cols + weightCount(r.info)))
+	bytes, _ := r.info.payloadBytes()
 	if r.mapped != nil {
 		bytes = int64(len(r.mapped))
 	}
 	r.trackID = track(MappingInfo{
-		Path: path, Rows: r.info.Rows, Cols: r.info.Cols, Weighted: r.info.Weighted,
+		Path: path, Rows: r.info.Rows, Cols: r.info.Cols,
+		Weighted: r.info.Weighted, Float32: r.info.Float32,
 		Bytes: bytes, ZeroCopy: r.zeroCopy, OpenedAt: time.Now().UTC(),
 	})
 }
@@ -106,16 +111,34 @@ func Open(path string) (*Reader, error) {
 
 	r := &Reader{info: in}
 	if in.Rows == 0 {
-		r.ds = &geom.Dataset{X: &geom.Matrix{Rows: 0, Cols: in.Cols}}
+		if in.Float32 {
+			r.ds32 = &geom.Dataset32{X: &geom.Matrix32{Rows: 0, Cols: in.Cols}}
+		} else {
+			r.ds = &geom.Dataset{X: &geom.Matrix{Rows: 0, Cols: in.Cols}}
+		}
 		r.register(path)
 		return r, nil
 	}
+	vals := in.Rows * in.Cols
 	if mmapSupported && nativeLittle {
 		mapped, err := mmapFile(f, st.Size())
 		if err == nil {
 			body := mapped[headerSize:]
-			if uintptr(unsafe.Pointer(&body[0]))%8 == 0 {
-				vals := in.Rows * in.Cols
+			switch {
+			case in.Float32 && uintptr(unsafe.Pointer(&body[0]))%4 == 0:
+				pts := unsafe.Slice((*float32)(unsafe.Pointer(&body[0])), vals)
+				ds32 := &geom.Dataset32{X: &geom.Matrix32{Rows: in.Rows, Cols: in.Cols, Data: pts[:vals:vals]}}
+				if in.Weighted {
+					// After an odd float32 payload the weight section is only
+					// 4-byte aligned, so it cannot be aliased as []float64;
+					// copying it is O(rows), not worth a second code path.
+					ds32.Weight = make([]float64, in.Rows)
+					decodeFloats(body[4*vals:], ds32.Weight)
+				}
+				r.ds32, r.mapped, r.zeroCopy = ds32, mapped, true
+				r.register(path)
+				return r, nil
+			case !in.Float32 && uintptr(unsafe.Pointer(&body[0]))%8 == 0:
 				floats := unsafe.Slice((*float64)(unsafe.Pointer(&body[0])), vals+weightCount(in))
 				ds := &geom.Dataset{X: &geom.Matrix{Rows: in.Rows, Cols: in.Cols, Data: floats[:vals:vals]}}
 				if in.Weighted {
@@ -137,14 +160,26 @@ func Open(path string) (*Reader, error) {
 	if _, err := io.ReadFull(f, body); err != nil {
 		return nil, fmt.Errorf("dsio: %s: reading payload: %w", path, err)
 	}
-	x := geom.NewMatrix(in.Rows, in.Cols)
-	decodeFloats(body[:8*in.Rows*in.Cols], x.Data)
-	ds := &geom.Dataset{X: x}
-	if in.Weighted {
-		ds.Weight = make([]float64, in.Rows)
-		decodeFloats(body[8*in.Rows*in.Cols:], ds.Weight)
+	ptsEnd := int(in.elemSize()) * vals
+	if in.Float32 {
+		x := geom.NewMatrix32(in.Rows, in.Cols)
+		decodeFloats32(body[:ptsEnd], x.Data)
+		ds32 := &geom.Dataset32{X: x}
+		if in.Weighted {
+			ds32.Weight = make([]float64, in.Rows)
+			decodeFloats(body[ptsEnd:], ds32.Weight)
+		}
+		r.ds32 = ds32
+	} else {
+		x := geom.NewMatrix(in.Rows, in.Cols)
+		decodeFloats(body[:ptsEnd], x.Data)
+		ds := &geom.Dataset{X: x}
+		if in.Weighted {
+			ds.Weight = make([]float64, in.Rows)
+			decodeFloats(body[ptsEnd:], ds.Weight)
+		}
+		r.ds = ds
 	}
-	r.ds = ds
 	r.register(path)
 	return r, nil
 }
@@ -159,12 +194,33 @@ func weightCount(in Info) int {
 // Info returns the header metadata.
 func (r *Reader) Info() Info { return r.info }
 
-// Dataset returns the decoded dataset. When ZeroCopy is true it aliases the
-// mapped file and is only valid until Close.
-func (r *Reader) Dataset() *geom.Dataset { return r.ds }
+// Dataset returns the float64 view of the file. For a float64 file it is the
+// native view — aliasing the mapped pages when ZeroCopy is true, valid only
+// until Close. For a float32 file it is a lazily built private copy with
+// every point widened (lossless), so any float64 entry point of the repo can
+// consume any .kmd file.
+func (r *Reader) Dataset() *geom.Dataset {
+	if r.ds == nil && r.ds32 != nil {
+		r.ds = r.ds32.ToDataset()
+	}
+	return r.ds
+}
 
-// ZeroCopy reports whether Dataset aliases the mapped file rather than a
-// private copy.
+// Dataset32 returns the float32 view of the file. For a float32 file it is
+// the native view — points aliasing the mapped pages when ZeroCopy is true,
+// valid only until Close (weights are always a private copy). For a float64
+// file it is a lazily built private copy with every point narrowed, exactly
+// as CreateFloat32 would have rounded it on disk.
+func (r *Reader) Dataset32() *geom.Dataset32 {
+	if r.ds32 == nil && r.ds != nil {
+		r.ds32 = geom.ToDataset32(r.ds)
+	}
+	return r.ds32
+}
+
+// ZeroCopy reports whether the file's native-precision view (Dataset for a
+// float64 file, Dataset32 for a float32 one) aliases the mapped file rather
+// than a private copy.
 func (r *Reader) ZeroCopy() bool { return r.zeroCopy }
 
 // Verify recomputes the checksum over the payload (and weights) and compares
@@ -182,13 +238,29 @@ func (r *Reader) Verify() error {
 		// big to double up in memory.
 		crc := crc64.New(crcTable)
 		buf := make([]byte, 0, 1<<16)
-		for _, vals := range [][]float64{r.ds.X.Data, r.ds.Weight} {
-			for len(vals) > 0 {
+		var wts []float64
+		if r.info.Float32 {
+			for vals := r.ds32.X.Data; len(vals) > 0; {
+				n := min(len(vals), cap(buf)/4)
+				buf = encodeFloats32(buf[:0], vals[:n])
+				crc.Write(buf)
+				vals = vals[n:]
+			}
+			wts = r.ds32.Weight
+		} else {
+			for vals := r.ds.X.Data; len(vals) > 0; {
 				n := min(len(vals), cap(buf)/8)
 				buf = encodeFloats(buf[:0], vals[:n])
 				crc.Write(buf)
 				vals = vals[n:]
 			}
+			wts = r.ds.Weight
+		}
+		for len(wts) > 0 {
+			n := min(len(wts), cap(buf)/8)
+			buf = encodeFloats(buf[:0], wts[:n])
+			crc.Write(buf)
+			wts = wts[n:]
 		}
 		sum = crc.Sum64()
 	}
@@ -227,6 +299,33 @@ func Save(path string, ds *geom.Dataset) error {
 			err = w.WriteWeightedRow(ds.Point(i), ds.Weight[i])
 		} else {
 			err = w.WriteRow(ds.Point(i))
+		}
+		if err != nil {
+			w.Abort()
+			return err
+		}
+	}
+	return w.Close()
+}
+
+// Save32 writes ds to path as a float32-payload file, the one-call
+// counterpart of CreateFloat32. Point values round-trip exactly (float32 →
+// float64 → float32 is the identity); weights are stored as float64.
+func Save32(path string, ds *geom.Dataset32) error {
+	w, err := CreateFloat32(path, ds.Dim())
+	if err != nil {
+		return err
+	}
+	row := make([]float64, ds.Dim())
+	for i := 0; i < ds.N(); i++ {
+		p := ds.Point(i)
+		for j, v := range p {
+			row[j] = float64(v)
+		}
+		if ds.Weight != nil {
+			err = w.WriteWeightedRow(row, ds.Weight[i])
+		} else {
+			err = w.WriteRow(row)
 		}
 		if err != nil {
 			w.Abort()

@@ -21,6 +21,7 @@ type MappingInfo struct {
 	Rows     int       `json:"rows"`
 	Cols     int       `json:"cols"`
 	Weighted bool      `json:"weighted,omitempty"`
+	Float32  bool      `json:"float32,omitempty"`
 	Bytes    int64     `json:"bytes"`
 	ZeroCopy bool      `json:"zero_copy"`
 	OpenedAt time.Time `json:"opened_at"`

@@ -22,6 +22,7 @@ type Writer struct {
 	crc     hash.Hash64
 	cols    int
 	rows    int
+	float32 bool      // narrow points to float32 on write (weights stay float64)
 	weights []float64 // non-nil once a weighted row was written
 	rowBuf  []byte
 	closed  bool
@@ -31,6 +32,19 @@ type Writer struct {
 // Close finalizes the file; a Writer abandoned without Close or Abort leaves
 // an unreadable file (its header still holds the placeholder).
 func Create(path string, cols int) (*Writer, error) {
+	return create(path, cols, false)
+}
+
+// CreateFloat32 is Create for a float32-payload file: every point value is
+// narrowed to float32 as it is written (weights, if any, stay float64). The
+// resulting file sets the float32 flag bit and is half the size; see
+// docs/kmd-format.md for the layout and docs/kernels.md for what precision
+// the narrowed data can support.
+func CreateFloat32(path string, cols int) (*Writer, error) {
+	return create(path, cols, true)
+}
+
+func create(path string, cols int, f32 bool) (*Writer, error) {
 	if cols < 1 || cols > maxCols {
 		return nil, fmt.Errorf("dsio: column count %d outside [1, %d]", cols, maxCols)
 	}
@@ -39,12 +53,13 @@ func Create(path string, cols int) (*Writer, error) {
 		return nil, err
 	}
 	w := &Writer{
-		f:      f,
-		path:   path,
-		bw:     bufio.NewWriterSize(f, 1<<16),
-		crc:    crc64.New(crcTable),
-		cols:   cols,
-		rowBuf: make([]byte, 0, 8*cols),
+		f:       f,
+		path:    path,
+		bw:      bufio.NewWriterSize(f, 1<<16),
+		crc:     crc64.New(crcTable),
+		cols:    cols,
+		float32: f32,
+		rowBuf:  make([]byte, 0, 8*cols),
 	}
 	// Placeholder header: all zeros fails decodeHeader's magic check, so a
 	// half-written file is never mistaken for a valid dataset.
@@ -86,7 +101,11 @@ func (w *Writer) WriteWeightedRow(p []float64, weight float64) error {
 }
 
 func (w *Writer) writeRow(p []float64) error {
-	w.rowBuf = encodeFloats(w.rowBuf[:0], p)
+	if w.float32 {
+		w.rowBuf = encodeFloats32Narrow(w.rowBuf[:0], p)
+	} else {
+		w.rowBuf = encodeFloats(w.rowBuf[:0], p)
+	}
 	w.crc.Write(w.rowBuf) // hash.Hash.Write never errors
 	if _, err := w.bw.Write(w.rowBuf); err != nil {
 		return err
@@ -117,6 +136,7 @@ func (w *Writer) Close() error {
 	h := encodeHeader(Info{
 		Rows: w.rows, Cols: w.cols,
 		Weighted: w.weights != nil,
+		Float32:  w.float32,
 		Checksum: w.crc.Sum64(),
 	})
 	if _, err := w.f.WriteAt(h[:], 0); err != nil {

@@ -1,0 +1,420 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the float32 instantiation of the blocked pairwise-distance
+// engine (blocked.go): the same ‖x‖² + ‖c‖² − 2⟨x,c⟩ expansion with cached
+// norms and the same point×center tiling, over float32 storage. Streaming
+// the float32 payload halves memory traffic on every pass, and the inner
+// dot-product tiles are contiguous and bounds-check-free so the 2pt×4ctr
+// kernel compiles to straight-line multiply-add chains; on amd64 the dots
+// additionally run as 4-wide SSE assembly (dotf32_amd64.s) unless the
+// km_purego build tag or SetF32Asm(false) pins the pure-Go kernel.
+//
+// Precision contract (see docs/kernels.md): float32 results are NOT
+// bit-comparable to the float64 engine. For data with ‖x‖ ≲ 1e3 and dims
+// ≤ 128 the kernels keep relative cost error within ~1e-6 and nearest
+// assignments agree with the float64 reference on ≥ 99.9% of points; exact
+// ties may break differently. Results ARE deterministic for a fixed kernel
+// choice: each (point, center) inner product is accumulated in a fixed
+// order that depends only on the dimension, never on tiling position or
+// worker count.
+
+// f32AsmOn selects the assembly dot kernels at runtime. It is initialised
+// to hasDotF32Asm (true only on amd64 builds without km_purego) and can be
+// pinned either way by SetF32Asm; benchmarks use it to measure the pure-Go
+// and assembly variants in one process.
+var f32AsmOn atomic.Bool
+
+func init() { f32AsmOn.Store(hasDotF32Asm) }
+
+// SetF32Asm enables or disables the assembly float32 dot kernels and
+// reports whether the request took effect (enabling fails when the binary
+// carries no assembly — non-amd64 builds or the km_purego tag).
+func SetF32Asm(on bool) bool {
+	if on && !hasDotF32Asm {
+		return false
+	}
+	f32AsmOn.Store(on)
+	return true
+}
+
+// F32AsmEnabled reports whether the assembly float32 dot kernels are active.
+func F32AsmEnabled() bool { return f32AsmOn.Load() }
+
+// F32AsmAvailable reports whether this binary contains the assembly float32
+// dot kernels at all.
+func F32AsmAvailable() bool { return hasDotF32Asm }
+
+// Scratch32 holds the reusable tile buffers of the float32 blocked kernels,
+// mirroring Scratch. Not safe for concurrent use; take one per worker.
+type Scratch32 struct {
+	pn     []float32 // point-tile squared norms
+	gather []float32 // contiguous float32 copy of a point tile
+	d2     []float32 // tile nearest distances
+	idx    []int32   // tile nearest indices
+}
+
+var scratch32Pool = sync.Pool{New: func() any { return new(Scratch32) }}
+
+// GetScratch32 returns a Scratch32 from the shared pool.
+func GetScratch32() *Scratch32 { return scratch32Pool.Get().(*Scratch32) }
+
+// Release returns the Scratch32 to the pool. The caller must not use it
+// after.
+func (s *Scratch32) Release() { scratch32Pool.Put(s) }
+
+func growF32(buf *[]float32, n int) []float32 {
+	if cap(*buf) < n {
+		*buf = make([]float32, n)
+	}
+	return (*buf)[:n]
+}
+
+// RowSqNorms32 returns ‖row‖² for every row of m, reusing dst when it has
+// capacity — the float32 analogue of RowSqNorms.
+func RowSqNorms32(m *Matrix32, dst []float32) []float32 {
+	dst = growF32(&dst, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		dst[i] = SqNorm32(m.Row(i))
+	}
+	return dst
+}
+
+// NearestBlocked32 computes, for every row of pts, the index of the nearest
+// row of centers and the squared distance to it (as float32), writing d2[i]
+// and, when idx is non-nil, idx[i]. cNorms must be RowSqNorms32(centers, …).
+// Ties go to the lowest center index. Mirrors NearestBlocked.
+func NearestBlocked32(pts, centers *Matrix32, cNorms []float32, idx []int32, d2 []float32, sc *Scratch32) {
+	n, d, k := pts.Rows, pts.Cols, centers.Rows
+	if k == 0 {
+		panic("geom: NearestBlocked32 with no centers")
+	}
+	if centers.Cols != d {
+		panic(fmt.Sprintf("geom: NearestBlocked32 dim mismatch: points %d, centers %d", d, centers.Cols))
+	}
+	if len(cNorms) != k {
+		panic(fmt.Sprintf("geom: NearestBlocked32 got %d center norms for %d centers", len(cNorms), k))
+	}
+	if len(d2) < n || (idx != nil && len(idx) < n) {
+		panic("geom: NearestBlocked32 output shorter than points")
+	}
+	for lo := 0; lo < n; lo += tilePoints {
+		hi := lo + tilePoints
+		if hi > n {
+			hi = n
+		}
+		var idxTile []int32
+		if idx != nil {
+			idxTile = idx[lo:hi]
+		}
+		nearestTile32(pts, lo, hi, centers, cNorms, idxTile, d2[lo:hi], sc)
+	}
+}
+
+// NearestBlockedRows32 is the serving-path entry point: float64 query rows
+// (the public API's representation) against float32 centers. Each tile of
+// queries is gathered into contiguous float32 scratch — one rounding per
+// coordinate, amortized over the k-center scan — then runs the blocked
+// kernels; out[i] receives the nearest-center index of points[i].
+func NearestBlockedRows32(points [][]float64, centers *Matrix32, cNorms []float32, out []int, sc *Scratch32) {
+	d := centers.Cols
+	n := len(points)
+	for lo := 0; lo < n; lo += tilePoints {
+		hi := lo + tilePoints
+		if hi > n {
+			hi = n
+		}
+		m := hi - lo
+		g := growF32(&sc.gather, m*d)
+		for i := 0; i < m; i++ {
+			ConvertRow32(g[i*d:(i+1)*d], points[lo+i])
+		}
+		view := Matrix32{Rows: m, Cols: d, Data: g}
+		tIdx := growI32(&sc.idx, m)
+		tD2 := growF32(&sc.d2, m)
+		nearestTile32(&view, 0, m, centers, cNorms, tIdx, tD2, sc)
+		for i := 0; i < m; i++ {
+			out[lo+i] = int(tIdx[i])
+		}
+	}
+}
+
+// VisitNearest32 runs the blocked float32 nearest-center search over rows
+// [lo, hi) of pts in engine-tile steps, invoking visit(i, idx, d2) for every
+// row in ascending order — the float32 building block of Lloyd assignment
+// and the k-means|| D² round updates. The distance is widened to float64
+// for the visitor so downstream sums accumulate in double precision.
+func VisitNearest32(pts, centers *Matrix32, cNorms []float32, lo, hi int, sc *Scratch32, withIdx bool, visit func(i int, idx int32, d2 float64)) {
+	idxT := growI32(&sc.idx, tilePoints)
+	d2T := growF32(&sc.d2, tilePoints)
+	if !withIdx {
+		idxT = nil
+	}
+	for tLo := lo; tLo < hi; tLo += tilePoints {
+		tHi := tLo + tilePoints
+		if tHi > hi {
+			tHi = hi
+		}
+		view := pts.RowRange(tLo, tHi)
+		NearestBlocked32(&view, centers, cNorms, idxT, d2T, sc)
+		for i := tLo; i < tHi; i++ {
+			var ix int32
+			if idxT != nil {
+				ix = idxT[i-tLo]
+			}
+			visit(i, ix, float64(d2T[i-tLo]))
+		}
+	}
+}
+
+// nearestTile32 runs the blocked nearest-center search for point rows
+// [pLo, pHi) of pts — the float32 twin of nearestTile, with the inner
+// products dispatched to the assembly kernels when enabled.
+func nearestTile32(pts *Matrix32, pLo, pHi int, centers *Matrix32, cNorms []float32, idxTile []int32, d2Tile []float32, sc *Scratch32) {
+	m := pHi - pLo
+	k := centers.Rows
+	asm := hasDotF32Asm && f32AsmOn.Load()
+	pn := growF32(&sc.pn, m)
+	for i := 0; i < m; i++ {
+		pn[i] = SqNorm32(pts.Row(pLo + i))
+	}
+	inf := float32(math.Inf(1))
+	for i := 0; i < m; i++ {
+		d2Tile[i] = inf
+		if idxTile != nil {
+			idxTile[i] = 0
+		}
+	}
+	for cLo := 0; cLo < k; cLo += tileCenters {
+		cHi := cLo + tileCenters
+		if cHi > k {
+			cHi = k
+		}
+		// Two points at a time against the center tile.
+		i := 0
+		for ; i+2 <= m; i += 2 {
+			pa, pb := pts.Row(pLo+i), pts.Row(pLo+i+1)
+			na, nb := pn[i], pn[i+1]
+			ba, bb := d2Tile[i], d2Tile[i+1]
+			var ia, ib int32
+			if idxTile != nil {
+				ia, ib = idxTile[i], idxTile[i+1]
+			}
+			c := cLo
+			for ; c+4 <= cHi; c += 4 {
+				var a0, a1, a2, a3, b0, b1, b2, b3 float32
+				if asm {
+					a0, a1, a2, a3, b0, b1, b2, b3 = dot2x4f32asm(pa, pb,
+						centers.Row(c), centers.Row(c+1), centers.Row(c+2), centers.Row(c+3))
+				} else {
+					a0, a1, a2, a3, b0, b1, b2, b3 = dot2x4f32(pa, pb,
+						centers.Row(c), centers.Row(c+1), centers.Row(c+2), centers.Row(c+3))
+				}
+				n0, n1, n2, n3 := cNorms[c], cNorms[c+1], cNorms[c+2], cNorms[c+3]
+				if v := clamp032(na + n0 - 2*a0); v < ba {
+					ba, ia = v, int32(c)
+				}
+				if v := clamp032(na + n1 - 2*a1); v < ba {
+					ba, ia = v, int32(c+1)
+				}
+				if v := clamp032(na + n2 - 2*a2); v < ba {
+					ba, ia = v, int32(c+2)
+				}
+				if v := clamp032(na + n3 - 2*a3); v < ba {
+					ba, ia = v, int32(c+3)
+				}
+				if v := clamp032(nb + n0 - 2*b0); v < bb {
+					bb, ib = v, int32(c)
+				}
+				if v := clamp032(nb + n1 - 2*b1); v < bb {
+					bb, ib = v, int32(c+1)
+				}
+				if v := clamp032(nb + n2 - 2*b2); v < bb {
+					bb, ib = v, int32(c+2)
+				}
+				if v := clamp032(nb + n3 - 2*b3); v < bb {
+					bb, ib = v, int32(c+3)
+				}
+			}
+			for ; c < cHi; c++ {
+				row := centers.Row(c)
+				da, db := dot2x1f32(pa, pb, row)
+				if v := clamp032(na + cNorms[c] - 2*da); v < ba {
+					ba, ia = v, int32(c)
+				}
+				if v := clamp032(nb + cNorms[c] - 2*db); v < bb {
+					bb, ib = v, int32(c)
+				}
+			}
+			d2Tile[i], d2Tile[i+1] = ba, bb
+			if idxTile != nil {
+				idxTile[i], idxTile[i+1] = ia, ib
+			}
+		}
+		if i < m { // odd tail point
+			p := pts.Row(pLo + i)
+			np := pn[i]
+			best := d2Tile[i]
+			var bi int32
+			if idxTile != nil {
+				bi = idxTile[i]
+			}
+			c := cLo
+			for ; c+4 <= cHi; c += 4 {
+				var a0, a1, a2, a3 float32
+				if asm {
+					a0, a1, a2, a3 = dot1x4f32asm(p,
+						centers.Row(c), centers.Row(c+1), centers.Row(c+2), centers.Row(c+3))
+				} else {
+					a0, a1, a2, a3 = dot1x4f32(p,
+						centers.Row(c), centers.Row(c+1), centers.Row(c+2), centers.Row(c+3))
+				}
+				if v := clamp032(np + cNorms[c] - 2*a0); v < best {
+					best, bi = v, int32(c)
+				}
+				if v := clamp032(np + cNorms[c+1] - 2*a1); v < best {
+					best, bi = v, int32(c+1)
+				}
+				if v := clamp032(np + cNorms[c+2] - 2*a2); v < best {
+					best, bi = v, int32(c+2)
+				}
+				if v := clamp032(np + cNorms[c+3] - 2*a3); v < best {
+					best, bi = v, int32(c+3)
+				}
+			}
+			for ; c < cHi; c++ {
+				da := dotWide32(p, centers.Row(c))
+				if v := clamp032(np + cNorms[c] - 2*da); v < best {
+					best, bi = v, int32(c)
+				}
+			}
+			d2Tile[i] = best
+			if idxTile != nil {
+				idxTile[i] = bi
+			}
+		}
+	}
+}
+
+// PairwiseSqDist32 fills out with the full pts.Rows×centers.Rows block of
+// float32 squared distances, row-major, using the same norm-expansion
+// kernels as NearestBlocked32. pNorms/cNorms may be nil (computed
+// internally, allocating); pass cached norms on hot paths.
+func PairwiseSqDist32(pts, centers *Matrix32, pNorms, cNorms []float32, out []float32) {
+	n, d, k := pts.Rows, pts.Cols, centers.Rows
+	if centers.Cols != d {
+		panic(fmt.Sprintf("geom: PairwiseSqDist32 dim mismatch: points %d, centers %d", d, centers.Cols))
+	}
+	if len(out) < n*k {
+		panic("geom: PairwiseSqDist32 output too short")
+	}
+	if pNorms == nil {
+		pNorms = RowSqNorms32(pts, nil)
+	}
+	if cNorms == nil {
+		cNorms = RowSqNorms32(centers, nil)
+	}
+	asm := hasDotF32Asm && f32AsmOn.Load()
+	for i := 0; i < n; i++ {
+		p := pts.Row(i)
+		np := pNorms[i]
+		row := out[i*k : (i+1)*k]
+		c := 0
+		for ; c+4 <= k; c += 4 {
+			var a0, a1, a2, a3 float32
+			if asm {
+				a0, a1, a2, a3 = dot1x4f32asm(p,
+					centers.Row(c), centers.Row(c+1), centers.Row(c+2), centers.Row(c+3))
+			} else {
+				a0, a1, a2, a3 = dot1x4f32(p,
+					centers.Row(c), centers.Row(c+1), centers.Row(c+2), centers.Row(c+3))
+			}
+			row[c] = clamp032(np + cNorms[c] - 2*a0)
+			row[c+1] = clamp032(np + cNorms[c+1] - 2*a1)
+			row[c+2] = clamp032(np + cNorms[c+2] - 2*a2)
+			row[c+3] = clamp032(np + cNorms[c+3] - 2*a3)
+		}
+		for ; c < k; c++ {
+			row[c] = clamp032(np + cNorms[c] - 2*dotWide32(p, centers.Row(c)))
+		}
+	}
+}
+
+func clamp032(v float32) float32 {
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// dot2x4f32 computes the 8 float32 inner products of points {a, b} against
+// centers {c0..c3}. The slices are re-sliced to a common length up front so
+// the loop body carries no bounds checks; each product runs one sequential
+// accumulator, so its value depends only on the dimension, never on where
+// the pair lands in the tiling.
+func dot2x4f32(a, b, c0, c1, c2, c3 []float32) (a0, a1, a2, a3, b0, b1, b2, b3 float32) {
+	d := len(a)
+	if d == 0 {
+		return
+	}
+	b = b[:d]
+	c0 = c0[:d]
+	c1 = c1[:d]
+	c2 = c2[:d]
+	c3 = c3[:d]
+	for i := 0; i < d; i++ {
+		av, bv := a[i], b[i]
+		w0, w1, w2, w3 := c0[i], c1[i], c2[i], c3[i]
+		a0 += av * w0
+		a1 += av * w1
+		a2 += av * w2
+		a3 += av * w3
+		b0 += bv * w0
+		b1 += bv * w1
+		b2 += bv * w2
+		b3 += bv * w3
+	}
+	return
+}
+
+// dot1x4f32 is dot2x4f32 for a single point.
+func dot1x4f32(a, c0, c1, c2, c3 []float32) (a0, a1, a2, a3 float32) {
+	d := len(a)
+	if d == 0 {
+		return
+	}
+	c0 = c0[:d]
+	c1 = c1[:d]
+	c2 = c2[:d]
+	c3 = c3[:d]
+	for i := 0; i < d; i++ {
+		av := a[i]
+		a0 += av * c0[i]
+		a1 += av * c1[i]
+		a2 += av * c2[i]
+		a3 += av * c3[i]
+	}
+	return
+}
+
+// dot2x1f32 computes ⟨a,c⟩ and ⟨b,c⟩ with sequential per-pair order.
+func dot2x1f32(a, b, c []float32) (da, db float32) {
+	d := len(a)
+	if d == 0 {
+		return
+	}
+	b = b[:d]
+	c = c[:d]
+	for i := 0; i < d; i++ {
+		w := c[i]
+		da += a[i] * w
+		db += b[i] * w
+	}
+	return
+}

@@ -1,0 +1,247 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file holds the float32 storage types of the single-precision path:
+// Matrix32 and Dataset32 mirror Matrix and Dataset with a float32 payload,
+// halving the memory bandwidth of every scan that streams them. Weights stay
+// float64 — they are O(n) rather than O(n·d) bytes, and D² sampling sums
+// them across the whole dataset, where float32 accumulation would actually
+// lose mass. The float32 distance kernels live in blocked32.go; the
+// precision contract they obey (and that callers may rely on) is documented
+// in docs/kernels.md.
+
+// Matrix32 is a dense row-major float32 matrix: row i occupies
+// Data[i*Cols : (i+1)*Cols]. It is the storage type of the float32 compute
+// path; an mmap'd float32 .kmd file aliases straight into one.
+type Matrix32 struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// NewMatrix32 allocates a zeroed rows×cols float32 matrix.
+func NewMatrix32(rows, cols int) *Matrix32 {
+	if rows < 0 || cols < 0 {
+		panic("geom: negative matrix dimension")
+	}
+	return &Matrix32{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Matrix32) Row(i int) []float32 {
+	return m.Data[i*m.Cols : (i+1)*m.Cols : (i+1)*m.Cols]
+}
+
+// RowRange returns a value view of rows [lo, hi) sharing the backing
+// storage, mirroring Matrix.RowRange.
+func (m *Matrix32) RowRange(lo, hi int) Matrix32 {
+	return Matrix32{Rows: hi - lo, Cols: m.Cols, Data: m.Data[lo*m.Cols : hi*m.Cols]}
+}
+
+// Reserve grows the backing storage to hold at least rows rows without
+// changing the matrix contents, mirroring Matrix.Reserve.
+func (m *Matrix32) Reserve(rows int) {
+	if m.Cols <= 0 || rows <= 0 {
+		return
+	}
+	need := rows * m.Cols
+	if cap(m.Data) >= need {
+		return
+	}
+	buf := make([]float32, len(m.Data), need)
+	copy(buf, m.Data)
+	m.Data = buf
+}
+
+// AppendRow appends one row, mirroring Matrix.AppendRow.
+func (m *Matrix32) AppendRow(p []float32) {
+	if m.Rows == 0 && m.Cols == 0 {
+		m.Cols = len(p)
+	}
+	if len(p) != m.Cols {
+		panic(fmt.Sprintf("geom: AppendRow dim %d, want %d", len(p), m.Cols))
+	}
+	m.Data = append(m.Data, p...)
+	m.Rows++
+}
+
+// Clone returns a deep copy.
+func (m *Matrix32) Clone() *Matrix32 {
+	c := NewMatrix32(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// ToMatrix32 converts a float64 matrix to float32, rounding each value to
+// nearest. The result is a fresh copy; m is not modified.
+func ToMatrix32(m *Matrix) *Matrix32 {
+	out := NewMatrix32(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		out.Data[i] = float32(v)
+	}
+	return out
+}
+
+// ToMatrix widens the float32 matrix back to float64 (exact: every float32
+// is representable as a float64).
+func (m *Matrix32) ToMatrix() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		out.Data[i] = float64(v)
+	}
+	return out
+}
+
+// ConvertRow32 copies one float64 row into dst, rounding to float32. dst
+// must have length ≥ len(p); the written prefix is returned.
+func ConvertRow32(dst []float32, p []float64) []float32 {
+	dst = dst[:len(p)]
+	for j, v := range p {
+		dst[j] = float32(v)
+	}
+	return dst
+}
+
+// Dataset32 is the float32 counterpart of Dataset: float32 points with
+// optional float64 per-point weights (nil ⇒ all ones).
+type Dataset32 struct {
+	X      *Matrix32
+	Weight []float64 // nil ⇒ all ones
+}
+
+// NewDataset32 wraps a matrix as an unweighted dataset.
+func NewDataset32(x *Matrix32) *Dataset32 { return &Dataset32{X: x} }
+
+// N returns the number of points.
+func (d *Dataset32) N() int { return d.X.Rows }
+
+// Dim returns the dimensionality.
+func (d *Dataset32) Dim() int { return d.X.Cols }
+
+// W returns the weight of point i.
+func (d *Dataset32) W(i int) float64 {
+	if d.Weight == nil {
+		return 1
+	}
+	return d.Weight[i]
+}
+
+// Point returns point i as a slice aliasing the dataset storage.
+func (d *Dataset32) Point(i int) []float32 { return d.X.Row(i) }
+
+// ToDataset32 narrows a float64 dataset to float32 storage, copying the
+// points (rounded to nearest) and the weight slice.
+func ToDataset32(ds *Dataset) *Dataset32 {
+	out := &Dataset32{X: ToMatrix32(ds.X)}
+	if ds.Weight != nil {
+		out.Weight = append([]float64(nil), ds.Weight...)
+	}
+	return out
+}
+
+// ToDataset widens the float32 dataset back to float64 storage (exact).
+func (d *Dataset32) ToDataset() *Dataset {
+	out := &Dataset{X: d.X.ToMatrix()}
+	if d.Weight != nil {
+		out.Weight = append([]float64(nil), d.Weight...)
+	}
+	return out
+}
+
+// Validate checks structural invariants (weight length, finite values),
+// mirroring Dataset.Validate.
+func (d *Dataset32) Validate() error {
+	if d.X == nil {
+		return fmt.Errorf("geom: dataset has nil matrix")
+	}
+	if len(d.X.Data) != d.X.Rows*d.X.Cols {
+		return fmt.Errorf("geom: matrix storage %d != %d×%d", len(d.X.Data), d.X.Rows, d.X.Cols)
+	}
+	if d.Weight != nil && len(d.Weight) != d.X.Rows {
+		return fmt.Errorf("geom: %d weights for %d points", len(d.Weight), d.X.Rows)
+	}
+	for i, v := range d.X.Data {
+		if f := float64(v); math.IsNaN(f) || math.IsInf(f, 0) {
+			return fmt.Errorf("geom: non-finite value at flat index %d", i)
+		}
+	}
+	for i, w := range d.Weight {
+		if !(w > 0) {
+			return fmt.Errorf("geom: non-positive weight %v at %d", w, i)
+		}
+	}
+	return nil
+}
+
+// SqNorm32 returns ‖a‖² accumulated in float32 with the same 4-chain order
+// as the blocked float32 kernels.
+func SqNorm32(a []float32) float32 {
+	var s0, s1, s2, s3 float32
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s0 += a[i] * a[i]
+		s1 += a[i+1] * a[i+1]
+		s2 += a[i+2] * a[i+2]
+		s3 += a[i+3] * a[i+3]
+	}
+	for ; i < len(a); i++ {
+		s0 += a[i] * a[i]
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// SqDist32 returns the squared Euclidean distance between two float32
+// vectors via the exact (a−b)² sum, widened per term into a float64
+// accumulator — the float32 path's reference arithmetic, used by its scalar
+// fallbacks and by equivalence tests.
+func SqDist32(a, b []float32) float64 {
+	if len(a) != len(b) {
+		panic("geom: SqDist32 dimension mismatch")
+	}
+	var s float64
+	for i := range a {
+		d := float64(a[i]) - float64(b[i])
+		s += d * d
+	}
+	return s
+}
+
+// SqDistNorm32 returns d²(a, b) via the norm expansion given precomputed
+// float32 norms — the single-pair kernel of the float32 k-means++ D² update.
+// Like SqDistNorm, absolute error scales with the norms, plus float32
+// rounding of the inputs; see docs/kernels.md for the tolerance contract.
+func SqDistNorm32(a, b []float32, an, bn float32) float64 {
+	return clamp0(float64(an) + float64(bn) - 2*float64(dotWide32(a, b)))
+}
+
+// AddScaled32 sets dst += scale·src, widening each float32 source value —
+// the accumulation step of the float32 Lloyd update, which keeps center
+// sums in float64 so cluster means do not drift with cluster size.
+func AddScaled32(dst []float64, scale float64, src []float32) {
+	if len(dst) != len(src) {
+		panic("geom: AddScaled32 dimension mismatch")
+	}
+	for i := range dst {
+		dst[i] += scale * float64(src[i])
+	}
+}
+
+// dotWide32 is the 4-accumulator unrolled float32 dot product for
+// single-pair call sites.
+func dotWide32(a, b []float32) float32 {
+	var s0, s1, s2, s3 float32
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	for ; i < len(a); i++ {
+		s0 += a[i] * b[i]
+	}
+	return (s0 + s1) + (s2 + s3)
+}

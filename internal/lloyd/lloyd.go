@@ -30,6 +30,7 @@ const (
 	Hamerly
 )
 
+// String returns the method's CLI spelling ("naive", "elkan", "hamerly").
 func (m Method) String() string {
 	switch m {
 	case Naive:

@@ -1,0 +1,219 @@
+package lloyd
+
+import (
+	"fmt"
+	"math"
+
+	"kmeansll/internal/geom"
+)
+
+// This file is the float32 execution path of Lloyd's iteration. Points are
+// streamed as float32 through the blocked32 distance engine; everything that
+// accumulates across points — center sums, weights, costs — stays float64,
+// so cluster means do not drift with cluster size. Centers are mastered in
+// float64 and narrowed to a float32 snapshot once per iteration, which is
+// what the assignment kernel scans. Assignments therefore follow the float32
+// tolerance contract (docs/kernels.md) rather than being bit-comparable to
+// Run; costs agree with the float64 path to ~1e-6 relative on unit-scale
+// data.
+
+// Cost32 computes φ_X(C) over float32 points in parallel — the float32
+// counterpart of Cost. Distances come from the blocked float32 engine; the
+// weighted sum is accumulated in float64.
+func Cost32(ds *geom.Dataset32, centers *geom.Matrix32, parallelism int) float64 {
+	n := ds.N()
+	chunks := geom.ChunkCount(n, parallelism)
+	partial := make([]float64, chunks)
+	cNorms := geom.RowSqNorms32(centers, nil)
+	geom.ParallelFor(n, parallelism, func(chunk, lo, hi int) {
+		var s float64
+		sc := geom.GetScratch32()
+		geom.VisitNearest32(ds.X, centers, cNorms, lo, hi, sc, false, func(i int, _ int32, d2 float64) {
+			s += ds.W(i) * d2
+		})
+		sc.Release()
+		partial[chunk] = s
+	})
+	var total float64
+	for _, s := range partial {
+		total += s
+	}
+	return total
+}
+
+// Run32 executes Lloyd's iteration over float32 points starting from the
+// given float64 centers (not modified; a copy is made). Only the fused
+// naive/blocked method exists in float32 — cfg.Method is ignored; callers
+// wanting Elkan or Hamerly pruning use the float64 path. The returned
+// centers are float64 (the master copies the update step maintains).
+func Run32(ds *geom.Dataset32, init *geom.Matrix, cfg Config) Result {
+	if init.Rows == 0 {
+		panic("lloyd: no initial centers")
+	}
+	if init.Cols != ds.Dim() {
+		panic(fmt.Sprintf("lloyd: center dim %d != data dim %d", init.Cols, ds.Dim()))
+	}
+	k, d, n := init.Rows, init.Cols, ds.N()
+	centers := init.Clone()
+	centers32 := geom.NewMatrix32(k, d) // per-iteration narrowed snapshot
+	assign := make([]int32, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	chunks := geom.ChunkCount(n, cfg.Parallelism)
+	accs := make([]accumulator, chunks)
+	for c := range accs {
+		accs[c] = accumulator{sum: make([]float64, k*d), weight: make([]float64, k)}
+	}
+	costPartial := make([]float64, chunks)
+	changedPartial := make([]int64, chunks)
+	var cNorms []float32
+
+	res := Result{Centers: centers, Assign: assign}
+	limit := maxIter(cfg)
+	for it := 0; it < limit; it++ {
+		for c := 0; c < k; c++ {
+			geom.ConvertRow32(centers32.Row(c), centers.Row(c))
+		}
+		cNorms = geom.RowSqNorms32(centers32, cNorms)
+		// Assignment fused with accumulation, as in runNaive: one scan of the
+		// float32 data per iteration, each point tile consumed while still
+		// cache-resident.
+		geom.ParallelFor(n, cfg.Parallelism, func(chunk, lo, hi int) {
+			acc := &accs[chunk]
+			for i := range acc.sum {
+				acc.sum[i] = 0
+			}
+			for i := range acc.weight {
+				acc.weight[i] = 0
+			}
+			var cost float64
+			var changed int64
+			sc := geom.GetScratch32()
+			geom.VisitNearest32(ds.X, centers32, cNorms, lo, hi, sc, true, func(i int, idx32 int32, dist float64) {
+				if idx32 != assign[i] {
+					changed++
+					assign[i] = idx32
+				}
+				idx := int(idx32)
+				w := ds.W(i)
+				cost += w * dist
+				geom.AddScaled32(acc.sum[idx*d:(idx+1)*d], w, ds.Point(i))
+				acc.weight[idx] += w
+			})
+			sc.Release()
+			costPartial[chunk] = cost
+			changedPartial[chunk] = changed
+		})
+		var cost float64
+		var changed int64
+		for c := 0; c < chunks; c++ {
+			cost += costPartial[c]
+			changed += changedPartial[c]
+		}
+		res.Iters = it + 1
+		res.Cost = cost
+		res.CostTrace = append(res.CostTrace, cost)
+
+		// Merge per-chunk accumulators (deterministic order).
+		sum := accs[0].sum
+		weight := accs[0].weight
+		if chunks > 1 {
+			for c := 1; c < chunks; c++ {
+				for i := range sum {
+					sum[i] += accs[c].sum[i]
+				}
+				for i := range weight {
+					weight[i] += accs[c].weight[i]
+				}
+			}
+		}
+
+		maxMove := updateCenters32(ds, centers, assign, sum, weight, cfg.Parallelism)
+
+		if changed == 0 {
+			res.Converged = true
+			break
+		}
+		if cfg.Tol > 0 && maxMove <= cfg.Tol {
+			res.Converged = true
+			break
+		}
+	}
+	return res
+}
+
+// updateCenters32 recomputes the float64 master centers from the accumulated
+// float64 sums — identical arithmetic to updateCenters — repairing empty
+// clusters against the float32 data, and returns the largest center move.
+func updateCenters32(ds *geom.Dataset32, centers *geom.Matrix, assign []int32, sum, weight []float64, parallelism int) float64 {
+	k, d := centers.Rows, centers.Cols
+	maxMove2 := 0.0
+	var empty []int
+	for c := 0; c < k; c++ {
+		if weight[c] <= 0 {
+			empty = append(empty, c)
+			continue
+		}
+		row := centers.Row(c)
+		inv := 1 / weight[c]
+		var move2 float64
+		for j := 0; j < d; j++ {
+			v := sum[c*d+j] * inv
+			diff := v - row[j]
+			move2 += diff * diff
+			row[j] = v
+		}
+		if move2 > maxMove2 {
+			maxMove2 = move2
+		}
+	}
+	if len(empty) > 0 {
+		repairEmpty32(ds, centers, assign, empty, parallelism)
+		maxMove2 = math.Inf(1) // force another iteration
+	}
+	return math.Sqrt(maxMove2)
+}
+
+// repairEmpty32 reseeds each empty cluster to the point paying the highest
+// weighted cost under the float32 engine, breaking ties by lowest index. The
+// float32 snapshot is rebuilt per reseed because each one moves a center.
+func repairEmpty32(ds *geom.Dataset32, centers *geom.Matrix, assign []int32, empty []int, parallelism int) {
+	n := ds.N()
+	snap := geom.NewMatrix32(centers.Rows, centers.Cols)
+	var cNorms []float32
+	for _, c := range empty {
+		for i := 0; i < centers.Rows; i++ {
+			geom.ConvertRow32(snap.Row(i), centers.Row(i))
+		}
+		cNorms = geom.RowSqNorms32(snap, cNorms)
+		chunks := geom.ChunkCount(n, parallelism)
+		bestIdx := make([]int, chunks)
+		bestVal := make([]float64, chunks)
+		geom.ParallelFor(n, parallelism, func(chunk, lo, hi int) {
+			bi, bv := -1, -1.0
+			sc := geom.GetScratch32()
+			geom.VisitNearest32(ds.X, snap, cNorms, lo, hi, sc, false, func(i int, _ int32, dist float64) {
+				if v := ds.W(i) * dist; v > bv {
+					bv, bi = v, i
+				}
+			})
+			sc.Release()
+			bestIdx[chunk], bestVal[chunk] = bi, bv
+		})
+		worst, worstVal := -1, -1.0
+		for ch := range bestIdx {
+			if bestVal[ch] > worstVal || (bestVal[ch] == worstVal && bestIdx[ch] < worst) {
+				worst, worstVal = bestIdx[ch], bestVal[ch]
+			}
+		}
+		if worst < 0 {
+			return // n == 0; nothing to do
+		}
+		row := centers.Row(c)
+		for j, v := range ds.Point(worst) {
+			row[j] = float64(v)
+		}
+		assign[worst] = int32(c)
+	}
+}

@@ -1,0 +1,112 @@
+package seed
+
+import (
+	"kmeansll/internal/geom"
+	"kmeansll/internal/rng"
+)
+
+// Random32 is Random over float32 points: min(k, n) distinct points chosen
+// uniformly at random. The index draws are identical to Random's for equal
+// rng state — only the gathered coordinates carry float32 rounding — so the
+// selection is precision-independent.
+func Random32(ds *geom.Dataset32, k int, r *rng.Rng) *geom.Matrix {
+	n := ds.N()
+	if k > n {
+		k = n
+	}
+	if k <= 0 {
+		panic("seed: k must be positive")
+	}
+	return gather32(ds, r.SampleWithoutReplacement(n, k))
+}
+
+// KMeansPP32 is KMeansPP over float32 points: the same incremental D²
+// algorithm, with every point-center distance computed by the float32
+// norm-expansion kernel (geom.SqDistNorm32) and the D² cache and φ kept in
+// float64. Draws consume the rng in the same order as KMeansPP, but the
+// float32 distances perturb the sampling weights, so the chosen centers are
+// equivalent in distribution rather than bit-identical; docs/kernels.md
+// states the contract. The returned centers are float64 (exact widenings of
+// chosen points).
+func KMeansPP32(ds *geom.Dataset32, k int, r *rng.Rng, parallelism int) *geom.Matrix {
+	n := ds.N()
+	if k <= 0 {
+		panic("seed: k must be positive")
+	}
+	if k >= n {
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		return gather32(ds, all)
+	}
+
+	centers := &geom.Matrix32{Cols: ds.Dim()}
+
+	// First center: weight-proportional (uniform when unweighted).
+	var first int
+	if ds.Weight == nil {
+		first = r.Intn(n)
+	} else {
+		first = r.WeightedIndex(ds.Weight)
+	}
+	centers.AppendRow(ds.Point(first))
+	centers.Reserve(k)
+
+	// d2[i] = w_i · d²(x_i, C) in float64, updated incrementally against each
+	// new center. Point norms are float32, cached once, k−1 passes reuse them.
+	pNorms := geom.RowSqNorms32(ds.X, nil)
+	d2 := make([]float64, n)
+	chunks := geom.ChunkCount(n, parallelism)
+	partial := make([]float64, chunks)
+	geom.ParallelFor(n, parallelism, func(chunk, lo, hi int) {
+		var s float64
+		c0 := centers.Row(0)
+		n0 := geom.SqNorm32(c0)
+		for i := lo; i < hi; i++ {
+			d2[i] = ds.W(i) * geom.SqDistNorm32(ds.Point(i), c0, pNorms[i], n0)
+			s += d2[i]
+		}
+		partial[chunk] = s
+	})
+	phi := sum(partial)
+
+	for centers.Rows < k {
+		if !(phi > 0) {
+			// All remaining mass sits exactly on chosen centers (fewer
+			// distinct points than k). Fill with uniform picks.
+			centers.AppendRow(ds.Point(r.Intn(n)))
+			continue
+		}
+		next := sampleIndex(r, d2, phi)
+		centers.AppendRow(ds.Point(next))
+		cNew := centers.Row(centers.Rows - 1)
+		cNorm := geom.SqNorm32(cNew)
+		geom.ParallelFor(n, parallelism, func(chunk, lo, hi int) {
+			var s float64
+			for i := lo; i < hi; i++ {
+				if d2[i] > 0 {
+					if nd := ds.W(i) * geom.SqDistNorm32(ds.Point(i), cNew, pNorms[i], cNorm); nd < d2[i] {
+						d2[i] = nd
+					}
+				}
+				s += d2[i]
+			}
+			partial[chunk] = s
+		})
+		phi = sum(partial)
+	}
+	return centers.ToMatrix()
+}
+
+// gather32 copies the indexed float32 points into a fresh float64 matrix.
+func gather32(ds *geom.Dataset32, idx []int) *geom.Matrix {
+	m := geom.NewMatrix(len(idx), ds.Dim())
+	for j, i := range idx {
+		row := m.Row(j)
+		for c, v := range ds.Point(i) {
+			row[c] = float64(v)
+		}
+	}
+	return m
+}

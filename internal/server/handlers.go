@@ -505,6 +505,10 @@ type fitConfig struct {
 	Rounds       int                     `json:"rounds,omitempty"`
 	MaxIter      int                     `json:"max_iter,omitempty"`
 	Seed         uint64                  `json:"seed,omitempty"`
+	// Precision selects the fit's distance arithmetic: "f64" (default) or
+	// "f32" for the single-precision engine; see docs/kernels.md for the
+	// tolerance contract.
+	Precision string `json:"precision,omitempty"`
 }
 
 // DatasetSpec names an on-disk dataset for a fit job: a .kmd file or a
@@ -568,6 +572,11 @@ func (c fitConfig) toLibrary(parallelism int) (kmeansll.Config, error) {
 		}
 		out.Optimizer = opt
 	}
+	prec, err := kmeansll.ParsePrecision(c.Precision)
+	if err != nil {
+		return out, err
+	}
+	out.Precision = prec
 	return out, nil
 }
 
@@ -618,6 +627,12 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 		// misreport what ran.
 		if opt := cfg.OptimizerOrDefault(); opt != (kmeansll.Lloyd{Kernel: kmeansll.NaiveKernel}) {
 			writeError(w, http.StatusBadRequest, `backend "dist" supports only optimizer "lloyd:naive"`)
+			return
+		}
+		// The distributed engine's assignment pass is float64-only; silently
+		// widening a requested f32 fit would misreport what ran.
+		if cfg.Precision != kmeansll.Float64 {
+			writeError(w, http.StatusBadRequest, `backend "dist" supports only precision "f64"`)
 			return
 		}
 	}

@@ -57,6 +57,7 @@ type persistedConfig struct {
 	MaxIter      int     `json:"max_iter,omitempty"`
 	Kernel       int     `json:"kernel,omitempty"`
 	Optimizer    string  `json:"optimizer,omitempty"`
+	Precision    int     `json:"precision,omitempty"`
 	Parallelism  int     `json:"parallelism,omitempty"`
 	Seed         uint64  `json:"seed"`
 }
@@ -65,6 +66,7 @@ func (p persistedConfig) config() (kmeansll.Config, error) {
 	cfg := kmeansll.Config{
 		K: p.K, Init: kmeansll.InitMethod(p.Init), Oversampling: p.Oversampling,
 		Rounds: p.Rounds, MaxIter: p.MaxIter, Kernel: kmeansll.Kernel(p.Kernel),
+		Precision:   kmeansll.Precision(p.Precision),
 		Parallelism: p.Parallelism, Seed: p.Seed,
 	}
 	if p.Optimizer != "" {
@@ -102,6 +104,7 @@ func (m *JobManager) persistJob(j *Job, state JobState) {
 		Config: persistedConfig{
 			K: j.cfg.K, Init: int(j.cfg.Init), Oversampling: j.cfg.Oversampling,
 			Rounds: j.cfg.Rounds, MaxIter: j.cfg.MaxIter, Kernel: int(j.cfg.Kernel),
+			Precision:   int(j.cfg.Precision),
 			Parallelism: j.cfg.Parallelism, Seed: j.cfg.Seed,
 		},
 	}

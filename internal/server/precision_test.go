@@ -1,0 +1,75 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+
+	"kmeansll"
+)
+
+// TestFitPrecisionF32 drives a single-precision fit through the HTTP API:
+// config.precision="f32" must be accepted, fit, and serve predictions.
+func TestFitPrecisionF32(t *testing.T) {
+	s := newTestServer(t, Config{})
+	const k, d = 3, 4
+	points := blobPoints(300, d, k, 3)
+
+	var job JobStatus
+	code := do(t, s, "POST", "/v1/fit", fitRequest{
+		Model:  "prec32",
+		Points: points,
+		Config: fitConfig{K: k, Seed: 5, Precision: "f32"},
+	}, &job)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST /v1/fit: status %d", code)
+	}
+	st := waitForJob(t, s, job.ID)
+	if st.State != JobDone {
+		t.Fatalf("f32 fit ended %q (err %q)", st.State, st.Error)
+	}
+	if st.Cost <= 0 {
+		t.Fatalf("f32 fit cost %g", st.Cost)
+	}
+
+	var rep predictResponse
+	if code := do(t, s, "POST", "/v1/models/prec32/predict", pointsRequest{Points: points[:16]}, &rep); code != http.StatusOK {
+		t.Fatalf("predict: status %d", code)
+	}
+	if len(rep.Assignments) != 16 {
+		t.Fatalf("%d assignments for 16 points", len(rep.Assignments))
+	}
+}
+
+// TestFitPrecisionValidation covers the reject paths: an unknown precision
+// string and a dist-backend fit requesting f32 (the distributed assignment
+// pass is float64-only).
+func TestFitPrecisionValidation(t *testing.T) {
+	s := newTestServer(t, Config{})
+	points := blobPoints(60, 2, 2, 4)
+
+	if code := do(t, s, "POST", "/v1/fit", fitRequest{
+		Model: "badprec", Points: points,
+		Config: fitConfig{K: 2, Precision: "f16"},
+	}, nil); code != http.StatusBadRequest {
+		t.Fatalf("unknown precision accepted: status %d", code)
+	}
+	if code := do(t, s, "POST", "/v1/fit", fitRequest{
+		Model: "distprec", Points: points, Backend: "dist",
+		Config: fitConfig{K: 2, Precision: "f32"},
+	}, nil); code != http.StatusBadRequest {
+		t.Fatalf("dist backend accepted f32: status %d", code)
+	}
+}
+
+// TestPersistedConfigPrecision checks a queued f32 fit survives the persist
+// round trip — the spec file written at submit must restore Precision.
+func TestPersistedConfigPrecision(t *testing.T) {
+	p := persistedConfig{K: 3, Precision: int(kmeansll.Float32), Seed: 1}
+	cfg, err := p.config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Precision != kmeansll.Float32 {
+		t.Fatalf("restored precision %v, want Float32", cfg.Precision)
+	}
+}

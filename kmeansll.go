@@ -152,6 +152,10 @@ type Config struct {
 	// Seed makes the run deterministic; runs with equal seeds and configs
 	// return identical models regardless of Parallelism.
 	Seed uint64
+	// Precision selects the distance arithmetic: Float64 (default, the
+	// bit-reproducible reference) or Float32 (the single-precision blocked
+	// engine, tolerance-based — see the Precision type and docs/kernels.md).
+	Precision Precision
 }
 
 // Model is a fitted clustering.
@@ -199,6 +203,17 @@ type Model struct {
 		mat   *geom.Matrix
 		norms []float64
 	}
+
+	// linearIndex32 is linearIndex for the float32 linear-scan regime.
+	linearIndex32 struct {
+		once  sync.Once
+		mat   *geom.Matrix32
+		norms []float32
+	}
+
+	// precision selects PredictBatch's linear-scan arithmetic; see
+	// SetPredictPrecision.
+	precision Precision
 }
 
 // Cluster fits k centers to the given points. Points must be non-empty and
@@ -262,6 +277,9 @@ func ClusterDataset(ds *geom.Dataset, cfg Config) (*Model, error) {
 // normalizes a private copy — seeding must see the same geometry the
 // refinement optimizes), seed, refine.
 func clusterDataset(ds *geom.Dataset, cfg Config) (*Model, error) {
+	if cfg.Precision == Float32 {
+		return clusterDataset32(geom.ToDataset32(ds), cfg)
+	}
 	opt, err := cfg.OptimizerOrDefault().lower()
 	if err != nil {
 		return nil, err
@@ -464,6 +482,24 @@ func (m *Model) predictBatch(points [][]float64, out []int, parallelism int, use
 			}
 		})
 		return
+	}
+	if m.precision == Float32 {
+		if c32, n32 := m.linearScanIndex32(); geom.UseBlocked(c32.Rows, c32.Cols) {
+			if geom.ChunkCount(len(points), parallelism) == 1 {
+				sc := geom.GetScratch32()
+				geom.NearestBlockedRows32(points, c32, n32, out, sc)
+				sc.Release()
+				return
+			}
+			geom.ParallelFor(len(points), parallelism, func(_, lo, hi int) {
+				sc := geom.GetScratch32()
+				geom.NearestBlockedRows32(points[lo:hi], c32, n32, out[lo:hi], sc)
+				sc.Release()
+			})
+			return
+		}
+		// Below the blocked crossover the float64 scalar scan is both exact
+		// and as fast; fall through to it.
 	}
 	centers, norms := m.linearScanIndex()
 	if geom.UseBlocked(centers.Rows, centers.Cols) {

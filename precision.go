@@ -1,0 +1,179 @@
+package kmeansll
+
+import (
+	"errors"
+	"fmt"
+
+	"kmeansll/internal/core"
+	"kmeansll/internal/geom"
+	"kmeansll/internal/lloyd"
+	"kmeansll/internal/rng"
+	"kmeansll/internal/seed"
+)
+
+// Precision selects the arithmetic of the fit's distance-heavy passes.
+//
+// Float64 is the reference: bit-identical results for a given seed, the
+// contract every equivalence test in this repo pins. Float32 streams points
+// through the single-precision blocked engine (internal/geom's *32 kernels)
+// — half the memory bandwidth and, on amd64, SIMD dot products — while
+// keeping every cross-point accumulation (center sums, weights, costs, D²
+// sampling) in float64. Float32 results are not bit-comparable to Float64;
+// they follow the tolerance contract in docs/kernels.md (≥99.9% assignment
+// agreement and ~1e-6 relative cost error on unit-scale data up to 128
+// dims). Seeding under Float32 draws from the same distributions but may
+// make different sampling choices where float32 rounding perturbs a D²
+// weight.
+type Precision int
+
+const (
+	// Float64 runs every pass in double precision (default).
+	Float64 Precision = iota
+	// Float32 runs distance passes in single precision where supported:
+	// k-means||, k-means++ and random seeding, the default Lloyd refinement,
+	// and batch prediction. Unsupported combinations (Partition seeding,
+	// Elkan/Hamerly kernels, the MiniBatch/Trimmed/Spherical optimizers)
+	// transparently fall back to the Float64 pipeline on widened data.
+	Float32
+)
+
+func (p Precision) String() string {
+	switch p {
+	case Float64:
+		return "f64"
+	case Float32:
+		return "f32"
+	default:
+		return fmt.Sprintf("Precision(%d)", int(p))
+	}
+}
+
+// ParsePrecision parses the CLI/JSON form of a Precision: "f64"/"float64"
+// (or empty, meaning the default) and "f32"/"float32".
+func ParsePrecision(s string) (Precision, error) {
+	switch s {
+	case "", "f64", "float64":
+		return Float64, nil
+	case "f32", "float32":
+		return Float32, nil
+	default:
+		return Float64, fmt.Errorf("kmeansll: unknown precision %q (want f64 or f32)", s)
+	}
+}
+
+// ClusterDataset32 is ClusterDataset over float32 points — the zero-copy
+// entry for float32 .kmd files: a Dataset32 opened with dsio.Reader.Dataset32
+// flows into the fit without widening the payload. Config.Precision is
+// implied (the data already is float32); configurations outside the float32
+// fast path fall back to the Float64 pipeline on a widened copy, exactly as
+// Config.Precision = Float32 does. Config.Weights is ignored; weights come
+// from the dataset.
+func ClusterDataset32(ds *geom.Dataset32, cfg Config) (*Model, error) {
+	if cfg.K < 1 {
+		return nil, errors.New("kmeansll: Config.K must be ≥ 1")
+	}
+	if ds == nil || ds.N() == 0 {
+		return nil, errors.New("kmeansll: no points")
+	}
+	if ds.Dim() == 0 {
+		return nil, errors.New("kmeansll: zero-dimensional points")
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, fmt.Errorf("kmeansll: %w", err)
+	}
+	return clusterDataset32(ds, cfg)
+}
+
+// float32Supported reports whether the configuration stays on the float32
+// fast path: the seedings and the refinement that have *32 engine
+// implementations. Everything else widens and runs the Float64 pipeline.
+func float32Supported(cfg Config) bool {
+	if l, ok := cfg.OptimizerOrDefault().(Lloyd); !ok || l.Kernel != NaiveKernel {
+		return false
+	}
+	switch cfg.Init {
+	case KMeansParallel, KMeansPlusPlus, RandomInit:
+		return true
+	default:
+		return false
+	}
+}
+
+// clusterDataset32 runs the float32 seeding + refinement pipeline, or falls
+// back to the float64 one (on widened data) when the configuration needs
+// passes that only exist in double precision.
+func clusterDataset32(ds *geom.Dataset32, cfg Config) (*Model, error) {
+	if !float32Supported(cfg) {
+		c := cfg
+		c.Precision = Float64 // widened fallback must not loop back here
+		return clusterDataset(ds.ToDataset(), c)
+	}
+	dim := ds.Dim()
+	var centers *geom.Matrix
+	var seedCost float64
+	switch cfg.Init {
+	case KMeansParallel:
+		over := cfg.Oversampling
+		if over <= 0 {
+			over = 2
+		}
+		var stats core.Stats
+		centers, stats = core.Init32(ds, core.Config{
+			K: cfg.K, L: over * float64(cfg.K), Rounds: cfg.Rounds,
+			Parallelism: cfg.Parallelism, Seed: cfg.Seed,
+		})
+		seedCost = stats.SeedCost
+	case KMeansPlusPlus:
+		centers = seed.KMeansPP32(ds, cfg.K, rng.New(cfg.Seed), cfg.Parallelism)
+		seedCost = lloyd.Cost32(ds, geom.ToMatrix32(centers), cfg.Parallelism)
+	default: // RandomInit, by float32Supported
+		centers = seed.Random32(ds, cfg.K, rng.New(cfg.Seed))
+		seedCost = lloyd.Cost32(ds, geom.ToMatrix32(centers), cfg.Parallelism)
+	}
+
+	res := lloyd.Run32(ds, centers, lloyd.Config{
+		MaxIter: cfg.MaxIter, Parallelism: cfg.Parallelism,
+	})
+
+	out := &Model{
+		Cost:      res.Cost,
+		SeedCost:  seedCost,
+		Iters:     res.Iters,
+		Converged: res.Converged,
+		dim:       dim,
+		precision: Float32,
+	}
+	out.Centers = make([][]float64, res.Centers.Rows)
+	for c := range out.Centers {
+		row := make([]float64, dim)
+		copy(row, res.Centers.Row(c))
+		out.Centers[c] = row
+	}
+	out.Assign = make([]int, len(res.Assign))
+	for i, a := range res.Assign {
+		out.Assign[i] = int(a)
+	}
+	return out, nil
+}
+
+// SetPredictPrecision selects the arithmetic PredictBatch uses: Float32
+// routes the blocked linear-scan regime through the single-precision engine
+// (models fitted via the float32 path default to it). Call before the first
+// PredictBatch — the per-precision center caches are built once — and not
+// concurrently with prediction. Predict (single point) and the kd-tree
+// regime always use float64; answers there are exact either way.
+func (m *Model) SetPredictPrecision(p Precision) { m.precision = p }
+
+// PredictPrecision reports the precision PredictBatch's linear-scan regime
+// runs at.
+func (m *Model) PredictPrecision() Precision { return m.precision }
+
+// linearScanIndex32 returns the cached float32 center matrix and norms for
+// the single-precision linear-scan regime, building them on first use.
+func (m *Model) linearScanIndex32() (*geom.Matrix32, []float32) {
+	m.linearIndex32.once.Do(func() {
+		m.linearIndex32.mat = geom.ToMatrix32(geom.FromRows(m.Centers))
+		m.linearIndex32.norms = geom.RowSqNorms32(m.linearIndex32.mat, nil)
+	})
+	return m.linearIndex32.mat, m.linearIndex32.norms
+}
