@@ -6,6 +6,7 @@ import (
 
 	"kmeansll"
 	"kmeansll/internal/core"
+	"kmeansll/internal/distkm"
 	"kmeansll/internal/geom"
 	"kmeansll/internal/lloyd"
 	"kmeansll/internal/rng"
@@ -14,19 +15,27 @@ import (
 
 // The float32 perf suite (BENCH_f32.json) records the single-precision
 // engine's win over the double-precision blocked engine at the acceptance
-// scale, 10⁵×32 with k=32: Init (k-means||), one Lloyd iteration, and
-// steady-state PredictBatch, each measured three ways in one process —
-// float64 blocked (the committed reference), float32 with the pure-Go
-// kernels (geom.SetF32Asm(false)), and float32 with the assembly dot kernels
-// where the platform has them. The speedup_* ratios divide the float64 ns/op
-// by the best float32 variant's; the bench gate holds lloyd_iter_f32 and
-// predict_batch_f32 to the ≥1.3× floor from docs/kernels.md, so "float32 is
-// the fast path" stays an enforced property. Ratios are measured within one
-// run, so they are machine-independent like the blocked-vs-naive ones.
+// scale, 10⁵×32 with k=32: Init (k-means||), one Lloyd iteration under each
+// assignment method (naive, Elkan, Hamerly), a mini-batch refinement, one
+// distributed Lloyd iteration over a loopback cluster, and steady-state
+// PredictBatch — each measured three ways in one process: float64 blocked
+// (the committed reference), float32 with the pure-Go kernels
+// (geom.SetF32Asm(false)), and float32 with the assembly dot kernels where
+// the platform has them. The speedup_* ratios divide the float64 ns/op by
+// the best float32 variant's; the bench gate holds every ratio whose
+// committed baseline met the bar to the ≥1.3× floor from docs/kernels.md,
+// so "float32 is the fast path" stays an enforced property. Ratios are
+// measured within one run, so they are machine-independent like the
+// blocked-vs-naive ones.
 
 const (
 	f32K     = 32
 	f32Batch = 512
+	// f32MBSteps sizes the mini-batch row: 50 batch steps of f32Batch points
+	// plus the final exact assignment pass over the full dataset.
+	f32MBSteps = 50
+	// distWorkers is the loopback cluster size of the distributed row.
+	distWorkers = 4
 )
 
 // runF32Suite measures the three hot paths at 10⁵×32 under float64-blocked,
@@ -64,6 +73,49 @@ func runF32Suite() (perfFile, error) {
 
 	byVariant := map[string]map[string]float64{}
 
+	// lloydIter measures one refinement pass under the given assignment
+	// method — for Elkan/Hamerly that is the bound-building first iteration,
+	// the distance-dominated part the float32 kernels accelerate.
+	lloydIter := func(variant string, prec kmeansll.Precision, method lloyd.Method) perfResult {
+		return measure("LloydIter"+methodTag(method)+"/precision="+variant, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := lloyd.Config{MaxIter: 1, Parallelism: 1, Method: method}
+				if prec == kmeansll.Float32 {
+					lloyd.Run32(ds32, initCenters, cfg)
+				} else {
+					lloyd.Run(ds, initCenters, cfg)
+				}
+			}
+		})
+	}
+
+	// distIter measures one distributed Lloyd iteration over a 4-worker
+	// loopback cluster: the shard assignment/update RPCs plus the final
+	// assignment pass, everything crossing the real net/rpc + gob wire. The
+	// float32 variants install float32 shards (Coordinator.SetFloat32), so
+	// this row is the serving-tier form of the f32 assignment path.
+	distIter := func(variant string, prec kmeansll.Precision) perfResult {
+		clients, closeAll := distkm.LoopbackCluster(distWorkers)
+		coord, err := distkm.NewCoordinator(clients)
+		if err != nil {
+			panic(err)
+		}
+		coord.SetFloat32(prec == kmeansll.Float32)
+		if err := coord.Distribute(ds); err != nil {
+			panic(err)
+		}
+		res := measure("DistLloydIter/precision="+variant, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := coord.Lloyd(initCenters, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		coord.Close()
+		closeAll()
+		return res
+	}
+
 	benchVariant := func(variant string, prec kmeansll.Precision) {
 		initRes := measure("Init/precision="+variant, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -75,16 +127,23 @@ func runF32Suite() (perfFile, error) {
 				}
 			}
 		})
-		lloydRes := measure("LloydIter/precision="+variant, func(b *testing.B) {
+		lloydRes := lloydIter(variant, prec, lloyd.Naive)
+		elkanRes := lloydIter(variant, prec, lloyd.Elkan)
+		hamerlyRes := lloydIter(variant, prec, lloyd.Hamerly)
+		mbRes := measure("MiniBatch/precision="+variant, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				cfg := lloyd.Config{MaxIter: 1, Parallelism: 1}
+				cfg := lloyd.MiniBatchConfig{
+					BatchSize: f32Batch, Iters: f32MBSteps,
+					Seed: uint64(i % perfRestart), Parallelism: 1,
+				}
 				if prec == kmeansll.Float32 {
-					lloyd.Run32(ds32, initCenters, cfg)
+					lloyd.MiniBatch32(ds32, initCenters, cfg)
 				} else {
-					lloyd.Run(ds, initCenters, cfg)
+					lloyd.MiniBatch(ds, initCenters, cfg)
 				}
 			}
 		})
+		distRes := distIter(variant, prec)
 		model, err := kmeansll.NewModel(centerRows)
 		if err != nil {
 			panic(err) // centerRows is well-formed by construction
@@ -96,11 +155,15 @@ func runF32Suite() (perfFile, error) {
 				model.PredictBatchInto(queries, out, 1)
 			}
 		})
-		f.Results = append(f.Results, initRes, lloydRes, predRes)
+		f.Results = append(f.Results, initRes, lloydRes, elkanRes, hamerlyRes, mbRes, distRes, predRes)
 		byVariant[variant] = map[string]float64{
-			"init":          initRes.NsPerOp,
-			"lloyd_iter":    lloydRes.NsPerOp,
-			"predict_batch": predRes.NsPerOp,
+			"init":            initRes.NsPerOp,
+			"lloyd_iter":      lloydRes.NsPerOp,
+			"lloyd_elkan":     elkanRes.NsPerOp,
+			"lloyd_hamerly":   hamerlyRes.NsPerOp,
+			"minibatch":       mbRes.NsPerOp,
+			"dist_lloyd_iter": distRes.NsPerOp,
+			"predict_batch":   predRes.NsPerOp,
 		}
 	}
 
@@ -117,8 +180,24 @@ func runF32Suite() (perfFile, error) {
 		best = byVariant["f32asm"]
 	}
 
-	for _, metric := range []string{"init", "lloyd_iter", "predict_batch"} {
+	for _, metric := range []string{
+		"init", "lloyd_iter", "lloyd_elkan", "lloyd_hamerly",
+		"minibatch", "dist_lloyd_iter", "predict_batch",
+	} {
 		f.Speedups[metric+"_f32"] = byVariant["f64"][metric] / best[metric]
 	}
 	return f, nil
+}
+
+// methodTag renders the assignment method as a benchmark-name suffix ("" for
+// the naive baseline, so the original row names stay stable).
+func methodTag(m lloyd.Method) string {
+	switch m {
+	case lloyd.Elkan:
+		return "Elkan"
+	case lloyd.Hamerly:
+		return "Hamerly"
+	default:
+		return ""
+	}
 }

@@ -23,7 +23,9 @@
 // the default lloyd optimizer.
 // -precision f32 runs the distance passes in single precision (see
 // docs/kernels.md for the tolerance contract); over a float32 .kmd file the
-// fit is zero-copy — the mmap'd payload is used directly.
+// fit is zero-copy — the mmap'd payload is used directly. -mr -precision f32
+// runs the float32 MapReduce realization, the bits a distributed
+// kmcoord -precision f32 fit reproduces exactly.
 package main
 
 import (
@@ -98,7 +100,7 @@ func main() {
 		ds32   *geom.Dataset32
 		closer io.Closer
 	)
-	if precision == kmeansll.Float32 && !*useMR && !*norm &&
+	if precision == kmeansll.Float32 && !*norm &&
 		strings.EqualFold(filepath.Ext(*in), dsio.Ext) {
 		r, err := dsio.Open(*in)
 		if err != nil {
@@ -157,24 +159,43 @@ func main() {
 		if initMethod != kmeansll.KMeansParallel {
 			fatal(fmt.Errorf("-mr supports only -init kmeansll"))
 		}
-		if precision != kmeansll.Float64 {
-			fatal(fmt.Errorf("-mr supports only -precision f64"))
-		}
 		cfg := core.Config{K: *k, L: *l * float64(*k), Rounds: *rounds, Seed: *seedVal}
-		init, stats := mrkm.Init(ds, cfg, mrkm.Config{})
-		logf("kmcluster: mapreduce init: %d jobs, %d candidates, seed cost %.4g",
-			stats.MRRounds, stats.Candidates, stats.SeedCost)
 		iters := *maxIter
 		if iters == 0 {
 			iters = 100
 		}
-		res, _ := mrkm.Lloyd(ds, init, iters, mrkm.Config{})
-		logf("kmcluster: Lloyd converged=%v after %d iterations, final cost %.6g",
-			res.Converged, res.Iters, res.Cost)
-		centers = res.Centers
-		assignOut = make([]int, len(res.Assign))
-		for i, a := range res.Assign {
-			assignOut[i] = int(a)
+		if precision == kmeansll.Float32 {
+			// The float32 MapReduce realization: the same span bodies a
+			// distributed float32 fit (kmcoord -precision f32) reproduces
+			// bit for bit. A float32 .kmd input is already mmap'd as ds32;
+			// anything else narrows once here.
+			mds := ds32
+			if mds == nil {
+				mds = geom.ToDataset32(ds)
+			}
+			init, stats := mrkm.Init32(mds, cfg, mrkm.Config{})
+			logf("kmcluster: mapreduce init: %d jobs, %d candidates, seed cost %.4g",
+				stats.MRRounds, stats.Candidates, stats.SeedCost)
+			res, _ := mrkm.Lloyd32(mds, init, iters, mrkm.Config{})
+			logf("kmcluster: Lloyd converged=%v after %d iterations, final cost %.6g",
+				res.Converged, res.Iters, res.Cost)
+			centers = res.Centers
+			assignOut = make([]int, len(res.Assign))
+			for i, a := range res.Assign {
+				assignOut[i] = int(a)
+			}
+		} else {
+			init, stats := mrkm.Init(ds, cfg, mrkm.Config{})
+			logf("kmcluster: mapreduce init: %d jobs, %d candidates, seed cost %.4g",
+				stats.MRRounds, stats.Candidates, stats.SeedCost)
+			res, _ := mrkm.Lloyd(ds, init, iters, mrkm.Config{})
+			logf("kmcluster: Lloyd converged=%v after %d iterations, final cost %.6g",
+				res.Converged, res.Iters, res.Cost)
+			centers = res.Centers
+			assignOut = make([]int, len(res.Assign))
+			for i, a := range res.Assign {
+				assignOut[i] = int(a)
+			}
 		}
 	} else {
 		// The shared pipeline: exactly kmeansll.ClusterDataset, so the same

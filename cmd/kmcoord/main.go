@@ -23,7 +23,10 @@
 //
 // For equal seeds the resulting centers are bit-identical to a
 // single-process mrkm fit with Mappers set to the worker count; workers that
-// die mid-fit have their shards re-assigned to survivors.
+// die mid-fit have their shards re-assigned to survivors. With
+// -precision f32 the workers store float32 shards and answer every distance
+// pass in single precision (bit-identical to the single-process float32 fit
+// when every worker resolves the same float32 kernel tier).
 //
 // Elasticity and crash tolerance:
 //
@@ -48,6 +51,7 @@ import (
 	"strings"
 	"time"
 
+	"kmeansll"
 	"kmeansll/internal/core"
 	"kmeansll/internal/data"
 	"kmeansll/internal/distkm"
@@ -69,6 +73,7 @@ func main() {
 		rounds   = flag.Int("rounds", 0, "sampling rounds (0 = auto)")
 		maxIter  = flag.Int("max-iter", 20, "Lloyd iteration cap")
 		seedVal  = flag.Uint64("seed", 1, "run seed")
+		precStr  = flag.String("precision", "", `distance arithmetic: "f64" (default) or "f32" — workers store float32 shards and run the float32 kernels; requires a homogeneous kernel tier across the fleet for reproducible bits`)
 		out      = flag.String("out", "", "write the fitted model here (kmeansll text format)")
 		timeout  = flag.Duration("dial-timeout", 5*time.Second, "per-worker dial timeout")
 
@@ -89,6 +94,10 @@ func main() {
 	}
 	if *manifest != "" && (*dataPath != "" || *genN > 0) {
 		fail("kmcoord: -manifest is mutually exclusive with -data and -gen-n")
+	}
+	prec, perr := kmeansll.ParsePrecision(*precStr)
+	if perr != nil {
+		fail("kmcoord: %v", perr)
 	}
 	var (
 		ds  *geom.Dataset
@@ -147,6 +156,9 @@ func main() {
 		acceptor.Feed(coord)
 	}
 	coord.SetRetryPolicy(distkm.RetryPolicy{Attempts: *retries})
+	if prec == kmeansll.Float32 {
+		coord.SetFloat32(true)
+	}
 	if *ckptDir != "" {
 		coord.SetCheckpointer(&distkm.Checkpointer{Dir: *ckptDir})
 	}
@@ -194,6 +206,9 @@ func main() {
 		model, err := distkm.Model(res, stats)
 		if err != nil {
 			fail("kmcoord: %v", err)
+		}
+		if prec == kmeansll.Float32 {
+			model.MarkFitPrecision(kmeansll.Float32)
 		}
 		if err := model.SaveFile(*out); err != nil {
 			fail("kmcoord: saving model: %v", err)

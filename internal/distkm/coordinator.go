@@ -73,6 +73,12 @@ type Coordinator struct {
 	man       *dsio.Manifest
 	manPrefix string
 
+	// float32 selects the float32 shard form: workers store narrowed points
+	// and answer every distance pass with mrkm's *Span32 bodies, making the
+	// fit bit-identical to mrkm.Init32+Lloyd32 at Mappers = Workers. Set by
+	// SetFloat32 before Distribute.
+	float32 bool
+
 	mu       sync.Mutex
 	assign   []int  // shard -> worker index
 	alive    []bool // worker index -> reachable
@@ -128,6 +134,19 @@ func newFitID() uint64 {
 
 // ref names one of this coordinator's shards on the wire.
 func (c *Coordinator) ref(shardID int) ShardRef { return ShardRef{Fit: c.fit, Shard: shardID} }
+
+// SetFloat32 selects the precision of the workers' distance passes: with on,
+// shards are stored as float32 and every per-shard primitive runs the same
+// float32 span bodies as mrkm.Init32/Lloyd32, so the fit is bit-identical to
+// the in-process float32 realization at Mappers = Workers (all workers must
+// resolve the same float32 kernel tier — see geom.ActiveF32Tier). Reductions,
+// sampling and Step 8 stay float64 on the coordinator either way. Call before
+// Distribute/DistributeManifest; the flag applies to every shard load,
+// including failover re-pushes.
+func (c *Coordinator) SetFloat32(on bool) { c.float32 = on }
+
+// Float32 reports the precision selected by SetFloat32.
+func (c *Coordinator) Float32() bool { return c.float32 }
 
 // Workers returns how many worker connections the coordinator holds,
 // including joiners admitted mid-fit.
@@ -335,9 +354,10 @@ func (c *Coordinator) loadShard(cl Client, shardID int) error {
 	sp := c.spans[shardID]
 	if c.segs != nil {
 		return cl.Call("Worker.LoadPath", LoadPathArgs{
-			Ref:  c.ref(shardID),
-			Lo:   sp.Lo,
-			Segs: c.segs[shardID],
+			Ref:     c.ref(shardID),
+			Lo:      sp.Lo,
+			Segs:    c.segs[shardID],
+			Float32: c.float32,
 		}, &Ack{})
 	}
 	view := c.ds.X.RowRange(sp.Lo, sp.Hi)
@@ -350,6 +370,7 @@ func (c *Coordinator) loadShard(cl Client, shardID int) error {
 		Lo:      sp.Lo,
 		Points:  matOf(view.Rows, view.Cols, view.Data),
 		Weights: w,
+		Float32: c.float32,
 	}, &Ack{})
 }
 

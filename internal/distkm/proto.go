@@ -18,7 +18,11 @@
 // as mrkm, a distkm fit over W workers is bit-identical to
 // mrkm.Init + mrkm.Lloyd with Mappers: W in one process (gob encodes float64
 // exactly). Tests assert this over the in-memory loopback transport and over
-// real worker processes.
+// real worker processes. The same holds for float32 fits: shards loaded with
+// Float32 answer every distance pass through mrkm's shared *Span32 bodies, so
+// a float32 distkm fit is bit-identical to mrkm.Init32 + mrkm.Lloyd32 with
+// Mappers: W — provided every worker resolves the same float32 kernel tier
+// (geom.ActiveF32Tier; mixed AVX2/NEON/pure-Go fleets round differently).
 //
 // Transport is net/rpc over gob: Dial connects to a cmd/kmworker process over
 // TCP, NewLoopback serves a Worker over an in-memory pipe through the same
@@ -47,12 +51,17 @@ type ShardRef struct {
 
 // LoadArgs pushes one shard of the dataset onto a worker. Lo is the global
 // index of the shard's first point; sampling uses it so candidate selection
-// matches the single-process run point for point.
+// matches the single-process run point for point. Float32 asks the worker to
+// store the shard narrowed to float32 and answer every distance pass with the
+// float32 span bodies (mrkm's *Span32 functions) — the wire format stays
+// float64 (gob-exact), so a float32 fit over W workers is bit-identical to
+// mrkm.Init32 + mrkm.Lloyd32 with Mappers: W.
 type LoadArgs struct {
 	Ref     ShardRef
 	Lo      int
 	Points  Mat
 	Weights []float64 // nil ⇒ unweighted
+	Float32 bool
 }
 
 // Ack is the empty reply for calls that only need an error channel.
@@ -70,11 +79,15 @@ type PathSeg struct {
 // shard's points over the wire, the coordinator names which rows of which
 // dataset files make up the shard and the worker mmaps them locally — the
 // request is a few hundred bytes regardless of shard size. Lo is the global
-// index of the shard's first point, exactly as in LoadArgs.
+// index of the shard's first point, exactly as in LoadArgs. Float32 selects
+// the float32 shard form, as in LoadArgs; a single-segment float32 .kmd file
+// stays zero-copy (the worker scans the mapped pages directly), while float64
+// files are narrowed into a private copy.
 type LoadPathArgs struct {
-	Ref  ShardRef
-	Lo   int
-	Segs []PathSeg
+	Ref     ShardRef
+	Lo      int
+	Segs    []PathSeg
+	Float32 bool
 }
 
 // UpdateArgs is one D² cache-update pass: fold the new centers into the

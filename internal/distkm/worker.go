@@ -25,6 +25,12 @@ type shard struct {
 	ds *geom.Dataset
 	d2 []float64 // w_i · d²(x_i, C), +Inf before the first update pass
 
+	// ds32/pn32 are set instead of ds for a float32 shard (LoadArgs.Float32):
+	// float32 points plus their cached squared norms, the inputs mrkm's
+	// shared *Span32 bodies take. Exactly one of ds and ds32 is non-nil.
+	ds32 *geom.Dataset32
+	pn32 []float32
+
 	// lastUsed (guarded by the worker mutex) feeds the janitor: a fit whose
 	// coordinator died without a clean Release would otherwise strand its
 	// dataset copy on a long-lived shared worker forever.
@@ -42,6 +48,35 @@ type shard struct {
 	// once the shard is dropped AND the last reader has finished.
 	refs    int
 	dropped bool
+}
+
+// n returns the shard's point count in either precision.
+func (s *shard) n() int {
+	if s.ds32 != nil {
+		return s.ds32.N()
+	}
+	return s.ds.N()
+}
+
+// dim returns the shard's dimensionality in either precision.
+func (s *shard) dim() int {
+	if s.ds32 != nil {
+		return s.ds32.Dim()
+	}
+	return s.ds.Dim()
+}
+
+// point returns point i widened to float64 (exact for float32 shards).
+func (s *shard) point(i int) []float64 {
+	if s.ds32 == nil {
+		return s.ds.Point(i)
+	}
+	p := s.ds32.Point(i)
+	out := make([]float64, len(p))
+	for j, v := range p {
+		out[j] = float64(v)
+	}
+	return out
 }
 
 // closeMaps unmaps the shard's backing files. Callers must guarantee no
@@ -123,7 +158,12 @@ func (w *Worker) Load(args LoadArgs, _ *Ack) error {
 			args.Ref.Shard, len(args.Weights), args.Points.Rows)
 	}
 	x := &geom.Matrix{Rows: args.Points.Rows, Cols: args.Points.Cols, Data: args.Points.Data}
-	w.install(args.Ref, args.Lo, &geom.Dataset{X: x, Weight: args.Weights}, nil)
+	ds := &geom.Dataset{X: x, Weight: args.Weights}
+	if args.Float32 {
+		w.install32(args.Ref, args.Lo, geom.ToDataset32(ds), nil)
+		return nil
+	}
+	w.install(args.Ref, args.Lo, ds, nil)
 	return nil
 }
 
@@ -135,6 +175,26 @@ func (w *Worker) install(ref ShardRef, lo int, ds *geom.Dataset, closers []io.Cl
 		d2[i] = math.Inf(1)
 	}
 	s := &shard{lo: lo, ds: ds, d2: d2, lastUsed: time.Now(), closers: closers}
+	w.installShard(ref, s)
+}
+
+// install32 is install for a float32 shard: it additionally caches the
+// per-point squared norms the scalar norm-expansion kernels need.
+func (w *Worker) install32(ref ShardRef, lo int, ds *geom.Dataset32, closers []io.Closer) {
+	d2 := make([]float64, ds.N())
+	for i := range d2 {
+		d2[i] = math.Inf(1)
+	}
+	s := &shard{
+		lo: lo, ds32: ds, pn32: geom.RowSqNorms32(ds.X, nil),
+		d2: d2, lastUsed: time.Now(), closers: closers,
+	}
+	w.installShard(ref, s)
+}
+
+// installShard swaps s into the shard map under ref, releasing any mapping a
+// replaced shard held.
+func (w *Worker) installShard(ref ShardRef, s *shard) {
 	w.mu.Lock()
 	old := w.shards[ref]
 	closeOld := old != nil && dropLocked(old)
@@ -156,6 +216,9 @@ func (w *Worker) LoadPath(args LoadPathArgs, _ *Ack) error {
 	}
 	if len(args.Segs) == 0 {
 		return fmt.Errorf("distkm: LoadPath shard %d: no segments", args.Ref.Shard)
+	}
+	if args.Float32 {
+		return w.loadPath32(args)
 	}
 	var (
 		readers []io.Closer
@@ -222,6 +285,77 @@ func (w *Worker) LoadPath(args LoadPathArgs, _ *Ack) error {
 	return nil
 }
 
+// loadPath32 is LoadPath's float32 form. A single-segment shard over a
+// float32 .kmd file aliases the mapped pages directly (Reader.Dataset32 is
+// zero-copy there); float64 files narrow into a private copy on open, and
+// multi-segment shards copy rows into one contiguous matrix, exactly
+// mirroring the float64 path's layout guarantees.
+func (w *Worker) loadPath32(args LoadPathArgs) error {
+	var (
+		readers []io.Closer
+		dim     = -1
+		total   int
+		weight  = false
+	)
+	fail := func(err error) error {
+		for _, r := range readers {
+			_ = r.Close()
+		}
+		return err
+	}
+	parts := make([]*geom.Dataset32, len(args.Segs))
+	for i, seg := range args.Segs {
+		if seg.Path == "" || !filepath.IsLocal(seg.Path) {
+			return fail(fmt.Errorf("distkm: LoadPath shard %d: path %q escapes the data dir", args.Ref.Shard, seg.Path))
+		}
+		r, err := dsio.Open(filepath.Join(w.dataDir, seg.Path))
+		if err != nil {
+			return fail(fmt.Errorf("distkm: LoadPath shard %d: %v", args.Ref.Shard, err))
+		}
+		readers = append(readers, r)
+		ds := r.Dataset32()
+		if seg.Lo < 0 || seg.Hi > ds.N() || seg.Lo >= seg.Hi {
+			return fail(fmt.Errorf("distkm: LoadPath shard %d: rows [%d,%d) outside %s's %d rows",
+				args.Ref.Shard, seg.Lo, seg.Hi, seg.Path, ds.N()))
+		}
+		if i == 0 {
+			dim, weight = ds.Dim(), ds.Weight != nil
+		} else if ds.Dim() != dim || (ds.Weight != nil) != weight {
+			return fail(fmt.Errorf("distkm: LoadPath shard %d: %s disagrees on dims/weighting", args.Ref.Shard, seg.Path))
+		}
+		view := ds.X.RowRange(seg.Lo, seg.Hi)
+		part := &geom.Dataset32{X: &view}
+		if ds.Weight != nil {
+			part.Weight = ds.Weight[seg.Lo:seg.Hi]
+		}
+		parts[i] = part
+		total += seg.Hi - seg.Lo
+	}
+
+	if len(parts) == 1 {
+		w.install32(args.Ref, args.Lo, parts[0], readers)
+		return nil
+	}
+	x := geom.NewMatrix32(total, dim)
+	var ww []float64
+	if weight {
+		ww = make([]float64, 0, total)
+	}
+	at := 0
+	for _, part := range parts {
+		copy(x.Data[at*dim:], part.X.Data)
+		at += part.N()
+		if weight {
+			ww = append(ww, part.Weight...)
+		}
+	}
+	for _, r := range readers {
+		_ = r.Close() // rows are copied; the mappings can go
+	}
+	w.install32(args.Ref, args.Lo, &geom.Dataset32{X: x, Weight: ww}, nil)
+	return nil
+}
+
 // Update folds the broadcast centers into the shard's D² cache and returns
 // the shard's φ partial. The loop is mrkm.UpdateSpan — the literally shared
 // mapper body — so the partial is bit-identical to the in-process
@@ -232,7 +366,7 @@ func (w *Worker) Update(args UpdateArgs, reply *CostReply) error {
 		return err
 	}
 	defer w.done(s)
-	centers, err := args.New.checked(s.ds.Dim(), 0)
+	centers, err := args.New.checked(s.dim(), 0)
 	if err != nil {
 		return err
 	}
@@ -240,6 +374,12 @@ func (w *Worker) Update(args UpdateArgs, reply *CostReply) error {
 		for i := range s.d2 {
 			s.d2[i] = math.Inf(1)
 		}
+	}
+	if s.ds32 != nil {
+		// Narrowing the wire float64 recovers the exact float32 candidate
+		// bits (candidates are data points, widened losslessly on Sample).
+		reply.Phi = mrkm.UpdateSpan32(s.ds32, s.pn32, s.d2, 0, s.ds32.N(), geom.ToMatrix32(centers), 0)
+		return nil
 	}
 	reply.Phi = mrkm.UpdateSpan(s.ds, s.d2, 0, s.ds.N(), centers, 0)
 	return nil
@@ -254,8 +394,8 @@ func (w *Worker) Sample(args SampleArgs, reply *SampleReply) error {
 		return err
 	}
 	defer w.done(s)
-	pts := geom.NewMatrix(0, s.ds.Dim())
-	pts.Cols = s.ds.Dim()
+	pts := geom.NewMatrix(0, s.dim())
+	pts.Cols = s.dim()
 	for i := range s.d2 {
 		if s.d2[i] <= 0 {
 			continue
@@ -263,7 +403,7 @@ func (w *Worker) Sample(args SampleArgs, reply *SampleReply) error {
 		p := args.Ell * s.d2[i] / args.Phi
 		if p >= 1 || rng.PointRand(args.Seed, args.Round, s.lo+i) < p {
 			reply.Indices = append(reply.Indices, s.lo+i)
-			pts.AppendRow(s.ds.Point(i))
+			pts.AppendRow(s.point(i)) // float32 rows widen exactly
 		}
 	}
 	reply.Points = matOf(pts.Rows, pts.Cols, pts.Data)
@@ -279,9 +419,13 @@ func (w *Worker) Weights(args CentersArgs, reply *WeightsReply) error {
 		return err
 	}
 	defer w.done(s)
-	centers, err := args.Centers.checked(s.ds.Dim(), 1)
+	centers, err := args.Centers.checked(s.dim(), 1)
 	if err != nil {
 		return err
+	}
+	if s.ds32 != nil {
+		reply.W = mrkm.WeightSpan32(s.ds32, s.pn32, 0, s.ds32.N(), geom.ToMatrix32(centers))
+		return nil
 	}
 	reply.W = make([]float64, centers.Rows)
 	for i := 0; i < s.ds.N(); i++ {
@@ -301,9 +445,15 @@ func (w *Worker) LloydStep(args CentersArgs, reply *LloydReply) error {
 		return err
 	}
 	defer w.done(s)
-	centers, err := args.Centers.checked(s.ds.Dim(), 1)
+	centers, err := args.Centers.checked(s.dim(), 1)
 	if err != nil {
 		return err
+	}
+	if s.ds32 != nil {
+		sums, phi := mrkm.LloydSpan32(s.ds32, s.pn32, 0, s.ds32.N(), geom.ToMatrix32(centers))
+		reply.Sums = matOf(sums.Rows, sums.Cols, sums.Data)
+		reply.Phi = phi
+		return nil
 	}
 	k, d := centers.Rows, centers.Cols
 	sums := geom.NewMatrix(k, d+1)
@@ -332,9 +482,13 @@ func (w *Worker) Cost(args CentersArgs, reply *CostReply) error {
 		return err
 	}
 	defer w.done(s)
-	centers, err := args.Centers.checked(s.ds.Dim(), 1)
+	centers, err := args.Centers.checked(s.dim(), 1)
 	if err != nil {
 		return err
+	}
+	if s.ds32 != nil {
+		reply.Phi = mrkm.CostSpan32(s.ds32, s.pn32, 0, s.ds32.N(), geom.ToMatrix32(centers))
+		return nil
 	}
 	var part float64
 	for i := 0; i < s.ds.N(); i++ {
@@ -353,9 +507,14 @@ func (w *Worker) Assign(args CentersArgs, reply *AssignReply) error {
 		return err
 	}
 	defer w.done(s)
-	centers, err := args.Centers.checked(s.ds.Dim(), 1)
+	centers, err := args.Centers.checked(s.dim(), 1)
 	if err != nil {
 		return err
+	}
+	if s.ds32 != nil {
+		reply.Assign = make([]int32, s.ds32.N())
+		reply.Phi = mrkm.AssignSpan32(s.ds32, s.pn32, 0, s.ds32.N(), geom.ToMatrix32(centers), reply.Assign)
+		return nil
 	}
 	reply.Assign = make([]int32, s.ds.N())
 	for i := 0; i < s.ds.N(); i++ {
@@ -375,10 +534,10 @@ func (w *Worker) Fetch(args FetchArgs, reply *FetchReply) error {
 	}
 	defer w.done(s)
 	i := args.Index - s.lo
-	if i < 0 || i >= s.ds.N() {
+	if i < 0 || i >= s.n() {
 		return fmt.Errorf("distkm: shard %d does not own global index %d", args.Ref.Shard, args.Index)
 	}
-	reply.Point = append([]float64(nil), s.ds.Point(i)...)
+	reply.Point = append([]float64(nil), s.point(i)...)
 	return nil
 }
 
@@ -466,7 +625,7 @@ func (w *Worker) Status(_ Ack, reply *StatusReply) error {
 	defer w.mu.Unlock()
 	reply.Shards = len(w.shards)
 	for _, s := range w.shards {
-		reply.Points += s.ds.N()
+		reply.Points += s.n()
 	}
 	return nil
 }

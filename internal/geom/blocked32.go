@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 	"sync"
-	"sync/atomic"
 )
 
 // This file is the float32 instantiation of the blocked pairwise-distance
@@ -12,44 +11,19 @@ import (
 // norms and the same point×center tiling, over float32 storage. Streaming
 // the float32 payload halves memory traffic on every pass, and the inner
 // dot-product tiles are contiguous and bounds-check-free so the 2pt×4ctr
-// kernel compiles to straight-line multiply-add chains; on amd64 the dots
-// additionally run as 4-wide SSE assembly (dotf32_amd64.s) unless the
-// km_purego build tag or SetF32Asm(false) pins the pure-Go kernel.
+// kernel compiles to straight-line multiply-add chains; the inner dots
+// additionally dispatch through the runtime kernel tier ladder (f32tier.go):
+// SSE2 or AVX2+FMA assembly on amd64, NEON on arm64, unless the km_purego
+// build tag or SetF32Asm(false)/SetF32Tier pins the pure-Go kernels.
 //
 // Precision contract (see docs/kernels.md): float32 results are NOT
 // bit-comparable to the float64 engine. For data with ‖x‖ ≲ 1e3 and dims
 // ≤ 128 the kernels keep relative cost error within ~1e-6 and nearest
 // assignments agree with the float64 reference on ≥ 99.9% of points; exact
 // ties may break differently. Results ARE deterministic for a fixed kernel
-// choice: each (point, center) inner product is accumulated in a fixed
-// order that depends only on the dimension, never on tiling position or
-// worker count.
-
-// f32AsmOn selects the assembly dot kernels at runtime. It is initialised
-// to hasDotF32Asm (true only on amd64 builds without km_purego) and can be
-// pinned either way by SetF32Asm; benchmarks use it to measure the pure-Go
-// and assembly variants in one process.
-var f32AsmOn atomic.Bool
-
-func init() { f32AsmOn.Store(hasDotF32Asm) }
-
-// SetF32Asm enables or disables the assembly float32 dot kernels and
-// reports whether the request took effect (enabling fails when the binary
-// carries no assembly — non-amd64 builds or the km_purego tag).
-func SetF32Asm(on bool) bool {
-	if on && !hasDotF32Asm {
-		return false
-	}
-	f32AsmOn.Store(on)
-	return true
-}
-
-// F32AsmEnabled reports whether the assembly float32 dot kernels are active.
-func F32AsmEnabled() bool { return f32AsmOn.Load() }
-
-// F32AsmAvailable reports whether this binary contains the assembly float32
-// dot kernels at all.
-func F32AsmAvailable() bool { return hasDotF32Asm }
+// tier: each (point, center) inner product is accumulated in a fixed
+// order that depends only on the dimension and the center's tile-ladder
+// position, never on tiling position or worker count.
 
 // Scratch32 holds the reusable tile buffers of the float32 blocked kernels,
 // mirroring Scratch. Not safe for concurrent use; take one per worker.
@@ -179,7 +153,7 @@ func VisitNearest32(pts, centers *Matrix32, cNorms []float32, lo, hi int, sc *Sc
 func nearestTile32(pts *Matrix32, pLo, pHi int, centers *Matrix32, cNorms []float32, idxTile []int32, d2Tile []float32, sc *Scratch32) {
 	m := pHi - pLo
 	k := centers.Rows
-	asm := hasDotF32Asm && f32AsmOn.Load()
+	tier := activeF32Tier()
 	pn := growF32(&sc.pn, m)
 	for i := 0; i < m; i++ {
 		pn[i] = SqNorm32(pts.Row(pLo + i))
@@ -209,11 +183,15 @@ func nearestTile32(pts *Matrix32, pLo, pHi int, centers *Matrix32, cNorms []floa
 			c := cLo
 			for ; c+4 <= cHi; c += 4 {
 				var a0, a1, a2, a3, b0, b1, b2, b3 float32
-				if asm {
-					a0, a1, a2, a3, b0, b1, b2, b3 = dot2x4f32asm(pa, pb,
+				switch tier {
+				case F32TierAVX2:
+					a0, a1, a2, a3, b0, b1, b2, b3 = dot2x4f32avx(pa, pb,
 						centers.Row(c), centers.Row(c+1), centers.Row(c+2), centers.Row(c+3))
-				} else {
+				case F32TierPureGo:
 					a0, a1, a2, a3, b0, b1, b2, b3 = dot2x4f32(pa, pb,
+						centers.Row(c), centers.Row(c+1), centers.Row(c+2), centers.Row(c+3))
+				default: // baseline SIMD: SSE2 on amd64, NEON on arm64
+					a0, a1, a2, a3, b0, b1, b2, b3 = dot2x4f32asm(pa, pb,
 						centers.Row(c), centers.Row(c+1), centers.Row(c+2), centers.Row(c+3))
 				}
 				n0, n1, n2, n3 := cNorms[c], cNorms[c+1], cNorms[c+2], cNorms[c+3]
@@ -268,11 +246,15 @@ func nearestTile32(pts *Matrix32, pLo, pHi int, centers *Matrix32, cNorms []floa
 			c := cLo
 			for ; c+4 <= cHi; c += 4 {
 				var a0, a1, a2, a3 float32
-				if asm {
-					a0, a1, a2, a3 = dot1x4f32asm(p,
+				switch tier {
+				case F32TierAVX2:
+					a0, a1, a2, a3 = dot1x4f32avx(p,
 						centers.Row(c), centers.Row(c+1), centers.Row(c+2), centers.Row(c+3))
-				} else {
+				case F32TierPureGo:
 					a0, a1, a2, a3 = dot1x4f32(p,
+						centers.Row(c), centers.Row(c+1), centers.Row(c+2), centers.Row(c+3))
+				default:
+					a0, a1, a2, a3 = dot1x4f32asm(p,
 						centers.Row(c), centers.Row(c+1), centers.Row(c+2), centers.Row(c+3))
 				}
 				if v := clamp032(np + cNorms[c] - 2*a0); v < best {
@@ -320,29 +302,50 @@ func PairwiseSqDist32(pts, centers *Matrix32, pNorms, cNorms []float32, out []fl
 	if cNorms == nil {
 		cNorms = RowSqNorms32(centers, nil)
 	}
-	asm := hasDotF32Asm && f32AsmOn.Load()
+	tier := activeF32Tier()
 	for i := 0; i < n; i++ {
-		p := pts.Row(i)
-		np := pNorms[i]
-		row := out[i*k : (i+1)*k]
-		c := 0
-		for ; c+4 <= k; c += 4 {
-			var a0, a1, a2, a3 float32
-			if asm {
-				a0, a1, a2, a3 = dot1x4f32asm(p,
-					centers.Row(c), centers.Row(c+1), centers.Row(c+2), centers.Row(c+3))
-			} else {
-				a0, a1, a2, a3 = dot1x4f32(p,
-					centers.Row(c), centers.Row(c+1), centers.Row(c+2), centers.Row(c+3))
-			}
-			row[c] = clamp032(np + cNorms[c] - 2*a0)
-			row[c+1] = clamp032(np + cNorms[c+1] - 2*a1)
-			row[c+2] = clamp032(np + cNorms[c+2] - 2*a2)
-			row[c+3] = clamp032(np + cNorms[c+3] - 2*a3)
+		sqDistRow32(tier, pts.Row(i), pNorms[i], centers, cNorms, out[i*k:(i+1)*k])
+	}
+}
+
+// SqDistRow32 fills out[c] with the float32 squared distance from point p
+// (with cached squared norm pn) to every row of centers — one row of
+// PairwiseSqDist32, for callers that stream points through their own loop
+// structure (the bounded Lloyd variants' full scans). It runs the same
+// tier-dispatched 1×4 dot kernels, so the values match PairwiseSqDist32 and
+// NearestBlocked32 bit for bit.
+func SqDistRow32(p []float32, pn float32, centers *Matrix32, cNorms []float32, out []float32) {
+	if len(out) < centers.Rows {
+		panic("geom: SqDistRow32 output too short")
+	}
+	sqDistRow32(activeF32Tier(), p, pn, centers, cNorms, out)
+}
+
+// sqDistRow32 is the shared one-point-against-all-centers body: four centers
+// per dot-kernel call, scalar tail.
+func sqDistRow32(tier F32Tier, p []float32, np float32, centers *Matrix32, cNorms []float32, row []float32) {
+	k := centers.Rows
+	c := 0
+	for ; c+4 <= k; c += 4 {
+		var a0, a1, a2, a3 float32
+		switch tier {
+		case F32TierAVX2:
+			a0, a1, a2, a3 = dot1x4f32avx(p,
+				centers.Row(c), centers.Row(c+1), centers.Row(c+2), centers.Row(c+3))
+		case F32TierPureGo:
+			a0, a1, a2, a3 = dot1x4f32(p,
+				centers.Row(c), centers.Row(c+1), centers.Row(c+2), centers.Row(c+3))
+		default:
+			a0, a1, a2, a3 = dot1x4f32asm(p,
+				centers.Row(c), centers.Row(c+1), centers.Row(c+2), centers.Row(c+3))
 		}
-		for ; c < k; c++ {
-			row[c] = clamp032(np + cNorms[c] - 2*dotWide32(p, centers.Row(c)))
-		}
+		row[c] = clamp032(np + cNorms[c] - 2*a0)
+		row[c+1] = clamp032(np + cNorms[c+1] - 2*a1)
+		row[c+2] = clamp032(np + cNorms[c+2] - 2*a2)
+		row[c+3] = clamp032(np + cNorms[c+3] - 2*a3)
+	}
+	for ; c < k; c++ {
+		row[c] = clamp032(np + cNorms[c] - 2*dotWide32(p, centers.Row(c)))
 	}
 }
 
@@ -403,7 +406,9 @@ func dot1x4f32(a, c0, c1, c2, c3 []float32) (a0, a1, a2, a3 float32) {
 	return
 }
 
-// dot2x1f32 computes ⟨a,c⟩ and ⟨b,c⟩ with sequential per-pair order.
+// dot2x1f32 computes ⟨a,c⟩ and ⟨b,c⟩ with the same 4-accumulator order as
+// dotWide32, so a center-tail inner product has one fixed value whether the
+// point is processed in a 2-point pair or as the odd tail of a tile.
 func dot2x1f32(a, b, c []float32) (da, db float32) {
 	d := len(a)
 	if d == 0 {
@@ -411,10 +416,22 @@ func dot2x1f32(a, b, c []float32) (da, db float32) {
 	}
 	b = b[:d]
 	c = c[:d]
-	for i := 0; i < d; i++ {
-		w := c[i]
-		da += a[i] * w
-		db += b[i] * w
+	var a0, a1, a2, a3, b0, b1, b2, b3 float32
+	i := 0
+	for ; i+4 <= d; i += 4 {
+		w0, w1, w2, w3 := c[i], c[i+1], c[i+2], c[i+3]
+		a0 += a[i] * w0
+		a1 += a[i+1] * w1
+		a2 += a[i+2] * w2
+		a3 += a[i+3] * w3
+		b0 += b[i] * w0
+		b1 += b[i+1] * w1
+		b2 += b[i+2] * w2
+		b3 += b[i+3] * w3
 	}
-	return
+	for ; i < d; i++ {
+		a0 += a[i] * c[i]
+		b0 += b[i] * c[i]
+	}
+	return (a0 + a1) + (a2 + a3), (b0 + b1) + (b2 + b3)
 }

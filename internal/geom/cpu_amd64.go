@@ -1,0 +1,44 @@
+//go:build amd64 && !km_purego
+
+package geom
+
+// Zero-dependency CPUID feature detection for the AVX2+FMA kernel tier.
+// The module is dependency-free by policy, so instead of x/sys/cpu the two
+// privileged-instruction wrappers live in cpu_amd64.s and the decode logic
+// here. Detection runs once at package init; the result only ever gates the
+// dotf32_avx2_amd64.s kernels.
+
+// cpuidAsm executes CPUID with the given leaf/subleaf.
+func cpuidAsm(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbvAsm reads XCR0 (requires OSXSAVE, checked by the caller).
+func xgetbvAsm() (eax, edx uint32)
+
+// hasAVX2F32 reports whether the CPU and OS support the AVX2+FMA float32
+// dot kernels: AVX2 and FMA in CPUID, plus OS-managed XMM+YMM state.
+var hasAVX2F32 = detectAVX2F32()
+
+func detectAVX2F32() bool {
+	maxLeaf, _, _, _ := cpuidAsm(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuidAsm(1, 0)
+	const (
+		fmaBit     = 1 << 12
+		osxsaveBit = 1 << 27
+		avxBit     = 1 << 28
+	)
+	if ecx1&fmaBit == 0 || ecx1&osxsaveBit == 0 || ecx1&avxBit == 0 {
+		return false
+	}
+	// XCR0 bits 1 (SSE) and 2 (AVX) must both be OS-enabled or YMM state
+	// is not preserved across context switches.
+	xlo, _ := xgetbvAsm()
+	if xlo&0x6 != 0x6 {
+		return false
+	}
+	_, ebx7, _, _ := cpuidAsm(7, 0)
+	const avx2Bit = 1 << 5
+	return ebx7&avx2Bit != 0
+}

@@ -1,0 +1,27 @@
+//go:build arm64 && !km_purego
+
+package geom
+
+// hasDotF32Asm reports that this build carries the NEON float32 dot kernels
+// in dotf32_arm64.s. Build with -tags km_purego to exclude them and fall
+// back to the pure-Go kernels everywhere.
+const hasDotF32Asm = true
+
+// baselineF32Tier is the SIMD tier the architecture guarantees without
+// feature detection: NEON (ASIMD) on arm64.
+const baselineF32Tier = F32TierNEON
+
+// dot2x4f32asm computes the 8 float32 inner products of points {a, b}
+// against centers {c0..c3} with 4-wide NEON fused multiply-adds.
+// Accumulation order is lane-strided with the scalar tail added after the
+// lane reduce, so the value may differ from dot2x4f32 by float32 rounding —
+// covered by the tolerance contract, and still a pure function of the
+// dimension.
+//
+//go:noescape
+func dot2x4f32asm(a, b, c0, c1, c2, c3 []float32) (a0, a1, a2, a3, b0, b1, b2, b3 float32)
+
+// dot1x4f32asm is dot2x4f32asm for a single point.
+//
+//go:noescape
+func dot1x4f32asm(a, c0, c1, c2, c3 []float32) (a0, a1, a2, a3 float32)

@@ -1,0 +1,275 @@
+//go:build arm64 && !km_purego
+
+#include "textflag.h"
+
+// NEON float32 dot kernels for the blocked32 engine — the baseline SIMD
+// tier on arm64 (ASIMD is architectural on ARMv8, so no feature detection
+// is needed). Both functions process 4 coordinates per iteration with fused
+// multiply-adds (FMLA), keep one 4-lane accumulator per (point, center)
+// pair, reduce the lanes as (s0+s1)+(s2+s3), then feed the scalar tail into
+// the reduced total — a fixed function of the dimension, independent of
+// tiling and worker count (and a different fixed order than the amd64 and
+// pure-Go kernels; cross-tier agreement rides the tolerance contract).
+
+// func dot2x4f32asm(a, b, c0, c1, c2, c3 []float32) (a0, a1, a2, a3, b0, b1, b2, b3 float32)
+TEXT ·dot2x4f32asm(SB), NOSPLIT, $0-176
+	MOVD a_base+0(FP), R0
+	MOVD a_len+8(FP), R1
+	MOVD b_base+24(FP), R2
+	MOVD c0_base+48(FP), R3
+	MOVD c1_base+72(FP), R4
+	MOVD c2_base+96(FP), R5
+	MOVD c3_base+120(FP), R6
+
+	VEOR V0.B16, V0.B16, V0.B16 // Σ a·c0
+	VEOR V1.B16, V1.B16, V1.B16 // Σ a·c1
+	VEOR V2.B16, V2.B16, V2.B16 // Σ a·c2
+	VEOR V3.B16, V3.B16, V3.B16 // Σ a·c3
+	VEOR V4.B16, V4.B16, V4.B16 // Σ b·c0
+	VEOR V5.B16, V5.B16, V5.B16 // Σ b·c1
+	VEOR V6.B16, V6.B16, V6.B16 // Σ b·c2
+	VEOR V7.B16, V7.B16, V7.B16 // Σ b·c3
+
+	MOVD ZR, R7       // i
+	AND  $-4, R1, R8  // d &^ 3
+	CBZ  R8, pretail2
+
+loop2x4:
+	VLD1.P 16(R0), [V8.S4]
+	VLD1.P 16(R2), [V9.S4]
+
+	VLD1.P 16(R3), [V10.S4]
+	VFMLA  V10.S4, V8.S4, V0.S4
+	VFMLA  V10.S4, V9.S4, V4.S4
+
+	VLD1.P 16(R4), [V10.S4]
+	VFMLA  V10.S4, V8.S4, V1.S4
+	VFMLA  V10.S4, V9.S4, V5.S4
+
+	VLD1.P 16(R5), [V10.S4]
+	VFMLA  V10.S4, V8.S4, V2.S4
+	VFMLA  V10.S4, V9.S4, V6.S4
+
+	VLD1.P 16(R6), [V10.S4]
+	VFMLA  V10.S4, V8.S4, V3.S4
+	VFMLA  V10.S4, V9.S4, V7.S4
+
+	ADD  $4, R7
+	CMP  R8, R7
+	BLT  loop2x4
+
+	// Reduce each accumulator's 4 lanes to lane 0: (s0+s1)+(s2+s3).
+	// Writing the scalar F registers zeroes the upper lanes, so lanes
+	// 1..3 are extracted first.
+	VMOV  V0.S[1], V16.S[0]
+	VMOV  V0.S[2], V17.S[0]
+	VMOV  V0.S[3], V18.S[0]
+	FADDS F16, F0, F0
+	FADDS F18, F17, F17
+	FADDS F17, F0, F0
+
+	VMOV  V1.S[1], V16.S[0]
+	VMOV  V1.S[2], V17.S[0]
+	VMOV  V1.S[3], V18.S[0]
+	FADDS F16, F1, F1
+	FADDS F18, F17, F17
+	FADDS F17, F1, F1
+
+	VMOV  V2.S[1], V16.S[0]
+	VMOV  V2.S[2], V17.S[0]
+	VMOV  V2.S[3], V18.S[0]
+	FADDS F16, F2, F2
+	FADDS F18, F17, F17
+	FADDS F17, F2, F2
+
+	VMOV  V3.S[1], V16.S[0]
+	VMOV  V3.S[2], V17.S[0]
+	VMOV  V3.S[3], V18.S[0]
+	FADDS F16, F3, F3
+	FADDS F18, F17, F17
+	FADDS F17, F3, F3
+
+	VMOV  V4.S[1], V16.S[0]
+	VMOV  V4.S[2], V17.S[0]
+	VMOV  V4.S[3], V18.S[0]
+	FADDS F16, F4, F4
+	FADDS F18, F17, F17
+	FADDS F17, F4, F4
+
+	VMOV  V5.S[1], V16.S[0]
+	VMOV  V5.S[2], V17.S[0]
+	VMOV  V5.S[3], V18.S[0]
+	FADDS F16, F5, F5
+	FADDS F18, F17, F17
+	FADDS F17, F5, F5
+
+	VMOV  V6.S[1], V16.S[0]
+	VMOV  V6.S[2], V17.S[0]
+	VMOV  V6.S[3], V18.S[0]
+	FADDS F16, F6, F6
+	FADDS F18, F17, F17
+	FADDS F17, F6, F6
+
+	VMOV  V7.S[1], V16.S[0]
+	VMOV  V7.S[2], V17.S[0]
+	VMOV  V7.S[3], V18.S[0]
+	FADDS F16, F7, F7
+	FADDS F18, F17, F17
+	FADDS F17, F7, F7
+
+pretail2:
+	CMP R1, R7
+	BGE store2
+
+tail2:
+	FMOVS (R0), F8
+	ADD   $4, R0
+	FMOVS (R2), F9
+	ADD   $4, R2
+
+	FMOVS (R3), F10
+	ADD   $4, R3
+	FMULS F8, F10, F11
+	FADDS F11, F0, F0
+	FMULS F9, F10, F11
+	FADDS F11, F4, F4
+
+	FMOVS (R4), F10
+	ADD   $4, R4
+	FMULS F8, F10, F11
+	FADDS F11, F1, F1
+	FMULS F9, F10, F11
+	FADDS F11, F5, F5
+
+	FMOVS (R5), F10
+	ADD   $4, R5
+	FMULS F8, F10, F11
+	FADDS F11, F2, F2
+	FMULS F9, F10, F11
+	FADDS F11, F6, F6
+
+	FMOVS (R6), F10
+	ADD   $4, R6
+	FMULS F8, F10, F11
+	FADDS F11, F3, F3
+	FMULS F9, F10, F11
+	FADDS F11, F7, F7
+
+	ADD $1, R7
+	CMP R1, R7
+	BLT tail2
+
+store2:
+	FMOVS F0, a0+144(FP)
+	FMOVS F1, a1+148(FP)
+	FMOVS F2, a2+152(FP)
+	FMOVS F3, a3+156(FP)
+	FMOVS F4, b0+160(FP)
+	FMOVS F5, b1+164(FP)
+	FMOVS F6, b2+168(FP)
+	FMOVS F7, b3+172(FP)
+	RET
+
+// func dot1x4f32asm(a, c0, c1, c2, c3 []float32) (a0, a1, a2, a3 float32)
+TEXT ·dot1x4f32asm(SB), NOSPLIT, $0-136
+	MOVD a_base+0(FP), R0
+	MOVD a_len+8(FP), R1
+	MOVD c0_base+24(FP), R3
+	MOVD c1_base+48(FP), R4
+	MOVD c2_base+72(FP), R5
+	MOVD c3_base+96(FP), R6
+
+	VEOR V0.B16, V0.B16, V0.B16
+	VEOR V1.B16, V1.B16, V1.B16
+	VEOR V2.B16, V2.B16, V2.B16
+	VEOR V3.B16, V3.B16, V3.B16
+
+	MOVD ZR, R7
+	AND  $-4, R1, R8
+	CBZ  R8, pretail1
+
+loop1x4:
+	VLD1.P 16(R0), [V8.S4]
+
+	VLD1.P 16(R3), [V10.S4]
+	VFMLA  V10.S4, V8.S4, V0.S4
+
+	VLD1.P 16(R4), [V10.S4]
+	VFMLA  V10.S4, V8.S4, V1.S4
+
+	VLD1.P 16(R5), [V10.S4]
+	VFMLA  V10.S4, V8.S4, V2.S4
+
+	VLD1.P 16(R6), [V10.S4]
+	VFMLA  V10.S4, V8.S4, V3.S4
+
+	ADD  $4, R7
+	CMP  R8, R7
+	BLT  loop1x4
+
+	VMOV  V0.S[1], V16.S[0]
+	VMOV  V0.S[2], V17.S[0]
+	VMOV  V0.S[3], V18.S[0]
+	FADDS F16, F0, F0
+	FADDS F18, F17, F17
+	FADDS F17, F0, F0
+
+	VMOV  V1.S[1], V16.S[0]
+	VMOV  V1.S[2], V17.S[0]
+	VMOV  V1.S[3], V18.S[0]
+	FADDS F16, F1, F1
+	FADDS F18, F17, F17
+	FADDS F17, F1, F1
+
+	VMOV  V2.S[1], V16.S[0]
+	VMOV  V2.S[2], V17.S[0]
+	VMOV  V2.S[3], V18.S[0]
+	FADDS F16, F2, F2
+	FADDS F18, F17, F17
+	FADDS F17, F2, F2
+
+	VMOV  V3.S[1], V16.S[0]
+	VMOV  V3.S[2], V17.S[0]
+	VMOV  V3.S[3], V18.S[0]
+	FADDS F16, F3, F3
+	FADDS F18, F17, F17
+	FADDS F17, F3, F3
+
+pretail1:
+	CMP R1, R7
+	BGE store1
+
+tail1:
+	FMOVS (R0), F8
+	ADD   $4, R0
+
+	FMOVS (R3), F10
+	ADD   $4, R3
+	FMULS F8, F10, F11
+	FADDS F11, F0, F0
+
+	FMOVS (R4), F10
+	ADD   $4, R4
+	FMULS F8, F10, F11
+	FADDS F11, F1, F1
+
+	FMOVS (R5), F10
+	ADD   $4, R5
+	FMULS F8, F10, F11
+	FADDS F11, F2, F2
+
+	FMOVS (R6), F10
+	ADD   $4, R6
+	FMULS F8, F10, F11
+	FADDS F11, F3, F3
+
+	ADD $1, R7
+	CMP R1, R7
+	BLT tail1
+
+store1:
+	FMOVS F0, a0+120(FP)
+	FMOVS F1, a1+124(FP)
+	FMOVS F2, a2+128(FP)
+	FMOVS F3, a3+132(FP)
+	RET

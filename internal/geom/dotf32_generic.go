@@ -1,11 +1,14 @@
-//go:build !amd64 || km_purego
+//go:build (!amd64 && !arm64) || km_purego
 
 package geom
 
-// hasDotF32Asm is false on builds without the SSE kernels (non-amd64, or
-// the km_purego tag); the blocked float32 engine then always runs the
-// pure-Go dot kernels and SetF32Asm(true) reports failure.
+// hasDotF32Asm is false on builds without SIMD kernels (architectures other
+// than amd64/arm64, or the km_purego tag); the blocked float32 engine then
+// always runs the pure-Go dot kernels and SetF32Asm(true) reports failure.
 const hasDotF32Asm = false
+
+// baselineF32Tier is F32TierPureGo when the build carries no assembly.
+const baselineF32Tier = F32TierPureGo
 
 // The asm entry points alias the pure-Go kernels so the dispatch sites in
 // blocked32.go compile unconditionally; hasDotF32Asm keeps them unreached.

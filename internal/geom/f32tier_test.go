@@ -1,0 +1,157 @@
+package geom
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// tierTestData builds a deterministic ragged workload: n points × k centers
+// at dimension d, values in roughly unit scale (the contract's domain).
+func tierTestData(n, k, d int) (*Matrix32, *Matrix32) {
+	state := uint64(d)*2654435761 + 12345
+	next := func() float32 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return float32(int32(state>>33)) / float32(1<<31) // [-1, 1)
+	}
+	pts := NewMatrix32(n, d)
+	for i := range pts.Data {
+		pts.Data[i] = next()
+	}
+	centers := NewMatrix32(k, d)
+	for i := range centers.Data {
+		centers.Data[i] = next()
+	}
+	return pts, centers
+}
+
+// TestF32TierMatrix forces every kernel tier available in this binary over
+// dims 1–128 with ragged point/center counts and asserts (a) within a tier,
+// results are bit-identical regardless of how the rows are chunked across
+// goroutines, and (b) across tiers, every chosen center is within the
+// tolerance contract of the exact float64-widened reference.
+func TestF32TierMatrix(t *testing.T) {
+	defer SetF32Tier(ActiveF32Tier())
+	const n, k = 137, 19 // ragged: 137 = 128 + 9 point rows, 19 = 16 + 3 centers
+	tiers := F32Tiers()
+	if testing.Short() && len(tiers) > 1 {
+		tiers = tiers[:2]
+	}
+	for d := 1; d <= 128; d++ {
+		pts, centers := tierTestData(n, k, d)
+		cNorms := RowSqNorms32(centers, nil)
+
+		// Exact reference: widened (a−b)² sums.
+		refD2 := make([]float64, n)
+		for i := 0; i < n; i++ {
+			best := math.Inf(1)
+			for c := 0; c < k; c++ {
+				if v := SqDist32(pts.Row(i), centers.Row(c)); v < best {
+					best = v
+				}
+			}
+			refD2[i] = best
+		}
+
+		for _, tier := range tiers {
+			if !SetF32Tier(tier) {
+				t.Fatalf("SetF32Tier(%v) failed though listed available", tier)
+			}
+			// Single-call baseline for this tier.
+			base := make([]float32, n)
+			baseIdx := make([]int32, n)
+			sc := GetScratch32()
+			NearestBlocked32(pts, centers, cNorms, baseIdx, base, sc)
+			sc.Release()
+
+			// Same rows re-chunked at awkward boundaries, computed
+			// concurrently: must match the single call bit for bit.
+			for _, bounds := range [][]int{{0, 1, n}, {0, 63, 64, 100, n}, {0, 2, 5, 17, 70, 129, n}} {
+				got := make([]float32, n)
+				gotIdx := make([]int32, n)
+				var wg sync.WaitGroup
+				for bi := 0; bi+1 < len(bounds); bi++ {
+					lo, hi := bounds[bi], bounds[bi+1]
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						sc := GetScratch32()
+						VisitNearest32(pts, centers, cNorms, lo, hi, sc, true, func(i int, idx int32, d2 float64) {
+							got[i] = float32(d2)
+							gotIdx[i] = idx
+						})
+						sc.Release()
+					}()
+				}
+				wg.Wait()
+				for i := 0; i < n; i++ {
+					if math.Float32bits(got[i]) != math.Float32bits(base[i]) || gotIdx[i] != baseIdx[i] {
+						t.Fatalf("tier %v d=%d chunks %v: point %d got (%v, %d) want (%v, %d)",
+							tier, d, bounds, i, got[i], gotIdx[i], base[i], baseIdx[i])
+					}
+				}
+			}
+
+			// Cross-tier contract: the chosen center's exact distance must be
+			// within relative tolerance of the exact minimum.
+			for i := 0; i < n; i++ {
+				exact := SqDist32(pts.Row(i), centers.Row(int(baseIdx[i])))
+				if exact > refD2[i]+1e-4*(1+refD2[i]) {
+					t.Fatalf("tier %v d=%d: point %d chose center %d with exact d²=%g, min=%g",
+						tier, d, i, baseIdx[i], exact, refD2[i])
+				}
+				if diff := math.Abs(float64(base[i]) - refD2[i]); diff > 1e-4*(1+refD2[i]) {
+					t.Fatalf("tier %v d=%d: point %d d²=%v, reference %g (diff %g)",
+						tier, d, i, base[i], refD2[i], diff)
+				}
+			}
+		}
+	}
+}
+
+// TestF32TierKnobs covers the tier/asm control surface: forcing unavailable
+// tiers fails, the compat SetF32Asm seam maps onto the ladder, and the
+// available-tier list starts with pure Go.
+func TestF32TierKnobs(t *testing.T) {
+	orig := ActiveF32Tier()
+	defer SetF32Tier(orig)
+
+	tiers := F32Tiers()
+	if len(tiers) == 0 || tiers[0] != F32TierPureGo {
+		t.Fatalf("F32Tiers() = %v, want pure Go first", tiers)
+	}
+	avail := map[F32Tier]bool{}
+	for _, tier := range tiers {
+		avail[tier] = true
+		if !SetF32Tier(tier) {
+			t.Errorf("SetF32Tier(%v) = false for available tier", tier)
+		}
+		if got := ActiveF32Tier(); got != tier {
+			t.Errorf("ActiveF32Tier() = %v after SetF32Tier(%v)", got, tier)
+		}
+	}
+	for _, tier := range []F32Tier{F32TierSSE2, F32TierNEON, F32TierAVX2} {
+		if !avail[tier] {
+			if SetF32Tier(tier) {
+				t.Errorf("SetF32Tier(%v) succeeded though unavailable", tier)
+			}
+		}
+	}
+
+	if !SetF32Asm(false) {
+		t.Error("SetF32Asm(false) must always succeed")
+	}
+	if F32AsmEnabled() || ActiveF32Tier() != F32TierPureGo {
+		t.Errorf("after SetF32Asm(false): enabled=%v tier=%v", F32AsmEnabled(), ActiveF32Tier())
+	}
+	if F32AsmAvailable() {
+		if !SetF32Asm(true) {
+			t.Error("SetF32Asm(true) failed though assembly is available")
+		}
+		if !F32AsmEnabled() || ActiveF32Tier() == F32TierPureGo {
+			t.Errorf("after SetF32Asm(true): enabled=%v tier=%v", F32AsmEnabled(), ActiveF32Tier())
+		}
+	} else if SetF32Asm(true) {
+		t.Error("SetF32Asm(true) succeeded without assembly kernels")
+	}
+}

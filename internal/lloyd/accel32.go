@@ -1,0 +1,375 @@
+package lloyd
+
+import (
+	"math"
+
+	"kmeansll/internal/geom"
+)
+
+// Float32 variants of the Elkan and Hamerly bounded loops. The division of
+// labor mirrors Run32: points are streamed as float32 and every point-center
+// distance comes from the float32 engine (SqDistNorm32 with cached norms of
+// a per-iteration float32 center snapshot), while the bound arithmetic —
+// upper/lower bounds, center-center geometry, movement deltas — stays in
+// float64 computed from the float64 master centers. Float32 rounding can
+// therefore violate a triangle-inequality bound by a hair, which may cost an
+// extra distance evaluation or leave a point one rounding step from the
+// float64 fixed point; both are inside the tolerance contract
+// (docs/kernels.md), iteration stays capped by MaxIter, and the final Cost
+// is recomputed with the same float32 engine the assignments used.
+
+// dist32 returns the float32-engine Euclidean distance between point i of
+// ds and row c of the snapshot.
+func dist32(p []float32, row []float32, pn, cn float32) float64 {
+	return math.Sqrt(geom.SqDistNorm32(p, row, pn, cn))
+}
+
+// snapshot32 narrows the float64 master centers into snap and returns the
+// refreshed float32 row norms.
+func snapshot32(snap *geom.Matrix32, centers *geom.Matrix, cNorms []float32) []float32 {
+	for c := 0; c < centers.Rows; c++ {
+		geom.ConvertRow32(snap.Row(c), centers.Row(c))
+	}
+	return geom.RowSqNorms32(snap, cNorms)
+}
+
+// moveCenters32 applies the accumulated sums to the float64 master centers
+// and records each center's movement in g.dist — identical arithmetic to
+// moveCenters, repairing empty clusters against the float32 data.
+func (g *centerGeometry) moveCenters32(ds *geom.Dataset32, centers *geom.Matrix, assign []int32, sum, weight []float64, parallelism int) (maxMove float64, repaired bool) {
+	k, d := centers.Rows, centers.Cols
+	var empty []int
+	for c := 0; c < k; c++ {
+		if weight[c] <= 0 {
+			empty = append(empty, c)
+			g.dist[c] = 0
+			continue
+		}
+		row := centers.Row(c)
+		inv := 1 / weight[c]
+		var move2 float64
+		for j := 0; j < d; j++ {
+			v := sum[c*d+j] * inv
+			diff := v - row[j]
+			move2 += diff * diff
+			row[j] = v
+		}
+		g.dist[c] = math.Sqrt(move2)
+		if g.dist[c] > maxMove {
+			maxMove = g.dist[c]
+		}
+	}
+	if len(empty) > 0 {
+		repairEmpty32(ds, centers, assign, empty, parallelism)
+		for _, c := range empty {
+			g.dist[c] = math.Inf(1)
+		}
+		return math.Inf(1), true
+	}
+	return maxMove, false
+}
+
+func runElkan32(ds *geom.Dataset32, init *geom.Matrix, cfg Config) Result {
+	k, d, n := init.Rows, init.Cols, ds.N()
+	centers := init.Clone()
+	snap := geom.NewMatrix32(k, d)
+	var cNorms []float32
+	pNorms := geom.RowSqNorms32(ds.X, nil)
+	assign := make([]int32, n)
+	upper := make([]float64, n)   // upper bound on d(x, c_assign)
+	lower := make([]float64, n*k) // lower bounds on d(x, c) for every c
+	g := newCenterGeometry(k)
+	g.update(centers)
+	cNorms = snapshot32(snap, centers, cNorms)
+
+	// Initial assignment with full bound setup. Every distance of the full
+	// n×k pass goes through the tier-dispatched SIMD row kernel
+	// (geom.SqDistRow32) — computing all k exact distances batched beats the
+	// triangle-pruned scalar scan, and leaves every lower bound tight (an
+	// exact distance) instead of a cc-derived bound, so the first bounded
+	// iteration re-evaluates fewer points.
+	geom.ParallelFor(n, cfg.Parallelism, func(_, lo, hi int) {
+		row := make([]float32, k)
+		for i := lo; i < hi; i++ {
+			geom.SqDistRow32(ds.Point(i), pNorms[i], snap, cNorms, row)
+			lb := lower[i*k : (i+1)*k]
+			best, bestD2 := 0, row[0]
+			lb[0] = math.Sqrt(float64(row[0]))
+			for c := 1; c < k; c++ {
+				lb[c] = math.Sqrt(float64(row[c]))
+				if row[c] < bestD2 {
+					best, bestD2 = c, row[c]
+				}
+			}
+			assign[i] = int32(best)
+			upper[i] = lb[best]
+		}
+	})
+
+	res := Result{Centers: centers, Assign: assign}
+	chunks := geom.ChunkCount(n, cfg.Parallelism)
+	accs := make([]accumulator, chunks)
+	for c := range accs {
+		accs[c] = accumulator{sum: make([]float64, k*d), weight: make([]float64, k)}
+	}
+	costPartial := make([]float64, chunks)
+	changedPartial := make([]int64, chunks)
+
+	limit := maxIter(cfg)
+	for it := 0; it < limit; it++ {
+		g.update(centers)
+		cNorms = snapshot32(snap, centers, cNorms)
+		geom.ParallelFor(n, cfg.Parallelism, func(chunk, lo, hi int) {
+			acc := &accs[chunk]
+			for i := range acc.sum {
+				acc.sum[i] = 0
+			}
+			for i := range acc.weight {
+				acc.weight[i] = 0
+			}
+			var cost float64
+			var changed int64
+			for i := lo; i < hi; i++ {
+				p := ds.Point(i)
+				a := int(assign[i])
+				lb := lower[i*k : (i+1)*k]
+				u := upper[i]
+				if u > g.s[a] {
+					tight := false
+					for c := 0; c < k; c++ {
+						if c == a {
+							continue
+						}
+						if u <= lb[c] || u <= g.cc[a*k+c]/2 {
+							continue
+						}
+						if !tight {
+							u = dist32(p, snap.Row(a), pNorms[i], cNorms[a])
+							lb[a] = u
+							tight = true
+							if u <= lb[c] || u <= g.cc[a*k+c]/2 {
+								continue
+							}
+						}
+						dc := dist32(p, snap.Row(c), pNorms[i], cNorms[c])
+						lb[c] = dc
+						if dc < u {
+							a, u = c, dc
+						}
+					}
+					if int32(a) != assign[i] {
+						changed++
+						assign[i] = int32(a)
+					}
+					upper[i] = u
+				}
+				w := ds.W(i)
+				cost += w * upper[i] * upper[i]
+				geom.AddScaled32(acc.sum[a*d:(a+1)*d], w, p)
+				acc.weight[a] += w
+			}
+			costPartial[chunk] = cost
+			changedPartial[chunk] = changed
+		})
+		var changed int64
+		var costUB float64
+		for c := 0; c < chunks; c++ {
+			changed += changedPartial[c]
+			costUB += costPartial[c]
+		}
+		res.Iters = it + 1
+		res.CostTrace = append(res.CostTrace, costUB)
+
+		sum, weight := mergeAccs(accs)
+		_, repaired := g.moveCenters32(ds, centers, assign, sum, weight, cfg.Parallelism)
+
+		if repaired {
+			// Bounds no longer valid for the repaired centers; loosen fully.
+			geom.ParallelFor(n, cfg.Parallelism, func(_, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					upper[i] = math.Inf(1)
+					lb := lower[i*k : (i+1)*k]
+					for c := range lb {
+						lb[c] = 0
+					}
+				}
+			})
+			continue
+		}
+		// Standard Elkan bound maintenance after center movement.
+		geom.ParallelFor(n, cfg.Parallelism, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				upper[i] += g.dist[assign[i]]
+				lb := lower[i*k : (i+1)*k]
+				for c := 0; c < k; c++ {
+					lb[c] -= g.dist[c]
+					if lb[c] < 0 {
+						lb[c] = 0
+					}
+				}
+			}
+		})
+		if changed == 0 && it > 0 {
+			res.Converged = true
+			break
+		}
+	}
+	snapshot32(snap, centers, cNorms)
+	res.Cost = Cost32(ds, snap, cfg.Parallelism)
+	return res
+}
+
+func runHamerly32(ds *geom.Dataset32, init *geom.Matrix, cfg Config) Result {
+	k, d, n := init.Rows, init.Cols, ds.N()
+	centers := init.Clone()
+	snap := geom.NewMatrix32(k, d)
+	var cNorms []float32
+	pNorms := geom.RowSqNorms32(ds.X, nil)
+	assign := make([]int32, n)
+	upper := make([]float64, n)
+	lower := make([]float64, n) // lower bound on distance to second-closest center
+	g := newCenterGeometry(k)
+	cNorms = snapshot32(snap, centers, cNorms)
+
+	// Initial assignment: exact closest and second-closest. The full k-scan
+	// is batched through the tier-dispatched SIMD row kernel.
+	geom.ParallelFor(n, cfg.Parallelism, func(_, lo, hi int) {
+		row := make([]float32, k)
+		for i := lo; i < hi; i++ {
+			geom.SqDistRow32(ds.Point(i), pNorms[i], snap, cNorms, row)
+			best, bestD2, secondD2 := -1, float32(math.Inf(1)), float32(math.Inf(1))
+			for c := 0; c < k; c++ {
+				if row[c] < bestD2 {
+					best, bestD2, secondD2 = c, row[c], bestD2
+				} else if row[c] < secondD2 {
+					secondD2 = row[c]
+				}
+			}
+			assign[i] = int32(best)
+			upper[i] = math.Sqrt(float64(bestD2))
+			lower[i] = math.Sqrt(float64(secondD2))
+		}
+	})
+
+	res := Result{Centers: centers, Assign: assign}
+	chunks := geom.ChunkCount(n, cfg.Parallelism)
+	accs := make([]accumulator, chunks)
+	for c := range accs {
+		accs[c] = accumulator{sum: make([]float64, k*d), weight: make([]float64, k)}
+	}
+	costPartial := make([]float64, chunks)
+	changedPartial := make([]int64, chunks)
+
+	limit := maxIter(cfg)
+	for it := 0; it < limit; it++ {
+		g.update(centers)
+		cNorms = snapshot32(snap, centers, cNorms)
+		geom.ParallelFor(n, cfg.Parallelism, func(chunk, lo, hi int) {
+			acc := &accs[chunk]
+			for i := range acc.sum {
+				acc.sum[i] = 0
+			}
+			for i := range acc.weight {
+				acc.weight[i] = 0
+			}
+			row := make([]float32, k)
+			var cost float64
+			var changed int64
+			for i := lo; i < hi; i++ {
+				p := ds.Point(i)
+				a := int(assign[i])
+				m := g.s[a]
+				if lower[i] > m {
+					m = lower[i]
+				}
+				if upper[i] > m {
+					// Tighten the upper bound and retest.
+					upper[i] = dist32(p, snap.Row(a), pNorms[i], cNorms[a])
+					if upper[i] > m {
+						// Full scan: closest and second closest, batched
+						// through the SIMD row kernel (the scan touches every
+						// center anyway, so there is nothing to prune).
+						geom.SqDistRow32(p, pNorms[i], snap, cNorms, row)
+						best, bestD2, secondD2 := -1, float32(math.Inf(1)), float32(math.Inf(1))
+						for c := 0; c < k; c++ {
+							if row[c] < bestD2 {
+								best, bestD2, secondD2 = c, row[c], bestD2
+							} else if row[c] < secondD2 {
+								secondD2 = row[c]
+							}
+						}
+						if best != a {
+							changed++
+							assign[i] = int32(best)
+							a = best
+						}
+						upper[i] = math.Sqrt(float64(bestD2))
+						lower[i] = math.Sqrt(float64(secondD2))
+					}
+				}
+				w := ds.W(i)
+				cost += w * upper[i] * upper[i]
+				geom.AddScaled32(acc.sum[a*d:(a+1)*d], w, p)
+				acc.weight[a] += w
+			}
+			costPartial[chunk] = cost
+			changedPartial[chunk] = changed
+		})
+		var changed int64
+		var costUB float64
+		for c := 0; c < chunks; c++ {
+			changed += changedPartial[c]
+			costUB += costPartial[c]
+		}
+		res.Iters = it + 1
+		res.CostTrace = append(res.CostTrace, costUB)
+
+		sum, weight := mergeAccs(accs)
+		_, repaired := g.moveCenters32(ds, centers, assign, sum, weight, cfg.Parallelism)
+
+		if repaired {
+			geom.ParallelFor(n, cfg.Parallelism, func(_, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					upper[i] = math.Inf(1)
+					lower[i] = 0
+				}
+			})
+			continue
+		}
+		// Bound maintenance: u grows by the movement of the assigned center,
+		// l shrinks by the largest movement of any center.
+		maxD, secondMaxD := 0.0, 0.0
+		maxC := -1
+		for c := 0; c < k; c++ {
+			if g.dist[c] > maxD {
+				secondMaxD = maxD
+				maxD = g.dist[c]
+				maxC = c
+			} else if g.dist[c] > secondMaxD {
+				secondMaxD = g.dist[c]
+			}
+		}
+		geom.ParallelFor(n, cfg.Parallelism, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				upper[i] += g.dist[assign[i]]
+				// The second-closest center moved at most maxD — unless the
+				// assigned center IS the max mover, in which case secondMaxD.
+				if int(assign[i]) == maxC {
+					lower[i] -= secondMaxD
+				} else {
+					lower[i] -= maxD
+				}
+				if lower[i] < 0 {
+					lower[i] = 0
+				}
+			}
+		})
+		if changed == 0 && it > 0 {
+			res.Converged = true
+			break
+		}
+	}
+	snapshot32(snap, centers, cNorms)
+	res.Cost = Cost32(ds, snap, cfg.Parallelism)
+	return res
+}

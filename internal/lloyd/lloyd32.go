@@ -41,17 +41,50 @@ func Cost32(ds *geom.Dataset32, centers *geom.Matrix32, parallelism int) float64
 	return total
 }
 
+// Assign32 computes the nearest center of every float32 point in parallel
+// and the resulting cost — the float32 counterpart of Assign, taking the
+// centers as an already-narrowed float32 snapshot like Cost32.
+func Assign32(ds *geom.Dataset32, centers *geom.Matrix32, parallelism int) ([]int32, float64) {
+	n := ds.N()
+	assign := make([]int32, n)
+	chunks := geom.ChunkCount(n, parallelism)
+	partial := make([]float64, chunks)
+	cNorms := geom.RowSqNorms32(centers, nil)
+	geom.ParallelFor(n, parallelism, func(chunk, lo, hi int) {
+		var s float64
+		sc := geom.GetScratch32()
+		geom.VisitNearest32(ds.X, centers, cNorms, lo, hi, sc, true, func(i int, idx int32, d2 float64) {
+			assign[i] = idx
+			s += ds.W(i) * d2
+		})
+		sc.Release()
+		partial[chunk] = s
+	})
+	var total float64
+	for _, s := range partial {
+		total += s
+	}
+	return assign, total
+}
+
 // Run32 executes Lloyd's iteration over float32 points starting from the
-// given float64 centers (not modified; a copy is made). Only the fused
-// naive/blocked method exists in float32 — cfg.Method is ignored; callers
-// wanting Elkan or Hamerly pruning use the float64 path. The returned
-// centers are float64 (the master copies the update step maintains).
+// given float64 centers (not modified; a copy is made). cfg.Method selects
+// the assignment algorithm exactly as in Run: the fused naive/blocked scan,
+// or the Elkan/Hamerly bounded loops (accel32.go) with float64 bound
+// arithmetic over float32 distances. The returned centers are float64 (the
+// master copies the update step maintains).
 func Run32(ds *geom.Dataset32, init *geom.Matrix, cfg Config) Result {
 	if init.Rows == 0 {
 		panic("lloyd: no initial centers")
 	}
 	if init.Cols != ds.Dim() {
 		panic(fmt.Sprintf("lloyd: center dim %d != data dim %d", init.Cols, ds.Dim()))
+	}
+	switch cfg.Method {
+	case Elkan:
+		return runElkan32(ds, init, cfg)
+	case Hamerly:
+		return runHamerly32(ds, init, cfg)
 	}
 	k, d, n := init.Rows, init.Cols, ds.N()
 	centers := init.Clone()

@@ -1,0 +1,64 @@
+package lloyd
+
+import (
+	"kmeansll/internal/geom"
+	"kmeansll/internal/rng"
+)
+
+// MiniBatch32 runs mini-batch k-means over float32 points — the float32
+// counterpart of MiniBatch. Each step draws the same B distinct points as
+// the float64 variant would for the same seed (the rng only sees indices),
+// gathers them into a contiguous float32 tile, and assigns the batch through
+// the blocked float32 engine against a per-step float32 snapshot of the
+// float64 master centers. The per-center learning-rate update runs in
+// float64 on widened coordinates, so center drift matches the float64
+// variant up to the float32 rounding of the points themselves. The final
+// exact assignment pass uses Assign32. Result.Converged is always false,
+// like MiniBatch.
+func MiniBatch32(ds *geom.Dataset32, init *geom.Matrix, cfg MiniBatchConfig) Result {
+	k, d := init.Rows, init.Cols
+	centers := init.Clone()
+	snap := geom.NewMatrix32(k, d)
+	var cNorms []float32
+	b := cfg.BatchSize
+	if b <= 0 {
+		b = 10 * k
+	}
+	if b > ds.N() {
+		b = ds.N()
+	}
+	iters := cfg.Iters
+	if iters <= 0 {
+		iters = DefaultMiniBatchIters
+	}
+	r := rng.New(cfg.Seed)
+	counts := make([]float64, k)
+	batchIdx := make([]int32, b)
+	batchD2 := make([]float32, b)
+	gather := geom.NewMatrix32(b, d)
+	sc := geom.GetScratch32()
+	defer sc.Release()
+
+	for it := 0; it < iters; it++ {
+		batch := r.SampleWithoutReplacement(ds.N(), b)
+		for j, i := range batch {
+			copy(gather.Row(j), ds.Point(i))
+		}
+		cNorms = snapshot32(snap, centers, cNorms)
+		geom.NearestBlocked32(gather, snap, cNorms, batchIdx, batchD2, sc)
+		for j, i := range batch {
+			c := int(batchIdx[j])
+			w := ds.W(i)
+			counts[c] += w
+			eta := w / counts[c]
+			row := centers.Row(c)
+			p := gather.Row(j)
+			for t := range row {
+				row[t] = (1-eta)*row[t] + eta*float64(p[t])
+			}
+		}
+	}
+	snapshot32(snap, centers, cNorms)
+	assign, cost := Assign32(ds, snap, cfg.Parallelism)
+	return Result{Centers: centers, Assign: assign, Cost: cost, Iters: iters, Converged: false}
+}

@@ -145,3 +145,29 @@ func (o Opt) Refine(ds *geom.Dataset, init *geom.Matrix, cfg Config, seed uint64
 		return RefineResult{Result: Run(ds, init, cfg)}
 	}
 }
+
+// Refine32 runs the selected refinement variant over float32 points — the
+// float32 counterpart of Refine. Only OptLloyd (any kernel: naive, Elkan,
+// Hamerly) and OptMiniBatch have float32 implementations; the engine's
+// precision gate (kmeansll.float32Supported) routes OptTrimmed and
+// OptSpherical to the float64 path before this is reached, so those kinds
+// panic here.
+func (o Opt) Refine32(ds *geom.Dataset32, init *geom.Matrix, cfg Config, seed uint64) RefineResult {
+	switch o.Kind {
+	case OptMiniBatch:
+		iters := o.Batches
+		if iters == 0 && cfg.MaxIter > 0 {
+			iters = cfg.MaxIter
+		}
+		res := MiniBatch32(ds, init, MiniBatchConfig{
+			BatchSize: o.BatchSize, Iters: iters,
+			Seed: seed, Parallelism: cfg.Parallelism,
+		})
+		return RefineResult{Result: res}
+	case OptLloyd:
+		cfg.Method = o.Kernel
+		return RefineResult{Result: Run32(ds, init, cfg)}
+	default:
+		panic(fmt.Sprintf("lloyd: optimizer kind %d has no float32 path", int(o.Kind)))
+	}
+}

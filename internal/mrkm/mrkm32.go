@@ -1,0 +1,418 @@
+package mrkm
+
+import (
+	"math"
+
+	"kmeansll/internal/core"
+	"kmeansll/internal/geom"
+	"kmeansll/internal/lloyd"
+	"kmeansll/internal/mr"
+	"kmeansll/internal/rng"
+	"kmeansll/internal/seed"
+)
+
+// This file is the float32 realization of the MapReduce dataflow: the same
+// jobs as mrkm.go with every distance-heavy mapper body running on the
+// blocked float32 engine (or its scalar norm-expansion fallback, chosen by
+// geom.UseBlocked exactly as core.Init32 chooses). The span bodies below are
+// shared verbatim with the networked workers in internal/distkm — a worker
+// RPC over its shard runs the same function the in-process mapper runs over
+// the matching span — so for equal spans, seed and kernel tier the
+// distributed float32 fit is bit-identical to Init32+Lloyd32 here. All
+// cross-point reductions (φ partials, center sums, Step 7 weights) stay
+// float64 and are folded in fixed span order.
+
+// UpdateSpan32 folds centers[from:] into the weighted D² cache of points
+// [lo, hi) and returns the span's φ partial — the float32 counterpart of
+// UpdateSpan. pNorms are the cached squared norms of all of ds's rows (the
+// scalar path's norm-expansion needs them); the blocked engine is used when
+// the new-center count clears the geom.UseBlocked crossover, mirroring
+// core.Init32's round update so single-process and distributed runs make the
+// same kernel choice.
+func UpdateSpan32(ds *geom.Dataset32, pNorms []float32, d2 []float64, lo, hi int, centers *geom.Matrix32, from int) float64 {
+	newView := centers.RowRange(from, centers.Rows)
+	kNew := newView.Rows
+	var part float64
+	if kNew == 0 {
+		for i := lo; i < hi; i++ {
+			part += d2[i]
+		}
+		return part
+	}
+	cNorms := geom.RowSqNorms32(&newView, nil)
+	if geom.UseBlocked(kNew, ds.Dim()) {
+		sc := geom.GetScratch32()
+		geom.VisitNearest32(ds.X, &newView, cNorms, lo, hi, sc, false, func(i int, _ int32, dNew float64) {
+			if nd := ds.W(i) * dNew; nd < d2[i] {
+				d2[i] = nd
+			}
+			part += d2[i]
+		})
+		sc.Release()
+		return part
+	}
+	for i := lo; i < hi; i++ {
+		if d2[i] > 0 {
+			w := ds.W(i)
+			p := ds.Point(i)
+			best := d2[i]
+			if !math.IsInf(best, 1) {
+				best /= w
+			}
+			for c := 0; c < kNew; c++ {
+				if nd := geom.SqDistNorm32(p, newView.Row(c), pNorms[i], cNorms[c]); nd < best {
+					best = nd
+				}
+			}
+			d2[i] = w * best
+		}
+		part += d2[i]
+	}
+	return part
+}
+
+// WeightSpan32 is the Step 7 mapper body over float32 points: the total input
+// weight of the span's points served by each candidate, accumulated in point
+// order. Shared with the distkm worker's float32 Weights RPC.
+func WeightSpan32(ds *geom.Dataset32, pNorms []float32, lo, hi int, centers *geom.Matrix32) []float64 {
+	k := centers.Rows
+	w := make([]float64, k)
+	cNorms := geom.RowSqNorms32(centers, nil)
+	if geom.UseBlocked(k, centers.Cols) {
+		sc := geom.GetScratch32()
+		geom.VisitNearest32(ds.X, centers, cNorms, lo, hi, sc, true, func(i int, idx int32, _ float64) {
+			w[idx] += ds.W(i)
+		})
+		sc.Release()
+		return w
+	}
+	for i := lo; i < hi; i++ {
+		p := ds.Point(i)
+		best, bestIdx := math.Inf(1), 0
+		for c := 0; c < k; c++ {
+			if d := geom.SqDistNorm32(p, centers.Row(c), pNorms[i], cNorms[c]); d < best {
+				best, bestIdx = d, c
+			}
+		}
+		w[bestIdx] += ds.W(i)
+	}
+	return w
+}
+
+// LloydSpan32 is one Lloyd iteration's mapper body over float32 points:
+// per-center Σw·x ⧺ Σw (a k×(d+1) float64 matrix, widened accumulation) plus
+// the span's assignment-cost partial. Shared with the distkm worker's
+// float32 LloydStep RPC.
+func LloydSpan32(ds *geom.Dataset32, pNorms []float32, lo, hi int, centers *geom.Matrix32) (*geom.Matrix, float64) {
+	k, d := centers.Rows, centers.Cols
+	sums := geom.NewMatrix(k, d+1)
+	var phi float64
+	cNorms := geom.RowSqNorms32(centers, nil)
+	visit := func(i int, idx int32, dist float64) {
+		w := ds.W(i)
+		row := sums.Row(int(idx))
+		geom.AddScaled32(row[:d], w, ds.Point(i))
+		row[d] += w
+		phi += w * dist
+	}
+	if geom.UseBlocked(k, d) {
+		sc := geom.GetScratch32()
+		geom.VisitNearest32(ds.X, centers, cNorms, lo, hi, sc, true, visit)
+		sc.Release()
+		return sums, phi
+	}
+	for i := lo; i < hi; i++ {
+		p := ds.Point(i)
+		best, bestIdx := math.Inf(1), 0
+		for c := 0; c < k; c++ {
+			if dd := geom.SqDistNorm32(p, centers.Row(c), pNorms[i], cNorms[c]); dd < best {
+				best, bestIdx = dd, c
+			}
+		}
+		visit(i, int32(bestIdx), best)
+	}
+	return sums, phi
+}
+
+// CostSpan32 is the φ partial of points [lo, hi) against an arbitrary center
+// set — the float32 evaluation-pass mapper body, shared with the distkm
+// worker's float32 Cost RPC.
+func CostSpan32(ds *geom.Dataset32, pNorms []float32, lo, hi int, centers *geom.Matrix32) float64 {
+	k := centers.Rows
+	var part float64
+	cNorms := geom.RowSqNorms32(centers, nil)
+	if geom.UseBlocked(k, centers.Cols) {
+		sc := geom.GetScratch32()
+		geom.VisitNearest32(ds.X, centers, cNorms, lo, hi, sc, false, func(i int, _ int32, dist float64) {
+			part += ds.W(i) * dist
+		})
+		sc.Release()
+		return part
+	}
+	for i := lo; i < hi; i++ {
+		p := ds.Point(i)
+		best := math.Inf(1)
+		for c := 0; c < k; c++ {
+			if d := geom.SqDistNorm32(p, centers.Row(c), pNorms[i], cNorms[c]); d < best {
+				best = d
+			}
+		}
+		part += ds.W(i) * best
+	}
+	return part
+}
+
+// AssignSpan32 writes the nearest-center index of every point in [lo, hi)
+// into assign (indexed globally, like d2 in UpdateSpan32) and returns the
+// span's cost partial — the float32 final-assignment mapper body, shared
+// with the distkm worker's float32 Assign RPC (which passes its local slice
+// with lo = 0).
+func AssignSpan32(ds *geom.Dataset32, pNorms []float32, lo, hi int, centers *geom.Matrix32, assign []int32) float64 {
+	k := centers.Rows
+	var part float64
+	cNorms := geom.RowSqNorms32(centers, nil)
+	if geom.UseBlocked(k, centers.Cols) {
+		sc := geom.GetScratch32()
+		geom.VisitNearest32(ds.X, centers, cNorms, lo, hi, sc, true, func(i int, idx int32, dist float64) {
+			assign[i] = idx
+			part += ds.W(i) * dist
+		})
+		sc.Release()
+		return part
+	}
+	for i := lo; i < hi; i++ {
+		p := ds.Point(i)
+		best, bestIdx := math.Inf(1), 0
+		for c := 0; c < k; c++ {
+			if d := geom.SqDistNorm32(p, centers.Row(c), pNorms[i], cNorms[c]); d < best {
+				best, bestIdx = d, c
+			}
+		}
+		assign[i] = int32(bestIdx)
+		part += ds.W(i) * best
+	}
+	return part
+}
+
+// Init32 runs Algorithm 2 over float32 points with the MapReduce dataflow —
+// the float32 counterpart of Init. The driver-side structure (first-center
+// draw, Bernoulli sampling on the float64 D² cache, Step 8 reclustering the
+// widened candidates in float64) is Init's code; only the distance-heavy
+// mapper bodies run in float32. For equal spans and seed it is bit-identical
+// to a distkm float32 fit, which runs the same span bodies on its workers.
+func Init32(ds *geom.Dataset32, cfg core.Config, cluster Config) (*geom.Matrix, Stats) {
+	if cfg.K <= 0 {
+		panic("mrkm: Config.K must be positive")
+	}
+	n := ds.N()
+	if n == 0 {
+		panic("mrkm: empty dataset")
+	}
+	spans := MakeSpans(n, cluster.Mappers)
+	engine := cluster.engine()
+	r := rng.New(cfg.Seed)
+	stats := Stats{}
+	ell, rounds := Defaults(cfg)
+
+	// Step 1: first center, chosen by the driver.
+	var first int
+	if ds.Weight == nil {
+		first = r.Intn(n)
+	} else {
+		first = r.WeightedIndex(ds.Weight)
+	}
+	centers := &geom.Matrix32{Cols: ds.Dim()}
+	centers.AppendRow(ds.Point(first))
+
+	pNorms := geom.RowSqNorms32(ds.X, nil)
+	d2 := make([]float64, n)
+	for i := range d2 {
+		d2[i] = math.Inf(1)
+	}
+
+	updateAndCost := func(from int) float64 {
+		mapper := func(s Span, emit func(int, float64)) {
+			emit(0, UpdateSpan32(ds, pNorms, d2, s.Lo, s.Hi, centers, from))
+		}
+		reducer := func(_ int, vs []float64, emit func(float64)) { emit(sum(vs)) }
+		out, counters := mr.Run(spans, mapper, nil, reducer, engine)
+		stats.MRRounds++
+		stats.Counters.Add(counters)
+		if len(out) == 0 {
+			return 0
+		}
+		return out[0]
+	}
+
+	// Step 2: ψ (pure cost pass).
+	phi := updateAndCost(0)
+	stats.Psi = phi
+	stats.PhiTrace = append(stats.PhiTrace, phi)
+
+	// Steps 3–6: sampling reads only the float64 D² cache, so the job is
+	// shared with the float64 realization verbatim.
+	for round := 0; round < rounds && phi > 0; round++ {
+		from := centers.Rows
+		cand := sampleOnly(spans, d2, phi, ell, cfg.Seed, round, engine, &stats)
+		for _, i := range cand {
+			centers.AppendRow(ds.Point(i))
+		}
+		phi = updateAndCost(from)
+		stats.PhiTrace = append(stats.PhiTrace, phi)
+	}
+	stats.Candidates = centers.Rows
+
+	// Step 7: weighting job; per-span weight vectors are reduced in span
+	// order, matching the coordinator's fixed shard-order reduction.
+	weights := weightJob32(spans, ds, pNorms, centers, engine, &stats)
+
+	// Step 8: sequential reclustering on the driver, in float64 on the
+	// widened (exact) candidate rows — the same code and arithmetic as Init.
+	cds := WeightedCandidates(centers.ToMatrix(), weights)
+	final := seed.KMeansPP(cds, cfg.K, r, 1)
+
+	stats.SeedCost = costJob32(spans, ds, pNorms, geom.ToMatrix32(final), engine, &stats)
+	return final, stats
+}
+
+// weightJob32 is Step 7: one WeightSpan32 per span, summed per candidate in
+// span order.
+func weightJob32(spans []Span, ds *geom.Dataset32, pNorms []float32, centers *geom.Matrix32, engine mr.Config, stats *Stats) []float64 {
+	mapper := func(s Span, emit func(int, []float64)) {
+		emit(0, WeightSpan32(ds, pNorms, s.Lo, s.Hi, centers))
+	}
+	k := centers.Rows
+	reducer := func(_ int, vs [][]float64, emit func([]float64)) {
+		out := make([]float64, k)
+		for _, v := range vs {
+			for c := range out {
+				out[c] += v[c]
+			}
+		}
+		emit(out)
+	}
+	out, counters := mr.Run(spans, mapper, nil, reducer, engine)
+	stats.MRRounds++
+	stats.Counters.Add(counters)
+	if len(out) == 0 {
+		return make([]float64, k)
+	}
+	return out[0]
+}
+
+// costJob32 computes φ_X(C) over float32 points as one MR job.
+func costJob32(spans []Span, ds *geom.Dataset32, pNorms []float32, centers *geom.Matrix32, engine mr.Config, stats *Stats) float64 {
+	mapper := func(s Span, emit func(int, float64)) {
+		emit(0, CostSpan32(ds, pNorms, s.Lo, s.Hi, centers))
+	}
+	reducer := func(_ int, vs []float64, emit func(float64)) { emit(sum(vs)) }
+	out, counters := mr.Run(spans, mapper, nil, reducer, engine)
+	stats.MRRounds++
+	stats.Counters.Add(counters)
+	if len(out) == 0 {
+		return 0
+	}
+	return out[0]
+}
+
+// Lloyd32 runs Lloyd's iteration over float32 points where each iteration is
+// one MapReduce job — the float32 counterpart of Lloyd. Centers are mastered
+// in float64 and narrowed to a float32 snapshot the mappers scan, exactly
+// like lloyd.Run32; the per-center Σw·x ⧺ Σw reduction and the center update
+// itself stay float64, folded in span order. Empty clusters keep their
+// previous position, as in Lloyd. The final assignment and cost come from a
+// dedicated span job so they reduce in the same fixed order a distkm
+// coordinator uses.
+func Lloyd32(ds *geom.Dataset32, init *geom.Matrix, maxIter int, cluster Config) (lloyd.Result, Stats) {
+	if maxIter <= 0 {
+		maxIter = 20 // match Lloyd: the paper bounds parallel Lloyd at 20
+	}
+	n := ds.N()
+	spans := MakeSpans(n, cluster.Mappers)
+	engine := cluster.engine()
+	centers := init.Clone()
+	k, d := centers.Rows, centers.Cols
+	pNorms := geom.RowSqNorms32(ds.X, nil)
+	snap := geom.NewMatrix32(k, d)
+	narrow := func() {
+		for c := 0; c < k; c++ {
+			geom.ConvertRow32(snap.Row(c), centers.Row(c))
+		}
+	}
+	stats := Stats{}
+	res := lloyd.Result{Centers: centers}
+
+	type part struct {
+		Sums []float64 // k rows of Σw·x ⧺ Σw, k×(d+1), span-local
+		Phi  float64
+	}
+	for it := 0; it < maxIter; it++ {
+		narrow()
+		mapper := func(s Span, emit func(int, part)) {
+			sums, phi := LloydSpan32(ds, pNorms, s.Lo, s.Hi, snap)
+			emit(0, part{Sums: sums.Data, Phi: phi})
+		}
+		reducer := func(_ int, vs []part, emit func(part)) {
+			total := make([]float64, k*(d+1))
+			var phi float64
+			for _, v := range vs {
+				for j := range total {
+					total[j] += v.Sums[j]
+				}
+				phi += v.Phi
+			}
+			emit(part{Sums: total, Phi: phi})
+		}
+		out, counters := mr.Run(spans, mapper, nil, reducer, engine)
+		stats.MRRounds++
+		stats.Counters.Add(counters)
+		if len(out) == 0 {
+			break
+		}
+		total, phi := out[0].Sums, out[0].Phi
+
+		maxMove := 0.0
+		for c := 0; c < k; c++ {
+			row := total[c*(d+1) : (c+1)*(d+1)]
+			if row[d] <= 0 {
+				continue // empty cluster keeps its previous position
+			}
+			cRow := centers.Row(c)
+			var move float64
+			for j := 0; j < d; j++ {
+				v := row[j] / row[d]
+				diff := v - cRow[j]
+				move += diff * diff
+				cRow[j] = v
+			}
+			if move > maxMove {
+				maxMove = move
+			}
+		}
+		res.Iters = it + 1
+		res.Cost = phi
+		res.CostTrace = append(res.CostTrace, phi)
+		if maxMove == 0 {
+			res.Converged = true
+			break
+		}
+	}
+
+	// res.Cost above is w.r.t. the previous centers; report the final
+	// assignment and cost against the final centers, reduced in span order.
+	narrow()
+	assign := make([]int32, n)
+	mapper := func(s Span, emit func(int, float64)) {
+		emit(0, AssignSpan32(ds, pNorms, s.Lo, s.Hi, snap, assign))
+	}
+	reducer := func(_ int, vs []float64, emit func(float64)) { emit(sum(vs)) }
+	out, counters := mr.Run(spans, mapper, nil, reducer, engine)
+	stats.MRRounds++
+	stats.Counters.Add(counters)
+	res.Assign = assign
+	if len(out) > 0 {
+		res.Cost = out[0]
+	}
+	stats.SeedCost = res.Cost
+	return res, stats
+}

@@ -154,6 +154,11 @@ func (m *JobManager) distFit(j *Job) (*kmeansll.Model, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Precision == kmeansll.Float32 {
+		// Workers store float32 shards and run the float32 span bodies; the
+		// fit matches the in-process float32 realization bit for bit.
+		coord.SetFloat32(true)
+	}
 	// Close releases this fit's shards on the workers (essential with shared
 	// external workers: they are long-lived, and every fit pushes a full
 	// dataset copy) before the deferred cleanup closes the connections again
@@ -252,6 +257,9 @@ func (m *JobManager) distFit(j *Job) (*kmeansll.Model, error) {
 		model, err := distkm.Model(res, stats)
 		if err != nil {
 			return nil, err
+		}
+		if cfg.Precision == kmeansll.Float32 {
+			model.MarkFitPrecision(kmeansll.Float32)
 		}
 		if best == nil || model.Cost < best.Cost {
 			best = model

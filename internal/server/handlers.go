@@ -262,17 +262,24 @@ func (s *Server) currentModel(w http.ResponseWriter, r *http.Request) (*ModelVer
 
 // modelSummary is the JSON metadata view of a model version.
 type modelSummary struct {
-	Name      string      `json:"name"`
-	Version   int         `json:"version"`
-	K         int         `json:"k"`
-	Dim       int         `json:"dim"`
-	Cost      float64     `json:"cost"`
-	Iters     int         `json:"iters"`
-	Converged bool        `json:"converged"`
-	Optimizer string      `json:"optimizer,omitempty"`
-	Source    string      `json:"source"`
-	CreatedAt string      `json:"created_at"`
-	Centers   [][]float64 `json:"centers,omitempty"`
+	Name      string  `json:"name"`
+	Version   int     `json:"version"`
+	K         int     `json:"k"`
+	Dim       int     `json:"dim"`
+	Cost      float64 `json:"cost"`
+	Iters     int     `json:"iters"`
+	Converged bool    `json:"converged"`
+	Optimizer string  `json:"optimizer,omitempty"`
+	// Precision is the arithmetic this version's batch predictions run at.
+	// PrecisionRequested/PrecisionEffective appear when the fit asked for
+	// "f32": effective "f64" means the configuration was outside the float32
+	// fast path and the fit transparently widened.
+	Precision          string      `json:"precision"`
+	PrecisionRequested string      `json:"precision_requested,omitempty"`
+	PrecisionEffective string      `json:"precision_effective,omitempty"`
+	Source             string      `json:"source"`
+	CreatedAt          string      `json:"created_at"`
+	Centers            [][]float64 `json:"centers,omitempty"`
 }
 
 func summarize(mv *ModelVersion, withCenters bool) modelSummary {
@@ -281,7 +288,12 @@ func summarize(mv *ModelVersion, withCenters bool) modelSummary {
 		K: mv.Model.K(), Dim: mv.Model.Dim(),
 		Cost: mv.Model.Cost, Iters: mv.Model.Iters, Converged: mv.Model.Converged,
 		Optimizer: mv.Optimizer,
+		Precision: mv.Model.PredictPrecision().String(),
 		Source:    mv.Source, CreatedAt: mv.CreatedAt.Format(time.RFC3339Nano),
+	}
+	if mv.Model.PrecisionRequested() != kmeansll.Float64 {
+		out.PrecisionRequested = mv.Model.PrecisionRequested().String()
+		out.PrecisionEffective = mv.Model.PrecisionEffective().String()
 	}
 	if withCenters {
 		out.Centers = mv.Model.Centers
@@ -627,12 +639,6 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 		// misreport what ran.
 		if opt := cfg.OptimizerOrDefault(); opt != (kmeansll.Lloyd{Kernel: kmeansll.NaiveKernel}) {
 			writeError(w, http.StatusBadRequest, `backend "dist" supports only optimizer "lloyd:naive"`)
-			return
-		}
-		// The distributed engine's assignment pass is float64-only; silently
-		// widening a requested f32 fit would misreport what ran.
-		if cfg.Precision != kmeansll.Float64 {
-			writeError(w, http.StatusBadRequest, `backend "dist" supports only precision "f64"`)
 			return
 		}
 	}

@@ -65,6 +65,12 @@ type JobStatus struct {
 	Cost       float64  `json:"cost,omitempty"`
 	Iters      int      `json:"iters,omitempty"`
 	Converged  bool     `json:"converged,omitempty"`
+	// PrecisionRequested is set when the fit config asked for a non-default
+	// precision; PrecisionEffective then reports, once the job finishes, the
+	// arithmetic that actually ran ("f64" = the config was outside the
+	// float32 fast path and the fit transparently widened).
+	PrecisionRequested string `json:"precision_requested,omitempty"`
+	PrecisionEffective string `json:"precision_effective,omitempty"`
 }
 
 // Status snapshots the job for serialization.
@@ -83,11 +89,17 @@ func (j *Job) Status() JobStatus {
 	if !j.finished.IsZero() {
 		s.FinishedAt = j.finished.Format(time.RFC3339Nano)
 	}
+	if j.cfg.Precision != kmeansll.Float64 {
+		s.PrecisionRequested = j.cfg.Precision.String()
+	}
 	if j.result != nil {
 		s.Version = j.result.Version
 		s.Cost = j.result.Model.Cost
 		s.Iters = j.result.Model.Iters
 		s.Converged = j.result.Model.Converged
+		if s.PrecisionRequested != "" {
+			s.PrecisionEffective = j.result.Model.PrecisionEffective().String()
+		}
 	}
 	return s
 }

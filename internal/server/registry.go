@@ -267,7 +267,10 @@ type RegistrySysRow struct {
 	CenterBytes    int64  `json:"center_bytes"`
 	Source         string `json:"source"`
 	Optimizer      string `json:"optimizer,omitempty"`
-	CreatedAt      string `json:"created_at"`
+	// Precision is the arithmetic the current version's batch predictions run
+	// at ("f32" for models fitted on the single-precision engine).
+	Precision string `json:"precision,omitempty"`
+	CreatedAt string `json:"created_at"`
 }
 
 // sysRows renders the registry occupancy table, sorted by model name.
@@ -301,6 +304,7 @@ func (r *Registry) sysRows() []RegistrySysRow {
 			row.CurrentVersion = cur.Version
 			row.K, row.Dim = cur.Model.K(), cur.Model.Dim()
 			row.Source, row.Optimizer = cur.Source, cur.Optimizer
+			row.Precision = cur.Model.PredictPrecision().String()
 			row.CreatedAt = cur.CreatedAt.Format(time.RFC3339Nano)
 		}
 		e.mu.Unlock()

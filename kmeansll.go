@@ -214,6 +214,12 @@ type Model struct {
 	// precision selects PredictBatch's linear-scan arithmetic; see
 	// SetPredictPrecision.
 	precision Precision
+
+	// precisionRequested/precisionEffective record what arithmetic the fit
+	// was asked for and what it actually ran at; see PrecisionRequested and
+	// PrecisionEffective.
+	precisionRequested Precision
+	precisionEffective Precision
 }
 
 // Cluster fits k centers to the given points. Points must be non-empty and

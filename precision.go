@@ -30,10 +30,12 @@ const (
 	// Float64 runs every pass in double precision (default).
 	Float64 Precision = iota
 	// Float32 runs distance passes in single precision where supported:
-	// k-means||, k-means++ and random seeding, the default Lloyd refinement,
-	// and batch prediction. Unsupported combinations (Partition seeding,
-	// Elkan/Hamerly kernels, the MiniBatch/Trimmed/Spherical optimizers)
-	// transparently fall back to the Float64 pipeline on widened data.
+	// k-means||, k-means++ and random seeding, Lloyd refinement under every
+	// kernel (naive, Elkan, Hamerly), the MiniBatch optimizer, and batch
+	// prediction. The remaining unsupported combinations — Partition seeding
+	// and the Trimmed/Spherical optimizers — transparently fall back to the
+	// Float64 pipeline on widened data; Model.PrecisionEffective reports
+	// which arithmetic actually ran.
 	Float32
 )
 
@@ -85,10 +87,17 @@ func ClusterDataset32(ds *geom.Dataset32, cfg Config) (*Model, error) {
 }
 
 // float32Supported reports whether the configuration stays on the float32
-// fast path: the seedings and the refinement that have *32 engine
-// implementations. Everything else widens and runs the Float64 pipeline.
+// fast path: the seedings and the refinements that have *32 engine
+// implementations — every Lloyd kernel and MiniBatch, under k-means||,
+// k-means++ or random seeding. The remaining denylist is Partition seeding
+// (the streaming baseline has no float32 engine) and the Trimmed/Spherical
+// optimizers (their per-iteration exclusion/normalization passes only exist
+// in double precision); those widen and run the Float64 pipeline, which
+// Model.PrecisionEffective surfaces.
 func float32Supported(cfg Config) bool {
-	if l, ok := cfg.OptimizerOrDefault().(Lloyd); !ok || l.Kernel != NaiveKernel {
+	switch cfg.OptimizerOrDefault().(type) {
+	case Lloyd, MiniBatch:
+	default:
 		return false
 	}
 	switch cfg.Init {
@@ -106,7 +115,15 @@ func clusterDataset32(ds *geom.Dataset32, cfg Config) (*Model, error) {
 	if !float32Supported(cfg) {
 		c := cfg
 		c.Precision = Float64 // widened fallback must not loop back here
-		return clusterDataset(ds.ToDataset(), c)
+		m, err := clusterDataset(ds.ToDataset(), c)
+		if m != nil {
+			m.precisionRequested = Float32 // effective stays Float64
+		}
+		return m, err
+	}
+	opt, err := cfg.OptimizerOrDefault().lower()
+	if err != nil {
+		return nil, err
 	}
 	dim := ds.Dim()
 	var centers *geom.Matrix
@@ -131,17 +148,19 @@ func clusterDataset32(ds *geom.Dataset32, cfg Config) (*Model, error) {
 		seedCost = lloyd.Cost32(ds, geom.ToMatrix32(centers), cfg.Parallelism)
 	}
 
-	res := lloyd.Run32(ds, centers, lloyd.Config{
+	res := opt.Refine32(ds, centers, lloyd.Config{
 		MaxIter: cfg.MaxIter, Parallelism: cfg.Parallelism,
-	})
+	}, cfg.Seed)
 
 	out := &Model{
-		Cost:      res.Cost,
-		SeedCost:  seedCost,
-		Iters:     res.Iters,
-		Converged: res.Converged,
-		dim:       dim,
-		precision: Float32,
+		Cost:               res.Cost,
+		SeedCost:           seedCost,
+		Iters:              res.Iters,
+		Converged:          res.Converged,
+		dim:                dim,
+		precision:          Float32,
+		precisionRequested: Float32,
+		precisionEffective: Float32,
 	}
 	out.Centers = make([][]float64, res.Centers.Rows)
 	for c := range out.Centers {
@@ -167,6 +186,29 @@ func (m *Model) SetPredictPrecision(p Precision) { m.precision = p }
 // PredictPrecision reports the precision PredictBatch's linear-scan regime
 // runs at.
 func (m *Model) PredictPrecision() Precision { return m.precision }
+
+// MarkFitPrecision records that the model came out of a fit pipeline that ran
+// entirely at precision p: it sets the requested and effective fit precisions
+// and the PredictBatch default together. Engine frontends that assemble a
+// Model from raw fit results — the distributed coordinator's Model helper,
+// CLI drivers — use it; models from Cluster/ClusterDataset are already
+// marked.
+func (m *Model) MarkFitPrecision(p Precision) {
+	m.precision = p
+	m.precisionRequested = p
+	m.precisionEffective = p
+}
+
+// PrecisionRequested reports the precision the fit was asked for
+// (Config.Precision, or Float32 for ClusterDataset32). Float64 for models
+// built outside the fit pipeline (NewModel, Load).
+func (m *Model) PrecisionRequested() Precision { return m.precisionRequested }
+
+// PrecisionEffective reports the precision the fit actually ran at. It
+// differs from PrecisionRequested exactly when a Float32 request hit the
+// float64-only denylist (Partition seeding, Trimmed/Spherical optimizers)
+// and the fit transparently widened — the observable form of that fallback.
+func (m *Model) PrecisionEffective() Precision { return m.precisionEffective }
 
 // linearScanIndex32 returns the cached float32 center matrix and norms for
 // the single-precision linear-scan regime, building them on first use.
