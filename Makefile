@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race serve bench bench-check doclint clean
+.PHONY: build test vet race serve bench bench-check lint kmlint doclint clean
 
 build:
 	$(GO) build ./...
@@ -29,13 +29,27 @@ bench-check: build
 vet:
 	$(GO) vet ./...
 
-# doclint enforces the documentation contract on the kernel/format packages:
-# every exported identifier in internal/geom, internal/dsio and internal/lloyd
-# must carry a doc comment (see docs/kernels.md and docs/kmd-format.md).
-doclint:
-	$(GO) run ./cmd/doclint ./internal/geom ./internal/dsio ./internal/lloyd
+# kmlint runs the repo's own static-analysis suite (cmd/kmlint): the
+# determinism, mmapwrite, precision, atomicfields, tiergate and doccomment
+# analyzers, one per documented correctness contract. See
+# docs/static-analysis.md for what each enforces and how to suppress a
+# finding at a blessed site.
+kmlint:
+	$(GO) run ./cmd/kmlint ./...
 
-test: vet doclint
+# lint is the full static gate CI's lint job runs locally: formatting,
+# go vet, and the kmlint analyzer suite.
+lint: vet kmlint
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "files need gofmt:"; echo "$$out"; exit 1; fi
+
+# doclint survives as an alias for the retired cmd/doclint: the doc-comment
+# contract is now kmlint's doccomment analyzer, widened from the three
+# kernel/format packages to all of internal/... .
+doclint:
+	$(GO) run ./cmd/kmlint -only doccomment ./...
+
+test: lint
 	$(GO) test -race ./...
 
 race: test

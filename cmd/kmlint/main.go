@@ -1,0 +1,83 @@
+// Command kmlint is the repo's static-analysis multichecker: it runs every
+// analyzer in internal/kmlint over the named packages and fails when any
+// documented correctness contract is violated at compile time. The suite
+// covers determinism (no wall clock, global math/rand, or map-order
+// iteration in the fit/reduce paths), mmapwrite (read-only .kmd mmaps),
+// precision (no f64→f32 narrowing outside blessed sites), atomicfields
+// (all-or-nothing sync/atomic field access), tiergate (no build-tag
+// configuration strands an assembly kernel), and doccomment (exported
+// identifiers in internal/... are documented). See docs/static-analysis.md
+// for each contract and the //kmlint:ignore suppression idiom.
+//
+// Usage:
+//
+//	kmlint [-only name,name] [-list] packages...
+//
+// Packages are go-list patterns (./... works). Exit status is 1 when any
+// finding survives suppression, 2 on load or internal errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"kmeansll/internal/kmlint"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "print the analyzers and their contracts, then exit")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: kmlint [-only name,name] [-list] packages...")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := kmlint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		byName := map[string]*kmlint.Analyzer{}
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		var selected []*kmlint.Analyzer
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "kmlint: unknown analyzer %q (use -list)\n", name)
+				os.Exit(2)
+			}
+			selected = append(selected, a)
+		}
+		analyzers = selected
+	}
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	pkgs, err := kmlint.Load(".", flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kmlint:", err)
+		os.Exit(2)
+	}
+	findings, err := kmlint.RunAnalyzers(pkgs, analyzers)
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kmlint:", err)
+		os.Exit(2)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "kmlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

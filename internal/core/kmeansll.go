@@ -51,6 +51,7 @@ const (
 	ExactL
 )
 
+// String names the sampling mode the way CLI flags and fit configs spell it.
 func (m SampleMode) String() string {
 	switch m {
 	case Bernoulli:
@@ -79,6 +80,8 @@ const (
 	ReclusterRandom
 )
 
+// String names the recluster method the way CLI flags and fit configs
+// spell it.
 func (m ReclusterMethod) String() string {
 	switch m {
 	case ReclusterKMeansPP:

@@ -66,6 +66,10 @@ func (t *ChaosTransport) Kill() {
 	t.mu.Unlock()
 }
 
+// Call forwards to the wrapped transport after applying the configured
+// faults: seeded drops, delays, duplicated sends, and the kill-after-N
+// cutoff. Fault decisions draw from the transport's own seeded RNG, so a
+// chaos schedule replays exactly.
 func (t *ChaosTransport) Call(method string, args, reply any) error {
 	t.mu.Lock()
 	t.calls++
@@ -102,4 +106,5 @@ func (t *ChaosTransport) Call(method string, args, reply any) error {
 	return t.inner.Call(method, args, reply)
 }
 
+// Close closes the wrapped transport; faults never apply to Close.
 func (t *ChaosTransport) Close() error { return t.inner.Close() }

@@ -145,6 +145,7 @@ func (ck *Checkpointer) save(cp *Checkpoint, centers, seedC *geom.Matrix) error 
 		}
 	}
 	cp.Version = checkpointVersion
+	//kmlint:ignore determinism SavedAt is operator-facing metadata; resume replays from the RNG counter state, not the timestamp
 	cp.SavedAt = time.Now().UTC().Format(time.RFC3339)
 
 	raw, err := json.MarshalIndent(cp, "", "  ")

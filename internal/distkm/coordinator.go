@@ -129,6 +129,7 @@ func NewCoordinator(clients []Client) (*Coordinator, error) {
 var fitSeq atomic.Uint64
 
 func newFitID() uint64 {
+	//kmlint:ignore determinism fit ids only namespace shards on shared workers; no sampled or reduced value depends on them
 	return uint64(time.Now().UnixNano())<<8 | (fitSeq.Add(1) & 0xff)
 }
 

@@ -91,6 +91,8 @@ type NoWorkersError struct {
 	Tried []int // worker indices this shard was assigned to and lost, in order
 }
 
+// Error spells out which shard ran out of workers and the failover trail
+// that got it there.
 func (e *NoWorkersError) Error() string {
 	return fmt.Sprintf("distkm: no live workers left (shard %d failed over through workers %v)", e.Shard, e.Tried)
 }

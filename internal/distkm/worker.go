@@ -123,6 +123,7 @@ func (w *Worker) shardByRef(ref ShardRef) (*shard, error) {
 	if !ok {
 		return nil, fmt.Errorf("distkm: worker has no shard %d of fit %d", ref.Shard, ref.Fit)
 	}
+	//kmlint:ignore determinism lastUsed only feeds the shard-TTL janitor, never the fit
 	s.lastUsed = time.Now()
 	s.refs++
 	return s, nil
@@ -174,6 +175,7 @@ func (w *Worker) install(ref ShardRef, lo int, ds *geom.Dataset, closers []io.Cl
 	for i := range d2 {
 		d2[i] = math.Inf(1)
 	}
+	//kmlint:ignore determinism lastUsed only feeds the shard-TTL janitor, never the fit
 	s := &shard{lo: lo, ds: ds, d2: d2, lastUsed: time.Now(), closers: closers}
 	w.installShard(ref, s)
 }
@@ -187,6 +189,7 @@ func (w *Worker) install32(ref ShardRef, lo int, ds *geom.Dataset32, closers []i
 	}
 	s := &shard{
 		lo: lo, ds32: ds, pn32: geom.RowSqNorms32(ds.X, nil),
+		//kmlint:ignore determinism lastUsed only feeds the shard-TTL janitor, never the fit
 		d2: d2, lastUsed: time.Now(), closers: closers,
 	}
 	w.installShard(ref, s)
@@ -546,6 +549,7 @@ func (w *Worker) Fetch(args FetchArgs, reply *FetchReply) error {
 func (w *Worker) Release(args ReleaseArgs, _ *Ack) error {
 	w.mu.Lock()
 	var closeNow []*shard
+	//kmlint:ignore determinism release order does not feed any reduced output; shards are independent
 	for ref, s := range w.shards {
 		if ref.Fit == args.Fit {
 			if dropLocked(s) {
@@ -600,6 +604,7 @@ func (w *Worker) StartJanitor(ttl time.Duration) (stop func()) {
 			case now := <-ticker.C:
 				w.mu.Lock()
 				var closeNow []*shard
+				//kmlint:ignore determinism janitor eviction order does not feed any reduced output
 				for ref, s := range w.shards {
 					if now.Sub(s.lastUsed) > ttl {
 						if dropLocked(s) {
@@ -624,6 +629,7 @@ func (w *Worker) Status(_ Ack, reply *StatusReply) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	reply.Shards = len(w.shards)
+	//kmlint:ignore determinism status totals are order-insensitive sums of ints
 	for _, s := range w.shards {
 		reply.Points += s.n()
 	}

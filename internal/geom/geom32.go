@@ -80,6 +80,7 @@ func (m *Matrix32) Clone() *Matrix32 {
 func ToMatrix32(m *Matrix) *Matrix32 {
 	out := NewMatrix32(m.Rows, m.Cols)
 	for i, v := range m.Data {
+		//kmlint:ignore precision ToMatrix32 is the blessed f64→f32 narrowing funnel (docs/kernels.md)
 		out.Data[i] = float32(v)
 	}
 	return out
@@ -100,6 +101,7 @@ func (m *Matrix32) ToMatrix() *Matrix {
 func ConvertRow32(dst []float32, p []float64) []float32 {
 	dst = dst[:len(p)]
 	for j, v := range p {
+		//kmlint:ignore precision ConvertRow32 is the blessed f64→f32 narrowing funnel (docs/kernels.md)
 		dst[j] = float32(v)
 	}
 	return dst

@@ -1,0 +1,142 @@
+package kmlint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicFieldsAnalyzer enforces all-or-nothing atomicity on struct fields:
+// a field passed by address to a sync/atomic function anywhere in the
+// package must be accessed through sync/atomic everywhere in the package.
+// One plain read racing one atomic write is still a data race, and it is
+// exactly the mistake the typed atomic.Int64 fields (the stats histograms,
+// the stream refit-lag counters) were adopted to prevent — this analyzer
+// closes the same hole for the legacy &struct.field call style. Typed
+// atomics are safe by construction and are not tracked.
+var AtomicFieldsAnalyzer = &Analyzer{
+	Name: "atomicfields",
+	Doc: "a struct field accessed via sync/atomic anywhere must be accessed " +
+		"atomically everywhere (mixed plain/atomic access is a data race)",
+	Run: runAtomicFields,
+}
+
+func runAtomicFields(pass *Pass) error {
+	// Pass 1: every field object whose address feeds a sync/atomic call.
+	atomicFields := map[*types.Var]bool{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isSyncAtomicCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if f := addressedField(pass, arg); f != nil {
+					atomicFields[f] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+	// Pass 2: any other access to those fields must itself be an
+	// address-of argument to a sync/atomic call.
+	for _, file := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			field := selectedField(pass, sel)
+			if field == nil || !atomicFields[field] {
+				return true
+			}
+			if inAtomicArg(pass, stack) {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"plain access to field %s, which is accessed via sync/atomic elsewhere in this package — every access must go through sync/atomic",
+				field.Name())
+			return true
+		})
+	}
+	return nil
+}
+
+// isSyncAtomicCall reports whether call invokes a sync/atomic function.
+func isSyncAtomicCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// addressedField returns the struct field object when arg is &expr.Field,
+// and nil otherwise.
+func addressedField(pass *Pass, arg ast.Expr) *types.Var {
+	un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return nil
+	}
+	sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	return selectedField(pass, sel)
+}
+
+// selectedField resolves sel to a struct field object, or nil when the
+// selector names a method, package member, or unresolved identifier.
+func selectedField(pass *Pass, sel *ast.SelectorExpr) *types.Var {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}
+
+// inAtomicArg reports whether the selector at the top of stack is exactly
+// the &field argument of a sync/atomic call — the one sanctioned access
+// shape. A field read buried elsewhere in an atomic call's arguments is
+// still a plain access.
+func inAtomicArg(pass *Pass, stack []ast.Node) bool {
+	j := skipParens(stack, len(stack)-2)
+	un, ok := nodeAt(stack, j).(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return false
+	}
+	j = skipParens(stack, j-1)
+	call, ok := nodeAt(stack, j).(*ast.CallExpr)
+	return ok && isSyncAtomicCall(pass, call)
+}
+
+// skipParens walks outward past ParenExpr nodes starting at stack index i.
+func skipParens(stack []ast.Node, i int) int {
+	for i >= 0 {
+		if _, ok := stack[i].(*ast.ParenExpr); ok {
+			i--
+			continue
+		}
+		break
+	}
+	return i
+}
+
+// nodeAt returns stack[i], or nil when i is out of range.
+func nodeAt(stack []ast.Node, i int) ast.Node {
+	if i < 0 || i >= len(stack) {
+		return nil
+	}
+	return stack[i]
+}

@@ -1,0 +1,127 @@
+package kmlint
+
+import (
+	"bufio"
+	"go/build/constraint"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// buildConfig is one cell of the build-tag matrix tiergate evaluates:
+// a GOARCH plus whether the km_purego escape hatch is set. GOOS is fixed to
+// linux — no kernel file is OS-conditional.
+type buildConfig struct {
+	goarch string
+	purego bool
+}
+
+// String names the config the way findings print it, e.g. "arm64+km_purego".
+func (c buildConfig) String() string {
+	if c.purego {
+		return c.goarch + "+km_purego"
+	}
+	return c.goarch
+}
+
+// tierConfigs is the matrix the kernel ladder must survive: both SIMD
+// architectures, one arch with no assembly at all (riscv64 stands in for
+// "any other port"), each with and without km_purego.
+var tierConfigs = []buildConfig{
+	{"amd64", false}, {"amd64", true},
+	{"arm64", false}, {"arm64", true},
+	{"riscv64", false}, {"riscv64", true},
+}
+
+// knownArches are GOARCH values recognized in filename suffixes and build
+// expressions; any tag in this set that is not the config's arch evaluates
+// to false.
+var knownArches = map[string]bool{
+	"386": true, "amd64": true, "arm": true, "arm64": true,
+	"loong64": true, "mips": true, "mips64": true, "mips64le": true,
+	"mipsle": true, "ppc64": true, "ppc64le": true, "riscv64": true,
+	"s390x": true, "wasm": true,
+}
+
+// fileConstraint captures everything that decides whether one file is part
+// of a build configuration: the parsed //go:build expression (nil when the
+// file has none) and the GOARCH implied by a _GOARCH filename suffix ("" when
+// the name implies nothing).
+type fileConstraint struct {
+	expr       constraint.Expr
+	suffixArch string
+}
+
+// parseFileConstraint reads the head of a .go or .s file for a //go:build
+// line (or legacy // +build lines) and derives the filename-implied GOARCH.
+func parseFileConstraint(path string) (fileConstraint, error) {
+	fc := fileConstraint{suffixArch: filenameArch(path)}
+	f, err := os.Open(path)
+	if err != nil {
+		return fc, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "//") || strings.HasPrefix(line, "#") {
+			if constraint.IsGoBuild(line) || constraint.IsPlusBuild(line) {
+				expr, err := constraint.Parse(line)
+				if err != nil {
+					return fc, err
+				}
+				if fc.expr != nil {
+					fc.expr = &constraint.AndExpr{X: fc.expr, Y: expr}
+				} else {
+					fc.expr = expr
+				}
+			}
+			continue
+		}
+		break // constraints must precede the first non-comment line
+	}
+	return fc, sc.Err()
+}
+
+// filenameArch returns the GOARCH a file's _GOARCH(.s|.go) suffix implies,
+// or "" when the name carries no architecture.
+func filenameArch(path string) string {
+	base := filepath.Base(path)
+	base = strings.TrimSuffix(base, filepath.Ext(base))
+	parts := strings.Split(base, "_")
+	for i := len(parts) - 1; i > 0; i-- {
+		if knownArches[parts[i]] {
+			return parts[i]
+		}
+	}
+	return ""
+}
+
+// active reports whether the file is built under cfg.
+func (fc fileConstraint) active(cfg buildConfig) bool {
+	if fc.suffixArch != "" && fc.suffixArch != cfg.goarch {
+		return false
+	}
+	if fc.expr == nil {
+		return true
+	}
+	return fc.expr.Eval(func(tag string) bool {
+		switch {
+		case tag == "km_purego":
+			return cfg.purego
+		case tag == cfg.goarch:
+			return true
+		case knownArches[tag]:
+			return false
+		case tag == "linux" || tag == "unix":
+			return true
+		case tag == "gc":
+			return true
+		case strings.HasPrefix(tag, "go1."):
+			return true // the module's minimum Go version satisfies all release tags in use
+		default:
+			return false
+		}
+	})
+}

@@ -1,0 +1,122 @@
+package kmlint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// docCommentScope limits the check to the repo's internal packages — the
+// widened successor of cmd/doclint, which covered only internal/geom,
+// internal/dsio and internal/lloyd. The root package is the public API and
+// is held to the same standard by go vet's stdmethods/doc conventions and
+// review; internal packages are where undocumented exports rot unseen.
+const docCommentScope = "kmeansll/internal/"
+
+// DocCommentAnalyzer enforces the documentation contract: every exported
+// identifier in internal/... carries a doc comment, so docs/kernels.md and
+// docs/kmd-format.md can lean on godoc for per-symbol detail. It subsumes
+// the retired cmd/doclint.
+var DocCommentAnalyzer = &Analyzer{
+	Name: "doccomment",
+	Doc: "exported identifiers in internal/... must have doc comments " +
+		"(the documentation contract behind docs/kernels.md and docs/kmd-format.md)",
+	Run: runDocComment,
+}
+
+func runDocComment(pass *Pass) error {
+	if !strings.HasPrefix(pass.Pkg.Path(), docCommentScope) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Name.IsExported() && d.Doc == nil && !methodOfUnexported(d) {
+					what := "function"
+					if d.Recv != nil {
+						what = "method"
+					}
+					pass.Reportf(d.Pos(), "exported %s %s is missing a doc comment", what, declName(d))
+				}
+			case *ast.GenDecl:
+				checkGenDeclDocs(pass, d)
+			}
+		}
+	}
+	return nil
+}
+
+// checkGenDeclDocs checks type/const/var declarations. A doc comment on the
+// grouped declaration covers its members, and a spec's own doc or trailing
+// line comment also counts — matching what godoc renders.
+func checkGenDeclDocs(pass *Pass, d *ast.GenDecl) {
+	if d.Tok == token.IMPORT || d.Doc != nil {
+		return
+	}
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && s.Doc == nil && !isDocComment(s.Comment) {
+				pass.Reportf(s.Pos(), "exported type %s is missing a doc comment", s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			if s.Doc != nil || isDocComment(s.Comment) {
+				continue
+			}
+			kind := "var"
+			if d.Tok == token.CONST {
+				kind = "const"
+			}
+			for _, n := range s.Names {
+				if n.IsExported() {
+					pass.Reportf(n.Pos(), "exported %s %s is missing a doc comment", kind, n.Name)
+					break
+				}
+			}
+		}
+	}
+}
+
+// isDocComment reports whether a trailing line comment counts as
+// documentation. Tool directives (// want fixture markers, //kmlint:ignore
+// suppressions) are not documentation.
+func isDocComment(cg *ast.CommentGroup) bool {
+	if cg == nil || len(cg.List) == 0 {
+		return false
+	}
+	text := strings.TrimSpace(strings.TrimPrefix(cg.List[0].Text, "//"))
+	return !strings.HasPrefix(text, "want ") && !strings.HasPrefix(cg.List[0].Text, ignorePrefix)
+}
+
+// methodOfUnexported reports whether d is a method on an unexported
+// receiver type — invisible in godoc, so not held to the rule.
+func methodOfUnexported(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return false
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver T[P]
+		t = idx.X
+	}
+	id, ok := t.(*ast.Ident)
+	return ok && !id.IsExported()
+}
+
+// declName renders "Recv.Method" for methods and the bare name otherwise.
+func declName(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return d.Name.Name
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + d.Name.Name
+	}
+	return d.Name.Name
+}

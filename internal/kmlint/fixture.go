@@ -1,0 +1,266 @@
+package kmlint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// RunFixture type-checks the single fixture package in dir under the import
+// path pkgPath, runs one analyzer over it, and compares the findings
+// against `// want "regexp"` comments in the fixture sources (.go and .s
+// alike) — the same contract as x/tools' analysistest, reimplemented over
+// the stdlib. It returns one error per mismatch: a finding with no matching
+// want on its line, or a want no finding matched. A fixture with no want
+// comments therefore doubles as a clean-tree negative case. pkgPath matters
+// because several analyzers scope themselves by import path; a fixture
+// checked as "kmeansll/internal/seed" exercises the determinism rules
+// exactly as that package would.
+func RunFixture(a *Analyzer, dir, pkgPath string) []error {
+	pkg, err := loadFixture(dir, pkgPath)
+	if err != nil {
+		return []error{err}
+	}
+	findings, err := RunAnalyzers([]*Package{pkg}, []*Analyzer{a})
+	if err != nil {
+		return []error{err}
+	}
+	wants, err := collectWants(pkg)
+	if err != nil {
+		return []error{err}
+	}
+	return matchWants(findings, wants)
+}
+
+// fixtureExports caches `go list -export` results across fixtures so each
+// imported package (stdlib or module) is resolved once per test process.
+var fixtureExports = struct {
+	sync.Mutex
+	paths map[string]string
+}{paths: map[string]string{}}
+
+// loadFixture parses and type-checks the fixture package in dir.
+func loadFixture(dir, pkgPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	// Fixtures may be build-gated like the real kernel files, and gated
+	// variants of one symbol cannot be type-checked together — select
+	// files for the host configuration exactly as `go list` would, and
+	// hand the rest to the analyzers as OtherGoFiles.
+	host := buildConfig{goarch: runtime.GOARCH}
+	var files []*ast.File
+	var sfiles, otherGo []string
+	var imports []string
+	for _, e := range entries {
+		name := e.Name()
+		path := filepath.Join(dir, name)
+		switch {
+		case strings.HasSuffix(name, ".s"):
+			sfiles = append(sfiles, path)
+		case strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go"):
+			fc, err := parseFileConstraint(path)
+			if err != nil {
+				return nil, err
+			}
+			if !fc.active(host) {
+				otherGo = append(otherGo, path)
+				continue
+			}
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+			for _, imp := range f.Imports {
+				p, _ := strconv.Unquote(imp.Path.Value)
+				imports = append(imports, p)
+			}
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("kmlint: fixture %s has no Go files", dir)
+	}
+	if err := resolveFixtureImports(imports); err != nil {
+		return nil, err
+	}
+	fixtureExports.Lock()
+	exports := make(map[string]string, len(fixtureExports.paths))
+	for k, v := range fixtureExports.paths {
+		exports[k] = v
+	}
+	fixtureExports.Unlock()
+	info := newTypesInfo()
+	cfg := types.Config{
+		Importer: exportImporter(fset, exports),
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := cfg.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("kmlint: type-checking fixture %s: %v", dir, err)
+	}
+	return &Package{
+		Path: pkgPath, Dir: dir, Fset: fset, Files: files,
+		Types: tpkg, TypesInfo: info, SFiles: sfiles, OtherGoFiles: otherGo,
+	}, nil
+}
+
+// resolveFixtureImports fills the export cache for any import paths not yet
+// resolved, with one `go list` invocation per batch of misses.
+func resolveFixtureImports(imports []string) error {
+	fixtureExports.Lock()
+	defer fixtureExports.Unlock()
+	var missing []string
+	seen := map[string]bool{}
+	for _, p := range imports {
+		if _, ok := fixtureExports.paths[p]; !ok && !seen[p] {
+			missing = append(missing, p)
+			seen[p] = true
+		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	listed, err := goList(".", missing)
+	if err != nil {
+		return err
+	}
+	for _, p := range listed {
+		if p.Error != nil {
+			return fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			fixtureExports.paths[p.ImportPath] = p.Export
+		}
+	}
+	return nil
+}
+
+// want is one expectation: a message pattern anchored to a file and line.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// wantRE extracts the quoted patterns of a want comment.
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// collectWants gathers `// want "re"` comments from the fixture's Go files
+// (by token position) and assembly files (by line scan).
+func collectWants(pkg *Package) ([]*want, error) {
+	var wants []*want
+	add := func(file string, line int, rest string) error {
+		for _, q := range splitQuoted(rest) {
+			pat, err := strconv.Unquote(q)
+			if err != nil {
+				return fmt.Errorf("%s:%d: bad want pattern %s: %v", file, line, q, err)
+			}
+			re, err := regexp.Compile(pat)
+			if err != nil {
+				return fmt.Errorf("%s:%d: bad want regexp %q: %v", file, line, pat, err)
+			}
+			wants = append(wants, &want{file: file, line: line, re: re})
+		}
+		return nil
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				if err := add(pos.Filename, pos.Line, m[1]); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	// Assembly files and constraint-excluded Go files are not in the
+	// FileSet; scan them textually so their wants count too.
+	for _, path := range append(append([]string{}, pkg.SFiles...), pkg.OtherGoFiles...) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			if m := wantRE.FindStringSubmatch(line); m != nil {
+				if err := add(path, i+1, m[1]); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// splitQuoted returns the top-level double-quoted strings of s, so a want
+// comment can carry several patterns: // want "a" "b".
+func splitQuoted(s string) []string {
+	var out []string
+	for {
+		i := strings.IndexByte(s, '"')
+		if i < 0 {
+			return out
+		}
+		j := i + 1
+		for j < len(s) {
+			if s[j] == '\\' {
+				j += 2
+				continue
+			}
+			if s[j] == '"' {
+				break
+			}
+			j++
+		}
+		if j >= len(s) {
+			return out
+		}
+		out = append(out, s[i:j+1])
+		s = s[j+1:]
+	}
+}
+
+// matchWants pairs findings with wants on the same file and line.
+func matchWants(findings []Finding, wants []*want) []error {
+	var errs []error
+	for _, f := range findings {
+		matched := false
+		for _, w := range wants {
+			if w.matched || w.file != f.Filename || w.line != f.Line {
+				continue
+			}
+			if w.re.MatchString(f.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			errs = append(errs, fmt.Errorf("unexpected finding: %s", f))
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			errs = append(errs, fmt.Errorf("%s:%d: no finding matched want %q", w.file, w.line, w.re))
+		}
+	}
+	sort.Slice(errs, func(i, j int) bool { return errs[i].Error() < errs[j].Error() })
+	return errs
+}

@@ -1,0 +1,79 @@
+package kmlint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// fixtureCases maps each analyzer to the import path its fixtures are
+// checked under. The path matters: determinism, precision and doccomment
+// scope themselves by package path, so the fixture must impersonate an
+// in-scope package to exercise the rule at all.
+var fixtureCases = []struct {
+	analyzer *Analyzer
+	pkgPath  string
+}{
+	{DeterminismAnalyzer, "kmeansll/internal/seed"},
+	{MmapWriteAnalyzer, "kmeansll/internal/server"},
+	{PrecisionAnalyzer, "kmeansll/internal/lloyd"},
+	{AtomicFieldsAnalyzer, "kmeansll/internal/distkm"},
+	{TierGateAnalyzer, "kmeansll/internal/geom"},
+	{DocCommentAnalyzer, "kmeansll/internal/core"},
+}
+
+// TestFixtures runs every analyzer over its bad fixture (each finding must
+// match a // want annotation, and vice versa) and its clean fixture (zero
+// findings expected — clean fixtures carry no wants, so any finding fails).
+func TestFixtures(t *testing.T) {
+	for _, tc := range fixtureCases {
+		for _, sub := range []string{"bad", "clean"} {
+			tc, sub := tc, sub
+			t.Run(tc.analyzer.Name+"/"+sub, func(t *testing.T) {
+				t.Parallel()
+				dir := filepath.Join("testdata", tc.analyzer.Name, sub)
+				for _, err := range RunFixture(tc.analyzer, dir, tc.pkgPath) {
+					t.Error(err)
+				}
+			})
+		}
+	}
+}
+
+// TestOutOfScopeAnalyzersStaySilent feeds the determinism bad fixture to the
+// analyzer under an out-of-scope import path: the same code that produces
+// findings in scope must produce none outside it, so the checks cannot leak
+// into packages whose contracts do not include them.
+func TestOutOfScopeAnalyzersStaySilent(t *testing.T) {
+	dir := filepath.Join("testdata", "determinism", "bad")
+	pkg, err := loadFixture(dir, "kmeansll/internal/server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := RunAnalyzers([]*Package{pkg}, []*Analyzer{DeterminismAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("out-of-scope finding: %s", f)
+	}
+}
+
+// TestRepoIsClean loads the real module and asserts every analyzer passes —
+// the in-process mirror of `make lint`'s kmlint step. If a violation is
+// seeded anywhere in the tree, this test fails alongside CI's smoke step.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped with -short")
+	}
+	pkgs, err := Load("../..", []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := RunAnalyzers(pkgs, Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

@@ -1,0 +1,246 @@
+// Package kmlint is the repo's static-analysis suite: a set of analyzers,
+// each enforcing one documented correctness contract at compile time, plus
+// the driver that loads packages, runs the analyzers, and filters
+// suppressions. It fills the role of a golang.org/x/tools/go/analysis
+// multichecker with the standard library only — packages are enumerated
+// with `go list -e -export -deps -json`, type-checked by go/types against
+// the gc export data the build cache already holds, and each analyzer
+// receives a fully typed Pass. See docs/static-analysis.md for the
+// contract behind every analyzer and the suppression idiom.
+//
+// Suppression: a finding is silenced by a comment on the same line or the
+// line directly above it, of the form
+//
+//	//kmlint:ignore <analyzer> <reason>
+//
+// The reason is mandatory; an ignore comment without one is itself
+// reported. Suppressions are per-analyzer and per-line, never file-wide.
+package kmlint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check. Run inspects a single type-checked package
+// and reports findings through pass.Report; it returns an error only for
+// internal failures (a broken fixture, an unreadable assembly file), never
+// for findings.
+type Analyzer struct {
+	// Name is the analyzer's identifier: the token used on the command
+	// line (-only), in //kmlint:ignore comments, and in finding output.
+	Name string
+	// Doc is a one-paragraph description of the contract the analyzer
+	// enforces, shown by `kmlint -list`.
+	Doc string
+	// Run performs the analysis on one package.
+	Run func(pass *Pass) error
+}
+
+// Diagnostic is a single finding at a position. Pos anchors findings in
+// type-checked Go files; findings in assembly files (which have no
+// token.Pos) set Filename and Line directly and leave Pos as NoPos.
+type Diagnostic struct {
+	// Pos is the finding's position in the pass's FileSet, or token.NoPos
+	// for findings anchored by Filename/Line.
+	Pos token.Pos
+	// Filename and Line locate findings outside the FileSet (assembly
+	// files). Ignored when Pos is valid.
+	Filename string
+	// Line is the 1-based line for Filename-anchored findings.
+	Line int
+	// Message describes the contract violation.
+	Message string
+}
+
+// Pass carries one type-checked package into an analyzer.
+type Pass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+	// Fset maps token.Pos values in Files to positions.
+	Fset *token.FileSet
+	// Files are the package's build-selected, type-checked files (tests
+	// excluded), parsed with comments.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo holds the type-checker's results for Files.
+	TypesInfo *types.Info
+	// Dir is the package directory on disk.
+	Dir string
+	// SFiles are all assembly files in Dir, including ones excluded from
+	// the current build configuration — the tiergate analyzer reasons
+	// over the whole build-tag matrix, not one configuration.
+	SFiles []string
+	// OtherGoFiles are non-test .go files in Dir excluded from the
+	// current build configuration (other GOARCH, km_purego, ...).
+	OtherGoFiles []string
+
+	// report receives findings after suppression filtering.
+	report func(Diagnostic)
+}
+
+// Report records one finding. Findings suppressed by a //kmlint:ignore
+// comment for this analyzer on the finding's line (or the line above) are
+// dropped here.
+func (p *Pass) Report(d Diagnostic) { p.report(d) }
+
+// Reportf records a finding at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Finding is a resolved diagnostic: position plus the analyzer that
+// produced it, ready to print as "file:line:col: [name] message".
+type Finding struct {
+	// Filename is the file the finding is in.
+	Filename string
+	// Line and Col are 1-based; Col is 0 for assembly-anchored findings.
+	Line, Col int
+	// Analyzer is the reporting analyzer's name.
+	Analyzer string
+	// Message describes the violation.
+	Message string
+}
+
+// String formats the finding one-per-line, the way both the CLI and the
+// fixture harness print it.
+func (f Finding) String() string {
+	if f.Col > 0 {
+		return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Filename, f.Line, f.Col, f.Analyzer, f.Message)
+	}
+	return fmt.Sprintf("%s:%d: [%s] %s", f.Filename, f.Line, f.Analyzer, f.Message)
+}
+
+// ignoreKey identifies one suppressed (file, line, analyzer) triple.
+type ignoreKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+const ignorePrefix = "//kmlint:ignore"
+
+// ignoreIndex records every //kmlint:ignore comment in a package, keyed so
+// a finding on the comment's own line or the line below it is suppressed.
+type ignoreIndex struct {
+	keys      map[ignoreKey]bool
+	malformed []Diagnostic
+}
+
+// buildIgnoreIndex scans the comments of all files for suppression
+// directives. Malformed directives (missing analyzer or reason) become
+// diagnostics attributed to the analyzer named "kmlint" so they are never
+// silently inert.
+func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) *ignoreIndex {
+	idx := &ignoreIndex{keys: map[ignoreKey]bool{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				fields := strings.Fields(rest)
+				pos := fset.Position(c.Pos())
+				if len(fields) < 2 {
+					idx.malformed = append(idx.malformed, Diagnostic{
+						Pos:     c.Pos(),
+						Message: "malformed kmlint:ignore: want //kmlint:ignore <analyzer> <reason>",
+					})
+					continue
+				}
+				idx.keys[ignoreKey{pos.Filename, pos.Line, fields[0]}] = true
+				idx.keys[ignoreKey{pos.Filename, pos.Line + 1, fields[0]}] = true
+			}
+		}
+	}
+	return idx
+}
+
+// suppressed reports whether a finding by analyzer at (file, line) is
+// covered by an ignore directive.
+func (idx *ignoreIndex) suppressed(file string, line int, analyzer string) bool {
+	return idx.keys[ignoreKey{file, line, analyzer}]
+}
+
+// RunAnalyzers runs every analyzer over every loaded package and returns
+// the surviving findings sorted by file, line, column, and analyzer.
+// Analyzer errors (internal failures) are returned as an error alongside
+// whatever findings were collected first.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	var errs []string
+	for _, pkg := range pkgs {
+		idx := buildIgnoreIndex(pkg.Fset, pkg.Files)
+		for _, m := range idx.malformed {
+			pos := pkg.Fset.Position(m.Pos)
+			findings = append(findings, Finding{
+				Filename: pos.Filename, Line: pos.Line, Col: pos.Column,
+				Analyzer: "kmlint", Message: m.Message,
+			})
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:     a,
+				Fset:         pkg.Fset,
+				Files:        pkg.Files,
+				Pkg:          pkg.Types,
+				TypesInfo:    pkg.TypesInfo,
+				Dir:          pkg.Dir,
+				SFiles:       pkg.SFiles,
+				OtherGoFiles: pkg.OtherGoFiles,
+			}
+			pass.report = func(d Diagnostic) {
+				file, line, col := d.Filename, d.Line, 0
+				if d.Pos.IsValid() {
+					pos := pkg.Fset.Position(d.Pos)
+					file, line, col = pos.Filename, pos.Line, pos.Column
+				}
+				if idx.suppressed(file, line, a.Name) {
+					return
+				}
+				findings = append(findings, Finding{
+					Filename: file, Line: line, Col: col,
+					Analyzer: a.Name, Message: d.Message,
+				})
+			}
+			if err := a.Run(pass); err != nil {
+				errs = append(errs, fmt.Sprintf("%s: %s: %v", a.Name, pkg.Path, err))
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	if len(errs) > 0 {
+		return findings, fmt.Errorf("analyzer errors:\n  %s", strings.Join(errs, "\n  "))
+	}
+	return findings, nil
+}
+
+// Analyzers returns the full suite in a stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		DeterminismAnalyzer,
+		MmapWriteAnalyzer,
+		PrecisionAnalyzer,
+		AtomicFieldsAnalyzer,
+		TierGateAnalyzer,
+		DocCommentAnalyzer,
+	}
+}

@@ -1,0 +1,188 @@
+package kmlint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// Path is the import path.
+	Path string
+	// Dir is the package directory.
+	Dir string
+	// Fset maps positions for Files.
+	Fset *token.FileSet
+	// Files are the build-selected non-test files, parsed with comments.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// TypesInfo holds type-checker results for Files.
+	TypesInfo *types.Info
+	// SFiles are all assembly files in Dir (every build configuration).
+	SFiles []string
+	// OtherGoFiles are non-test .go files excluded from this build
+	// configuration.
+	OtherGoFiles []string
+}
+
+// listedPackage mirrors the `go list -json` fields the loader consumes.
+type listedPackage struct {
+	ImportPath        string
+	Dir               string
+	Export            string
+	GoFiles           []string
+	IgnoredGoFiles    []string
+	SFiles            []string
+	IgnoredOtherFiles []string
+	Standard          bool
+	DepOnly           bool
+	Incomplete        bool
+	Error             *struct{ Err string }
+}
+
+// goList runs `go list -e -export -deps -json` in dir over the patterns and
+// decodes the package stream. -export compiles each package and records the
+// path of its gc export data, which is what lets go/types resolve imports
+// without golang.org/x/tools.
+func goList(dir string, patterns []string) ([]listedPackage, error) {
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,IgnoredGoFiles,SFiles,IgnoredOtherFiles,Standard,DepOnly,Incomplete,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter resolves imports from the export-data files `go list
+// -export` reported. It satisfies types.Importer via the standard gc
+// importer, so the type-checker sees exactly what the compiler compiled.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("kmlint: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+}
+
+// Load enumerates the packages matching patterns (relative to dir),
+// type-checks each against gc export data, and returns them ready for
+// RunAnalyzers. Packages that fail to list, parse, or type-check abort the
+// load: analyzers only ever see well-typed code.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	var targets []listedPackage
+	for _, p := range listed {
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			targets = append(targets, p)
+		}
+	}
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+	var pkgs []*Package
+	for _, p := range targets {
+		pkg, err := typeCheck(fset, imp, p)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// typeCheck parses and type-checks one listed package.
+func typeCheck(fset *token.FileSet, imp types.Importer, p listedPackage) (*Package, error) {
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("kmlint: %v", err)
+		}
+		files = append(files, f)
+	}
+	info := newTypesInfo()
+	cfg := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := cfg.Check(p.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("kmlint: type-checking %s: %v", p.ImportPath, err)
+	}
+	pkg := &Package{
+		Path:      p.ImportPath,
+		Dir:       p.Dir,
+		Fset:      fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}
+	for _, name := range p.SFiles {
+		pkg.SFiles = append(pkg.SFiles, filepath.Join(p.Dir, name))
+	}
+	for _, name := range p.IgnoredOtherFiles {
+		if strings.HasSuffix(name, ".s") {
+			pkg.SFiles = append(pkg.SFiles, filepath.Join(p.Dir, name))
+		}
+	}
+	for _, name := range p.IgnoredGoFiles {
+		if !strings.HasSuffix(name, "_test.go") {
+			pkg.OtherGoFiles = append(pkg.OtherGoFiles, filepath.Join(p.Dir, name))
+		}
+	}
+	return pkg, nil
+}
+
+// newTypesInfo allocates the maps every analyzer relies on.
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}

@@ -1,0 +1,83 @@
+package kmlint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// precisionScope is where the float32/float64 boundary is load-bearing: the
+// distance-kernel package and the optimizer package. docs/kernels.md pins
+// the contract — f32 storage and dot products, f64 reductions, bounds and
+// accumulators — so every f64→f32 narrowing in these packages is either the
+// blessed conversion funnel (geom.ConvertRow32 and friends, suppressed at
+// the site with a reason) or a bug that silently voids the tolerance
+// contract.
+var precisionScope = map[string]bool{
+	"kmeansll/internal/geom":  true,
+	"kmeansll/internal/lloyd": true,
+}
+
+// PrecisionAnalyzer flags float64→float32 narrowing conversions in the
+// kernel and optimizer packages. Widening (float64(x) of a float32) is
+// exact and allowed; narrowing loses bits and must happen only at the
+// documented conversion sites. Conversions of math.Inf results are exempt:
+// ±Inf is exactly representable in float32 and the idiom is how sentinel
+// bounds are seeded.
+var PrecisionAnalyzer = &Analyzer{
+	Name: "precision",
+	Doc: "no float64→float32 narrowing conversions in internal/geom or " +
+		"internal/lloyd outside blessed call sites (docs/kernels.md precision contract)",
+	Run: runPrecision,
+}
+
+func runPrecision(pass *Pass) error {
+	if !precisionScope[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[call.Fun]
+			if !ok || !tv.IsType() {
+				return true // a real call, not a conversion
+			}
+			if !isFloatKind(tv.Type, types.Float32) {
+				return true
+			}
+			argType := pass.TypesInfo.TypeOf(call.Args[0])
+			if argType == nil || !isFloatKind(argType, types.Float64) {
+				return true
+			}
+			if isMathInfCall(pass, call.Args[0]) {
+				return true // ±Inf narrows exactly
+			}
+			pass.Reportf(call.Pos(),
+				"float64→float32 narrowing conversion: bounds and accumulators stay float64 (docs/kernels.md); narrow only at a blessed site with a kmlint:ignore reason")
+			return true
+		})
+	}
+	return nil
+}
+
+// isFloatKind reports whether t's underlying type is the given float kind.
+func isFloatKind(t types.Type, kind types.BasicKind) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == kind
+}
+
+// isMathInfCall reports whether e is (possibly parenthesized) math.Inf(...).
+func isMathInfCall(pass *Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "math" && obj.Name() == "Inf"
+}

@@ -1,0 +1,40 @@
+// Package bad mixes sync/atomic and plain access to the same struct field —
+// a data race no matter how the accesses interleave.
+package bad
+
+import "sync/atomic"
+
+// Counter has a field used atomically in Incr but plainly elsewhere.
+type Counter struct {
+	n    int64
+	name string
+}
+
+// Incr bumps the counter atomically; this marks n as an atomic field.
+func (c *Counter) Incr() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+// Read races Incr: a plain load of an atomically written field.
+func (c *Counter) Read() int64 {
+	return c.n // want "plain access to field n"
+}
+
+// Reset races Incr from the write side.
+func (c *Counter) Reset() {
+	c.n = 0 // want "plain access to field n"
+}
+
+// Name touches only the never-atomic field, which is fine.
+func (c *Counter) Name() string {
+	return c.name
+}
+
+// InitValue is a sanctioned plain write: before the counter is shared there
+// is no race, and the suppression documents that.
+func InitValue(start int64) *Counter {
+	c := &Counter{}
+	//kmlint:ignore atomicfields not yet shared; plain init before publication
+	c.n = start
+	return c
+}

@@ -1,0 +1,31 @@
+// Package clean accesses its atomic field through sync/atomic everywhere,
+// and uses typed atomics for the modern variant — nothing to report.
+package clean
+
+import "sync/atomic"
+
+// LegacyCounter uses the &field call style consistently.
+type LegacyCounter struct {
+	n int64
+}
+
+// Incr bumps atomically.
+func (c *LegacyCounter) Incr() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+// Read loads atomically.
+func (c *LegacyCounter) Read() int64 {
+	return atomic.LoadInt64(&c.n)
+}
+
+// TypedCounter uses a typed atomic, which is safe by construction and not
+// tracked at all.
+type TypedCounter struct {
+	n atomic.Int64
+}
+
+// Incr bumps the typed atomic.
+func (c *TypedCounter) Incr() {
+	c.n.Add(1)
+}

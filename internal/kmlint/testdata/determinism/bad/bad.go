@@ -1,0 +1,37 @@
+// Package bad violates the determinism contract in every way the analyzer
+// knows how to catch: global math/rand, wall-clock reads, and map-order
+// iteration. The harness type-checks it under an in-scope import path.
+package bad
+
+import (
+	"math/rand"
+	"time"
+)
+
+// GlobalRand draws from the globally seeded source.
+func GlobalRand() int {
+	return rand.Intn(10) // want "rand.Intn draws from the globally seeded source"
+}
+
+// WallClock reads the wall clock three ways.
+func WallClock(t time.Time) (time.Time, time.Duration, time.Duration) {
+	now := time.Now()      // want "time.Now reads the wall clock"
+	since := time.Since(t) // want "time.Since reads the wall clock"
+	until := time.Until(t) // want "time.Until reads the wall clock"
+	return now, since, until
+}
+
+// MapOrder reduces over map iteration order.
+func MapOrder(weights map[int]float64) float64 {
+	var sum float64
+	for _, w := range weights { // want "iteration over map"
+		sum = sum*2 + w // order-dependent, so the range itself is the bug
+	}
+	return sum
+}
+
+// Suppressed shows the escape hatch: a justified ignore silences the line.
+func Suppressed() int64 {
+	//kmlint:ignore determinism fixture: sanctioned wall-clock read
+	return time.Now().UnixNano()
+}

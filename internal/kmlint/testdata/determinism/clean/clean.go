@@ -1,0 +1,22 @@
+// Package clean uses only the deterministic idioms: rand over an explicit
+// source, slice iteration, and explicit order slices for map lookups.
+package clean
+
+import "math/rand"
+
+// SeededDraw samples from an explicitly seeded source — deterministic, so
+// allowed even though it is math/rand.
+func SeededDraw(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// OrderedReduce iterates an explicit order slice and only looks the map up
+// by key — the blessed pattern for keyed grouping.
+func OrderedReduce(order []int, groups map[int]float64) float64 {
+	var sum float64
+	for _, k := range order {
+		sum = sum*2 + groups[k]
+	}
+	return sum
+}

@@ -1,0 +1,34 @@
+// Package bad exercises the doccomment analyzer: exported identifiers in
+// internal/... without doc comments.
+package bad
+
+type Exported struct{} // want "exported type Exported is missing a doc comment"
+
+func MissingDoc() {} // want "exported function MissingDoc is missing a doc comment"
+
+func (e *Exported) Method() {} // want "exported method Exported.Method is missing a doc comment"
+
+const (
+	ModeA = iota // want "exported const ModeA is missing a doc comment"
+	ModeB        // want "exported const ModeB is missing a doc comment"
+)
+
+var ExportedVar int // want "exported var ExportedVar is missing a doc comment"
+
+// Documented carries a doc comment and is not flagged.
+func Documented() {}
+
+// DocumentedType carries a doc comment and is not flagged.
+type DocumentedType struct{}
+
+const (
+	TrailingDoc = 1 // TrailingDoc documents itself inline, which counts as doc per godoc.
+)
+
+type hidden struct{}
+
+// Exported methods on unexported receivers are invisible in godoc and not
+// held to the rule.
+func (h hidden) Exported() {}
+
+const Legacy = 1 //kmlint:ignore doccomment pre-contract constant kept to demonstrate suppression

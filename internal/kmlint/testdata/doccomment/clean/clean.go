@@ -1,0 +1,22 @@
+// Package clean is the doccomment negative fixture: every exported
+// identifier carries a doc comment.
+package clean
+
+// Threshold bounds the relative change below which iteration stops.
+const Threshold = 1e-6
+
+// Config carries the documented knobs.
+type Config struct {
+	// Rounds is the number of sampling rounds.
+	Rounds int
+}
+
+// Run executes the documented entry point.
+func Run(c Config) int { return c.Rounds }
+
+// String renders the config for logs.
+func (c Config) String() string { return "config" }
+
+type internalState struct{ n int }
+
+func (s *internalState) bump() { s.n++ }

@@ -1,0 +1,50 @@
+// Package bad writes through datasets obtained from a dsio.Reader — every
+// shape of the violation the mmapwrite analyzer catches.
+package bad
+
+import (
+	"kmeansll/internal/dsio"
+	"kmeansll/internal/geom"
+	"kmeansll/internal/lloyd"
+)
+
+// ElementWrite stores into the mmap through the matrix view.
+func ElementWrite(r *dsio.Reader) {
+	ds := r.Dataset()
+	ds.X.Data[0] = 1 // want "write into a dataset derived from a dsio.Reader"
+}
+
+// RowWrite stores through an aliasing row accessor, two hops from the
+// reader.
+func RowWrite(r *dsio.Reader) {
+	ds := r.Dataset()
+	row := ds.X.Row(0)
+	row[2] = 3.5 // want "write into a dataset derived from a dsio.Reader"
+}
+
+// PointWrite stores through the Dataset.Point accessor on a float32 view.
+func PointWrite(r *dsio.Reader) {
+	ds32 := r.Dataset32()
+	p := ds32.Point(4)
+	p[0]++ // want "write into a dataset derived from a dsio.Reader"
+}
+
+// CopyInto clobbers a row with the copy builtin.
+func CopyInto(r *dsio.Reader, src []float64) {
+	ds := r.Dataset()
+	copy(ds.X.Row(1), src) // want "copy into a dataset derived from a dsio.Reader"
+}
+
+// FieldWrite swaps a field on the shared cached view.
+func FieldWrite(r *dsio.Reader, w []float64) {
+	ds := r.Dataset()
+	ds.Weight = w // want "field write on a dataset derived from a dsio.Reader"
+}
+
+// InPlaceMutators hands the mmap view to functions that scale or normalize
+// their argument in place.
+func InPlaceMutators(r *dsio.Reader) {
+	ds := r.Dataset()
+	lloyd.NormalizeRows(ds)       // want "NormalizeRows mutates its argument in place"
+	geom.Scale(ds.Point(0), 0.25) // want "Scale mutates its argument in place"
+}

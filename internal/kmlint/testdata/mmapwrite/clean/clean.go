@@ -1,0 +1,36 @@
+// Package clean reads mmapped datasets and mutates only private copies —
+// the blessed patterns, including the Spherical normalize-a-copy idiom.
+package clean
+
+import (
+	"kmeansll/internal/dsio"
+	"kmeansll/internal/geom"
+	"kmeansll/internal/lloyd"
+)
+
+// ReadOnly scans the mmap view without writing.
+func ReadOnly(r *dsio.Reader) float64 {
+	ds := r.Dataset()
+	var sum float64
+	for i := 0; i < ds.N(); i++ {
+		sum += geom.SqNorm(ds.Point(i))
+	}
+	return sum
+}
+
+// PrivateCopy clones before normalizing — the Spherical idiom from
+// lloyd.Opt.Prepare.
+func PrivateCopy(r *dsio.Reader) *geom.Dataset {
+	ds := r.Dataset()
+	cp := &geom.Dataset{X: ds.X.Clone(), Weight: ds.Weight}
+	lloyd.NormalizeRows(cp)
+	cp.X.Data[0] = 42
+	return cp
+}
+
+// CopyOut copies rows out of the mmap; the mmap is the copy source, which
+// is fine.
+func CopyOut(r *dsio.Reader, dst []float64) {
+	ds := r.Dataset()
+	copy(dst, ds.X.Row(0))
+}

@@ -1,0 +1,8 @@
+//go:build amd64 && !km_purego
+
+#include "textflag.h"
+
+// orphanAsm has no Go declaration anywhere in the package.
+TEXT ·orphanAsm(SB), NOSPLIT, $0-8 // want "assembly symbol orphanAsm has no body-less Go declaration"
+	MOVQ $0, ret+0(FP)
+	RET

@@ -1,0 +1,9 @@
+//go:build amd64 && !km_purego
+
+package bad
+
+// strandedAsm is the SSE kernel in b_amd64.s; there is no km_purego
+// fallback, which is the bug.
+//
+//go:noescape
+func strandedAsm(xs []float32) float32

@@ -1,0 +1,9 @@
+//go:build amd64 && !km_purego
+
+#include "textflag.h"
+
+// strandedAsm is declared in b_amd64.go but has no pure-Go fallback, so the
+// km_purego build of its caller strands it.
+TEXT ·strandedAsm(SB), NOSPLIT, $0-28
+	MOVSS X0, ret+24(FP)
+	RET

@@ -1,0 +1,7 @@
+package bad
+
+// UseStranded calls the assembly kernel from a file that is still built
+// under km_purego on amd64 — where the symbol then has no definition.
+func UseStranded(xs []float32) float32 {
+	return strandedAsm(xs) // want "symbol strandedAsm is referenced on amd64\\+km_purego but has no definition there"
+}

@@ -1,0 +1,5 @@
+package bad
+
+// ungatedAsm is declared in an ungated file backing an ungated .s — neither
+// can be stripped, so the purego escape hatch is broken for this symbol.
+func ungatedAsm() int64 // want "assembly declaration ungatedAsm is not //go:build-gated"

@@ -1,0 +1,9 @@
+// want "ungated.s is still assembled under -tags km_purego"
+
+#include "textflag.h"
+
+// ungatedAsm's file carries no //go:build line at all, so -tags km_purego
+// does not strip it.
+TEXT ·ungatedAsm(SB), NOSPLIT, $0-8
+	MOVQ $1, ret+0(FP)
+	RET

@@ -1,0 +1,8 @@
+//go:build !km_purego
+
+package bad
+
+// wideDeclAsm's declaration is active on every non-purego architecture, but
+// only amd64 has the assembly — every other architecture fails the build
+// with a missing function body.
+func wideDeclAsm() int64 // want "declared without a body on arm64" "declared without a body on riscv64"

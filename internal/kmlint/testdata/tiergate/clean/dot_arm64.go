@@ -1,0 +1,8 @@
+//go:build arm64 && !km_purego
+
+package clean
+
+// dotAsm is implemented in dot_arm64.s.
+//
+//go:noescape
+func dotAsm(x, y []float32) float32

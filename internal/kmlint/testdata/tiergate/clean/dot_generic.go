@@ -1,0 +1,13 @@
+//go:build (!amd64 && !arm64) || km_purego
+
+package clean
+
+// dotAsm is the portable fallback: it covers every architecture without an
+// assembly kernel, and every architecture under -tags km_purego.
+func dotAsm(x, y []float32) float32 {
+	var s float32
+	for i := range x {
+		s += x[i] * y[i]
+	}
+	return s
+}

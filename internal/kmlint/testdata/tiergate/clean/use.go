@@ -1,0 +1,9 @@
+// Package clean is the tiergate negative fixture: a kernel ladder with
+// per-architecture assembly, //go:build-gated body-less stubs, and a generic
+// fallback, so every cell of the build matrix resolves each symbol exactly
+// once.
+package clean
+
+// Dot computes a dot product through whichever kernel tier the build
+// configuration selected.
+func Dot(x, y []float32) float32 { return dotAsm(x, y) }

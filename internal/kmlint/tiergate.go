@@ -1,0 +1,236 @@
+package kmlint
+
+import (
+	"bufio"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// TierGateAnalyzer enforces the kernel-ladder build contract from
+// docs/kernels.md: every assembly TEXT symbol must resolve to exactly one
+// definition in every cell of the {amd64, arm64, other-arch} ×
+// {km_purego, !km_purego} build matrix — a //go:build-gated body-less Go
+// declaration backed by the .s file where the assembly is present, and a
+// pure-Go fallback definition everywhere else. It also requires km_purego
+// to strip every .s file, so the purego escape hatch genuinely removes all
+// assembly. A violation here is a build or link failure on a configuration
+// CI does not happen to compile — the exact "stranded symbol" failure mode
+// the tier ladder was designed against.
+var TierGateAnalyzer = &Analyzer{
+	Name: "tiergate",
+	Doc: "every .s kernel needs a matching //go:build-gated Go declaration and " +
+		"a km_purego/generic fallback; no build-tag configuration may strand or " +
+		"duplicate a symbol",
+	Run: runTierGate,
+}
+
+// textSymbolRE matches the symbol name of a TEXT directive, e.g.
+// `TEXT ·dot2x4f32asm(SB), NOSPLIT, $0-176`.
+var textSymbolRE = regexp.MustCompile(`^TEXT\s+·([A-Za-z0-9_]+)\s*\(SB\)`)
+
+// asmSymbol is one TEXT definition: where it lives and under which
+// constraint it assembles.
+type asmSymbol struct {
+	file string
+	line int
+	fc   fileConstraint
+}
+
+// goDef is one Go-level declaration of a symbol name: a bodied definition
+// (the fallback) or a body-less assembly stub, under its file constraint.
+type goDef struct {
+	file   string
+	pos    token.Pos
+	bodied bool
+	fc     fileConstraint
+}
+
+func runTierGate(pass *Pass) error {
+	if len(pass.SFiles) == 0 {
+		return nil
+	}
+	symbols := map[string][]asmSymbol{}
+	for _, sf := range pass.SFiles {
+		fc, err := parseFileConstraint(sf)
+		if err != nil {
+			return err
+		}
+		// The purego contract: -tags km_purego must exclude every .s file.
+		stillAssembled := false
+		for _, cfg := range tierConfigs {
+			if cfg.purego && fc.active(cfg) {
+				stillAssembled = true
+			}
+		}
+		if stillAssembled {
+			pass.Report(Diagnostic{
+				Filename: sf, Line: 1,
+				Message: fmt.Sprintf("%s is still assembled under -tags km_purego; every .s file must carry a !km_purego constraint so the pure-Go build genuinely strips all assembly", filepath.Base(sf)),
+			})
+		}
+		syms, err := scanTextSymbols(sf)
+		if err != nil {
+			return err
+		}
+		for name, line := range syms {
+			symbols[name] = append(symbols[name], asmSymbol{file: sf, line: line, fc: fc})
+		}
+	}
+	if len(symbols) == 0 {
+		return nil
+	}
+	defs, refs, err := collectGoDefs(pass, symbols)
+	if err != nil {
+		return err
+	}
+	checkMatrix(pass, symbols, defs, refs)
+	return nil
+}
+
+// scanTextSymbols returns the TEXT symbols defined in one assembly file,
+// mapped to their line numbers.
+func scanTextSymbols(path string) (map[string]int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	syms := map[string]int{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if m := textSymbolRE.FindStringSubmatch(strings.TrimSpace(sc.Text())); m != nil {
+			syms[m[1]] = line
+		}
+	}
+	return syms, sc.Err()
+}
+
+// collectGoDefs parses every non-test .go file in the package directory —
+// including files excluded from the current build configuration — and
+// gathers, for each assembly symbol name, its Go declarations and the
+// constraints of the files that reference it.
+func collectGoDefs(pass *Pass, symbols map[string][]asmSymbol) (map[string][]goDef, map[string][]goDef, error) {
+	goFiles := map[string]bool{}
+	for _, f := range pass.Files {
+		goFiles[pass.Fset.Position(f.Pos()).Filename] = true
+	}
+	for _, f := range pass.OtherGoFiles {
+		goFiles[f] = true
+	}
+	defs := map[string][]goDef{}
+	refs := map[string][]goDef{}
+	for path := range goFiles {
+		fc, err := parseFileConstraint(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		file, err := parser.ParseFile(pass.Fset, path, nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, err
+		}
+		declNames := map[string]bool{}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv != nil {
+				continue
+			}
+			name := fn.Name.Name
+			if _, isAsmSym := symbols[name]; !isAsmSym {
+				continue
+			}
+			declNames[name] = true
+			defs[name] = append(defs[name], goDef{
+				file: path, pos: fn.Name.Pos(), bodied: fn.Body != nil, fc: fc,
+			})
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if _, isAsmSym := symbols[id.Name]; isAsmSym && !declNames[id.Name] {
+				refs[id.Name] = append(refs[id.Name], goDef{file: path, pos: id.Pos(), fc: fc})
+			}
+			return true
+		})
+	}
+	return defs, refs, nil
+}
+
+// checkMatrix verifies that every symbol resolves to exactly one definition
+// in every build configuration, and that no configuration references a
+// symbol with zero definitions.
+func checkMatrix(pass *Pass, symbols map[string][]asmSymbol, defs, refs map[string][]goDef) {
+	for name, asms := range symbols {
+		nameDefs := defs[name]
+		var stubs []goDef
+		for _, d := range nameDefs {
+			if !d.bodied {
+				stubs = append(stubs, d)
+			}
+		}
+		if len(stubs) == 0 {
+			a := asms[0]
+			pass.Report(Diagnostic{
+				Filename: a.file, Line: a.line,
+				Message: fmt.Sprintf("assembly symbol %s has no body-less Go declaration; add a //go:build-gated declaration so the symbol is typed and vet-checked", name),
+			})
+			continue
+		}
+		for _, s := range stubs {
+			if s.fc.expr == nil && s.fc.suffixArch == "" {
+				pass.Reportf(s.pos,
+					"assembly declaration %s is not //go:build-gated; an ungated declaration strands the symbol on configurations without its .s file", name)
+			}
+		}
+		for _, cfg := range tierConfigs {
+			asmActive := false
+			for _, a := range asms {
+				if a.fc.active(cfg) {
+					asmActive = true
+				}
+			}
+			var active []goDef
+			for _, d := range nameDefs {
+				if d.fc.active(cfg) {
+					active = append(active, d)
+				}
+			}
+			switch {
+			case len(active) == 0:
+				for _, r := range refs[name] {
+					if r.fc.active(cfg) {
+						pass.Reportf(r.pos,
+							"symbol %s is referenced on %s but has no definition there: add a km_purego/generic fallback", name, cfg)
+						break
+					}
+				}
+			case len(active) > 1:
+				pass.Reportf(active[1].pos,
+					"symbol %s has %d definitions on %s (%s and %s): tighten the //go:build constraints so exactly one survives",
+					name, len(active), cfg, filepath.Base(active[0].file), filepath.Base(active[1].file))
+			default:
+				d := active[0]
+				if !d.bodied && !asmActive {
+					pass.Reportf(d.pos,
+						"symbol %s is declared without a body on %s but no .s file defines it there: the build would fail with a missing function body — add a fallback or fix the constraints",
+						name, cfg)
+				}
+				if d.bodied && asmActive {
+					pass.Reportf(d.pos,
+						"symbol %s has both a Go body and an assembly definition on %s: the build would fail with a redeclared body — gate one of them out",
+						name, cfg)
+				}
+			}
+		}
+	}
+}

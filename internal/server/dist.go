@@ -39,6 +39,7 @@ type DistUnavailableError struct {
 	Cause string
 }
 
+// Error reports the breaker cause and the remaining cooldown.
 func (e *DistUnavailableError) Error() string {
 	return fmt.Sprintf("distributed workers unavailable (%s); retry after %s",
 		e.Cause, time.Until(e.Until).Round(time.Second))

@@ -16,10 +16,16 @@ import (
 type JobState string
 
 const (
-	JobQueued   JobState = "queued"
-	JobRunning  JobState = "running"
-	JobDone     JobState = "done"
-	JobFailed   JobState = "failed"
+	// JobQueued is a job waiting in the bounded queue.
+	JobQueued JobState = "queued"
+	// JobRunning is a job a worker has picked up.
+	JobRunning JobState = "running"
+	// JobDone is a job whose fit completed and published.
+	JobDone JobState = "done"
+	// JobFailed is a job whose fit returned an error (or was interrupted
+	// by a server restart without a resumable checkpoint).
+	JobFailed JobState = "failed"
+	// JobCanceled is a job canceled while still queued.
 	JobCanceled JobState = "canceled"
 )
 
